@@ -1,0 +1,49 @@
+//! Criterion benchmarks of crossbar MVM evaluation (the analog + periphery
+//! pipeline behind every inference experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xbar_core::{CrossbarArray, Mapping};
+use xbar_device::DeviceConfig;
+use xbar_tensor::{rng::XorShiftRng, Tensor};
+
+fn bench_mvm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_mvm");
+    for &(no, ni) in &[(32usize, 64usize), (100, 400)] {
+        let mut rng = XorShiftRng::new(3);
+        let w = Tensor::rand_uniform(&[no, ni], -0.2 / no as f32, 0.2 / no as f32, &mut rng);
+        let x = Tensor::rand_uniform(&[ni], -1.0, 1.0, &mut rng);
+        for mapping in Mapping::ALL {
+            let xbar = CrossbarArray::program_signed(
+                &w,
+                mapping,
+                DeviceConfig::quantized_linear(4),
+                &mut rng,
+            )
+            .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(mapping.tag(), format!("{no}x{ni}")),
+                &x,
+                |b, x| b.iter(|| xbar.mvm_signed(x).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_batched_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_batched_forward");
+    let mut rng = XorShiftRng::new(4);
+    let w = Tensor::rand_uniform(&[32, 64], -0.005, 0.005, &mut rng);
+    let x = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
+    for mapping in Mapping::ALL {
+        let xbar =
+            CrossbarArray::program_signed(&w, mapping, DeviceConfig::ideal(), &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new(mapping.tag(), "batch64"), &x, |b, x| {
+            b.iter(|| xbar.forward(x).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mvm, bench_batched_forward);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the synapse device models: quantization,
+//! nonlinear pulse updates, and variation sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xbar_device::{ConductanceRange, Quantizer, UpdateModel, VariationModel};
+use xbar_tensor::{rng::XorShiftRng, Tensor};
+
+fn bench_quantizer(c: &mut Criterion) {
+    let range = ConductanceRange::normalized();
+    let q = Quantizer::new(4, range);
+    let mut rng = XorShiftRng::new(5);
+    let mut values: Vec<f32> = (0..10_000).map(|_| rng.next_f32()).collect();
+    c.bench_function("quantize_10k_elements", |b| {
+        b.iter(|| {
+            q.quantize_slice(&mut values);
+            values[0]
+        })
+    });
+}
+
+fn bench_nonlinear_update(c: &mut Criterion) {
+    let range = ConductanceRange::normalized();
+    let m = UpdateModel::symmetric_nonlinear(5.0);
+    c.bench_function("nonlinear_apply_fractional", |b| {
+        let mut g = 0.3f32;
+        b.iter(|| {
+            g = m.apply_fractional(g, 0.25, 31, range);
+            if g > 0.9 {
+                g = 0.1;
+            }
+            g
+        })
+    });
+}
+
+fn bench_variation_sampling(c: &mut Criterion) {
+    let range = ConductanceRange::normalized();
+    let var = VariationModel::new(0.15);
+    let t = Tensor::full(&[100, 400], 0.5);
+    let mut rng = XorShiftRng::new(6);
+    c.bench_function("variation_sample_40k_elements", |b| {
+        b.iter(|| var.sample_tensor(&t, range, &mut rng))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_quantizer,
+    bench_nonlinear_update,
+    bench_variation_sampling
+);
+criterion_main!(benches);

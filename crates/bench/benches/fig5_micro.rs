@@ -1,0 +1,37 @@
+//! Criterion micro-benchmark of the Fig. 5 experiment pipeline: one
+//! training epoch per mapping at one bit point on a tiny LeNet — measures
+//! the cost of regenerating one cell of the paper's precision sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xbar_bench::experiments::{ModelType, NetKind, Setup};
+use xbar_core::Mapping;
+use xbar_device::DeviceConfig;
+use xbar_models::ModelScale;
+
+fn bench_fig5_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_cell");
+    group.sample_size(10);
+    let mut setup = Setup::new(NetKind::Lenet);
+    setup.scale = ModelScale::Tiny;
+    setup.train_n = 120;
+    setup.test_n = 40;
+    setup.epochs = 1;
+    let data = setup.data();
+    for mapping in Mapping::ALL {
+        group.bench_function(BenchmarkId::from_parameter(mapping.tag()), |b| {
+            b.iter(|| {
+                setup
+                    .train_model(
+                        ModelType::Mapped(mapping),
+                        DeviceConfig::quantized_linear(4),
+                        &data,
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5_cell);
+criterion_main!(benches);

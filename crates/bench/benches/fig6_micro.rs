@@ -1,0 +1,44 @@
+//! Criterion micro-benchmark of the Fig. 6 pipeline: one Monte-Carlo
+//! variation sample (perturb → evaluate → restore) on a trained tiny net.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xbar_bench::experiments::{ModelType, NetKind, Setup};
+use xbar_core::Mapping;
+use xbar_device::DeviceConfig;
+use xbar_models::ModelScale;
+use xbar_nn::{evaluate, Layer};
+use xbar_tensor::rng::XorShiftRng;
+
+fn bench_variation_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_mc_sample");
+    group.sample_size(10);
+    let mut setup = Setup::new(NetKind::Lenet);
+    setup.scale = ModelScale::Tiny;
+    setup.train_n = 120;
+    setup.test_n = 60;
+    setup.epochs = 1;
+    let data = setup.data();
+    for mapping in [Mapping::Acm, Mapping::DoubleElement] {
+        let (mut net, _) = setup
+            .train_model_keep(
+                ModelType::Mapped(mapping),
+                DeviceConfig::quantized_linear(3),
+                &data,
+            )
+            .unwrap();
+        let mut rng = XorShiftRng::new(8);
+        group.bench_function(BenchmarkId::from_parameter(mapping.tag()), |b| {
+            b.iter(|| {
+                net.visit_mapped(&mut |p| p.apply_variation(0.15, &mut rng));
+                let (_, acc) =
+                    evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
+                net.visit_mapped(&mut |p| p.clear_variation());
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variation_sample);
+criterion_main!(benches);

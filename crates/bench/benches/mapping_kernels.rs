@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the signed↔non-negative decomposition kernels
+//! (the operations behind every figure's training loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xbar_core::{compose, decompose, decompose_with_periphery, Mapping};
+use xbar_device::ConductanceRange;
+use xbar_tensor::{rng::XorShiftRng, Tensor};
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose");
+    let range = ConductanceRange::normalized();
+    for &(no, ni) in &[(32usize, 64usize), (100, 400)] {
+        let mut rng = XorShiftRng::new(1);
+        let w = Tensor::rand_uniform(&[no, ni], -0.2 / no as f32, 0.2 / no as f32, &mut rng);
+        for mapping in Mapping::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(mapping.tag(), format!("{no}x{ni}")),
+                &w,
+                |b, w| b.iter(|| decompose(w, mapping, range).unwrap()),
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("generic-ACM", format!("{no}x{ni}")),
+            &w,
+            |b, w| {
+                let s = Mapping::Acm.periphery(no);
+                b.iter(|| decompose_with_periphery(w, &s, range).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_compose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compose");
+    let range = ConductanceRange::normalized();
+    let mut rng = XorShiftRng::new(2);
+    let w = Tensor::rand_uniform(&[100, 400], -0.002, 0.002, &mut rng);
+    for mapping in Mapping::ALL {
+        let m = decompose(&w, mapping, range).unwrap();
+        group.bench_with_input(BenchmarkId::new(mapping.tag(), "100x400"), &m, |b, m| {
+            b.iter(|| compose(m, mapping).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompose, bench_compose);
+criterion_main!(benches);

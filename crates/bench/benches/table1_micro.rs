@@ -1,0 +1,23 @@
+//! Criterion benchmark of the Table I analytical cost model (trivially
+//! fast; included so every paper artefact has a bench target).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xbar_core::Mapping;
+use xbar_neurosim::{evaluate, table1, TechParams, Workload};
+
+fn bench_table1(c: &mut Criterion) {
+    let params = TechParams::nm14();
+    c.bench_function("table1_all_mappings", |b| b.iter(|| table1(&params)));
+
+    let mut group = c.benchmark_group("cost_evaluate");
+    let w = Workload::table1_mlp();
+    for mapping in Mapping::ALL {
+        group.bench_function(BenchmarkId::from_parameter(mapping.tag()), |b| {
+            b.iter(|| evaluate(&w, mapping, &params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

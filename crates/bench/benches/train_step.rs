@@ -1,0 +1,48 @@
+//! Criterion benchmarks of one SGD training step through crossbar-mapped
+//! layers (forward + backward + device update).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xbar_core::Mapping;
+use xbar_device::DeviceConfig;
+use xbar_nn::{Dense, Layer, SoftmaxCrossEntropy, WeightKind};
+use xbar_tensor::{rng::XorShiftRng, Tensor};
+
+fn bench_dense_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_train_step");
+    for (label, kind, device) in [
+        ("signed-fp", WeightKind::Signed, DeviceConfig::ideal()),
+        (
+            "acm-4b-linear",
+            WeightKind::Mapped(Mapping::Acm),
+            DeviceConfig::quantized_linear(4),
+        ),
+        (
+            "acm-4b-nonlinear",
+            WeightKind::Mapped(Mapping::Acm),
+            DeviceConfig::quantized_nonlinear(4, 5.0),
+        ),
+        (
+            "de-4b-linear",
+            WeightKind::Mapped(Mapping::DoubleElement),
+            DeviceConfig::quantized_linear(4),
+        ),
+    ] {
+        let mut rng = XorShiftRng::new(7);
+        let mut layer = Dense::new(128, 64, kind, device, &mut rng).unwrap();
+        let x = Tensor::rand_normal(&[32, 128], 0.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..32).map(|i| i % 64).collect();
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let y = layer.forward(&x, true).unwrap();
+                let (_, grad) = SoftmaxCrossEntropy::forward(&y, &labels).unwrap();
+                layer.zero_grad();
+                layer.backward(&grad).unwrap();
+                layer.update(0.01);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense_step);
+criterion_main!(benches);

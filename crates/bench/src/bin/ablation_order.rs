@@ -1,0 +1,87 @@
+//! Extension ablation: ACM couples each output column to its immediate
+//! neighbour, so the *ordering* of a layer's outputs could in principle
+//! matter (neighbouring outputs share a crossbar column). This experiment
+//! trains the same low-precision LeNet under several random permutations
+//! of the class order and reports the spread of final test error for ACM,
+//! with DE (no inter-column coupling) as the control.
+//!
+//! ```text
+//! cargo run -p xbar-bench --release --bin ablation_order -- --perms 5 --bits 3
+//! ```
+
+use xbar_bench::cli::Args;
+use xbar_bench::experiments::{ModelType, NetKind, Setup};
+use xbar_bench::output::{pct, ResultsTable};
+use xbar_core::Mapping;
+use xbar_data::Dataset;
+use xbar_device::DeviceConfig;
+use xbar_models::ModelScale;
+use xbar_tensor::rng::XorShiftRng;
+
+fn permute_labels(d: &Dataset, perm: &[usize]) -> Dataset {
+    let labels: Vec<usize> = d.labels().iter().map(|&l| perm[l]).collect();
+    Dataset::new(d.features().clone(), labels, d.classes(), d.name())
+        .expect("permutation preserves validity")
+}
+
+fn main() {
+    let args = Args::from_env();
+    let bits: u8 = args.get("bits", 3);
+    let perms: usize = args.get("perms", 5);
+    let mut setup = Setup::new(NetKind::Lenet);
+    setup.epochs = args.get("epochs", 8);
+    setup.train_n = args.get("train", 1000);
+    setup.test_n = args.get("test", 300);
+    setup.seed = args.get("seed", setup.seed);
+    if args.has("tiny") {
+        setup.scale = ModelScale::Tiny;
+    }
+
+    eprintln!(
+        "ACM column-order ablation: LeNet, {bits}-bit, {perms} class permutations"
+    );
+
+    let data = setup.data();
+    let device = DeviceConfig::quantized_linear(bits);
+    let mut rng = XorShiftRng::new(setup.seed ^ 0x0DDE);
+
+    let mut table = ResultsTable::new(&["perm", "ACM-err%", "DE-err%"]);
+    let mut acm_errs = Vec::new();
+    let mut de_errs = Vec::new();
+    for p in 0..perms {
+        let mut perm: Vec<usize> = (0..10).collect();
+        if p > 0 {
+            rng.shuffle(&mut perm);
+        }
+        let train_d = permute_labels(&data.train, &perm);
+        let test_d = permute_labels(&data.test, &perm);
+        let permuted = xbar_data::DatasetPair {
+            train: train_d,
+            test: test_d,
+        };
+        let run = |model| {
+            setup
+                .train_model(model, device, &permuted)
+                .expect("training failed")
+                .last()
+                .and_then(|e| e.test_error_pct())
+                .unwrap_or(100.0)
+        };
+        let acm = run(ModelType::Mapped(Mapping::Acm));
+        let de = run(ModelType::Mapped(Mapping::DoubleElement));
+        acm_errs.push(acm);
+        de_errs.push(de);
+        table.push(vec![p.to_string(), pct(acm), pct(de)]);
+    }
+    table.print(args.has("csv"));
+
+    let stats = |v: &[f32]| {
+        let mean = v.iter().sum::<f32>() / v.len() as f32;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / v.len() as f32;
+        (mean, var.sqrt())
+    };
+    let (am, asd) = stats(&acm_errs);
+    let (dm, dsd) = stats(&de_errs);
+    eprintln!("ACM error over permutations: mean {am:.2}% sd {asd:.2}%");
+    eprintln!("DE  error over permutations: mean {dm:.2}% sd {dsd:.2}% (control)");
+}

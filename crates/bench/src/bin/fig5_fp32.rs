@@ -1,0 +1,75 @@
+//! Reproduces paper Fig. 5a / 5e: FP32 train & test error vs epoch for
+//! Baseline / ACM / DE / BC.
+//!
+//! ```text
+//! cargo run -p xbar-bench --release --bin fig5_fp32 -- --net lenet
+//! cargo run -p xbar-bench --release --bin fig5_fp32 -- --net resnet20 --epochs 20
+//! ```
+
+use xbar_bench::cli::Args;
+use xbar_bench::experiments::{run_fp32_curves, NetKind, Setup};
+use xbar_bench::output::{pct, ResultsTable};
+use xbar_models::ModelScale;
+
+fn main() {
+    let args = Args::from_env();
+    let net = NetKind::from_name(&args.get_str("net", "lenet")).unwrap_or_else(|| {
+        eprintln!("error: --net must be lenet | vgg9 | resnet20");
+        std::process::exit(2);
+    });
+    let mut setup = Setup::new(net);
+    setup.epochs = args.get("epochs", 15);
+    setup.train_n = args.get("train", setup.train_n);
+    setup.test_n = args.get("test", setup.test_n);
+    setup.lr = args.get("lr", setup.lr);
+    setup.seed = args.get("seed", setup.seed);
+    if args.has("paper-scale") {
+        setup.scale = ModelScale::Paper;
+    } else if args.has("tiny") {
+        setup.scale = ModelScale::Tiny;
+    }
+
+    eprintln!(
+        "fig5 fp32 curves: {} ({:?}), {} train / {} test, {} epochs, seed {:#x}",
+        net.name(),
+        setup.scale,
+        setup.train_n,
+        setup.test_n,
+        setup.epochs,
+        setup.seed
+    );
+
+    let curves = run_fp32_curves(&setup).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+
+    let mut table = ResultsTable::new(&[
+        "epoch",
+        "Baseline-train",
+        "Baseline-test",
+        "ACM-train",
+        "ACM-test",
+        "DE-train",
+        "DE-test",
+        "BC-train",
+        "BC-test",
+    ]);
+    for e in 0..setup.epochs {
+        let mut row = vec![e.to_string()];
+        for c in &curves {
+            let (tr, te) = c.errors[e];
+            row.push(pct(tr));
+            row.push(pct(te));
+        }
+        table.push(row);
+    }
+    table.print(args.has("csv"));
+
+    // Paper-style summary: at FP32 all model types converge comparably.
+    let finals: Vec<(String, f32)> = curves
+        .iter()
+        .map(|c| (c.model.label().to_string(), c.errors.last().map_or(100.0, |e| e.1)))
+        .collect();
+    eprintln!("final test error (%): {finals:?}");
+}

@@ -1,0 +1,76 @@
+//! Reproduces paper Fig. 5b–d (linear weight update) and Fig. 5f–h
+//! (symmetric nonlinear weight update): test error vs weight bit
+//! precision for ACM / DE / BC.
+//!
+//! ```text
+//! cargo run -p xbar-bench --release --bin fig5_precision -- --net lenet --update linear
+//! cargo run -p xbar-bench --release --bin fig5_precision -- --net resnet20 --update nonlinear
+//! ```
+
+use xbar_bench::cli::Args;
+use xbar_bench::experiments::{
+    bit_range, run_precision_sweep_seeds, NetKind, Setup, UpdateKind, DEFAULT_NU,
+};
+use xbar_bench::output::{pct, ResultsTable};
+use xbar_models::ModelScale;
+
+fn main() {
+    let args = Args::from_env();
+    let net = NetKind::from_name(&args.get_str("net", "lenet")).unwrap_or_else(|| {
+        eprintln!("error: --net must be lenet | vgg9 | resnet20");
+        std::process::exit(2);
+    });
+    let update = match args.get_str("update", "linear").as_str() {
+        "linear" => UpdateKind::Linear,
+        "nonlinear" => UpdateKind::Nonlinear(args.get("nu", DEFAULT_NU)),
+        other => {
+            eprintln!("error: --update must be linear | nonlinear (got {other})");
+            std::process::exit(2);
+        }
+    };
+    // Paper sweeps 2-8 bits for LeNet, 3-8 for the CIFAR networks.
+    let default_lo = if net == NetKind::Lenet { 2 } else { 3 };
+    let lo: u8 = args.get("min-bits", default_lo);
+    let hi: u8 = args.get("max-bits", 8);
+    let mut setup = Setup::new(net);
+    setup.epochs = args.get("epochs", setup.epochs);
+    setup.train_n = args.get("train", setup.train_n);
+    setup.test_n = args.get("test", setup.test_n);
+    setup.lr = args.get("lr", setup.lr);
+    setup.seed = args.get("seed", setup.seed);
+    if args.has("paper-scale") {
+        setup.scale = ModelScale::Paper;
+    } else if args.has("tiny") {
+        setup.scale = ModelScale::Tiny;
+    }
+
+    eprintln!(
+        "fig5 precision sweep: {} ({:?}), {} update, bits {lo}..={hi}, {} epochs, seed {:#x}",
+        net.name(),
+        setup.scale,
+        update.name(),
+        setup.epochs,
+        setup.seed
+    );
+
+    let seeds: usize = args.get("seeds", 2);
+    let points = run_precision_sweep_seeds(&setup, update, bit_range(lo, hi), seeds)
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+
+    let mut table = ResultsTable::new(&["bits", "ACM-err%", "DE-err%", "BC-err%"]);
+    for p in &points {
+        table.push(vec![p.bits.to_string(), pct(p.acm), pct(p.de), pct(p.bc)]);
+    }
+    table.print(args.has("csv"));
+
+    // Paper-style summary: the ACM-vs-BC gain at low precision.
+    let low_bits: Vec<&_> = points.iter().filter(|p| p.bits <= 5).collect();
+    if !low_bits.is_empty() {
+        let mean_gain: f32 =
+            low_bits.iter().map(|p| p.bc - p.acm).sum::<f32>() / low_bits.len() as f32;
+        eprintln!("mean ACM accuracy gain over BC at <=5 bits: {mean_gain:.2}%");
+    }
+}

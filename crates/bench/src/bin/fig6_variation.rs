@@ -1,0 +1,76 @@
+//! Reproduces paper Fig. 6: inference accuracy of the VGG network under
+//! Gaussian device variation, for 1/3/4/6-bit weights, averaged over 25
+//! Monte-Carlo samples per point, with no retraining.
+//!
+//! ```text
+//! cargo run -p xbar-bench --release --bin fig6_variation
+//! cargo run -p xbar-bench --release --bin fig6_variation -- --samples 10 --bits 3
+//! ```
+
+use xbar_bench::cli::Args;
+use xbar_bench::experiments::{run_variation_sweep, NetKind, Setup};
+use xbar_bench::output::{pct, ResultsTable};
+use xbar_models::ModelScale;
+
+fn main() {
+    let args = Args::from_env();
+    let net = NetKind::from_name(&args.get_str("net", "vgg9")).unwrap_or_else(|| {
+        eprintln!("error: --net must be lenet | vgg9 | resnet20");
+        std::process::exit(2);
+    });
+    let mut setup = Setup::new(net);
+    setup.epochs = args.get("epochs", setup.epochs);
+    setup.train_n = args.get("train", setup.train_n);
+    setup.test_n = args.get("test", setup.test_n);
+    setup.lr = args.get("lr", setup.lr);
+    setup.seed = args.get("seed", setup.seed);
+    if args.has("paper-scale") {
+        setup.scale = ModelScale::Paper;
+    } else if args.has("tiny") {
+        setup.scale = ModelScale::Tiny;
+    }
+    // Paper shows 1/3/4/6 bits; 0-25% sigma; 25 samples per point.
+    let bits: Vec<u8> = match args.get::<i64>("bits", -1) {
+        -1 => vec![1, 3, 4, 6],
+        b => vec![b as u8],
+    };
+    let samples: usize = args.get("samples", 25);
+    let sigmas: Vec<f32> = vec![0.0, 0.05, 0.10, 0.15, 0.20, 0.25];
+
+    eprintln!(
+        "fig6 variation sweep: {} ({:?}), bits {bits:?}, {samples} samples/point, seed {:#x}",
+        net.name(),
+        setup.scale,
+        setup.seed
+    );
+
+    let points = run_variation_sweep(&setup, &bits, &sigmas, samples).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+
+    let mut table = ResultsTable::new(&["bits", "sigma%", "DE-acc%", "ACM-acc%", "BC-acc%"]);
+    for p in &points {
+        table.push(vec![
+            p.bits.to_string(),
+            format!("{:.0}", p.sigma * 100.0),
+            pct(p.de),
+            pct(p.acm),
+            pct(p.bc),
+        ]);
+    }
+    table.print(args.has("csv"));
+
+    // Paper-style summary: mean ACM advantage at 15% sigma, low precision.
+    let at15: Vec<&_> = points
+        .iter()
+        .filter(|p| (p.sigma - 0.15).abs() < 1e-6 && p.bits <= 3)
+        .collect();
+    if !at15.is_empty() {
+        let vs_de: f32 = at15.iter().map(|p| p.acm - p.de).sum::<f32>() / at15.len() as f32;
+        let vs_bc: f32 = at15.iter().map(|p| p.acm - p.bc).sum::<f32>() / at15.len() as f32;
+        eprintln!(
+            "at 15% sigma, <=3 bits: ACM vs DE {vs_de:+.2}%, ACM vs BC {vs_bc:+.2}%"
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! One-shot driver that regenerates every paper artefact in sequence —
+//! the library-level equivalent of `run_experiments.sh`, with smaller
+//! defaults suitable for a quick end-to-end verification pass.
+//!
+//! ```text
+//! cargo run -p xbar-bench --release --bin repro_all            # quick pass
+//! cargo run -p xbar-bench --release --bin repro_all -- --full  # script-scale
+//! ```
+
+use xbar_bench::cli::Args;
+use xbar_bench::experiments::{
+    bit_range, run_fp32_curves, run_precision_sweep_seeds, run_variation_sweep, NetKind, Setup,
+    UpdateKind, DEFAULT_NU,
+};
+use xbar_bench::output::{num3, pct, ResultsTable};
+use xbar_core::Mapping;
+use xbar_neurosim::{table1, TechParams};
+
+fn main() {
+    let args = Args::from_env();
+    let full = args.has("full");
+    let (train, test, epochs, seeds) = if full { (1000, 300, 10, 2) } else { (300, 100, 4, 1) };
+
+    println!("== Fig. 5a / 5e: FP32 convergence ==");
+    for net in [NetKind::Lenet, NetKind::Resnet20] {
+        let mut setup = Setup::new(net);
+        setup.train_n = train;
+        setup.test_n = test;
+        setup.epochs = epochs;
+        let curves = run_fp32_curves(&setup).expect("fp32 curves");
+        let finals: Vec<String> = curves
+            .iter()
+            .map(|c| {
+                format!(
+                    "{} {:.1}%",
+                    c.model.label(),
+                    c.errors.last().map_or(f32::NAN, |e| e.1)
+                )
+            })
+            .collect();
+        println!("  {}: final test error {}", net.name(), finals.join(", "));
+    }
+
+    println!("\n== Fig. 5b-d / 5f-h: precision sweeps ==");
+    for net in [NetKind::Lenet, NetKind::Vgg9, NetKind::Resnet20] {
+        for update in [UpdateKind::Linear, UpdateKind::Nonlinear(DEFAULT_NU)] {
+            let mut setup = Setup::new(net);
+            setup.train_n = train;
+            setup.test_n = test;
+            setup.epochs = epochs;
+            let lo = if net == NetKind::Lenet { 2 } else { 3 };
+            let hi = if full { 8 } else { 4 };
+            let pts = run_precision_sweep_seeds(&setup, update, bit_range(lo, hi), seeds)
+                .expect("precision sweep");
+            let mut t = ResultsTable::new(&["bits", "ACM", "DE", "BC"]);
+            for p in &pts {
+                t.push(vec![p.bits.to_string(), pct(p.acm), pct(p.de), pct(p.bc)]);
+            }
+            println!("  {} / {} update:", net.name(), update.name());
+            for line in t.to_aligned().lines() {
+                println!("    {line}");
+            }
+        }
+    }
+
+    println!("\n== Fig. 6: variation sweep (LeNet quick) ==");
+    let mut setup = Setup::new(if full { NetKind::Vgg9 } else { NetKind::Lenet });
+    setup.train_n = train;
+    setup.test_n = test;
+    setup.epochs = epochs;
+    let bits: &[u8] = if full { &[1, 3, 4, 6] } else { &[3] };
+    let pts = run_variation_sweep(&setup, bits, &[0.0, 0.10, 0.20], if full { 8 } else { 3 })
+        .expect("variation sweep");
+    for p in &pts {
+        println!(
+            "  {}b sigma {:>2.0}%: DE {:.1} ACM {:.1} BC {:.1}",
+            p.bits,
+            p.sigma * 100.0,
+            p.de,
+            p.acm,
+            p.bc
+        );
+    }
+
+    println!("\n== Table I ==");
+    let rows = table1(&TechParams::nm14());
+    for r in &rows {
+        println!(
+            "  {:>3}: area {} um^2, periphery {} um^2, energy {} uJ, delay {} ms",
+            r.mapping.tag(),
+            num3(r.xbar_area_um2),
+            num3(r.periphery_area_um2),
+            num3(r.read_energy_uj),
+            num3(r.read_delay_ms)
+        );
+    }
+    let _ = Mapping::ALL; // anchor the mapping order used above
+    println!("\nall artefacts regenerated.");
+}

@@ -1,0 +1,68 @@
+//! Reproduces paper Table I: system-level area / read energy / read delay
+//! of the three mappings for training a two-layer MLP on crossbar arrays
+//! (analytical NeuroSim+-style model, 14 nm parameters).
+//!
+//! ```text
+//! cargo run -p xbar-bench --release --bin table1_system
+//! cargo run -p xbar-bench --release --bin table1_system -- --inputs 784 --hidden 300
+//! ```
+
+use xbar_bench::cli::Args;
+use xbar_bench::output::{num3, ResultsTable};
+use xbar_core::Mapping;
+use xbar_neurosim::{evaluate, LayerDims, TechParams, Workload};
+
+fn main() {
+    let args = Args::from_env();
+    let inputs: usize = args.get("inputs", 400);
+    let hidden: usize = args.get("hidden", 100);
+    let classes: usize = args.get("classes", 10);
+    let params = TechParams::nm14();
+
+    let workload = Workload::new(
+        vec![LayerDims::new(inputs, hidden), LayerDims::new(hidden, classes)],
+        format!("2-layer MLP {inputs}-{hidden}-{classes}"),
+    );
+    eprintln!("table1 system-level evaluation: {} @ {}", workload.name(), params.label);
+
+    let reports: Vec<_> = Mapping::ALL
+        .iter()
+        .map(|&m| evaluate(&workload, m, &params))
+        .collect();
+
+    let mut table = ResultsTable::new(&["Metric", "BC", "DE", "ACM"]);
+    table.push(vec![
+        "XBar Area (um^2)".into(),
+        format!("{:.0}", reports[0].xbar_area_um2),
+        format!("{:.0}", reports[1].xbar_area_um2),
+        format!("{:.0}", reports[2].xbar_area_um2),
+    ]);
+    table.push(vec![
+        "Periphery Area (um^2)".into(),
+        format!("{:.0}", reports[0].periphery_area_um2),
+        format!("{:.0}", reports[1].periphery_area_um2),
+        format!("{:.0}", reports[2].periphery_area_um2),
+    ]);
+    table.push(vec![
+        "Read Energy (uJ)".into(),
+        num3(reports[0].read_energy_uj),
+        num3(reports[1].read_energy_uj),
+        num3(reports[2].read_energy_uj),
+    ]);
+    table.push(vec![
+        "Read Delay (ms)".into(),
+        num3(reports[0].read_delay_ms),
+        num3(reports[1].read_delay_ms),
+        num3(reports[2].read_delay_ms),
+    ]);
+    table.print(args.has("csv"));
+
+    let (de, acm) = (&reports[1], &reports[2]);
+    eprintln!(
+        "DE/ACM ratios: area {:.2}x, periphery {:.2}x, energy {:.2}x, delay {:.2}x",
+        de.xbar_area_um2 / acm.xbar_area_um2,
+        de.periphery_area_um2 / acm.periphery_area_um2,
+        de.read_energy_uj / acm.read_energy_uj,
+        de.read_delay_ms / acm.read_delay_ms,
+    );
+}

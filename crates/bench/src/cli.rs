@@ -1,0 +1,102 @@
+//! A minimal flag parser for the experiment binaries (no external deps).
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line flags: `--key value` pairs and bare `--switch`es.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses flags from an iterator of arguments (excluding the program
+    /// name). A token starting with `--` followed by a non-`--` token is a
+    /// key/value pair; a `--` token followed by another flag (or nothing)
+    /// is a boolean switch.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let tokens: Vec<String> = args.into_iter().collect();
+        let mut out = Self::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if let Some(key) = t.strip_prefix("--") {
+                if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    out.values.insert(key.to_string(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    out.switches.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1; // ignore stray positional tokens
+            }
+        }
+        out
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// String value of `--key`, or `default`.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Parsed value of `--key`, or `default`; exits with a message on an
+    /// unparsable value (these are CLI tools).
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.values.get(key) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|_| {
+                eprintln!("error: cannot parse --{key} {raw}");
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// Whether the bare switch `--key` was passed.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_pairs_and_switches() {
+        let a = parse(&["--net", "lenet", "--csv", "--epochs", "12"]);
+        assert_eq!(a.get_str("net", "x"), "lenet");
+        assert_eq!(a.get::<usize>("epochs", 0), 12);
+        assert!(a.has("csv"));
+        assert!(!a.has("verbose"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&[]);
+        assert_eq!(a.get_str("net", "vgg9"), "vgg9");
+        assert_eq!(a.get::<f32>("lr", 0.05), 0.05);
+    }
+
+    #[test]
+    fn trailing_switch_is_boolean() {
+        let a = parse(&["--csv"]);
+        assert!(a.has("csv"));
+    }
+
+    #[test]
+    fn negative_numbers_are_values() {
+        // "-3" does not start with "--", so it parses as a value.
+        let a = parse(&["--offset", "-3"]);
+        assert_eq!(a.get::<i32>("offset", 0), -3);
+    }
+}

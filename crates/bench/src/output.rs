@@ -1,0 +1,139 @@
+//! Table / CSV output helpers shared by the experiment binaries.
+
+/// A simple column-aligned results table that can also render as CSV.
+#[derive(Debug, Clone, Default)]
+pub struct ResultsTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultsTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn push(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as an aligned text table.
+    pub fn to_aligned(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting — cells are numeric/identifier-like).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints aligned or CSV depending on `csv`.
+    pub fn print(&self, csv: bool) {
+        if csv {
+            print!("{}", self.to_csv());
+        } else {
+            print!("{}", self.to_aligned());
+        }
+    }
+}
+
+/// Formats an `f32` with 2 decimal places (error percents).
+pub fn pct(x: f32) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats an `f64` with 3 decimal places (costs).
+pub fn num3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_output_contains_all_cells() {
+        let mut t = ResultsTable::new(&["bits", "BC", "ACM"]);
+        t.push(vec!["2".into(), "30.5".into(), "21.0".into()]);
+        let s = t.to_aligned();
+        assert!(s.contains("bits"));
+        assert!(s.contains("30.5"));
+        assert!(s.contains("21.0"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_output_is_comma_separated() {
+        let mut t = ResultsTable::new(&["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = ResultsTable::new(&["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(12.345), "12.35");
+        assert_eq!(num3(2.4021), "2.402");
+    }
+}

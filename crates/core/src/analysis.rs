@@ -1,0 +1,181 @@
+//! The regularization analysis of paper Sec. III-E.
+//!
+//! For the ACM periphery, expanding `W = S·M` telescopes: the sum of *all*
+//! signed weights collapses to the difference between the total conductance
+//! of the first and last device columns (Eq. 4):
+//!
+//! ```text
+//! Σᵢⱼ Wᵢⱼ = M̄₁ − M̄_{N_D}
+//! ```
+//!
+//! With `B`-bit elements each column total takes one of `N_I·(2^B−1)+1`
+//! values, so the global weight sum is restricted to `≈ 2·N_I·2^B` values —
+//! independent of `N_O`. DE and BC leave the sum free to take
+//! `≈ 2·N_I·N_O·2^B` values. The ratio (`1/N_O`) is the *constraint
+//! tightness* that gives ACM its mild regularization, stronger at low bit
+//! precision — the mechanism behind the Fig. 6 variation-resilience
+//! results.
+
+use xbar_tensor::Tensor;
+
+use crate::{compose, Mapping, MappingError};
+
+/// Evaluates both sides of the paper's Eq. (4) for an ACM conductance
+/// matrix `M (N_D × N_I)`: returns `(Σ W, M̄_first − M̄_last)`, which are
+/// equal by the telescoping identity.
+///
+/// # Errors
+///
+/// Returns an error if `m` is not a valid ACM conductance matrix shape.
+pub fn acm_sum_identity(m: &Tensor) -> Result<(f32, f32), MappingError> {
+    let w = compose(m, Mapping::Acm)?;
+    let nd = m.shape()[0];
+    let first: f32 = m.row(0).sum();
+    let last: f32 = m.row(nd - 1).sum();
+    Ok((w.sum(), first - last))
+}
+
+/// Checks the Eq. (4) identity within `tol`.
+///
+/// # Errors
+///
+/// Returns an error if `m` has an invalid shape.
+pub fn verify_acm_sum_identity(m: &Tensor, tol: f32) -> Result<bool, MappingError> {
+    let (lhs, rhs) = acm_sum_identity(m)?;
+    Ok((lhs - rhs).abs() <= tol)
+}
+
+/// Number of distinct values the total weight sum `Σᵢⱼ Wᵢⱼ` can take for a
+/// quantized `B`-bit, `n_out × n_in` layer under `mapping`
+/// (paper Sec. III-E counting argument). Returned as `f64` because the
+/// counts overflow integers for realistic layers.
+///
+/// # Panics
+///
+/// Panics if `bits == 0` or either dimension is zero.
+pub fn representable_sum_count(mapping: Mapping, bits: u8, n_in: usize, n_out: usize) -> f64 {
+    assert!(bits >= 1, "need at least 1 bit");
+    assert!(n_in > 0 && n_out > 0, "layer dimensions must be positive");
+    let levels = ((1u64 << bits) - 1) as f64; // 2^B - 1 steps per element
+    match mapping {
+        // ACM: the sum is M̄_first − M̄_last; each column total spans
+        // n_in·levels steps, the difference spans twice that.
+        Mapping::Acm => 2.0 * n_in as f64 * levels + 1.0,
+        // DE/BC: every weight contributes independently; the sum of
+        // n_in·n_out quantized weights spans 2·n_in·n_out·levels steps
+        // (each weight can move the sum by ±levels steps).
+        Mapping::DoubleElement | Mapping::BiasColumn => {
+            2.0 * (n_in * n_out) as f64 * levels + 1.0
+        }
+    }
+}
+
+/// The constraint-tightness ratio of ACM relative to DE/BC: how many times
+/// fewer values the global weight sum may take. Approaches `1/n_out`; the
+/// *absolute* number of ACM-reachable sums shrinks as `2^B` shrinks, which
+/// is why the paper observes stronger regularization (and more variation
+/// resilience) at lower bit precision.
+pub fn constraint_tightness(bits: u8, n_in: usize, n_out: usize) -> f64 {
+    representable_sum_count(Mapping::Acm, bits, n_in, n_out)
+        / representable_sum_count(Mapping::DoubleElement, bits, n_in, n_out)
+}
+
+/// Hardware-resource summary of a mapping for an `n_out × n_in` layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceSummary {
+    /// The mapping summarized.
+    pub mapping: Mapping,
+    /// Synapse elements used.
+    pub elements: usize,
+    /// Crossbar columns used.
+    pub columns: usize,
+    /// Periphery add/sub operations per MVM.
+    pub periphery_ops: usize,
+    /// Signed weight range, `(lo, hi)`, for a normalized device.
+    pub weight_range: (f32, f32),
+}
+
+/// Builds the resource comparison the paper's Sec. II/III-D tables imply.
+pub fn resource_summary(mapping: Mapping, n_in: usize, n_out: usize) -> ResourceSummary {
+    let range = xbar_device::ConductanceRange::normalized();
+    ResourceSummary {
+        mapping,
+        elements: mapping.num_elements(n_out, n_in),
+        columns: mapping.num_device_columns(n_out),
+        periphery_ops: 2 * n_out, // one +1 and one −1 per output row
+        weight_range: mapping.weight_range(range),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose;
+    use xbar_device::ConductanceRange;
+    use xbar_tensor::rng::XorShiftRng;
+
+    #[test]
+    fn eq4_identity_holds_for_random_acm_matrices() {
+        let mut rng = XorShiftRng::new(91);
+        for _ in 0..20 {
+            let w = Tensor::rand_uniform(&[5, 8], -0.08, 0.08, &mut rng);
+            let m = decompose(&w, Mapping::Acm, ConductanceRange::normalized()).unwrap();
+            assert!(verify_acm_sum_identity(&m, 1e-4).unwrap());
+        }
+    }
+
+    #[test]
+    fn eq4_both_sides_numerically_equal() {
+        let mut rng = XorShiftRng::new(92);
+        let w = Tensor::rand_uniform(&[4, 6], -0.1, 0.1, &mut rng);
+        let m = decompose(&w, Mapping::Acm, ConductanceRange::normalized()).unwrap();
+        let (lhs, rhs) = acm_sum_identity(&m).unwrap();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+        assert!((lhs - w.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sum_count_matches_paper_formula() {
+        // Paper: ACM constrains ΣW to ~2·N_I·2^B values.
+        let count = representable_sum_count(Mapping::Acm, 4, 100, 50);
+        assert_eq!(count, 2.0 * 100.0 * 15.0 + 1.0);
+        let free = representable_sum_count(Mapping::DoubleElement, 4, 100, 50);
+        assert_eq!(free, 2.0 * 5000.0 * 15.0 + 1.0);
+    }
+
+    #[test]
+    fn tightness_scales_inversely_with_outputs() {
+        let t10 = constraint_tightness(4, 64, 10);
+        let t100 = constraint_tightness(4, 64, 100);
+        assert!(t100 < t10);
+        assert!((t10 - 0.1).abs() < 0.01, "~1/n_out, got {t10}");
+    }
+
+    #[test]
+    fn tightness_absolute_count_shrinks_with_bits() {
+        // The paper: the constraint is tighter when 2^B is smaller.
+        let low = representable_sum_count(Mapping::Acm, 2, 64, 10);
+        let high = representable_sum_count(Mapping::Acm, 6, 64, 10);
+        assert!(low < high);
+    }
+
+    #[test]
+    fn resource_summary_matches_mapping_accessors() {
+        let s = resource_summary(Mapping::DoubleElement, 400, 100);
+        assert_eq!(s.elements, 200 * 400);
+        assert_eq!(s.columns, 200);
+        assert_eq!(s.periphery_ops, 200);
+        let a = resource_summary(Mapping::Acm, 400, 100);
+        assert_eq!(a.elements, 101 * 400);
+        assert_eq!(a.weight_range, (-1.0, 1.0));
+        let b = resource_summary(Mapping::BiasColumn, 400, 100);
+        assert_eq!(b.elements, a.elements);
+        assert_eq!(b.weight_range, (-0.5, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 bit")]
+    fn sum_count_rejects_zero_bits() {
+        let _ = representable_sum_count(Mapping::Acm, 0, 10, 10);
+    }
+}

@@ -1,0 +1,139 @@
+//! Column-balance diagnostics for ACM-trained conductance matrices.
+//!
+//! ACM's representable set couples every weight in a column: the running
+//! sums of the column's weights must fit inside the conductance span
+//! (Sec. III-D: "ACM is limited by having to balance DNN accuracy and
+//! weight range"). These diagnostics quantify how hard that constraint is
+//! binding on a given matrix — how much conductance headroom each column
+//! has left, and what fraction of elements sit pinned at the rails —
+//! which is the signal behind the small-width ACM accuracy floor discussed
+//! in EXPERIMENTS.md.
+
+use xbar_device::ConductanceRange;
+use xbar_tensor::Tensor;
+
+use crate::MappingError;
+
+/// Saturation/headroom profile of a conductance matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalanceProfile {
+    /// Fraction of elements within `tol` of either conductance rail.
+    pub saturated_frac: f32,
+    /// Per-column remaining headroom: `span − (max − min)` of each input
+    /// column, normalized by span (`1` = completely free, `0` = the
+    /// column's spread already covers the full range).
+    pub column_headroom: Vec<f32>,
+    /// Mean of [`BalanceProfile::column_headroom`].
+    pub mean_headroom: f32,
+}
+
+impl BalanceProfile {
+    /// Whether the constraint is essentially inactive (most elements
+    /// interior, plenty of headroom everywhere).
+    pub fn is_relaxed(&self) -> bool {
+        self.saturated_frac < 0.05 && self.mean_headroom > 0.25
+    }
+}
+
+/// Profiles a conductance matrix `M (N_D × N_I)` against the device range.
+///
+/// # Errors
+///
+/// Returns a shape error if `m` is not a non-empty 2-D matrix.
+pub fn balance_profile(
+    m: &Tensor,
+    range: ConductanceRange,
+    tol: f32,
+) -> Result<BalanceProfile, MappingError> {
+    if m.ndim() != 2 || m.is_empty() {
+        return Err(MappingError::Shape(xbar_tensor::ShapeError::new(
+            "balance_profile",
+            format!("expected non-empty 2-D matrix, got {:?}", m.shape()),
+        )));
+    }
+    let (nd, n_in) = (m.shape()[0], m.shape()[1]);
+    let span = range.span();
+    let mut saturated = 0usize;
+    for &g in m.data() {
+        if (g - range.g_min()).abs() <= tol || (range.g_max() - g).abs() <= tol {
+            saturated += 1;
+        }
+    }
+    let mut column_headroom = Vec::with_capacity(n_in);
+    for i in 0..n_in {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for j in 0..nd {
+            let g = m.at(&[j, i]);
+            lo = lo.min(g);
+            hi = hi.max(g);
+        }
+        column_headroom.push(((span - (hi - lo)) / span).clamp(0.0, 1.0));
+    }
+    let mean_headroom = column_headroom.iter().sum::<f32>() / n_in as f32;
+    Ok(BalanceProfile {
+        saturated_frac: saturated as f32 / m.len() as f32,
+        column_headroom,
+        mean_headroom,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decompose, Mapping};
+    use xbar_tensor::rng::XorShiftRng;
+
+    fn range() -> ConductanceRange {
+        ConductanceRange::normalized()
+    }
+
+    #[test]
+    fn mid_range_matrix_is_fully_relaxed() {
+        let m = Tensor::full(&[5, 4], 0.5);
+        let p = balance_profile(&m, range(), 1e-3).unwrap();
+        assert_eq!(p.saturated_frac, 0.0);
+        assert!(p.column_headroom.iter().all(|&h| (h - 1.0).abs() < 1e-6));
+        assert!(p.is_relaxed());
+    }
+
+    #[test]
+    fn rail_pinned_matrix_is_saturated() {
+        let mut m = Tensor::zeros(&[4, 2]);
+        *m.at_mut(&[0, 0]) = 1.0;
+        *m.at_mut(&[1, 0]) = 1.0;
+        let p = balance_profile(&m, range(), 1e-3).unwrap();
+        assert_eq!(p.saturated_frac, 1.0);
+        // Column 0 spans the full range: zero headroom.
+        assert_eq!(p.column_headroom[0], 0.0);
+        assert!(!p.is_relaxed());
+    }
+
+    #[test]
+    fn small_weights_decompose_with_headroom() {
+        let mut rng = XorShiftRng::new(201);
+        let w = Tensor::rand_uniform(&[6, 8], -0.02, 0.02, &mut rng);
+        let m = decompose(&w, Mapping::Acm, range()).unwrap();
+        let p = balance_profile(&m, range(), 1e-4).unwrap();
+        assert!(p.mean_headroom > 0.5, "headroom {}", p.mean_headroom);
+    }
+
+    #[test]
+    fn headroom_shrinks_as_weights_grow() {
+        let mut rng = XorShiftRng::new(202);
+        let w_small = Tensor::rand_uniform(&[4, 6], -0.02, 0.02, &mut rng);
+        let w_big = w_small.scale(8.0);
+        let p_small =
+            balance_profile(&decompose(&w_small, Mapping::Acm, range()).unwrap(), range(), 1e-4)
+                .unwrap();
+        let p_big =
+            balance_profile(&decompose(&w_big, Mapping::Acm, range()).unwrap(), range(), 1e-4)
+                .unwrap();
+        assert!(p_big.mean_headroom < p_small.mean_headroom);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(balance_profile(&Tensor::zeros(&[3]), range(), 1e-3).is_err());
+    }
+}

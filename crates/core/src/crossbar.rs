@@ -1,0 +1,374 @@
+use xbar_device::DeviceConfig;
+use xbar_tensor::rng::XorShiftRng;
+use xbar_tensor::{linalg, Tensor};
+
+use crate::{decompose, Mapping, MappingError, PeripheryMatrix};
+
+/// A behavioural simulator of one crossbar array plus its periphery.
+///
+/// The array stores a non-negative conductance matrix `M` of shape
+/// `(N_D, N_I)` — `N_I` rows driven by input voltages, `N_D` columns of
+/// synapse elements. Programming goes through a
+/// [`DeviceConfig`]: target conductances are snapped to the device's
+/// quantized states and then perturbed by device variation, reproducing the
+/// paper's inference-under-variation methodology (Sec. IV-B): *train,
+/// program with noise, evaluate without fine-tuning*.
+///
+/// An MVM is evaluated in two stages, exactly as in hardware:
+/// 1. the analog stage — raw column dot products `y_dev = M·x`;
+/// 2. the digital periphery — the fixed signed combine `y = S·y_dev`.
+///
+/// # Example
+///
+/// ```
+/// use xbar_core::{CrossbarArray, Mapping};
+/// use xbar_device::DeviceConfig;
+/// use xbar_tensor::{rng::XorShiftRng, Tensor};
+///
+/// # fn main() -> Result<(), xbar_core::MappingError> {
+/// let w = Tensor::from_vec(vec![0.4, -0.2, -0.3, 0.1], &[2, 2])?;
+/// let mut rng = XorShiftRng::new(1);
+/// // Ideal device: the crossbar result equals the mathematical MVM.
+/// let xbar = CrossbarArray::program_signed(&w, Mapping::Acm, DeviceConfig::ideal(), &mut rng)?;
+/// let x = Tensor::from_vec(vec![1.0, 2.0], &[2])?;
+/// let y = xbar.mvm_signed(&x)?;
+/// assert!((y.data()[0] - 0.0).abs() < 1e-6);   // 0.4·1 − 0.2·2
+/// assert!((y.data()[1] - (-0.1)).abs() < 1e-6); // −0.3·1 + 0.1·2
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrossbarArray {
+    mapping: Mapping,
+    periphery: PeripheryMatrix,
+    device: DeviceConfig,
+    /// Ideal (post-quantization, pre-variation) conductance targets.
+    targets: Tensor,
+    /// Realised conductances after variation sampling.
+    programmed: Tensor,
+}
+
+impl CrossbarArray {
+    /// Decomposes a signed weight matrix `W (N_O × N_I)` under `mapping`
+    /// and programs the resulting conductances through `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the decomposition fails (weights outside the
+    /// representable range — see [`decompose`]).
+    pub fn program_signed(
+        w: &Tensor,
+        mapping: Mapping,
+        device: DeviceConfig,
+        rng: &mut XorShiftRng,
+    ) -> Result<Self, MappingError> {
+        let m = decompose(w, mapping, device.range())?;
+        Self::program_conductances(&m, mapping, device, rng)
+    }
+
+    /// Programs an explicit non-negative conductance matrix
+    /// `M (N_D × N_I)` — the path used after training, where the trainer
+    /// owns `M` directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `M` is negative anywhere, exceeds the device
+    /// range, or its row count is invalid for `mapping`.
+    pub fn program_conductances(
+        m: &Tensor,
+        mapping: Mapping,
+        device: DeviceConfig,
+        rng: &mut XorShiftRng,
+    ) -> Result<Self, MappingError> {
+        if m.ndim() != 2 {
+            return Err(MappingError::Shape(xbar_tensor::ShapeError::new(
+                "program_conductances",
+                format!("expected 2-D conductance matrix, got {:?}", m.shape()),
+            )));
+        }
+        let range = device.range();
+        if m.min() < range.g_min() - 1e-6 || m.max() > range.g_max() + 1e-6 {
+            return Err(MappingError::NotRepresentable {
+                mapping: mapping.tag(),
+                detail: format!(
+                    "conductances [{}, {}] outside device range [{}, {}]",
+                    m.min(),
+                    m.max(),
+                    range.g_min(),
+                    range.g_max()
+                ),
+            });
+        }
+        let nd = m.shape()[0];
+        let n_out = match mapping {
+            Mapping::DoubleElement => {
+                if !nd.is_multiple_of(2) {
+                    return Err(MappingError::Shape(xbar_tensor::ShapeError::new(
+                        "program_conductances",
+                        format!("DE needs an even device-column count, got {nd}"),
+                    )));
+                }
+                nd / 2
+            }
+            Mapping::BiasColumn | Mapping::Acm => {
+                if nd < 2 {
+                    return Err(MappingError::Shape(xbar_tensor::ShapeError::new(
+                        "program_conductances",
+                        format!("{mapping} needs at least two device columns, got {nd}"),
+                    )));
+                }
+                nd - 1
+            }
+        };
+        let periphery = mapping.periphery(n_out);
+        // Stage 1: snap to the device's programmable states (non-uniform
+        // in conductance for nonlinear devices — states sit at equal pulse
+        // spacing along the transfer curve).
+        let targets = m.map(|g| device.snap(g));
+        // Stage 2: sample device variation around each state.
+        let programmed = device.variation().sample_tensor(&targets, range, rng);
+        Ok(Self {
+            mapping,
+            periphery,
+            device,
+            targets,
+            programmed,
+        })
+    }
+
+    /// The mapping this array was programmed with.
+    pub fn mapping(&self) -> Mapping {
+        self.mapping
+    }
+
+    /// The device model.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// The periphery matrix.
+    pub fn periphery(&self) -> &PeripheryMatrix {
+        &self.periphery
+    }
+
+    /// Number of inputs (crossbar rows).
+    pub fn n_in(&self) -> usize {
+        self.programmed.shape()[1]
+    }
+
+    /// Number of signed outputs.
+    pub fn n_out(&self) -> usize {
+        self.periphery.n_out()
+    }
+
+    /// Number of device columns (`N_D`).
+    pub fn n_dev(&self) -> usize {
+        self.periphery.n_dev()
+    }
+
+    /// Total synapse elements in the array.
+    pub fn num_elements(&self) -> usize {
+        self.programmed.len()
+    }
+
+    /// The realised conductances (after quantization and variation).
+    pub fn conductances(&self) -> &Tensor {
+        &self.programmed
+    }
+
+    /// The ideal conductance targets (after quantization, before
+    /// variation).
+    pub fn targets(&self) -> &Tensor {
+        &self.targets
+    }
+
+    /// The effective signed weight matrix `S · G` realised by the array.
+    pub fn effective_weights(&self) -> Tensor {
+        linalg::matmul(self.periphery.matrix(), &self.programmed)
+            .expect("periphery and conductances are dimension-checked at construction")
+    }
+
+    /// Re-samples device variation around the stored targets, modelling a
+    /// fresh chip programmed with the same weights — one Monte-Carlo sample
+    /// of the paper's Fig. 6 loop.
+    pub fn resample_variation(&mut self, rng: &mut XorShiftRng) {
+        self.programmed =
+            self.device
+                .variation()
+                .sample_tensor(&self.targets, self.device.range(), rng);
+    }
+
+    /// Raw analog column outputs `y_dev = G · x` for a 1-D input of length
+    /// `n_in()` — what the ADCs digitize, before the periphery combine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error on input-length mismatch.
+    pub fn mvm_raw(&self, x: &Tensor) -> Result<Tensor, MappingError> {
+        linalg::matvec(&self.programmed, x).map_err(MappingError::from)
+    }
+
+    /// Signed MVM `y = S · (G · x)` for a 1-D input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error on input-length mismatch.
+    pub fn mvm_signed(&self, x: &Tensor) -> Result<Tensor, MappingError> {
+        let raw = self.mvm_raw(x)?;
+        linalg::matvec(self.periphery.matrix(), &raw).map_err(MappingError::from)
+    }
+
+    /// Batched signed MVM: `X (batch × N_I) → Y (batch × N_O)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` is not `(batch, n_in())`.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, MappingError> {
+        // (batch, n_in) · G^T -> (batch, nd)
+        let raw = linalg::matmul_nt(x, &self.programmed).map_err(MappingError::from)?;
+        self.periphery.combine(&raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_device::{DeviceConfig, UpdateModel};
+
+    fn rng() -> XorShiftRng {
+        XorShiftRng::new(81)
+    }
+
+    fn test_w() -> Tensor {
+        Tensor::from_vec(vec![0.3, -0.2, 0.1, -0.4, 0.25, 0.05], &[2, 3]).unwrap()
+    }
+
+    #[test]
+    fn ideal_crossbar_equals_mathematical_mvm_all_mappings() {
+        let w = test_w();
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[3]).unwrap();
+        let expected = linalg::matvec(&w, &x).unwrap();
+        for mapping in Mapping::ALL {
+            let mut r = rng();
+            let xb =
+                CrossbarArray::program_signed(&w, mapping, DeviceConfig::ideal(), &mut r).unwrap();
+            let y = xb.mvm_signed(&x).unwrap();
+            assert!(y.all_close(&expected, 1e-5), "{mapping}: {:?}", y.data());
+        }
+    }
+
+    #[test]
+    fn batched_forward_matches_per_sample_mvm() {
+        let w = test_w();
+        let mut r = rng();
+        let xb =
+            CrossbarArray::program_signed(&w, Mapping::Acm, DeviceConfig::ideal(), &mut r).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5], &[2, 3]).unwrap();
+        let batch = xb.forward(&x).unwrap();
+        for b in 0..2 {
+            let single = xb.mvm_signed(&x.row(b)).unwrap();
+            for j in 0..2 {
+                assert!((batch.at(&[b, j]) - single.data()[j]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_program_snaps_to_states() {
+        let w = test_w();
+        let dev = DeviceConfig::quantized_linear(2); // states 0, 1/3, 2/3, 1
+        let mut r = rng();
+        let xb = CrossbarArray::program_signed(&w, Mapping::DoubleElement, dev, &mut r).unwrap();
+        let q = dev.quantizer();
+        for &g in xb.conductances().data() {
+            assert!((g - q.quantize(g)).abs() < 1e-6, "{g} is not a device state");
+        }
+    }
+
+    #[test]
+    fn variation_perturbs_but_targets_stay() {
+        let w = test_w();
+        let dev = DeviceConfig::quantized_linear(4).with_variation_sigma(0.1);
+        let mut r = rng();
+        let xb = CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut r).unwrap();
+        assert!(!xb.conductances().all_close(xb.targets(), 1e-4));
+        // Targets are still exact device states.
+        let q = dev.quantizer();
+        for &g in xb.targets().data() {
+            assert!((g - q.quantize(g)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn resample_variation_changes_programmed_not_targets() {
+        let w = test_w();
+        let dev = DeviceConfig::quantized_linear(4).with_variation_sigma(0.1);
+        let mut r = rng();
+        let mut xb = CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut r).unwrap();
+        let before = xb.conductances().clone();
+        let targets = xb.targets().clone();
+        xb.resample_variation(&mut r);
+        assert!(!xb.conductances().all_close(&before, 1e-6));
+        assert!(xb.targets().all_close(&targets, 0.0));
+    }
+
+    #[test]
+    fn effective_weights_approximate_w_under_quantization() {
+        let w = test_w();
+        let dev = DeviceConfig::quantized_linear(6);
+        let mut r = rng();
+        let xb = CrossbarArray::program_signed(&w, Mapping::DoubleElement, dev, &mut r).unwrap();
+        let eff = xb.effective_weights();
+        // 6-bit quantization: max error per element <= step (two elements).
+        let step = dev.quantizer().step();
+        assert!(eff.all_close(&w, step * 1.01), "{:?}", eff.data());
+    }
+
+    #[test]
+    fn dimensions_reported_correctly() {
+        let w = test_w();
+        let mut r = rng();
+        let xb =
+            CrossbarArray::program_signed(&w, Mapping::Acm, DeviceConfig::ideal(), &mut r).unwrap();
+        assert_eq!(xb.n_in(), 3);
+        assert_eq!(xb.n_out(), 2);
+        assert_eq!(xb.n_dev(), 3);
+        assert_eq!(xb.num_elements(), 9);
+        assert_eq!(xb.mapping(), Mapping::Acm);
+    }
+
+    #[test]
+    fn rejects_negative_conductances() {
+        let m = Tensor::from_vec(vec![-0.1, 0.2, 0.3, 0.4, 0.5, 0.6], &[3, 2]).unwrap();
+        let mut r = rng();
+        let err =
+            CrossbarArray::program_conductances(&m, Mapping::Acm, DeviceConfig::ideal(), &mut r)
+                .unwrap_err();
+        assert!(matches!(err, MappingError::NotRepresentable { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_input_length() {
+        let w = test_w();
+        let mut r = rng();
+        let xb =
+            CrossbarArray::program_signed(&w, Mapping::Acm, DeviceConfig::ideal(), &mut r).unwrap();
+        assert!(xb.mvm_signed(&Tensor::zeros(&[5])).is_err());
+    }
+
+    #[test]
+    fn nonlinear_update_device_still_programs_correctly() {
+        // Programming (as opposed to in-situ training) is a write-verify
+        // operation: the nonlinearity affects training updates, not the
+        // final programmed states.
+        let w = test_w();
+        let dev = DeviceConfig::builder()
+            .bits(4)
+            .update(UpdateModel::symmetric_nonlinear(5.0))
+            .build();
+        let mut r = rng();
+        let xb = CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut r).unwrap();
+        let eff = xb.effective_weights();
+        assert!(eff.all_close(&w, dev.quantizer().step() * 2.0));
+    }
+}

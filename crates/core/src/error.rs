@@ -1,0 +1,89 @@
+use std::error::Error;
+use std::fmt;
+
+use xbar_tensor::ShapeError;
+
+/// Errors from mapping construction, validation, and decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappingError {
+    /// A tensor shape was incompatible with the operation.
+    Shape(ShapeError),
+    /// The candidate periphery matrix violates one of the paper's
+    /// sufficient conditions (Sec. III-C).
+    InvalidPeriphery {
+        /// Which condition failed, in human-readable form.
+        reason: String,
+    },
+    /// The signed matrix cannot be represented with non-negative
+    /// conductances in the device range under the chosen mapping
+    /// (e.g. a BC weight outside `[−G_max/2, G_max/2]`).
+    NotRepresentable {
+        /// Which mapping rejected the matrix.
+        mapping: &'static str,
+        /// Human-readable detail (offending value / bound).
+        detail: String,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Shape(e) => write!(f, "{e}"),
+            Self::InvalidPeriphery { reason } => {
+                write!(f, "invalid periphery matrix: {reason}")
+            }
+            Self::NotRepresentable { mapping, detail } => {
+                write!(f, "matrix not representable under {mapping} mapping: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for MappingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for MappingError {
+    fn from(e: ShapeError) -> Self {
+        Self::Shape(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = MappingError::InvalidPeriphery {
+            reason: "rank deficient".into(),
+        };
+        assert!(e.to_string().contains("rank deficient"));
+
+        let e = MappingError::NotRepresentable {
+            mapping: "BC",
+            detail: "weight 0.9 exceeds 0.5".into(),
+        };
+        assert!(e.to_string().contains("BC"));
+
+        let e = MappingError::from(ShapeError::new("compose", "bad dims"));
+        assert!(e.to_string().contains("compose"));
+    }
+
+    #[test]
+    fn shape_error_preserves_source() {
+        let e = MappingError::from(ShapeError::new("x", "y"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MappingError>();
+    }
+}

@@ -1,0 +1,461 @@
+use xbar_tensor::{linalg, Tensor};
+
+use crate::MappingError;
+
+/// A validated periphery matrix `S` (paper Sec. III-B/III-C).
+///
+/// `S` has shape `N_O × N_D`, entries restricted to `{−1, 0, +1}` (so it is
+/// implementable as additions/subtractions of digitized column outputs),
+/// and satisfies the paper's two sufficient conditions:
+///
+/// 1. `rank(S) = N_O` — any signed `W` lies in the column space of `S`;
+/// 2. there exists `x_h > 0` with `S·x_h = 0` — any particular solution of
+///    `S·m = w` can be shifted (`m + α·x_h`) into the non-negative orthant.
+///
+/// The three standard stencils are provided as constructors
+/// ([`PeripheryMatrix::acm`], [`PeripheryMatrix::bias_column`],
+/// [`PeripheryMatrix::double_element`]); arbitrary user matrices can be
+/// validated through [`PeripheryMatrix::try_new`].
+///
+/// # Example
+///
+/// ```
+/// use xbar_core::PeripheryMatrix;
+///
+/// let s = PeripheryMatrix::acm(3);
+/// assert_eq!(s.n_out(), 3);
+/// assert_eq!(s.n_dev(), 4);
+/// // Row i subtracts column i+1 from column i:
+/// assert_eq!(s.matrix().at(&[0, 0]), 1.0);
+/// assert_eq!(s.matrix().at(&[0, 1]), -1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeripheryMatrix {
+    s: Tensor,
+    null_vector: Vec<f32>,
+}
+
+/// Tolerance used for rank and null-space computations. Periphery entries
+/// are exactly representable integers so this only guards float roundoff.
+const TOL: f32 = 1e-5;
+
+impl PeripheryMatrix {
+    /// The adjacent connection matrix of the paper (Fig. 2): row `j` is
+    /// `+1` at column `j` and `−1` at column `j + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_out == 0`.
+    pub fn acm(n_out: usize) -> Self {
+        assert!(n_out > 0, "periphery needs at least one output");
+        let nd = n_out + 1;
+        let mut s = Tensor::zeros(&[n_out, nd]);
+        for j in 0..n_out {
+            *s.at_mut(&[j, j]) = 1.0;
+            *s.at_mut(&[j, j + 1]) = -1.0;
+        }
+        Self {
+            s,
+            null_vector: vec![1.0; nd],
+        }
+    }
+
+    /// The bias-column mapping (Fig. 1b): row `j` is `+1` at column `j` and
+    /// `−1` at the shared reference column `N_O`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_out == 0`.
+    pub fn bias_column(n_out: usize) -> Self {
+        assert!(n_out > 0, "periphery needs at least one output");
+        let nd = n_out + 1;
+        let mut s = Tensor::zeros(&[n_out, nd]);
+        for j in 0..n_out {
+            *s.at_mut(&[j, j]) = 1.0;
+            *s.at_mut(&[j, nd - 1]) = -1.0;
+        }
+        Self {
+            s,
+            null_vector: vec![1.0; nd],
+        }
+    }
+
+    /// The double-element mapping (Fig. 1a): row `j` is `+1` at column `2j`
+    /// and `−1` at column `2j + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_out == 0`.
+    pub fn double_element(n_out: usize) -> Self {
+        assert!(n_out > 0, "periphery needs at least one output");
+        let nd = 2 * n_out;
+        let mut s = Tensor::zeros(&[n_out, nd]);
+        for j in 0..n_out {
+            *s.at_mut(&[j, 2 * j]) = 1.0;
+            *s.at_mut(&[j, 2 * j + 1]) = -1.0;
+        }
+        Self {
+            s,
+            null_vector: vec![1.0; nd],
+        }
+    }
+
+    /// Validates an arbitrary candidate periphery matrix against the
+    /// paper's conditions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::InvalidPeriphery`] if any entry is outside
+    /// `{−1, 0, +1}`, if `rank(S) < N_O`, or if no strictly positive null
+    /// vector can be certified. The positive-null-vector search tries the
+    /// paper's canonical certificate `x_h = 1` (rows summing to zero),
+    /// then single-vector null bases; matrices needing a genuinely
+    /// non-trivial positive combination are conservatively rejected.
+    pub fn try_new(s: Tensor) -> Result<Self, MappingError> {
+        if s.ndim() != 2 {
+            return Err(MappingError::InvalidPeriphery {
+                reason: format!("expected 2-D matrix, got shape {:?}", s.shape()),
+            });
+        }
+        let (n_out, nd) = (s.shape()[0], s.shape()[1]);
+        if n_out == 0 || nd == 0 {
+            return Err(MappingError::InvalidPeriphery {
+                reason: "empty matrix".into(),
+            });
+        }
+        for (i, &v) in s.data().iter().enumerate() {
+            if v != 0.0 && v != 1.0 && v != -1.0 {
+                return Err(MappingError::InvalidPeriphery {
+                    reason: format!("entry {i} is {v}, not in {{-1, 0, +1}}"),
+                });
+            }
+        }
+        // Condition 1: full row rank.
+        let r = linalg::rank(&s, TOL).map_err(MappingError::from)?;
+        if r != n_out {
+            return Err(MappingError::InvalidPeriphery {
+                reason: format!("rank(S) = {r} but N_O = {n_out}; W would not span"),
+            });
+        }
+        // Condition 2: strictly positive null vector.
+        let null_vector = find_positive_null_vector(&s).ok_or_else(|| {
+            MappingError::InvalidPeriphery {
+                reason: "no strictly positive null vector found; \
+                         non-negative decomposition not guaranteed"
+                    .into(),
+            }
+        })?;
+        Ok(Self { s, null_vector })
+    }
+
+    /// The underlying `N_O × N_D` matrix.
+    pub fn matrix(&self) -> &Tensor {
+        &self.s
+    }
+
+    /// Number of signed outputs `N_O`.
+    pub fn n_out(&self) -> usize {
+        self.s.shape()[0]
+    }
+
+    /// Number of crossbar (device) columns `N_D`.
+    pub fn n_dev(&self) -> usize {
+        self.s.shape()[1]
+    }
+
+    /// The certified strictly positive null vector `x_h` (`S·x_h = 0`).
+    /// For all three standard mappings this is the all-ones vector.
+    pub fn null_vector(&self) -> &[f32] {
+        &self.null_vector
+    }
+
+    /// Applies the periphery combine to a batch of raw column outputs:
+    /// `Y_dev (batch × N_D)  →  Y (batch × N_O)`, i.e. `Y = Y_dev · Sᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `y_dev` is not `(batch, N_D)`.
+    pub fn combine(&self, y_dev: &Tensor) -> Result<Tensor, MappingError> {
+        linalg::matmul_nt(y_dev, &self.s).map_err(MappingError::from)
+    }
+
+    /// Adjoint of [`PeripheryMatrix::combine`], used for gradient routing:
+    /// `G (batch × N_O)  →  G_dev (batch × N_D)`, i.e. `G_dev = G · S`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `grad` is not `(batch, N_O)`.
+    pub fn spread(&self, grad: &Tensor) -> Result<Tensor, MappingError> {
+        linalg::matmul(grad, &self.s).map_err(MappingError::from)
+    }
+
+    /// Number of non-zero entries — the count of periphery add/sub
+    /// operations per MVM.
+    pub fn num_ops(&self) -> usize {
+        self.s.data().iter().filter(|&&v| v != 0.0).count()
+    }
+}
+
+/// Searches for a strictly positive vector in the null space of `s`.
+fn find_positive_null_vector(s: &Tensor) -> Option<Vec<f32>> {
+    let (n_out, nd) = (s.shape()[0], s.shape()[1]);
+    // Fast path — the paper's canonical certificate: rows sum to zero
+    // means x_h = 1 is in the null space.
+    let ones_works = (0..n_out).all(|i| {
+        let row_sum: f32 = (0..nd).map(|j| s.at(&[i, j])).sum();
+        row_sum.abs() <= TOL
+    });
+    if ones_works {
+        return Some(vec![1.0; nd]);
+    }
+    // General path: compute a null-space basis by RREF and test each basis
+    // vector (and its negation) for strict positivity.
+    let basis = null_space_basis(s);
+    for v in &basis {
+        if v.iter().all(|&x| x > TOL) {
+            return Some(v.clone());
+        }
+        if v.iter().all(|&x| x < -TOL) {
+            return Some(v.iter().map(|&x| -x).collect());
+        }
+    }
+    // Equal-weight combination of the basis occasionally certifies when no
+    // single vector does.
+    if basis.len() > 1 {
+        let mut sum = vec![0.0f32; nd];
+        for v in &basis {
+            for (a, &b) in sum.iter_mut().zip(v) {
+                *a += b;
+            }
+        }
+        if sum.iter().all(|&x| x > TOL) {
+            return Some(sum);
+        }
+    }
+    None
+}
+
+/// Null-space basis of `s` via reduced row echelon form (f64 arithmetic).
+fn null_space_basis(s: &Tensor) -> Vec<Vec<f32>> {
+    let (m, n) = (s.shape()[0], s.shape()[1]);
+    let mut a: Vec<f64> = s.data().iter().map(|&x| x as f64).collect();
+    let tol = TOL as f64;
+    let mut pivot_cols = Vec::new();
+    let mut row = 0;
+    for col in 0..n {
+        if row >= m {
+            break;
+        }
+        let mut pivot = row;
+        for r in row + 1..m {
+            if a[r * n + col].abs() > a[pivot * n + col].abs() {
+                pivot = r;
+            }
+        }
+        if a[pivot * n + col].abs() <= tol {
+            continue;
+        }
+        if pivot != row {
+            for c in 0..n {
+                a.swap(row * n + c, pivot * n + c);
+            }
+        }
+        let pv = a[row * n + col];
+        for c in 0..n {
+            a[row * n + c] /= pv;
+        }
+        for r in 0..m {
+            if r != row {
+                let f = a[r * n + col];
+                if f != 0.0 {
+                    for c in 0..n {
+                        a[r * n + c] -= f * a[row * n + c];
+                    }
+                }
+            }
+        }
+        pivot_cols.push(col);
+        row += 1;
+    }
+    let free_cols: Vec<usize> = (0..n).filter(|c| !pivot_cols.contains(c)).collect();
+    let mut basis = Vec::with_capacity(free_cols.len());
+    for &fc in &free_cols {
+        let mut v = vec![0.0f32; n];
+        v[fc] = 1.0;
+        for (r, &pc) in pivot_cols.iter().enumerate() {
+            v[pc] = -a[r * n + fc] as f32;
+        }
+        basis.push(v);
+    }
+    basis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acm_stencil_matches_figure2() {
+        let s = PeripheryMatrix::acm(3);
+        let expected = Tensor::from_vec(
+            vec![
+                1.0, -1.0, 0.0, 0.0, //
+                0.0, 1.0, -1.0, 0.0, //
+                0.0, 0.0, 1.0, -1.0,
+            ],
+            &[3, 4],
+        )
+        .unwrap();
+        assert_eq!(s.matrix(), &expected);
+    }
+
+    #[test]
+    fn bias_column_stencil_matches_figure1b() {
+        let s = PeripheryMatrix::bias_column(2);
+        let expected =
+            Tensor::from_vec(vec![1.0, 0.0, -1.0, 0.0, 1.0, -1.0], &[2, 3]).unwrap();
+        assert_eq!(s.matrix(), &expected);
+    }
+
+    #[test]
+    fn double_element_stencil_matches_figure1a() {
+        let s = PeripheryMatrix::double_element(2);
+        let expected =
+            Tensor::from_vec(vec![1.0, -1.0, 0.0, 0.0, 0.0, 0.0, 1.0, -1.0], &[2, 4]).unwrap();
+        assert_eq!(s.matrix(), &expected);
+    }
+
+    #[test]
+    fn standard_stencils_pass_validation() {
+        for no in [1usize, 2, 5, 17] {
+            for s in [
+                PeripheryMatrix::acm(no),
+                PeripheryMatrix::bias_column(no),
+                PeripheryMatrix::double_element(no),
+            ] {
+                let revalidated = PeripheryMatrix::try_new(s.matrix().clone()).unwrap();
+                assert_eq!(revalidated.n_out(), no);
+            }
+        }
+    }
+
+    #[test]
+    fn standard_stencils_have_all_ones_null_vector() {
+        // The paper's canonical x_h = 1 certificate (Sec. III-C).
+        for s in [
+            PeripheryMatrix::acm(4),
+            PeripheryMatrix::bias_column(4),
+            PeripheryMatrix::double_element(4),
+        ] {
+            assert!(s.null_vector().iter().all(|&x| x == 1.0));
+            // Verify S * x_h = 0.
+            let xh = Tensor::from_vec(s.null_vector().to_vec(), &[s.n_dev()]).unwrap();
+            let prod = linalg::matvec(s.matrix(), &xh).unwrap();
+            assert!(prod.abs_max() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn each_row_has_one_plus_and_one_minus() {
+        // Paper Sec. III-D: each periphery row has exactly two nonzeros,
+        // +1 and -1.
+        for s in [
+            PeripheryMatrix::acm(5),
+            PeripheryMatrix::bias_column(5),
+            PeripheryMatrix::double_element(5),
+        ] {
+            for i in 0..s.n_out() {
+                let row = s.matrix().row(i);
+                let plus = row.data().iter().filter(|&&v| v == 1.0).count();
+                let minus = row.data().iter().filter(|&&v| v == -1.0).count();
+                assert_eq!((plus, minus), (1, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn identity_matrix_is_rejected() {
+        // rank is fine but no positive null vector exists (square, full
+        // rank => trivial null space): the identity cannot realise signed
+        // weights with non-negative M.
+        let err = PeripheryMatrix::try_new(Tensor::eye(3)).unwrap_err();
+        assert!(matches!(err, MappingError::InvalidPeriphery { .. }));
+    }
+
+    #[test]
+    fn rank_deficient_matrix_is_rejected() {
+        // Two identical rows: rank 1 < N_O = 2.
+        let s = Tensor::from_vec(vec![1.0, -1.0, 0.0, 1.0, -1.0, 0.0], &[2, 3]).unwrap();
+        let err = PeripheryMatrix::try_new(s).unwrap_err();
+        match err {
+            MappingError::InvalidPeriphery { reason } => assert!(reason.contains("rank")),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_ternary_entries_are_rejected() {
+        let s = Tensor::from_vec(vec![0.5, -1.0, 0.5], &[1, 3]).unwrap();
+        assert!(PeripheryMatrix::try_new(s).is_err());
+    }
+
+    #[test]
+    fn reversed_acm_is_valid() {
+        // Subtracting the *left* neighbour instead of the right one is an
+        // equally valid periphery (used by the column-order ablation).
+        let mut s = Tensor::zeros(&[3, 4]);
+        for j in 0..3 {
+            *s.at_mut(&[j, j]) = -1.0;
+            *s.at_mut(&[j, j + 1]) = 1.0;
+        }
+        let p = PeripheryMatrix::try_new(s).unwrap();
+        assert_eq!(p.n_dev(), 4);
+    }
+
+    #[test]
+    fn combine_and_spread_are_adjoint() {
+        use xbar_tensor::rng::XorShiftRng;
+        let mut rng = XorShiftRng::new(61);
+        let s = PeripheryMatrix::acm(4);
+        let y_dev = Tensor::rand_normal(&[3, 5], 0.0, 1.0, &mut rng);
+        let g = Tensor::rand_normal(&[3, 4], 0.0, 1.0, &mut rng);
+        let lhs: f32 = s
+            .combine(&y_dev)
+            .unwrap()
+            .data()
+            .iter()
+            .zip(g.data())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        let rhs: f32 = y_dev
+            .data()
+            .iter()
+            .zip(s.spread(&g).unwrap().data())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn combine_computes_adjacent_differences_for_acm() {
+        let s = PeripheryMatrix::acm(2);
+        let y_dev = Tensor::from_vec(vec![5.0, 3.0, 2.0], &[1, 3]).unwrap();
+        let y = s.combine(&y_dev).unwrap();
+        assert_eq!(y.data(), &[2.0, 1.0]); // 5-3, 3-2
+    }
+
+    #[test]
+    fn num_ops_counts_nonzeros() {
+        assert_eq!(PeripheryMatrix::acm(4).num_ops(), 8);
+        assert_eq!(PeripheryMatrix::double_element(4).num_ops(), 8);
+        assert_eq!(PeripheryMatrix::bias_column(4).num_ops(), 8);
+    }
+
+    #[test]
+    fn null_space_basis_dimension() {
+        let s = PeripheryMatrix::acm(3);
+        let basis = null_space_basis(s.matrix());
+        // N_D - rank = 4 - 3 = 1.
+        assert_eq!(basis.len(), 1);
+    }
+}

@@ -1,0 +1,175 @@
+use xbar_tensor::Tensor;
+
+use crate::DataError;
+
+/// A labelled image-classification dataset split (NCHW features plus one
+/// integer label per sample).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    x: Tensor,
+    labels: Vec<usize>,
+    classes: usize,
+    name: String,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that the sample and label counts
+    /// agree and every label is in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Format`] on count mismatch, a non-4-D feature
+    /// tensor, or an out-of-range label.
+    pub fn new(
+        x: Tensor,
+        labels: Vec<usize>,
+        classes: usize,
+        name: impl Into<String>,
+    ) -> Result<Self, DataError> {
+        if x.ndim() != 4 {
+            return Err(DataError::Format(format!(
+                "expected NCHW features, got shape {:?}",
+                x.shape()
+            )));
+        }
+        if x.shape()[0] != labels.len() {
+            return Err(DataError::Format(format!(
+                "{} samples but {} labels",
+                x.shape()[0],
+                labels.len()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+            return Err(DataError::Format(format!(
+                "label {bad} out of range for {classes} classes"
+            )));
+        }
+        Ok(Self {
+            x,
+            labels,
+            classes,
+            name: name.into(),
+        })
+    }
+
+    /// The feature tensor `(n, c, h, w)`.
+    pub fn features(&self) -> &Tensor {
+        &self.x
+    }
+
+    /// The labels, one per sample.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Dataset name (for experiment logs).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Per-sample shape `(c, h, w)`.
+    pub fn image_shape(&self) -> (usize, usize, usize) {
+        (self.x.shape()[1], self.x.shape()[2], self.x.shape()[3])
+    }
+
+    /// Number of samples per class (useful for balance checks).
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Borrow as an `xbar-nn` training split.
+    pub fn as_split(&self) -> xbar_nn::Split<'_> {
+        xbar_nn::Split::new(&self.x, &self.labels)
+            .expect("dataset invariants guarantee a valid split")
+    }
+
+    /// Returns a dataset containing only the first `n` samples (or all, if
+    /// fewer) — convenient for smoke tests.
+    pub fn truncated(&self, n: usize) -> Self {
+        let n = n.min(self.len());
+        let sample: usize = self.x.shape()[1..].iter().product();
+        let mut shape = self.x.shape().to_vec();
+        shape[0] = n;
+        let data = self.x.data()[..n * sample].to_vec();
+        Self {
+            x: Tensor::from_vec(data, &shape).expect("prefix slice keeps shape consistent"),
+            labels: self.labels[..n].to_vec(),
+            classes: self.classes,
+            name: self.name.clone(),
+        }
+    }
+}
+
+/// A train/test pair produced by the synthetic generators and loaders.
+#[derive(Debug, Clone)]
+pub struct DatasetPair {
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out test split.
+    pub test: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let x = Tensor::zeros(&[4, 1, 2, 2]);
+        Dataset::new(x, vec![0, 1, 0, 1], 2, "tiny").unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.classes(), 2);
+        assert_eq!(d.image_shape(), (1, 2, 2));
+        assert_eq!(d.name(), "tiny");
+        assert_eq!(d.class_counts(), vec![2, 2]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        let x = Tensor::zeros(&[4, 1, 2, 2]);
+        assert!(Dataset::new(x.clone(), vec![0, 1], 2, "n").is_err()); // count
+        assert!(Dataset::new(x.clone(), vec![0, 1, 2, 1], 2, "n").is_err()); // range
+        assert!(Dataset::new(Tensor::zeros(&[4, 4]), vec![0; 4], 2, "n").is_err()); // ndim
+    }
+
+    #[test]
+    fn as_split_borrows() {
+        let d = tiny();
+        let s = d.as_split();
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let x = Tensor::from_fn(&[4, 1, 1, 1], |i| i as f32);
+        let d = Dataset::new(x, vec![0, 1, 0, 1], 2, "t").unwrap();
+        let t = d.truncated(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.features().data(), &[0.0, 1.0]);
+        assert_eq!(d.truncated(99).len(), 4);
+    }
+}

@@ -1,0 +1,56 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors from dataset construction and loading.
+#[derive(Debug)]
+pub enum DataError {
+    /// Underlying I/O failure while reading dataset files.
+    Io(io::Error),
+    /// Malformed dataset contents (bad magic, wrong sizes, bad labels).
+    Format(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "dataset i/o error: {e}"),
+            Self::Format(msg) => write!(f, "malformed dataset: {msg}"),
+        }
+    }
+}
+
+impl Error for DataError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for DataError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = DataError::Format("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        let e = DataError::from(io::Error::new(io::ErrorKind::NotFound, "missing"));
+        assert!(e.to_string().contains("missing"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! # xbar-data
+//!
+//! Datasets for the crossbar-mapping experiments.
+//!
+//! The paper evaluates on MNIST and CIFAR-10. Those datasets are not
+//! redistributable inside this repository, and the reproduction
+//! deliberately runs at laptop scale, so this crate provides two things:
+//!
+//! 1. **Synthetic stand-ins** ([`SyntheticMnist`], [`SyntheticCifar`]) —
+//!    procedurally generated, seeded classification tasks with the same
+//!    *structure* as the originals (sparse grayscale glyphs for MNIST;
+//!    colour/texture/shape cues for CIFAR) and tunable difficulty. Every
+//!    mapping-comparison experiment in `xbar-bench` runs on these by
+//!    default. See DESIGN.md §1 for why the substitution preserves the
+//!    paper's comparisons.
+//! 2. **Real-format loaders** ([`load_mnist_idx`], [`load_cifar10`]) — if
+//!    you drop the original IDX / CIFAR-10 binary files on disk, the same
+//!    experiments run on the real data.
+//!
+//! # Example
+//!
+//! ```
+//! use xbar_data::SyntheticMnist;
+//!
+//! let data = SyntheticMnist::builder().train(128).test(32).seed(7).build();
+//! assert_eq!(data.train.len(), 128);
+//! assert_eq!(data.test.classes(), 10);
+//! ```
+
+#![deny(missing_docs)]
+
+mod dataset;
+mod error;
+mod loaders;
+mod synthetic_cifar;
+mod synthetic_mnist;
+
+pub use dataset::{Dataset, DatasetPair};
+pub use error::DataError;
+pub use loaders::{load_cifar10, load_mnist_idx};
+pub use synthetic_cifar::{SyntheticCifar, SyntheticCifarBuilder};
+pub use synthetic_mnist::{SyntheticMnist, SyntheticMnistBuilder};

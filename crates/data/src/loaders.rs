@@ -1,0 +1,221 @@
+//! Loaders for the real MNIST (IDX) and CIFAR-10 (binary) file formats.
+//!
+//! The synthetic generators are the default experiment substrate, but the
+//! workspace runs unmodified on the real datasets: drop the original files
+//! into a directory and point these loaders at it.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+use xbar_tensor::Tensor;
+
+use crate::{DataError, Dataset, DatasetPair};
+
+fn read_file(path: &Path) -> Result<Vec<u8>, DataError> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+fn be_u32(bytes: &[u8], at: usize) -> Result<u32, DataError> {
+    bytes
+        .get(at..at + 4)
+        .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        .ok_or_else(|| DataError::Format("truncated IDX header".into()))
+}
+
+/// Parses one IDX image file + one IDX label file into a dataset.
+fn parse_idx_pair(
+    images: &[u8],
+    labels: &[u8],
+    name: &str,
+) -> Result<Dataset, DataError> {
+    if be_u32(images, 0)? != 0x0000_0803 {
+        return Err(DataError::Format("bad IDX image magic".into()));
+    }
+    if be_u32(labels, 0)? != 0x0000_0801 {
+        return Err(DataError::Format("bad IDX label magic".into()));
+    }
+    let n = be_u32(images, 4)? as usize;
+    let h = be_u32(images, 8)? as usize;
+    let w = be_u32(images, 12)? as usize;
+    let n_labels = be_u32(labels, 4)? as usize;
+    if n != n_labels {
+        return Err(DataError::Format(format!(
+            "{n} images but {n_labels} labels"
+        )));
+    }
+    let pixels = images
+        .get(16..16 + n * h * w)
+        .ok_or_else(|| DataError::Format("truncated IDX image payload".into()))?;
+    let label_bytes = labels
+        .get(8..8 + n)
+        .ok_or_else(|| DataError::Format("truncated IDX label payload".into()))?;
+    let x = Tensor::from_vec(
+        pixels.iter().map(|&p| p as f32 / 255.0 - 0.5).collect(),
+        &[n, 1, h, w],
+    )
+    .map_err(|e| DataError::Format(e.to_string()))?;
+    let labels: Vec<usize> = label_bytes.iter().map(|&l| l as usize).collect();
+    Dataset::new(x, labels, 10, name)
+}
+
+/// Loads the original MNIST IDX files from `dir`, expecting the standard
+/// names `train-images-idx3-ubyte`, `train-labels-idx1-ubyte`,
+/// `t10k-images-idx3-ubyte`, `t10k-labels-idx1-ubyte` (uncompressed).
+///
+/// # Errors
+///
+/// Returns [`DataError::Io`] if a file is missing and
+/// [`DataError::Format`] on malformed contents.
+pub fn load_mnist_idx(dir: impl AsRef<Path>) -> Result<DatasetPair, DataError> {
+    let dir = dir.as_ref();
+    let train = parse_idx_pair(
+        &read_file(&dir.join("train-images-idx3-ubyte"))?,
+        &read_file(&dir.join("train-labels-idx1-ubyte"))?,
+        "mnist-train",
+    )?;
+    let test = parse_idx_pair(
+        &read_file(&dir.join("t10k-images-idx3-ubyte"))?,
+        &read_file(&dir.join("t10k-labels-idx1-ubyte"))?,
+        "mnist-test",
+    )?;
+    Ok(DatasetPair { train, test })
+}
+
+/// One CIFAR-10 binary record: 1 label byte + 3072 pixel bytes.
+const CIFAR_RECORD: usize = 1 + 3 * 32 * 32;
+
+fn parse_cifar_batches(buffers: &[Vec<u8>], name: &str) -> Result<Dataset, DataError> {
+    let mut n = 0usize;
+    for buf in buffers {
+        if buf.len() % CIFAR_RECORD != 0 {
+            return Err(DataError::Format(format!(
+                "CIFAR batch size {} is not a multiple of {CIFAR_RECORD}",
+                buf.len()
+            )));
+        }
+        n += buf.len() / CIFAR_RECORD;
+    }
+    let mut x = Tensor::zeros(&[n, 3, 32, 32]);
+    let mut labels = Vec::with_capacity(n);
+    let mut at = 0usize;
+    let plane = 32 * 32;
+    for buf in buffers {
+        for rec in buf.chunks_exact(CIFAR_RECORD) {
+            labels.push(rec[0] as usize);
+            let dst = &mut x.data_mut()[at * 3 * plane..(at + 1) * 3 * plane];
+            for (d, &p) in dst.iter_mut().zip(&rec[1..]) {
+                *d = p as f32 / 255.0 - 0.5;
+            }
+            at += 1;
+        }
+    }
+    Dataset::new(x, labels, 10, name)
+}
+
+/// Loads the original CIFAR-10 binary batches from `dir`, expecting
+/// `data_batch_1.bin` … `data_batch_5.bin` and `test_batch.bin`.
+///
+/// # Errors
+///
+/// Returns [`DataError::Io`] if a file is missing and
+/// [`DataError::Format`] on malformed contents.
+pub fn load_cifar10(dir: impl AsRef<Path>) -> Result<DatasetPair, DataError> {
+    let dir = dir.as_ref();
+    let mut train_bufs = Vec::with_capacity(5);
+    for i in 1..=5 {
+        train_bufs.push(read_file(&dir.join(format!("data_batch_{i}.bin")))?);
+    }
+    let train = parse_cifar_batches(&train_bufs, "cifar10-train")?;
+    let test = parse_cifar_batches(
+        &[read_file(&dir.join("test_batch.bin"))?],
+        "cifar10-test",
+    )?;
+    Ok(DatasetPair { train, test })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a miniature in-memory IDX pair (2 images of 3x3).
+    fn tiny_idx() -> (Vec<u8>, Vec<u8>) {
+        let mut images = vec![];
+        images.extend_from_slice(&0x0000_0803u32.to_be_bytes());
+        images.extend_from_slice(&2u32.to_be_bytes());
+        images.extend_from_slice(&3u32.to_be_bytes());
+        images.extend_from_slice(&3u32.to_be_bytes());
+        images.extend((0..18).map(|i| (i * 14) as u8));
+        let mut labels = vec![];
+        labels.extend_from_slice(&0x0000_0801u32.to_be_bytes());
+        labels.extend_from_slice(&2u32.to_be_bytes());
+        labels.extend_from_slice(&[3u8, 7u8]);
+        (images, labels)
+    }
+
+    #[test]
+    fn idx_parses_shapes_and_labels() {
+        let (images, labels) = tiny_idx();
+        let d = parse_idx_pair(&images, &labels, "t").unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.image_shape(), (1, 3, 3));
+        assert_eq!(d.labels(), &[3, 7]);
+        // First pixel is 0 -> -0.5 after normalization.
+        assert_eq!(d.features().data()[0], -0.5);
+    }
+
+    #[test]
+    fn idx_rejects_bad_magic() {
+        let (mut images, labels) = tiny_idx();
+        images[3] = 0x42;
+        assert!(parse_idx_pair(&images, &labels, "t").is_err());
+    }
+
+    #[test]
+    fn idx_rejects_count_mismatch() {
+        let (images, mut labels) = tiny_idx();
+        labels[7] = 3; // claim 3 labels
+        assert!(parse_idx_pair(&images, &labels, "t").is_err());
+    }
+
+    #[test]
+    fn idx_rejects_truncated_payload() {
+        let (mut images, labels) = tiny_idx();
+        images.truncate(20);
+        assert!(parse_idx_pair(&images, &labels, "t").is_err());
+    }
+
+    #[test]
+    fn cifar_parses_records() {
+        // Two records with labels 1 and 9.
+        let mut buf = vec![1u8];
+        buf.extend(std::iter::repeat_n(128u8, 3072));
+        buf.push(9u8);
+        buf.extend(std::iter::repeat_n(255u8, 3072));
+        let d = parse_cifar_batches(&[buf], "t").unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.labels(), &[1, 9]);
+        assert_eq!(d.image_shape(), (3, 32, 32));
+        assert!((d.features().data()[0] - (128.0 / 255.0 - 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cifar_rejects_ragged_batches() {
+        let buf = vec![0u8; CIFAR_RECORD + 1];
+        assert!(parse_cifar_batches(&[buf], "t").is_err());
+    }
+
+    #[test]
+    fn loaders_report_missing_files() {
+        assert!(matches!(
+            load_mnist_idx("/nonexistent-path-for-test"),
+            Err(DataError::Io(_))
+        ));
+        assert!(matches!(
+            load_cifar10("/nonexistent-path-for-test"),
+            Err(DataError::Io(_))
+        ));
+    }
+}

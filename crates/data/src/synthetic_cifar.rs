@@ -1,0 +1,270 @@
+//! Procedural CIFAR-10 stand-in: coloured, textured shape classes.
+
+use xbar_tensor::rng::XorShiftRng;
+use xbar_tensor::Tensor;
+
+use crate::{Dataset, DatasetPair};
+
+/// Shape stencils used to build class prototypes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stencil {
+    Disk,
+    Ring,
+    Square,
+    Cross,
+    DiagStripes,
+    HorizStripes,
+    Checker,
+    Triangle,
+    TwoBlobs,
+    Frame,
+}
+
+/// Class definitions: a stencil plus a base RGB colour. Classes share
+/// colours across different shapes and shapes across different colours, so
+/// the classifier must use *both* cues — making the task meaningfully
+/// harder than the grayscale glyph task, mirroring the MNIST→CIFAR
+/// difficulty step in the paper's Fig. 5b vs 5c/5d.
+const CLASSES: [(Stencil, [f32; 3]); 10] = [
+    // Colours repeat across shape classes (e.g. Disk and Checker share a
+    // palette) so neither colour nor shape alone separates the classes —
+    // keeping the task hard enough that limited-precision training
+    // degrades visibly, like CIFAR-10 in the paper's Fig. 5c/d.
+    (Stencil::Disk, [0.55, 0.35, 0.35]),
+    (Stencil::Ring, [0.35, 0.55, 0.35]),
+    (Stencil::Square, [0.35, 0.35, 0.55]),
+    (Stencil::Cross, [0.55, 0.35, 0.35]),
+    (Stencil::DiagStripes, [0.35, 0.55, 0.35]),
+    (Stencil::HorizStripes, [0.35, 0.35, 0.55]),
+    (Stencil::Checker, [0.55, 0.35, 0.35]),
+    (Stencil::Triangle, [0.35, 0.55, 0.35]),
+    (Stencil::TwoBlobs, [0.35, 0.35, 0.55]),
+    (Stencil::Frame, [0.45, 0.45, 0.45]),
+];
+
+/// Generator for the synthetic CIFAR-like task: 3-channel images of ten
+/// colour/shape/texture classes with background clutter, jitter, and
+/// noise.
+///
+/// # Example
+///
+/// ```
+/// use xbar_data::SyntheticCifar;
+///
+/// let pair = SyntheticCifar::builder().train(64).test(16).build();
+/// assert_eq!(pair.train.image_shape(), (3, 16, 16));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticCifar;
+
+impl SyntheticCifar {
+    /// Starts building a generator with defaults: 16×16×3 images, 2000
+    /// train / 500 test samples, noise 0.12, seed 0xC1FA.
+    pub fn builder() -> SyntheticCifarBuilder {
+        SyntheticCifarBuilder::default()
+    }
+}
+
+/// Builder for [`SyntheticCifar`].
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticCifarBuilder {
+    size: usize,
+    train: usize,
+    test: usize,
+    noise: f32,
+    seed: u64,
+}
+
+impl Default for SyntheticCifarBuilder {
+    fn default() -> Self {
+        Self {
+            size: 16,
+            train: 2000,
+            test: 500,
+            noise: 0.18,
+            seed: 0xC1FA,
+        }
+    }
+}
+
+impl SyntheticCifarBuilder {
+    /// Image side length (minimum 12).
+    pub fn size(mut self, size: usize) -> Self {
+        self.size = size.max(12);
+        self
+    }
+
+    /// Number of training samples.
+    pub fn train(mut self, n: usize) -> Self {
+        self.train = n;
+        self
+    }
+
+    /// Number of test samples.
+    pub fn test(mut self, n: usize) -> Self {
+        self.test = n;
+        self
+    }
+
+    /// Pixel-noise standard deviation.
+    pub fn noise(mut self, noise: f32) -> Self {
+        self.noise = noise.max(0.0);
+        self
+    }
+
+    /// Generation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the train/test pair.
+    pub fn build(self) -> DatasetPair {
+        let mut rng = XorShiftRng::new(self.seed);
+        let train = generate(self.train, self.size, self.noise, &mut rng);
+        let test = generate(self.test, self.size, self.noise, &mut rng);
+        DatasetPair { train, test }
+    }
+}
+
+fn stencil_value(stencil: Stencil, u: f32, v: f32) -> f32 {
+    // u, v in [-1, 1] object coordinates.
+    let r2 = u * u + v * v;
+    match stencil {
+        Stencil::Disk => (r2 < 0.5) as u8 as f32,
+        Stencil::Ring => (r2 < 0.75 && r2 > 0.3) as u8 as f32,
+        Stencil::Square => (u.abs() < 0.6 && v.abs() < 0.6) as u8 as f32,
+        Stencil::Cross => (u.abs() < 0.25 || v.abs() < 0.25) as u8 as f32,
+        Stencil::DiagStripes => (((u + v) * 3.0).sin() > 0.0) as u8 as f32,
+        Stencil::HorizStripes => ((v * 5.0).sin() > 0.0) as u8 as f32,
+        Stencil::Checker => {
+            let cell = |t: f32| ((t + 1.0) * 2.0) as isize;
+            ((cell(u) + cell(v)) % 2 == 0) as u8 as f32
+        }
+        Stencil::Triangle => (v > -0.6 && v < 0.6 && u.abs() < (0.6 - v) * 0.7) as u8 as f32,
+        Stencil::TwoBlobs => {
+            let d1 = (u + 0.45) * (u + 0.45) + v * v;
+            let d2 = (u - 0.45) * (u - 0.45) + v * v;
+            (d1 < 0.16 || d2 < 0.16) as u8 as f32
+        }
+        Stencil::Frame => {
+            let inside = u.abs() < 0.85 && v.abs() < 0.85;
+            let hole = u.abs() < 0.5 && v.abs() < 0.5;
+            (inside && !hole) as u8 as f32
+        }
+    }
+}
+
+fn generate(n: usize, size: usize, noise: f32, rng: &mut XorShiftRng) -> Dataset {
+    let mut x = Tensor::zeros(&[n, 3, size, size]);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % 10;
+        labels.push(class);
+        let (stencil, colour) = CLASSES[class];
+        // Random object offset, scale, rotation.
+        let cx = rng.uniform(-0.2, 0.2);
+        let cy = rng.uniform(-0.2, 0.2);
+        let scale = rng.uniform(0.8, 1.2);
+        let theta = rng.uniform(-0.4, 0.4);
+        let (sin_t, cos_t) = (theta.sin(), theta.cos());
+        // Background: a random dim colour gradient (clutter).
+        let bg = [
+            rng.uniform(0.0, 0.3),
+            rng.uniform(0.0, 0.3),
+            rng.uniform(0.0, 0.3),
+        ];
+        let gradient_dir = rng.uniform(-1.0, 1.0);
+        // Per-sample colour jitter.
+        let jitter = rng.uniform(0.8, 1.0);
+        let base = i * 3 * size * size;
+        let plane = size * size;
+        let data = x.data_mut();
+        for py in 0..size {
+            for px in 0..size {
+                // Map to [-1, 1] then apply inverse object transform.
+                let nx = (px as f32 / (size - 1) as f32) * 2.0 - 1.0;
+                let ny = (py as f32 / (size - 1) as f32) * 2.0 - 1.0;
+                let u0 = (nx - cx) / scale;
+                let v0 = (ny - cy) / scale;
+                let u = cos_t * u0 + sin_t * v0;
+                let v = -sin_t * u0 + cos_t * v0;
+                let s = stencil_value(stencil, u, v);
+                let grad = 0.1 * (nx * gradient_dir + ny * (1.0 - gradient_dir.abs()));
+                for c in 0..3 {
+                    let mut val = if s > 0.5 {
+                        colour[c] * jitter
+                    } else {
+                        bg[c] + grad
+                    };
+                    if noise > 0.0 {
+                        val += rng.normal_with(0.0, noise);
+                    }
+                    data[base + c * plane + py * size + px] = val.clamp(0.0, 1.0) - 0.5;
+                }
+            }
+        }
+    }
+    Dataset::new(x, labels, 10, "synthetic-cifar").expect("generator output is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_counts() {
+        let pair = SyntheticCifar::builder().train(40).test(10).build();
+        assert_eq!(pair.train.len(), 40);
+        assert_eq!(pair.train.image_shape(), (3, 16, 16));
+        assert_eq!(pair.train.classes(), 10);
+        assert_eq!(pair.train.class_counts(), vec![4; 10]);
+    }
+
+    #[test]
+    fn pixel_range_is_centred() {
+        let pair = SyntheticCifar::builder().train(20).test(5).build();
+        assert!(pair.train.features().min() >= -0.5);
+        assert!(pair.train.features().max() <= 0.5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticCifar::builder().train(10).test(2).seed(4).build();
+        let b = SyntheticCifar::builder().train(10).test(2).seed(4).build();
+        assert_eq!(a.train.features(), b.train.features());
+    }
+
+    #[test]
+    fn classes_are_distinguishable_without_noise() {
+        let pair = SyntheticCifar::builder().train(10).test(1).noise(0.0).seed(11).build();
+        let x = pair.train.features();
+        let sample = 3 * 16 * 16;
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let da = &x.data()[a * sample..(a + 1) * sample];
+                let db = &x.data()[b * sample..(b + 1) * sample];
+                let diff: f32 = da.iter().zip(db).map(|(&p, &q)| (p - q).abs()).sum();
+                assert!(diff > 5.0, "classes {a} and {b} too similar ({diff})");
+            }
+        }
+    }
+
+    #[test]
+    fn every_stencil_draws_something() {
+        for (stencil, _) in CLASSES {
+            let mut lit = 0;
+            for yi in 0..20 {
+                for xi in 0..20 {
+                    let u = xi as f32 / 9.5 - 1.0;
+                    let v = yi as f32 / 9.5 - 1.0;
+                    if stencil_value(stencil, u, v) > 0.5 {
+                        lit += 1;
+                    }
+                }
+            }
+            assert!(lit > 10, "{stencil:?} barely draws ({lit} px)");
+            assert!(lit < 390, "{stencil:?} fills everything ({lit} px)");
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Procedural MNIST stand-in: rendered digit glyphs with jitter and noise.
+
+use xbar_tensor::rng::XorShiftRng;
+use xbar_tensor::Tensor;
+
+use crate::{Dataset, DatasetPair};
+
+/// The classic 5×7 digit font, one bitmask row per scanline (LSB = left
+/// pixel). The same glyph set used by countless character LCDs — sparse
+/// strokes on a dark background, like MNIST digits.
+const GLYPHS_5X7: [[u8; 7]; 10] = [
+    // 0
+    [0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110],
+    // 1
+    [0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110],
+    // 2
+    [0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111],
+    // 3
+    [0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110],
+    // 4
+    [0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010],
+    // 5
+    [0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110],
+    // 6
+    [0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110],
+    // 7
+    [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000],
+    // 8
+    [0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110],
+    // 9
+    [0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100],
+];
+
+/// Generator for the synthetic MNIST-like task.
+///
+/// Each sample is a single-channel `size × size` image containing one of
+/// the ten digit glyphs, scaled up, randomly translated, stroke-thickness
+/// jittered, and corrupted with pixel noise. Pixel values are centred
+/// (`[-0.5, 0.5]`). The task is easy at `noise = 0` and degrades smoothly
+/// as `noise` grows, so limited-precision training effects (the paper's
+/// Fig. 5b/5f) are visible at small scales.
+///
+/// # Example
+///
+/// ```
+/// use xbar_data::SyntheticMnist;
+///
+/// let pair = SyntheticMnist::builder().train(64).test(16).build();
+/// assert_eq!(pair.train.image_shape(), (1, 16, 16));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticMnist;
+
+impl SyntheticMnist {
+    /// Starts building a generator with defaults: 16×16 images, 2000
+    /// train / 500 test samples, noise 0.15, seed 0xD161.
+    pub fn builder() -> SyntheticMnistBuilder {
+        SyntheticMnistBuilder::default()
+    }
+}
+
+/// Builder for [`SyntheticMnist`].
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticMnistBuilder {
+    size: usize,
+    train: usize,
+    test: usize,
+    noise: f32,
+    seed: u64,
+}
+
+impl Default for SyntheticMnistBuilder {
+    fn default() -> Self {
+        Self {
+            size: 16,
+            train: 2000,
+            test: 500,
+            noise: 0.15,
+            seed: 0xD161,
+        }
+    }
+}
+
+impl SyntheticMnistBuilder {
+    /// Image side length (minimum 12).
+    pub fn size(mut self, size: usize) -> Self {
+        self.size = size.max(12);
+        self
+    }
+
+    /// Number of training samples.
+    pub fn train(mut self, n: usize) -> Self {
+        self.train = n;
+        self
+    }
+
+    /// Number of test samples.
+    pub fn test(mut self, n: usize) -> Self {
+        self.test = n;
+        self
+    }
+
+    /// Pixel-noise standard deviation (0 = clean).
+    pub fn noise(mut self, noise: f32) -> Self {
+        self.noise = noise.max(0.0);
+        self
+    }
+
+    /// Generation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the train/test pair.
+    pub fn build(self) -> DatasetPair {
+        let mut rng = XorShiftRng::new(self.seed);
+        let train = generate(self.train, self.size, self.noise, &mut rng, "synthetic-mnist");
+        let test = generate(self.test, self.size, self.noise, &mut rng, "synthetic-mnist");
+        DatasetPair { train, test }
+    }
+}
+
+fn generate(
+    n: usize,
+    size: usize,
+    noise: f32,
+    rng: &mut XorShiftRng,
+    name: &str,
+) -> Dataset {
+    let mut x = Tensor::zeros(&[n, 1, size, size]);
+    let mut labels = Vec::with_capacity(n);
+    // Glyph is 5x7; scale so it fills most of the canvas.
+    let scale = ((size as f32 - 4.0) / 7.0).max(1.0);
+    let glyph_w = (5.0 * scale) as isize;
+    let glyph_h = (7.0 * scale) as isize;
+    for i in 0..n {
+        let class = i % 10;
+        labels.push(class);
+        let glyph = &GLYPHS_5X7[class];
+        // Random translation within the free margin.
+        let max_dx = (size as isize - glyph_w).max(1);
+        let max_dy = (size as isize - glyph_h).max(1);
+        let ox = rng.below(max_dx as usize) as isize;
+        let oy = rng.below(max_dy as usize) as isize;
+        // Per-sample stroke intensity jitter.
+        let intensity = rng.uniform(0.75, 1.0);
+        let base = i * size * size;
+        let data = x.data_mut();
+        for py in 0..size as isize {
+            for px in 0..size as isize {
+                let gx = ((px - ox) as f32 / scale) as isize;
+                let gy = ((py - oy) as f32 / scale) as isize;
+                let lit = (0..5).contains(&gx)
+                    && (0..7).contains(&gy)
+                    && (glyph[gy as usize] >> (4 - gx as usize)) & 1 == 1;
+                let mut v: f32 = if lit { intensity } else { 0.0 };
+                if noise > 0.0 {
+                    v += rng.normal_with(0.0, noise);
+                }
+                data[base + (py * size as isize + px) as usize] = v.clamp(0.0, 1.0) - 0.5;
+            }
+        }
+    }
+    Dataset::new(x, labels, 10, name).expect("generator output is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_counts() {
+        let pair = SyntheticMnist::builder().train(50).test(20).build();
+        assert_eq!(pair.train.len(), 50);
+        assert_eq!(pair.test.len(), 20);
+        assert_eq!(pair.train.image_shape(), (1, 16, 16));
+        assert_eq!(pair.train.classes(), 10);
+    }
+
+    #[test]
+    fn class_balance_is_round_robin() {
+        let pair = SyntheticMnist::builder().train(100).test(10).build();
+        assert_eq!(pair.train.class_counts(), vec![10; 10]);
+    }
+
+    #[test]
+    fn pixel_range_is_centred() {
+        let pair = SyntheticMnist::builder().train(20).test(5).build();
+        assert!(pair.train.features().min() >= -0.5);
+        assert!(pair.train.features().max() <= 0.5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticMnist::builder().train(10).test(5).seed(9).build();
+        let b = SyntheticMnist::builder().train(10).test(5).seed(9).build();
+        assert_eq!(a.train.features(), b.train.features());
+        let c = SyntheticMnist::builder().train(10).test(5).seed(10).build();
+        assert_ne!(a.train.features(), c.train.features());
+    }
+
+    #[test]
+    fn clean_digits_are_distinguishable() {
+        // With zero noise, digit images of different classes must differ.
+        let pair = SyntheticMnist::builder().train(10).test(1).noise(0.0).seed(3).build();
+        let x = pair.train.features();
+        let size = 16 * 16;
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let da = &x.data()[a * size..(a + 1) * size];
+                let db = &x.data()[b * size..(b + 1) * size];
+                let diff: f32 = da.iter().zip(db).map(|(&p, &q)| (p - q).abs()).sum();
+                assert!(diff > 1.0, "classes {a} and {b} look identical");
+            }
+        }
+    }
+
+    #[test]
+    fn glyphs_are_rendered_not_blank() {
+        let pair = SyntheticMnist::builder().train(10).test(1).noise(0.0).build();
+        let x = pair.train.features();
+        // Every image should contain lit pixels (value 0.5 - 0.5 ≥ 0.25).
+        let size = 16 * 16;
+        for i in 0..10 {
+            let img = &x.data()[i * size..(i + 1) * size];
+            let lit = img.iter().filter(|&&v| v > 0.2).count();
+            assert!(lit > 10, "image {i} has only {lit} lit pixels");
+        }
+    }
+
+    #[test]
+    fn size_is_clamped_to_minimum() {
+        let pair = SyntheticMnist::builder().size(4).train(5).test(1).build();
+        assert_eq!(pair.train.image_shape().1, 12);
+    }
+
+    #[test]
+    fn larger_canvas_supported() {
+        let pair = SyntheticMnist::builder().size(28).train(5).test(1).build();
+        assert_eq!(pair.train.image_shape(), (1, 28, 28));
+    }
+}

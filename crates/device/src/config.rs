@@ -1,0 +1,285 @@
+use crate::{ConductanceRange, Quantizer, UpdateModel, VariationModel};
+
+/// Complete non-ideality description of a synapse device, consumed by the
+/// mapped layers in `xbar-nn` and the crossbar simulator in `xbar-core`.
+///
+/// Combines the three models this workspace simulates: a [`Quantizer`]
+/// (limited precision), an [`UpdateModel`] (nonlinear programming), and a
+/// [`VariationModel`] (device-to-device spread). Use
+/// [`DeviceConfig::builder`] to construct one, or [`DeviceConfig::ideal`]
+/// for a floating-point reference device.
+///
+/// # Example
+///
+/// ```
+/// use xbar_device::{DeviceConfig, UpdateModel};
+///
+/// let dev = DeviceConfig::builder()
+///     .bits(5)
+///     .update(UpdateModel::symmetric_nonlinear(3.0))
+///     .build();
+/// assert_eq!(dev.bits(), Some(5));
+/// assert!(!dev.update().is_linear());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceConfig {
+    range: ConductanceRange,
+    bits: Option<u8>,
+    update: UpdateModel,
+    variation: VariationModel,
+}
+
+impl DeviceConfig {
+    /// Starts building a device description. Defaults: normalized range,
+    /// unquantized (FP) weights, linear update, no variation.
+    pub fn builder() -> DeviceConfigBuilder {
+        DeviceConfigBuilder::new()
+    }
+
+    /// An ideal device: full-precision, linear update, no variation.
+    /// This is what the paper's FP32 rows (Fig. 5a/5e) assume.
+    pub fn ideal() -> Self {
+        Self::builder().build()
+    }
+
+    /// A `bits`-bit device with linear update (Fig. 5b–d conditions).
+    pub fn quantized_linear(bits: u8) -> Self {
+        Self::builder().bits(bits).build()
+    }
+
+    /// A `bits`-bit device with the symmetric nonlinear update of Fig. 4a
+    /// (Fig. 5f–h conditions).
+    pub fn quantized_nonlinear(bits: u8, nu: f32) -> Self {
+        Self::builder()
+            .bits(bits)
+            .update(UpdateModel::symmetric_nonlinear(nu))
+            .build()
+    }
+
+    /// The conductance range.
+    pub fn range(&self) -> ConductanceRange {
+        self.range
+    }
+
+    /// The weight bit precision, or `None` for full-precision weights.
+    pub fn bits(&self) -> Option<u8> {
+        self.bits
+    }
+
+    /// The quantizer for this device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is full-precision (`bits() == None`); check
+    /// [`DeviceConfig::is_quantized`] first or use
+    /// [`DeviceConfig::quantizer_opt`].
+    pub fn quantizer(&self) -> Quantizer {
+        self.quantizer_opt()
+            .expect("device is full-precision; no quantizer")
+    }
+
+    /// The quantizer, if the device is quantized.
+    pub fn quantizer_opt(&self) -> Option<Quantizer> {
+        self.bits.map(|b| Quantizer::new(b, self.range))
+    }
+
+    /// Whether weights are quantized.
+    pub fn is_quantized(&self) -> bool {
+        self.bits.is_some()
+    }
+
+    /// The pulse-update dynamics.
+    pub fn update(&self) -> UpdateModel {
+        self.update
+    }
+
+    /// The device-variation model.
+    pub fn variation(&self) -> VariationModel {
+        self.variation
+    }
+
+    /// Number of programming pulses needed to traverse the full range —
+    /// one pulse per state transition, `2^B − 1` for a `B`-bit device, or a
+    /// fine default of 256 for full-precision simulation.
+    pub fn total_pulses(&self) -> u32 {
+        match self.bits {
+            Some(b) => (1u32 << b) - 1,
+            None => 256,
+        }
+    }
+
+    /// Returns a copy with a different variation σ (keeps everything else).
+    /// Convenient for sweeping Fig. 6's x-axis on a trained model.
+    pub fn with_variation_sigma(mut self, sigma_frac: f32) -> Self {
+        self.variation = VariationModel::new(sigma_frac);
+        self
+    }
+
+    /// Snaps a target conductance to the nearest programmable device
+    /// state, honouring both the bit precision *and* the update
+    /// nonlinearity: a nonlinear device's `2^B` states sit at equal pulse
+    /// spacing along its transfer curve, so they are non-uniform in
+    /// conductance. Full-precision devices only clamp.
+    pub fn snap(&self, g: f32) -> f32 {
+        match self.bits {
+            None => self.range.clamp(g),
+            Some(b) => {
+                let states = 1u32 << b;
+                self.update.snap_to_state(g, states, self.range)
+            }
+        }
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// Builder for [`DeviceConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceConfigBuilder {
+    range: ConductanceRange,
+    bits: Option<u8>,
+    update: UpdateModel,
+    variation: VariationModel,
+}
+
+impl DeviceConfigBuilder {
+    fn new() -> Self {
+        Self {
+            range: ConductanceRange::normalized(),
+            bits: None,
+            update: UpdateModel::Linear,
+            variation: VariationModel::none(),
+        }
+    }
+
+    /// Sets the conductance range.
+    pub fn range(mut self, range: ConductanceRange) -> Self {
+        self.range = range;
+        self
+    }
+
+    /// Sets the weight precision in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at [`DeviceConfigBuilder::build`]) if outside `1..=16`.
+    pub fn bits(mut self, bits: u8) -> Self {
+        self.bits = Some(bits);
+        self
+    }
+
+    /// Removes quantization (full-precision weights).
+    pub fn full_precision(mut self) -> Self {
+        self.bits = None;
+        self
+    }
+
+    /// Sets the pulse-update model.
+    pub fn update(mut self, update: UpdateModel) -> Self {
+        self.update = update;
+        self
+    }
+
+    /// Sets Gaussian device variation with the given σ (fraction of range).
+    pub fn variation_sigma(mut self, sigma_frac: f32) -> Self {
+        self.variation = VariationModel::new(sigma_frac);
+        self
+    }
+
+    /// Sets a fully custom variation model.
+    pub fn variation(mut self, variation: VariationModel) -> Self {
+        self.variation = variation;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bit width outside `1..=16` was requested (validated by
+    /// [`Quantizer::new`]).
+    pub fn build(self) -> DeviceConfig {
+        if let Some(b) = self.bits {
+            // Validate eagerly so errors surface at configuration time.
+            let _ = Quantizer::new(b, self.range);
+        }
+        DeviceConfig {
+            range: self.range,
+            bits: self.bits,
+            update: self.update,
+            variation: self.variation,
+        }
+    }
+}
+
+impl Default for DeviceConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_device_is_fp_linear_noiseless() {
+        let d = DeviceConfig::ideal();
+        assert!(!d.is_quantized());
+        assert!(d.update().is_linear());
+        assert!(d.variation().is_none());
+        assert_eq!(d.bits(), None);
+    }
+
+    #[test]
+    fn quantized_linear_shortcut() {
+        let d = DeviceConfig::quantized_linear(3);
+        assert_eq!(d.bits(), Some(3));
+        assert_eq!(d.quantizer().num_states(), 8);
+        assert!(d.update().is_linear());
+    }
+
+    #[test]
+    fn quantized_nonlinear_shortcut() {
+        let d = DeviceConfig::quantized_nonlinear(4, 5.0);
+        assert_eq!(d.bits(), Some(4));
+        assert!(!d.update().is_linear());
+    }
+
+    #[test]
+    fn total_pulses_tracks_bits() {
+        assert_eq!(DeviceConfig::quantized_linear(3).total_pulses(), 7);
+        assert_eq!(DeviceConfig::quantized_linear(8).total_pulses(), 255);
+        assert_eq!(DeviceConfig::ideal().total_pulses(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 bit")]
+    fn builder_rejects_zero_bits() {
+        let _ = DeviceConfig::builder().bits(0).build();
+    }
+
+    #[test]
+    fn quantizer_panics_on_fp_device() {
+        let d = DeviceConfig::ideal();
+        assert!(d.quantizer_opt().is_none());
+        let r = std::panic::catch_unwind(|| d.quantizer());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn with_variation_sigma_only_changes_variation() {
+        let d = DeviceConfig::quantized_linear(4).with_variation_sigma(0.15);
+        assert_eq!(d.bits(), Some(4));
+        assert_eq!(d.variation().sigma_frac(), 0.15);
+    }
+
+    #[test]
+    fn default_builder_equals_ideal() {
+        assert_eq!(DeviceConfigBuilder::default().build(), DeviceConfig::ideal());
+    }
+}

@@ -1,0 +1,49 @@
+//! # xbar-device
+//!
+//! Behavioural models of the non-ideal synapse devices (RRAM, PCM, FeFET)
+//! used as crossbar-array weight elements, covering the three non-idealities
+//! the DAC 2020 ACM paper simulates:
+//!
+//! 1. **Limited weight precision** — a device exposes only `2^B`
+//!    programmable conductance states ([`Quantizer`]);
+//! 2. **Non-linear weight update** — the conductance change per programming
+//!    pulse depends on the current conductance, saturating towards the ends
+//!    of the range ([`UpdateModel::SymmetricNonlinear`], the paper's
+//!    Fig. 4a);
+//! 3. **Device variation** — the realised conductance differs from the
+//!    programmed target by zero-mean Gaussian noise
+//!    ([`VariationModel`], the paper's Fig. 4b).
+//!
+//! All conductances are expressed in *normalized weight units*: the device
+//! range `[g_min, g_max]` maps linearly onto the weight magnitude a single
+//! crossbar element can contribute. [`DeviceConfig`] bundles the three
+//! models for consumption by the mapped layers in `xbar-nn` and the
+//! crossbar simulator in `xbar-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use xbar_device::{DeviceConfig, UpdateModel};
+//!
+//! let dev = DeviceConfig::builder()
+//!     .bits(4)
+//!     .update(UpdateModel::symmetric_nonlinear(3.0))
+//!     .variation_sigma(0.05)
+//!     .build();
+//! assert_eq!(dev.quantizer().num_states(), 16);
+//! assert_eq!(dev.range().clamp(0.3), 0.3);
+//! ```
+
+#![deny(missing_docs)]
+
+mod config;
+mod quantizer;
+mod range;
+mod update;
+mod variation;
+
+pub use config::{DeviceConfig, DeviceConfigBuilder};
+pub use quantizer::{quantize_signed, Quantizer};
+pub use range::ConductanceRange;
+pub use update::UpdateModel;
+pub use variation::{ClampMode, VariationModel};

@@ -1,0 +1,242 @@
+use crate::ConductanceRange;
+
+/// Uniform `B`-bit conductance quantizer.
+///
+/// A `B`-bit device exposes `2^B` equally spaced programmable states across
+/// its conductance range; the quantizer snaps an ideal conductance to the
+/// nearest state. This models the paper's first non-ideality — *limited
+/// weight precision* — in the same way as its reference \[17\] (DoReFa-style
+/// uniform quantization).
+///
+/// # Example
+///
+/// ```
+/// use xbar_device::{ConductanceRange, Quantizer};
+///
+/// let q = Quantizer::new(2, ConductanceRange::normalized());
+/// // 2 bits -> 4 states: 0, 1/3, 2/3, 1.
+/// assert_eq!(q.num_states(), 4);
+/// assert!((q.quantize(0.4) - 1.0 / 3.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    bits: u8,
+    range: ConductanceRange,
+}
+
+impl Quantizer {
+    /// Maximum supported bit width. `f32` has a 24-bit mantissa, so state
+    /// indices remain exactly representable up to this width.
+    pub const MAX_BITS: u8 = 16;
+
+    /// Creates a `bits`-bit quantizer over `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is `0` or exceeds [`Quantizer::MAX_BITS`].
+    pub fn new(bits: u8, range: ConductanceRange) -> Self {
+        assert!(bits >= 1, "a device needs at least 1 bit (2 states)");
+        assert!(
+            bits <= Self::MAX_BITS,
+            "bit width {bits} exceeds supported maximum {}",
+            Self::MAX_BITS
+        );
+        Self { bits, range }
+    }
+
+    /// The bit width `B`.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// The conductance range being quantized.
+    pub fn range(&self) -> ConductanceRange {
+        self.range
+    }
+
+    /// Number of programmable states, `2^B`.
+    pub fn num_states(&self) -> usize {
+        1usize << self.bits
+    }
+
+    /// Spacing between adjacent states.
+    pub fn step(&self) -> f32 {
+        self.range.span() / (self.num_states() - 1) as f32
+    }
+
+    /// Snaps `g` to the nearest programmable state (clamping to the range
+    /// first).
+    pub fn quantize(&self, g: f32) -> f32 {
+        self.state_value(self.state_index(g))
+    }
+
+    /// Index of the nearest state to `g` in `0..num_states()`.
+    pub fn state_index(&self, g: f32) -> usize {
+        let levels = (self.num_states() - 1) as f32;
+        let unit = self.range.normalize(self.range.clamp(g));
+        (unit * levels).round() as usize
+    }
+
+    /// Conductance of state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_states()`.
+    pub fn state_value(&self, index: usize) -> f32 {
+        assert!(index < self.num_states(), "state {index} out of range");
+        let levels = (self.num_states() - 1) as f32;
+        self.range.denormalize(index as f32 / levels)
+    }
+
+    /// Quantizes every element of a slice in place.
+    pub fn quantize_slice(&self, values: &mut [f32]) {
+        for v in values {
+            *v = self.quantize(*v);
+        }
+    }
+}
+
+/// Uniform fake-quantization of a *signed* value to `bits` over
+/// `[-limit, limit]` — used for activation quantization (the paper uses
+/// 8-bit activations throughout its Fig. 5 results).
+///
+/// # Panics
+///
+/// Panics if `bits == 0` or `limit <= 0`.
+pub fn quantize_signed(x: f32, bits: u8, limit: f32) -> f32 {
+    assert!(bits >= 1, "need at least 1 bit");
+    assert!(limit > 0.0, "limit must be positive");
+    let levels = ((1u32 << bits) - 1) as f32;
+    let unit = ((x.clamp(-limit, limit) + limit) / (2.0 * limit) * levels).round() / levels;
+    unit * 2.0 * limit - limit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(bits: u8) -> Quantizer {
+        Quantizer::new(bits, ConductanceRange::normalized())
+    }
+
+    #[test]
+    fn one_bit_device_has_two_states() {
+        let q = q(1);
+        assert_eq!(q.num_states(), 2);
+        assert_eq!(q.quantize(0.4), 0.0);
+        assert_eq!(q.quantize(0.6), 1.0);
+    }
+
+    #[test]
+    fn endpoints_are_states() {
+        for bits in 1..=8 {
+            let q = q(bits);
+            assert_eq!(q.quantize(0.0), 0.0);
+            assert_eq!(q.quantize(1.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        let q = q(3);
+        for i in 0..100 {
+            let x = i as f32 / 99.0;
+            let once = q.quantize(x);
+            assert_eq!(q.quantize(once), once);
+        }
+    }
+
+    #[test]
+    fn quantize_is_monotone() {
+        let q = q(4);
+        let mut prev = f32::NEG_INFINITY;
+        for i in 0..=1000 {
+            let x = i as f32 / 1000.0;
+            let v = q.quantize(x);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_step() {
+        let q = q(5);
+        let half = q.step() / 2.0;
+        for i in 0..=1000 {
+            let x = i as f32 / 1000.0;
+            assert!((q.quantize(x) - x).abs() <= half + 1e-6);
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let q = q(4);
+        assert_eq!(q.quantize(-3.0), 0.0);
+        assert_eq!(q.quantize(42.0), 1.0);
+    }
+
+    #[test]
+    fn state_index_round_trips() {
+        let q = q(6);
+        for idx in 0..q.num_states() {
+            assert_eq!(q.state_index(q.state_value(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn step_matches_state_spacing() {
+        let q = q(3);
+        let diff = q.state_value(1) - q.state_value(0);
+        assert!((diff - q.step()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 bit")]
+    fn rejects_zero_bits() {
+        let _ = Quantizer::new(0, ConductanceRange::normalized());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds supported maximum")]
+    fn rejects_excess_bits() {
+        let _ = Quantizer::new(17, ConductanceRange::normalized());
+    }
+
+    #[test]
+    fn non_unit_range_supported() {
+        let q = Quantizer::new(2, ConductanceRange::new(0.5, 1.5));
+        assert_eq!(q.state_value(0), 0.5);
+        assert_eq!(q.state_value(3), 1.5);
+        assert!((q.quantize(0.9) - (0.5 + 1.0 / 3.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantize_slice_touches_every_element() {
+        let q = q(1);
+        let mut v = vec![0.1, 0.9, 0.45, 0.55];
+        q.quantize_slice(&mut v);
+        assert_eq!(v, vec![0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn signed_quantization_is_symmetric_and_bounded() {
+        for bits in [2u8, 4, 8] {
+            for i in -50..=50 {
+                let x = i as f32 / 25.0;
+                let qx = quantize_signed(x, bits, 1.0);
+                assert!(qx.abs() <= 1.0 + 1e-6);
+                // Antisymmetric up to the level grid.
+                let qnx = quantize_signed(-x, bits, 1.0);
+                assert!((qx + qnx).abs() <= 2.0 / ((1u32 << bits) - 1) as f32 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn signed_quantization_high_bits_is_near_identity() {
+        for i in -10..=10 {
+            let x = i as f32 / 10.0;
+            assert!((quantize_signed(x, 16, 1.0) - x).abs() < 1e-4);
+        }
+    }
+}

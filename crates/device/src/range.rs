@@ -1,0 +1,145 @@
+/// Programmable conductance range of a synapse device, in normalized weight
+/// units.
+///
+/// The paper assumes `G_min = 0` throughout (Sections II and III-D); the
+/// default range is therefore `[0, 1]`, but a non-zero floor is supported
+/// because real RRAM/PCM devices have a finite off-conductance.
+///
+/// # Example
+///
+/// ```
+/// use xbar_device::ConductanceRange;
+///
+/// let r = ConductanceRange::new(0.0, 1.0);
+/// assert_eq!(r.span(), 1.0);
+/// assert_eq!(r.midpoint(), 0.5);
+/// assert_eq!(r.clamp(1.7), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConductanceRange {
+    g_min: f32,
+    g_max: f32,
+}
+
+impl ConductanceRange {
+    /// Creates a range `[g_min, g_max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g_min >= g_max` or either bound is non-finite or negative
+    /// (conductances are physically non-negative).
+    pub fn new(g_min: f32, g_max: f32) -> Self {
+        assert!(
+            g_min.is_finite() && g_max.is_finite(),
+            "conductance bounds must be finite"
+        );
+        assert!(g_min >= 0.0, "conductance cannot be negative (got {g_min})");
+        assert!(g_min < g_max, "empty conductance range [{g_min}, {g_max}]");
+        Self { g_min, g_max }
+    }
+
+    /// The normalized `[0, 1]` range used as the workspace default.
+    pub fn normalized() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Lower bound.
+    pub fn g_min(&self) -> f32 {
+        self.g_min
+    }
+
+    /// Upper bound.
+    pub fn g_max(&self) -> f32 {
+        self.g_max
+    }
+
+    /// `g_max - g_min`.
+    pub fn span(&self) -> f32 {
+        self.g_max - self.g_min
+    }
+
+    /// The middle of the range — the fixed value of every bias-column
+    /// element in the BC mapping.
+    pub fn midpoint(&self) -> f32 {
+        0.5 * (self.g_min + self.g_max)
+    }
+
+    /// Clamps `g` into the range.
+    pub fn clamp(&self, g: f32) -> f32 {
+        g.clamp(self.g_min, self.g_max)
+    }
+
+    /// Whether `g` lies inside the range (inclusive).
+    pub fn contains(&self, g: f32) -> bool {
+        (self.g_min..=self.g_max).contains(&g)
+    }
+
+    /// Maps `g` to the unit interval: `0` at `g_min`, `1` at `g_max`.
+    pub fn normalize(&self, g: f32) -> f32 {
+        (g - self.g_min) / self.span()
+    }
+
+    /// Inverse of [`ConductanceRange::normalize`].
+    pub fn denormalize(&self, unit: f32) -> f32 {
+        self.g_min + unit * self.span()
+    }
+}
+
+impl Default for ConductanceRange {
+    fn default() -> Self {
+        Self::normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let r = ConductanceRange::new(0.25, 0.75);
+        assert_eq!(r.g_min(), 0.25);
+        assert_eq!(r.g_max(), 0.75);
+        assert_eq!(r.span(), 0.5);
+        assert_eq!(r.midpoint(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty conductance range")]
+    fn rejects_inverted_bounds() {
+        let _ = ConductanceRange::new(1.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn rejects_negative_floor() {
+        let _ = ConductanceRange::new(-0.1, 1.0);
+    }
+
+    #[test]
+    fn clamp_and_contains() {
+        let r = ConductanceRange::normalized();
+        assert_eq!(r.clamp(-1.0), 0.0);
+        assert_eq!(r.clamp(2.0), 1.0);
+        assert_eq!(r.clamp(0.3), 0.3);
+        assert!(r.contains(0.0));
+        assert!(r.contains(1.0));
+        assert!(!r.contains(1.0001));
+    }
+
+    #[test]
+    fn normalize_round_trips() {
+        let r = ConductanceRange::new(0.2, 1.2);
+        for &g in &[0.2, 0.7, 1.2] {
+            let back = r.denormalize(r.normalize(g));
+            assert!((back - g).abs() < 1e-6);
+        }
+        assert_eq!(r.normalize(0.2), 0.0);
+        assert_eq!(r.normalize(1.2), 1.0);
+    }
+
+    #[test]
+    fn default_is_normalized() {
+        assert_eq!(ConductanceRange::default(), ConductanceRange::normalized());
+    }
+}

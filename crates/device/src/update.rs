@@ -1,0 +1,525 @@
+use crate::ConductanceRange;
+
+/// Weight-update (programming-pulse) dynamics of a synapse device.
+///
+/// A device is programmed with a train of identical voltage pulses; the
+/// conductance change per pulse generally depends on the current
+/// conductance. This models the paper's second non-ideality — *non-linear
+/// weight update* (Fig. 4a).
+///
+/// The conductance-versus-pulse-number curve is the standard exponential
+/// saturation model (NeuroSim's formulation): in normalized units
+/// (`x` = pulse position in `[0, 1]`, `g` = normalized conductance),
+///
+/// ```text
+/// potentiation:  g(x) = (1 - e^(-ν·x)) / (1 - e^(-ν))
+/// ```
+///
+/// where `ν` is the nonlinearity parameter. `ν → 0` recovers a linear
+/// update; larger `ν` means larger steps near `g_min` and saturating steps
+/// near `g_max`.
+///
+/// * [`UpdateModel::SymmetricNonlinear`] — the paper's training assumption
+///   (its refs \[4\], \[18\]): depression retraces the potentiation curve
+///   backwards, so at any conductance the up-step and the down-step have
+///   the same magnitude.
+/// * [`UpdateModel::AsymmetricNonlinear`] — the common RRAM behaviour
+///   (paper's ref \[8\]): depression follows its own exponential curve with
+///   the largest steps near `g_max`. Provided as an extension; the paper's
+///   figures use the symmetric model to isolate nonlinearity effects from
+///   learning-rule asymmetry effects.
+///
+/// # Example
+///
+/// ```
+/// use xbar_device::{ConductanceRange, UpdateModel};
+///
+/// let range = ConductanceRange::normalized();
+/// let nonlin = UpdateModel::symmetric_nonlinear(4.0);
+/// // A pulse from g=0 moves much further than a pulse from g=0.9:
+/// let low = nonlin.apply(0.0, 1, 32, range) - 0.0;
+/// let high = nonlin.apply(0.9, 1, 32, range) - 0.9;
+/// assert!(low > 3.0 * high);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdateModel {
+    /// Ideal device: every pulse moves the conductance by the same amount.
+    Linear,
+    /// Exponential-saturation update with mirrored (equal-magnitude)
+    /// potentiation and depression steps at every conductance.
+    SymmetricNonlinear {
+        /// Nonlinearity parameter `ν > 0`.
+        nu: f32,
+    },
+    /// Exponential-saturation update with independent potentiation and
+    /// depression nonlinearities.
+    AsymmetricNonlinear {
+        /// Potentiation nonlinearity `ν_p > 0` (largest steps near `g_min`).
+        nu_p: f32,
+        /// Depression nonlinearity `ν_d > 0` (largest steps near `g_max`).
+        nu_d: f32,
+    },
+}
+
+/// Below this nonlinearity the exponential curve is numerically
+/// indistinguishable from linear and we treat it as such.
+const NU_LINEAR_EPS: f32 = 1e-4;
+
+fn check_nu(name: &str, nu: f32) {
+    assert!(
+        nu.is_finite() && nu > 0.0,
+        "{name} nonlinearity must be positive and finite, got {nu}"
+    );
+}
+
+/// Normalized potentiation curve `g(x)`.
+fn curve(nu: f32, x: f32) -> f32 {
+    if nu.abs() < NU_LINEAR_EPS {
+        x
+    } else {
+        (1.0 - (-nu * x).exp()) / (1.0 - (-nu).exp())
+    }
+}
+
+/// Inverse of [`curve`]: pulse position for a normalized conductance.
+fn inverse(nu: f32, g: f32) -> f32 {
+    if nu.abs() < NU_LINEAR_EPS {
+        g
+    } else {
+        let arg = 1.0 - g.clamp(0.0, 1.0) * (1.0 - (-nu).exp());
+        // arg is in (e^-nu, 1]; ln is safe.
+        -(arg.max(f32::MIN_POSITIVE)).ln() / nu
+    }
+}
+
+/// Depression curve for the asymmetric model: `g_d(x)` increasing in `x`,
+/// with the steepest slope at `x = 1` (i.e. at `g_max`).
+fn curve_depress(nu: f32, x: f32) -> f32 {
+    if nu.abs() < NU_LINEAR_EPS {
+        x
+    } else {
+        1.0 - (1.0 - (-nu * (1.0 - x)).exp()) / (1.0 - (-nu).exp())
+    }
+}
+
+/// Inverse of [`curve_depress`].
+fn inverse_depress(nu: f32, g: f32) -> f32 {
+    if nu.abs() < NU_LINEAR_EPS {
+        g
+    } else {
+        let arg = 1.0 - (1.0 - g.clamp(0.0, 1.0)) * (1.0 - (-nu).exp());
+        1.0 + (arg.max(f32::MIN_POSITIVE)).ln() / nu
+    }
+}
+
+impl UpdateModel {
+    /// Creates the symmetric nonlinear model of the paper's Fig. 4a.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nu` is not positive and finite.
+    pub fn symmetric_nonlinear(nu: f32) -> Self {
+        check_nu("symmetric", nu);
+        Self::SymmetricNonlinear { nu }
+    }
+
+    /// Creates an asymmetric nonlinear model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not positive and finite.
+    pub fn asymmetric_nonlinear(nu_p: f32, nu_d: f32) -> Self {
+        check_nu("potentiation", nu_p);
+        check_nu("depression", nu_d);
+        Self::AsymmetricNonlinear { nu_p, nu_d }
+    }
+
+    /// Whether the model is the ideal linear device.
+    pub fn is_linear(&self) -> bool {
+        matches!(self, Self::Linear)
+    }
+
+    /// Applies `pulses` programming pulses (positive = potentiation,
+    /// negative = depression) to a device at conductance `g`, on a device
+    /// whose full range is traversed by `total_pulses` pulses.
+    ///
+    /// The result always stays within `range` (the device saturates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_pulses == 0`.
+    pub fn apply(
+        &self,
+        g: f32,
+        pulses: i32,
+        total_pulses: u32,
+        range: ConductanceRange,
+    ) -> f32 {
+        self.apply_fractional(g, pulses as f32, total_pulses, range)
+    }
+
+    /// Like [`UpdateModel::apply`] but with a *fractional* pulse count —
+    /// the continuum limit used to model in-situ SGD training, where the
+    /// desired weight delta is converted to an equivalent pulse distance
+    /// along the device's transfer curve. This distorts small updates
+    /// exactly as the physical nonlinearity would while avoiding
+    /// integer-rounding dead zones at small learning rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_pulses == 0` or `pulses` is not finite.
+    pub fn apply_fractional(
+        &self,
+        g: f32,
+        pulses: f32,
+        total_pulses: u32,
+        range: ConductanceRange,
+    ) -> f32 {
+        assert!(total_pulses > 0, "device needs at least one pulse level");
+        assert!(pulses.is_finite(), "pulse count must be finite");
+        if pulses == 0.0 {
+            return range.clamp(g);
+        }
+        let gn = range.normalize(range.clamp(g)).clamp(0.0, 1.0);
+        let dx = pulses / total_pulses as f32;
+        let gn_new = match *self {
+            Self::Linear => (gn + dx).clamp(0.0, 1.0),
+            Self::SymmetricNonlinear { nu } => {
+                // Both directions retrace the potentiation curve.
+                let x = inverse(nu, gn);
+                curve(nu, (x + dx).clamp(0.0, 1.0))
+            }
+            Self::AsymmetricNonlinear { nu_p, nu_d } => {
+                if pulses > 0.0 {
+                    let x = inverse(nu_p, gn);
+                    curve(nu_p, (x + dx).clamp(0.0, 1.0))
+                } else {
+                    let x = inverse_depress(nu_d, gn);
+                    curve_depress(nu_d, (x + dx).clamp(0.0, 1.0))
+                }
+            }
+        };
+        range.denormalize(gn_new.clamp(0.0, 1.0))
+    }
+
+    /// The conductance change a *single* potentiation pulse would cause at
+    /// conductance `g` — the local step size, used by trainers to convert a
+    /// desired weight delta into a pulse count.
+    pub fn step_at(&self, g: f32, total_pulses: u32, range: ConductanceRange) -> f32 {
+        self.apply(g, 1, total_pulses, range) - range.clamp(g)
+    }
+
+    /// The step size of an ideal linear device with the same pulse count —
+    /// the average step, `span / total_pulses`.
+    pub fn mean_step(&self, total_pulses: u32, range: ConductanceRange) -> f32 {
+        range.span() / total_pulses as f32
+    }
+
+    /// The conductance of programmable state `k` of a device with
+    /// `num_states` states.
+    ///
+    /// States sit at equal *pulse* spacing along the transfer curve, so a
+    /// nonlinear device's states are non-uniform in conductance — dense
+    /// where the curve saturates (near `g_max` for the symmetric model),
+    /// sparse where the steps are large (near `g_min`). This is the
+    /// mechanical coupling between the paper's two non-idealities: at a
+    /// given bit count, a nonlinear device wastes resolution wherever its
+    /// pulse steps are large.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_states < 2` or `k >= num_states`.
+    pub fn state_conductance(&self, k: u32, num_states: u32, range: ConductanceRange) -> f32 {
+        assert!(num_states >= 2, "need at least two states");
+        assert!(k < num_states, "state {k} out of range");
+        let x = k as f32 / (num_states - 1) as f32;
+        let gn = match *self {
+            Self::Linear => x,
+            Self::SymmetricNonlinear { nu } => curve(nu, x),
+            // Asymmetric devices are conventionally characterised along
+            // the potentiation curve.
+            Self::AsymmetricNonlinear { nu_p, .. } => curve(nu_p, x),
+        };
+        range.denormalize(gn.clamp(0.0, 1.0))
+    }
+
+    /// Snaps a conductance to the nearest programmable state of a
+    /// `num_states`-state device (nearest in *pulse position*, which is
+    /// what a write-verify programming loop controls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_states < 2`.
+    pub fn snap_to_state(&self, g: f32, num_states: u32, range: ConductanceRange) -> f32 {
+        assert!(num_states >= 2, "need at least two states");
+        let gn = range.normalize(range.clamp(g)).clamp(0.0, 1.0);
+        let x = match *self {
+            Self::Linear => gn,
+            Self::SymmetricNonlinear { nu } => inverse(nu, gn),
+            Self::AsymmetricNonlinear { nu_p, .. } => inverse(nu_p, gn),
+        };
+        let k = (x * (num_states - 1) as f32).round() as u32;
+        self.state_conductance(k.min(num_states - 1), num_states, range)
+    }
+}
+
+#[allow(clippy::derivable_impls)] // explicit: the physical default is the ideal device
+impl Default for UpdateModel {
+    fn default() -> Self {
+        Self::Linear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range() -> ConductanceRange {
+        ConductanceRange::normalized()
+    }
+
+    #[test]
+    fn linear_pulses_are_uniform() {
+        let m = UpdateModel::Linear;
+        let g1 = m.apply(0.0, 1, 10, range());
+        let g2 = m.apply(0.5, 1, 10, range());
+        assert!((g1 - 0.1).abs() < 1e-6);
+        assert!((g2 - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_saturates_at_bounds() {
+        let m = UpdateModel::Linear;
+        assert_eq!(m.apply(0.95, 3, 10, range()), 1.0);
+        assert_eq!(m.apply(0.05, -3, 10, range()), 0.0);
+    }
+
+    #[test]
+    fn full_pulse_train_traverses_range() {
+        for m in [
+            UpdateModel::Linear,
+            UpdateModel::symmetric_nonlinear(5.0),
+            UpdateModel::asymmetric_nonlinear(3.0, 4.0),
+        ] {
+            let up = m.apply(0.0, 64, 64, range());
+            assert!((up - 1.0).abs() < 1e-5, "{m:?} up {up}");
+            let down = m.apply(1.0, -64, 64, range());
+            assert!(down.abs() < 1e-5, "{m:?} down {down}");
+        }
+    }
+
+    #[test]
+    fn nonlinear_steps_shrink_towards_gmax() {
+        let m = UpdateModel::symmetric_nonlinear(5.0);
+        let low = m.step_at(0.0, 32, range());
+        let mid = m.step_at(0.5, 32, range());
+        let high = m.step_at(0.9, 32, range());
+        assert!(low > mid && mid > high, "{low} {mid} {high}");
+    }
+
+    #[test]
+    fn symmetric_model_has_mirrored_steps() {
+        let m = UpdateModel::symmetric_nonlinear(4.0);
+        for &g in &[0.2, 0.5, 0.8] {
+            let up = m.apply(g, 1, 32, range()) - g;
+            let down = g - m.apply(g, -1, 32, range());
+            // Not exactly equal (curve is convex over a finite step) but the
+            // single-step magnitudes agree to within the curvature term.
+            assert!(
+                (up - down).abs() < 0.25 * up.max(down),
+                "g={g}: up {up} vs down {down}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_up_down_round_trips() {
+        // Because depression retraces the potentiation curve, +n then -n
+        // pulses return exactly to the start (away from saturation).
+        let m = UpdateModel::symmetric_nonlinear(4.0);
+        for &g in &[0.1, 0.4, 0.7] {
+            let there = m.apply(g, 5, 64, range());
+            let back = m.apply(there, -5, 64, range());
+            assert!((back - g).abs() < 1e-5, "g={g} back={back}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_depression_largest_at_high_g() {
+        let m = UpdateModel::asymmetric_nonlinear(4.0, 4.0);
+        let down_high = 0.9 - m.apply(0.9, -1, 32, range());
+        let down_low = 0.2 - m.apply(0.2, -1, 32, range());
+        assert!(down_high > down_low, "{down_high} vs {down_low}");
+    }
+
+    #[test]
+    fn zero_pulses_is_identity_within_range() {
+        let m = UpdateModel::symmetric_nonlinear(3.0);
+        assert_eq!(m.apply(0.37, 0, 32, range()), 0.37);
+    }
+
+    #[test]
+    fn apply_clamps_out_of_range_start() {
+        let m = UpdateModel::Linear;
+        assert_eq!(m.apply(7.0, 0, 32, range()), 1.0);
+        assert_eq!(m.apply(-7.0, 0, 32, range()), 0.0);
+    }
+
+    #[test]
+    fn mean_step_is_span_over_pulses() {
+        let m = UpdateModel::Linear;
+        assert!((m.mean_step(20, range()) - 0.05).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_nu() {
+        let _ = UpdateModel::symmetric_nonlinear(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pulse")]
+    fn rejects_zero_total_pulses() {
+        let _ = UpdateModel::Linear.apply(0.5, 1, 0, range());
+    }
+
+    #[test]
+    fn tiny_nu_degrades_to_linear() {
+        let m = UpdateModel::SymmetricNonlinear { nu: 1e-6 };
+        let lin = UpdateModel::Linear;
+        for &g in &[0.1, 0.5, 0.9] {
+            let a = m.apply(g, 3, 32, range());
+            let b = lin.apply(g, 3, 32, range());
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn monotone_in_pulse_count() {
+        let m = UpdateModel::symmetric_nonlinear(5.0);
+        let mut prev = 0.0;
+        for n in 1..=32 {
+            let g = m.apply(0.0, n, 32, range());
+            assert!(g >= prev, "pulse {n}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn default_is_linear() {
+        assert!(UpdateModel::default().is_linear());
+    }
+}
+
+#[cfg(test)]
+mod fractional_tests {
+    use super::*;
+
+    fn range() -> ConductanceRange {
+        ConductanceRange::normalized()
+    }
+
+    #[test]
+    fn fractional_pulses_interpolate_integer_pulses() {
+        let m = UpdateModel::symmetric_nonlinear(4.0);
+        let one = m.apply(0.3, 1, 32, range());
+        let half_twice =
+            m.apply_fractional(m.apply_fractional(0.3, 0.5, 32, range()), 0.5, 32, range());
+        assert!((one - half_twice).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fractional_linear_is_plain_addition() {
+        let m = UpdateModel::Linear;
+        let g = m.apply_fractional(0.4, 2.5, 10, range());
+        assert!((g - 0.65).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tiny_fractional_updates_do_not_vanish() {
+        // This is the property the continuum model buys us: a 0.01-pulse
+        // update still moves the conductance (no dead zone).
+        let m = UpdateModel::symmetric_nonlinear(5.0);
+        let g = m.apply_fractional(0.5, 0.01, 32, range());
+        assert!(g > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_pulses() {
+        let _ = UpdateModel::Linear.apply_fractional(0.5, f32::NAN, 32, range());
+    }
+}
+
+#[cfg(test)]
+mod state_ladder_tests {
+    use super::*;
+
+    fn range() -> ConductanceRange {
+        ConductanceRange::normalized()
+    }
+
+    #[test]
+    fn linear_ladder_is_uniform() {
+        let m = UpdateModel::Linear;
+        let states: Vec<f32> = (0..4).map(|k| m.state_conductance(k, 4, range())).collect();
+        assert_eq!(states, vec![0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0]);
+    }
+
+    #[test]
+    fn nonlinear_ladder_is_dense_near_gmax() {
+        let m = UpdateModel::symmetric_nonlinear(5.0);
+        let states: Vec<f32> = (0..8).map(|k| m.state_conductance(k, 8, range())).collect();
+        // Monotone increasing.
+        for w in states.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // First gap (near g_min) much larger than last gap (near g_max).
+        let first_gap = states[1] - states[0];
+        let last_gap = states[7] - states[6];
+        assert!(first_gap > 5.0 * last_gap, "{first_gap} vs {last_gap}");
+        // Endpoints exact.
+        assert!((states[0] - 0.0).abs() < 1e-6);
+        assert!((states[7] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snap_is_idempotent_and_lands_on_states() {
+        let m = UpdateModel::symmetric_nonlinear(4.0);
+        for i in 0..=50 {
+            let g = i as f32 / 50.0;
+            let s = m.snap_to_state(g, 16, range());
+            let again = m.snap_to_state(s, 16, range());
+            assert!((s - again).abs() < 1e-6, "snap not idempotent at {g}");
+        }
+    }
+
+    #[test]
+    fn snap_matches_uniform_quantizer_for_linear_devices() {
+        use crate::{ConductanceRange, Quantizer};
+        let q = Quantizer::new(3, ConductanceRange::normalized());
+        let m = UpdateModel::Linear;
+        for i in 0..=40 {
+            let g = i as f32 / 40.0;
+            assert!((m.snap_to_state(g, 8, range()) - q.quantize(g)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pulse_moves_between_adjacent_states() {
+        // One pulse from state k must land exactly on state k+1.
+        let m = UpdateModel::symmetric_nonlinear(3.0);
+        for k in 0..7u32 {
+            let g = m.state_conductance(k, 8, range());
+            let next = m.apply(g, 1, 7, range());
+            let expected = m.state_conductance(k + 1, 8, range());
+            assert!((next - expected).abs() < 1e-5, "state {k}: {next} vs {expected}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two states")]
+    fn snap_rejects_single_state() {
+        let _ = UpdateModel::Linear.snap_to_state(0.5, 1, range());
+    }
+}

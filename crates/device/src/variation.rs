@@ -1,0 +1,201 @@
+use crate::ConductanceRange;
+use xbar_tensor::rng::XorShiftRng;
+use xbar_tensor::Tensor;
+
+/// How a varied conductance that lands outside the device range is handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClampMode {
+    /// Clamp to `[g_min, g_max]` — the physical device saturates.
+    #[default]
+    ToRange,
+    /// Leave the sample unclamped — matches an idealized Gaussian spread
+    /// around each state (useful for analytical comparisons).
+    None,
+}
+
+/// Zero-mean Gaussian device-to-device variation (the paper's Fig. 4b).
+///
+/// After a conductance state is programmed, the realised conductance is
+/// `g + N(0, σ)` where `σ` is expressed as a *fraction of the conductance
+/// range* — the paper's "sigma of variation (%)" axis in Fig. 6. Variation
+/// is applied post-training, at inference time, with no fine-tuning.
+///
+/// # Example
+///
+/// ```
+/// use xbar_device::{ConductanceRange, VariationModel};
+/// use xbar_tensor::rng::XorShiftRng;
+///
+/// let var = VariationModel::new(0.15); // 15% of range, as in the paper
+/// let mut rng = XorShiftRng::new(1);
+/// let g = var.sample(0.5, ConductanceRange::normalized(), &mut rng);
+/// assert!((0.0..=1.0).contains(&g));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    sigma_frac: f32,
+    clamp: ClampMode,
+}
+
+impl VariationModel {
+    /// Creates a variation model with `sigma_frac` standard deviation,
+    /// expressed as a fraction of the conductance range (`0.15` = the
+    /// paper's 15% case), clamping to the device range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_frac` is negative or non-finite.
+    pub fn new(sigma_frac: f32) -> Self {
+        assert!(
+            sigma_frac.is_finite() && sigma_frac >= 0.0,
+            "variation sigma must be non-negative and finite, got {sigma_frac}"
+        );
+        Self {
+            sigma_frac,
+            clamp: ClampMode::ToRange,
+        }
+    }
+
+    /// The no-variation model (`σ = 0`).
+    pub fn none() -> Self {
+        Self::new(0.0)
+    }
+
+    /// Returns the model with a different clamping policy.
+    pub fn with_clamp(mut self, clamp: ClampMode) -> Self {
+        self.clamp = clamp;
+        self
+    }
+
+    /// The σ as a fraction of the conductance range.
+    pub fn sigma_frac(&self) -> f32 {
+        self.sigma_frac
+    }
+
+    /// The clamping policy.
+    pub fn clamp_mode(&self) -> ClampMode {
+        self.clamp
+    }
+
+    /// Whether this model adds any noise at all.
+    pub fn is_none(&self) -> bool {
+        self.sigma_frac == 0.0
+    }
+
+    /// Samples the realised conductance for a programmed value `g`.
+    pub fn sample(&self, g: f32, range: ConductanceRange, rng: &mut XorShiftRng) -> f32 {
+        if self.is_none() {
+            return g;
+        }
+        let noisy = g + rng.normal_with(0.0, self.sigma_frac * range.span());
+        match self.clamp {
+            ClampMode::ToRange => range.clamp(noisy),
+            ClampMode::None => noisy,
+        }
+    }
+
+    /// Applies variation to every element of a conductance tensor,
+    /// returning the perturbed copy.
+    pub fn sample_tensor(
+        &self,
+        conductances: &Tensor,
+        range: ConductanceRange,
+        rng: &mut XorShiftRng,
+    ) -> Tensor {
+        if self.is_none() {
+            return conductances.clone();
+        }
+        let mut out = conductances.clone();
+        for g in out.data_mut() {
+            *g = self.sample(*g, range, rng);
+        }
+        out
+    }
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range() -> ConductanceRange {
+        ConductanceRange::normalized()
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let v = VariationModel::none();
+        let mut rng = XorShiftRng::new(51);
+        assert_eq!(v.sample(0.42, range(), &mut rng), 0.42);
+        assert!(v.is_none());
+    }
+
+    #[test]
+    fn sample_statistics_match_sigma() {
+        let v = VariationModel::new(0.1).with_clamp(ClampMode::None);
+        let mut rng = XorShiftRng::new(52);
+        let n = 40_000;
+        let samples: Vec<f32> = (0..n).map(|_| v.sample(0.5, range(), &mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+        assert!((var.sqrt() - 0.1).abs() < 0.01, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn clamped_samples_stay_in_range() {
+        let v = VariationModel::new(0.5);
+        let mut rng = XorShiftRng::new(53);
+        for _ in 0..5000 {
+            let g = v.sample(0.0, range(), &mut rng);
+            assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn unclamped_samples_can_escape_range() {
+        let v = VariationModel::new(0.5).with_clamp(ClampMode::None);
+        let mut rng = XorShiftRng::new(54);
+        let escaped = (0..1000)
+            .map(|_| v.sample(0.0, range(), &mut rng))
+            .filter(|&g| g < 0.0)
+            .count();
+        assert!(escaped > 300, "expected ~half below zero, got {escaped}");
+    }
+
+    #[test]
+    fn sigma_scales_with_range_span() {
+        let wide = ConductanceRange::new(0.0, 10.0);
+        let v = VariationModel::new(0.1).with_clamp(ClampMode::None);
+        let mut rng = XorShiftRng::new(55);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| v.sample(5.0, wide, &mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let std =
+            (samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32).sqrt();
+        assert!((std - 1.0).abs() < 0.05, "std {std} (expected 1.0 = 10% of span 10)");
+    }
+
+    #[test]
+    fn tensor_sampling_is_elementwise_and_seeded() {
+        let t = Tensor::full(&[4, 4], 0.5);
+        let v = VariationModel::new(0.05);
+        let mut r1 = XorShiftRng::new(56);
+        let mut r2 = XorShiftRng::new(56);
+        let a = v.sample_tensor(&t, range(), &mut r1);
+        let b = v.sample_tensor(&t, range(), &mut r2);
+        assert_eq!(a, b, "same seed, same noise");
+        assert!(!a.all_close(&t, 1e-4), "noise actually applied");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_sigma() {
+        let _ = VariationModel::new(-0.1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the device non-ideality models.
+
+use proptest::prelude::*;
+use xbar_device::{
+    ClampMode, ConductanceRange, DeviceConfig, Quantizer, UpdateModel, VariationModel,
+};
+use xbar_tensor::rng::XorShiftRng;
+
+fn range() -> ConductanceRange {
+    ConductanceRange::normalized()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantization error never exceeds half a step, for any bits/value.
+    #[test]
+    fn quantizer_error_bound(bits in 1u8..10, x in 0.0f32..1.0) {
+        let q = Quantizer::new(bits, range());
+        prop_assert!((q.quantize(x) - x).abs() <= q.step() / 2.0 + 1e-6);
+    }
+
+    /// Quantization is monotone: x <= y implies q(x) <= q(y).
+    #[test]
+    fn quantizer_monotone(bits in 1u8..8, a in 0.0f32..1.0, b in 0.0f32..1.0) {
+        let q = Quantizer::new(bits, range());
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.quantize(lo) <= q.quantize(hi));
+    }
+
+    /// Updates never escape the conductance range, for any model,
+    /// direction, magnitude, or starting point.
+    #[test]
+    fn updates_stay_in_range(
+        nu in 0.5f32..10.0,
+        g in 0.0f32..1.0,
+        pulses in -200i32..200,
+        total in 1u32..256,
+    ) {
+        for m in [
+            UpdateModel::Linear,
+            UpdateModel::symmetric_nonlinear(nu),
+            UpdateModel::asymmetric_nonlinear(nu, nu * 0.5),
+        ] {
+            let out = m.apply(g, pulses, total, range());
+            prop_assert!((0.0..=1.0).contains(&out), "{m:?}: {out}");
+        }
+    }
+
+    /// Potentiation is monotone non-decreasing; depression non-increasing.
+    #[test]
+    fn update_direction_is_respected(
+        nu in 0.5f32..8.0,
+        g in 0.0f32..1.0,
+        pulses in 1i32..50,
+    ) {
+        for m in [
+            UpdateModel::Linear,
+            UpdateModel::symmetric_nonlinear(nu),
+            UpdateModel::asymmetric_nonlinear(nu, nu),
+        ] {
+            prop_assert!(m.apply(g, pulses, 64, range()) >= g - 1e-6);
+            prop_assert!(m.apply(g, -pulses, 64, range()) <= g + 1e-6);
+        }
+    }
+
+    /// Pulse application composes: n pulses then m pulses equals n+m
+    /// pulses (away from saturation this is exact for the symmetric model).
+    #[test]
+    fn pulses_compose(nu in 0.5f32..6.0, n in 1i32..10, m in 1i32..10) {
+        let model = UpdateModel::symmetric_nonlinear(nu);
+        let g0 = 0.2f32;
+        let combined = model.apply(g0, n + m, 64, range());
+        let stepped = model.apply(model.apply(g0, n, 64, range()), m, 64, range());
+        prop_assert!((combined - stepped).abs() < 1e-4);
+    }
+
+    /// Variation sampling is mean-preserving when unclamped.
+    #[test]
+    fn variation_unbiased(sigma in 0.01f32..0.3, seed in any::<u64>()) {
+        let v = VariationModel::new(sigma).with_clamp(ClampMode::None);
+        let mut rng = XorShiftRng::new(seed);
+        let n = 20_000;
+        let mean: f32 =
+            (0..n).map(|_| v.sample(0.5, range(), &mut rng)).sum::<f32>() / n as f32;
+        prop_assert!((mean - 0.5).abs() < 4.0 * sigma / (n as f32).sqrt() + 1e-3);
+    }
+
+    /// `DeviceConfig::snap` is idempotent for every bits/update combo.
+    #[test]
+    fn snap_idempotent(bits in 1u8..8, nu in 0.5f32..8.0, g in 0.0f32..1.0) {
+        for dev in [
+            DeviceConfig::quantized_linear(bits),
+            DeviceConfig::quantized_nonlinear(bits, nu),
+        ] {
+            let s = dev.snap(g);
+            prop_assert!((dev.snap(s) - s).abs() < 1e-6);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    /// The symmetric model's ladder and the uniform quantizer have the
+    /// same state *count* (endpoints included).
+    #[test]
+    fn ladder_state_count(bits in 1u8..7, nu in 0.5f32..8.0) {
+        let m = UpdateModel::symmetric_nonlinear(nu);
+        let states = 1u32 << bits;
+        let mut distinct = std::collections::BTreeSet::new();
+        for k in 0..states {
+            distinct.insert(m.state_conductance(k, states, range()).to_bits());
+        }
+        prop_assert_eq!(distinct.len(), states as usize);
+    }
+}

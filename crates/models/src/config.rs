@@ -1,0 +1,122 @@
+use xbar_core::Mapping;
+use xbar_device::DeviceConfig;
+use xbar_nn::WeightKind;
+
+/// Width scaling for the model builders.
+///
+/// Scaling touches only layer *widths* (channel counts, hidden sizes) —
+/// never depth, kernel sizes, pooling structure, or residual topology — so
+/// the mapping-comparison mechanisms (dynamic range, update nonlinearity,
+/// column coupling) are exercised identically at every scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModelScale {
+    /// Published widths (LeNet 6/16/120/84, VGG-9 64…512, ResNet-20
+    /// 16/32/64). Hours of CPU time per run — use on real hardware.
+    Paper,
+    /// Quarter-ish widths; minutes per run.
+    #[default]
+    Small,
+    /// Minimum useful widths; seconds per run (CI and smoke tests).
+    Tiny,
+}
+
+impl ModelScale {
+    /// Scales a paper-width `w` down, keeping at least `min`.
+    pub(crate) fn width(&self, paper: usize, small: usize, tiny: usize) -> usize {
+        match self {
+            Self::Paper => paper,
+            Self::Small => small,
+            Self::Tiny => tiny,
+        }
+    }
+}
+
+/// Model-construction options: weight realisation, device model, and
+/// activation quantization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelConfig {
+    /// Weight realisation (signed baseline or crossbar-mapped).
+    pub kind: WeightKind,
+    /// Device non-ideality model for mapped weights.
+    pub device: DeviceConfig,
+    /// Activation quantization bit width (`None` = full precision). The
+    /// paper uses 8-bit activations for all quantized experiments.
+    pub act_bits: Option<u8>,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// Baseline model: signed FP32 weights, ideal device, FP activations —
+    /// the paper's "original network".
+    pub fn baseline() -> Self {
+        Self {
+            kind: WeightKind::Signed,
+            device: DeviceConfig::ideal(),
+            act_bits: None,
+            seed: 0xACE5,
+        }
+    }
+
+    /// Crossbar-mapped model with the paper's standard 8-bit activations.
+    pub fn mapped(mapping: Mapping, device: DeviceConfig) -> Self {
+        Self {
+            kind: WeightKind::Mapped(mapping),
+            device,
+            act_bits: if device.is_quantized() { Some(8) } else { None },
+            seed: 0xACE5,
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with explicit activation quantization.
+    pub fn with_act_bits(mut self, bits: Option<u8>) -> Self {
+        self.act_bits = bits;
+        self
+    }
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_signed_fp() {
+        let c = ModelConfig::baseline();
+        assert_eq!(c.kind, WeightKind::Signed);
+        assert_eq!(c.act_bits, None);
+    }
+
+    #[test]
+    fn mapped_quantized_gets_8bit_acts() {
+        let c = ModelConfig::mapped(Mapping::Acm, DeviceConfig::quantized_linear(4));
+        assert_eq!(c.act_bits, Some(8));
+        let c = ModelConfig::mapped(Mapping::Acm, DeviceConfig::ideal());
+        assert_eq!(c.act_bits, None);
+    }
+
+    #[test]
+    fn scale_picks_widths() {
+        assert_eq!(ModelScale::Paper.width(64, 16, 8), 64);
+        assert_eq!(ModelScale::Small.width(64, 16, 8), 16);
+        assert_eq!(ModelScale::Tiny.width(64, 16, 8), 8);
+    }
+
+    #[test]
+    fn with_helpers() {
+        let c = ModelConfig::baseline().with_seed(42).with_act_bits(Some(6));
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.act_bits, Some(6));
+    }
+}

@@ -1,0 +1,43 @@
+//! # xbar-models
+//!
+//! The network architectures the paper evaluates — a LeNet variant (MNIST),
+//! VGG-9 with 6 convolutional + 3 fully connected layers (CIFAR-10), and
+//! ResNet-20 (CIFAR-10) — plus the two-layer MLP used for the system-level
+//! Table I analysis.
+//!
+//! Every builder takes a [`ModelConfig`] selecting the weight realisation
+//! (baseline signed, or crossbar-mapped under DE/BC/ACM with a device
+//! model) and a [`ModelScale`] width multiplier. `ModelScale::Paper` is the
+//! architecture exactly as published; `Small`/`Tiny` shrink widths (never
+//! depth or structure) so the full experiment grid runs in minutes on one
+//! CPU core — see DESIGN.md §1 for the scaling argument.
+//!
+//! # Example
+//!
+//! ```
+//! use xbar_core::Mapping;
+//! use xbar_models::{lenet, ModelConfig, ModelScale};
+//! use xbar_nn::Layer;
+//!
+//! # fn main() -> Result<(), xbar_nn::NnError> {
+//! let cfg = ModelConfig::mapped(Mapping::Acm, xbar_device::DeviceConfig::ideal());
+//! let mut net = lenet((1, 16, 16), 10, ModelScale::Tiny, &cfg)?;
+//! let x = xbar_tensor::Tensor::zeros(&[2, 1, 16, 16]);
+//! assert_eq!(net.forward(&x, false)?.shape(), &[2, 10]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod config;
+mod lenet;
+mod mlp;
+mod resnet;
+mod vgg;
+
+pub use config::{ModelConfig, ModelScale};
+pub use lenet::lenet;
+pub use mlp::mlp2;
+pub use resnet::resnet20;
+pub use vgg::vgg9;

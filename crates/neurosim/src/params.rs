@@ -1,0 +1,83 @@
+/// Technology / calibration parameters of the analytical cost model.
+///
+/// Each metric `m` of a layer with `rows` crossbar rows and `cols` device
+/// columns is priced as
+///
+/// ```text
+/// area      = area_coeff_um2   · rows · cols^area_exp
+/// periphery = periph_coeff_um2 ·        cols^periph_exp
+/// energy    = energy_coeff_uj  · rows · cols^energy_exp
+/// delay     = delay_coeff_ms   ·        cols^delay_exp
+/// ```
+///
+/// and summed over layers (delay: layers are pipelined stages evaluated
+/// serially, so delays add).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechParams {
+    /// Crossbar cell+wire area coefficient (µm² per row·colᵖ).
+    pub area_coeff_um2: f64,
+    /// Column exponent of crossbar area.
+    pub area_exp: f64,
+    /// Periphery (decoder, switch matrices, MUX, ADC, adder, shift
+    /// register) area coefficient (µm² per colᵠ).
+    pub periph_coeff_um2: f64,
+    /// Column exponent of periphery area.
+    pub periph_exp: f64,
+    /// Read-energy coefficient (µJ per row·colʳ per training epoch).
+    pub energy_coeff_uj: f64,
+    /// Column exponent of read energy.
+    pub energy_exp: f64,
+    /// Read-delay coefficient (ms per colˢ per training epoch).
+    pub delay_coeff_ms: f64,
+    /// Column exponent of read delay.
+    pub delay_exp: f64,
+    /// Human-readable label of the calibration point.
+    pub label: &'static str,
+}
+
+impl TechParams {
+    /// The 14 nm parameter set calibrated against the paper's NeuroSim+
+    /// Table I (default NeuroSim+ parameters, one training epoch of the
+    /// two-layer MLP).
+    pub fn nm14() -> Self {
+        Self {
+            area_coeff_um2: 8.376_588_570_645e-3,
+            area_exp: 1.211_624_541_499,
+            periph_coeff_um2: 5.754_011_089_189,
+            periph_exp: 0.672_413_095_923,
+            energy_coeff_uj: 3.326_671_272_742e-8,
+            energy_exp: 2.622_423_396_685,
+            delay_coeff_ms: 2.413_439_459_366e-2,
+            delay_exp: 0.426_620_057_972,
+            label: "14nm (calibrated to DAC'20 Table I / NeuroSim+ defaults)",
+        }
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        Self::nm14()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_nm14() {
+        assert_eq!(TechParams::default(), TechParams::nm14());
+        assert!(TechParams::nm14().label.contains("14nm"));
+    }
+
+    #[test]
+    fn exponent_ordering_matches_physics() {
+        let p = TechParams::nm14();
+        // Energy scales hardest with columns, then area, then delay and
+        // periphery sublinearly.
+        assert!(p.energy_exp > p.area_exp);
+        assert!(p.area_exp > 1.0);
+        assert!(p.periph_exp < 1.0);
+        assert!(p.delay_exp < 1.0);
+    }
+}

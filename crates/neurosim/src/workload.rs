@@ -1,0 +1,87 @@
+/// Dimensions of one fully connected layer mapped onto a crossbar tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerDims {
+    /// Number of layer inputs (crossbar rows).
+    pub inputs: usize,
+    /// Number of signed layer outputs (before mapping expansion).
+    pub outputs: usize,
+}
+
+impl LayerDims {
+    /// Creates layer dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(inputs: usize, outputs: usize) -> Self {
+        assert!(inputs > 0 && outputs > 0, "layer dims must be positive");
+        Self { inputs, outputs }
+    }
+}
+
+/// A crossbar workload: an ordered stack of fully connected layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    layers: Vec<LayerDims>,
+    name: String,
+}
+
+impl Workload {
+    /// Creates a workload from layer dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(layers: Vec<LayerDims>, name: impl Into<String>) -> Self {
+        assert!(!layers.is_empty(), "workload needs at least one layer");
+        Self {
+            layers,
+            name: name.into(),
+        }
+    }
+
+    /// The paper's Table I workload: a two-layer MLP of MNIST scale
+    /// (400-100-10, the NeuroSim+ MLP reference network).
+    pub fn table1_mlp() -> Self {
+        Self::new(
+            vec![LayerDims::new(400, 100), LayerDims::new(100, 10)],
+            "2-layer MLP 400-100-10",
+        )
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[LayerDims] {
+        &self.layers
+    }
+
+    /// Workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_workload_shape() {
+        let w = Workload::table1_mlp();
+        assert_eq!(w.layers().len(), 2);
+        assert_eq!(w.layers()[0], LayerDims::new(400, 100));
+        assert_eq!(w.layers()[1], LayerDims::new(100, 10));
+        assert!(w.name().contains("MLP"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_dims() {
+        let _ = LayerDims::new(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn rejects_empty_workload() {
+        let _ = Workload::new(vec![], "empty");
+    }
+}

@@ -1,0 +1,233 @@
+use xbar_device::quantize_signed;
+use xbar_tensor::Tensor;
+
+use crate::{Layer, NnError};
+
+/// Rectified linear unit, `y = max(x, 0)`.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn describe(&self) -> String {
+        "relu".into()
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        if train {
+            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        }
+        Ok(x.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let mask = self
+            .mask
+            .take()
+            .ok_or_else(|| NnError::State("relu backward without forward".into()))?;
+        if mask.len() != grad.len() {
+            return Err(NnError::Shape(xbar_tensor::ShapeError::new(
+                "relu backward",
+                format!("cached {} elements, grad has {}", mask.len(), grad.len()),
+            )));
+        }
+        let mut out = grad.clone();
+        for (g, &m) in out.data_mut().iter_mut().zip(&mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Activation fake-quantization with a straight-through estimator.
+///
+/// Quantizes activations to `bits` uniform levels over `[-limit, limit]`
+/// in the forward pass; the backward pass passes gradients through
+/// unchanged inside the clip range and zeroes them outside (the clipped-STE
+/// rule). The paper quantizes activations to 8 bits in all Fig. 5
+/// experiments — place one of these after each activation.
+#[derive(Debug)]
+pub struct QuantAct {
+    bits: u8,
+    limit: f32,
+    inside: Option<Vec<bool>>,
+}
+
+impl QuantAct {
+    /// Creates an activation quantizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `limit <= 0`.
+    pub fn new(bits: u8, limit: f32) -> Self {
+        assert!(bits >= 1, "need at least 1 bit");
+        assert!(limit > 0.0, "limit must be positive");
+        Self {
+            bits,
+            limit,
+            inside: None,
+        }
+    }
+
+    /// The paper's standard 8-bit activation quantizer with a ReLU-friendly
+    /// clip at 4.0.
+    pub fn standard() -> Self {
+        Self::new(8, 4.0)
+    }
+
+    /// Bit width.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+}
+
+impl Layer for QuantAct {
+    fn describe(&self) -> String {
+        format!("quant-act {}b clip {}", self.bits, self.limit)
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        if train {
+            self.inside = Some(x.data().iter().map(|&v| v.abs() <= self.limit).collect());
+        }
+        Ok(x.map(|v| quantize_signed(v, self.bits, self.limit)))
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let inside = self
+            .inside
+            .take()
+            .ok_or_else(|| NnError::State("quant-act backward without forward".into()))?;
+        if inside.len() != grad.len() {
+            return Err(NnError::Shape(xbar_tensor::ShapeError::new(
+                "quant-act backward",
+                format!("cached {} elements, grad has {}", inside.len(), grad.len()),
+            )));
+        }
+        let mut out = grad.clone();
+        for (g, &ok) in out.data_mut().iter_mut().zip(&inside) {
+            if !ok {
+                *g = 0.0;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Flattens an NCHW tensor to `(batch, c·h·w)`; the backward pass restores
+/// the original shape.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn describe(&self) -> String {
+        "flatten".into()
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        if x.ndim() < 2 {
+            return Err(NnError::Shape(xbar_tensor::ShapeError::new(
+                "flatten",
+                format!("need at least 2 dims, got {:?}", x.shape()),
+            )));
+        }
+        let batch = x.shape()[0];
+        let rest: usize = x.shape()[1..].iter().product();
+        if train {
+            self.input_shape = Some(x.shape().to_vec());
+        }
+        Ok(x.reshape(&[batch, rest])?)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let shape = self
+            .input_shape
+            .take()
+            .ok_or_else(|| NnError::State("flatten backward without forward".into()))?;
+        Ok(grad.reshape(&shape)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_and_backward() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[1, 3]).unwrap();
+        let y = r.forward(&x, true).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+        let g = r.backward(&Tensor::ones(&[1, 3])).unwrap();
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_backward_requires_forward() {
+        let mut r = Relu::new();
+        assert!(r.backward(&Tensor::ones(&[1])).is_err());
+    }
+
+    #[test]
+    fn quant_act_quantizes_and_clips() {
+        let mut q = QuantAct::new(2, 1.0); // 4 levels over [-1, 1]
+        let x = Tensor::from_vec(vec![-2.0, -0.4, 0.4, 2.0], &[1, 4]).unwrap();
+        let y = q.forward(&x, true).unwrap();
+        assert_eq!(y.data()[0], -1.0);
+        assert_eq!(y.data()[3], 1.0);
+        assert!(y.data()[1] > -1.0 && y.data()[1] < 0.0);
+        // STE: gradient flows inside the clip range, blocked outside.
+        let g = q.backward(&Tensor::ones(&[1, 4])).unwrap();
+        assert_eq!(g.data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn quant_act_8bit_is_nearly_transparent() {
+        let mut q = QuantAct::standard();
+        let x = Tensor::from_vec(vec![0.1, 1.3, -2.7], &[1, 3]).unwrap();
+        let y = q.forward(&x, false).unwrap();
+        assert!(y.all_close(&x, 4.0 * 2.0 / 255.0 + 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "limit must be positive")]
+    fn quant_act_rejects_bad_limit() {
+        let _ = QuantAct::new(8, 0.0);
+    }
+
+    #[test]
+    fn flatten_round_trips() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 2, 2]).unwrap();
+        let y = f.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[2, 12]);
+        let g = f.backward(&y).unwrap();
+        assert_eq!(g.shape(), &[2, 3, 2, 2]);
+        assert_eq!(g, x);
+    }
+
+    #[test]
+    fn flatten_rejects_scalars() {
+        let mut f = Flatten::new();
+        assert!(f.forward(&Tensor::zeros(&[3]), true).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+use xbar_tensor::rng::XorShiftRng;
+use xbar_tensor::Tensor;
+
+use crate::{Layer, NnError};
+
+/// Inverted dropout: at training time each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1−p)`; inference is the
+/// identity.
+///
+/// The paper notes that ACM's implicit regularization "is not meant to
+/// replace standard regularization methods, e.g. L-2, dropout, etc, which
+/// have a much stronger regularization effect" (Sec. III-E) — this layer
+/// exists so that comparison can actually be run (see the
+/// `ablation_dropout` experiment binary).
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: XorShiftRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`, seeded for
+    /// reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability {p} outside [0, 1)");
+        Self {
+            p,
+            rng: XorShiftRng::new(seed),
+            mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn describe(&self) -> String {
+        format!("dropout p={}", self.p)
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        if !train || self.p == 0.0 {
+            if train {
+                self.mask = Some(vec![1.0; x.len()]);
+            }
+            return Ok(x.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| if self.rng.next_f32() < keep { scale } else { 0.0 })
+            .collect();
+        let mut y = x.clone();
+        for (v, &m) in y.data_mut().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        self.mask = Some(mask);
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let mask = self
+            .mask
+            .take()
+            .ok_or_else(|| NnError::State("dropout backward without forward".into()))?;
+        if mask.len() != grad.len() {
+            return Err(NnError::Shape(xbar_tensor::ShapeError::new(
+                "dropout backward",
+                format!("cached {} elements, grad has {}", mask.len(), grad.len()),
+            )));
+        }
+        let mut out = grad.clone();
+        for (g, &m) in out.data_mut().iter_mut().zip(&mask) {
+            *g *= m;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        assert_eq!(d.forward(&x, false).unwrap(), x);
+    }
+
+    #[test]
+    fn zero_probability_is_identity_in_training() {
+        let mut d = Dropout::new(0.0, 2);
+        let x = Tensor::from_vec(vec![1.0, -2.0], &[1, 2]).unwrap();
+        assert_eq!(d.forward(&x, true).unwrap(), x);
+    }
+
+    #[test]
+    fn training_drops_and_rescales() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(&[1, 1000]);
+        let y = d.forward(&x, true).unwrap();
+        let dropped = y.data().iter().filter(|&&v| v == 0.0).count();
+        let kept = y.data().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        assert_eq!(dropped + kept, 1000);
+        assert!((400..600).contains(&dropped), "dropped {dropped}");
+        // Mean preserved in expectation.
+        assert!((y.mean() - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 4);
+        let x = Tensor::ones(&[1, 100]);
+        let y = d.forward(&x, true).unwrap();
+        let g = d.backward(&Tensor::ones(&[1, 100])).unwrap();
+        // Gradient zero exactly where output was dropped.
+        for (yv, gv) in y.data().iter().zip(g.data()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut d = Dropout::new(0.3, 5);
+        assert!(d.backward(&Tensor::ones(&[1])).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_bad_probability() {
+        let _ = Dropout::new(1.0, 6);
+    }
+}

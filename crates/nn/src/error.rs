@@ -1,0 +1,80 @@
+use std::error::Error;
+use std::fmt;
+
+use xbar_core::MappingError;
+use xbar_tensor::ShapeError;
+
+/// Errors from network construction, forward/backward passes, and training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A tensor shape was incompatible with the layer.
+    Shape(ShapeError),
+    /// A crossbar mapping operation failed.
+    Mapping(MappingError),
+    /// An invalid layer or training configuration.
+    Config(String),
+    /// Backward called without (or inconsistently with) a prior forward.
+    State(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Shape(e) => write!(f, "{e}"),
+            Self::Mapping(e) => write!(f, "{e}"),
+            Self::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::State(msg) => write!(f, "invalid layer state: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Shape(e) => Some(e),
+            Self::Mapping(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for NnError {
+    fn from(e: ShapeError) -> Self {
+        Self::Shape(e)
+    }
+}
+
+impl From<MappingError> for NnError {
+    fn from(e: MappingError) -> Self {
+        Self::Mapping(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        assert!(NnError::Config("bad".into()).to_string().contains("bad"));
+        assert!(NnError::State("no forward".into()).to_string().contains("no forward"));
+        assert!(NnError::from(ShapeError::new("op", "d")).to_string().contains("op"));
+        let me = MappingError::NotRepresentable {
+            mapping: "BC",
+            detail: "x".into(),
+        };
+        assert!(NnError::from(me).to_string().contains("BC"));
+    }
+
+    #[test]
+    fn sources_preserved() {
+        assert!(NnError::from(ShapeError::new("a", "b")).source().is_some());
+        assert!(NnError::Config("c".into()).source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,205 @@
+use xbar_tensor::Tensor;
+
+use crate::{MappedParam, NnError};
+
+/// A trainable network layer.
+///
+/// The contract is the classic three-phase cycle:
+///
+/// 1. [`Layer::forward`] — computes the output and caches whatever the
+///    backward pass needs (`train = true`) or runs statelessly for
+///    inference (`train = false`, e.g. batch norm uses running statistics);
+/// 2. [`Layer::backward`] — consumes the cached state, accumulates
+///    parameter gradients internally, and returns the gradient with
+///    respect to the layer input;
+/// 3. [`Layer::update`] — applies one vanilla-SGD step (through the device
+///    update model for crossbar-mapped parameters) and is followed by
+///    [`Layer::zero_grad`].
+///
+/// Layers with crossbar-mapped weights expose them through
+/// [`Layer::visit_mapped`] so experiment harnesses can apply device
+/// variation to every array in a network without knowing its structure.
+pub trait Layer {
+    /// Short human-readable descriptor, e.g. `"dense 128->10 [ACM]"`.
+    fn describe(&self) -> String;
+
+    /// Runs the layer forward. `train` selects training behaviour
+    /// (caching, batch statistics).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, NnError>;
+
+    /// Backpropagates `grad` (same shape as the last forward output),
+    /// returning the gradient with respect to the last forward input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::State`] if no forward pass preceded this call,
+    /// or a shape error on mismatch.
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Applies one SGD step with learning rate `lr`. Parameter-free layers
+    /// keep the default no-op.
+    fn update(&mut self, lr: f32) {
+        let _ = lr;
+    }
+
+    /// Clears accumulated gradients. Parameter-free layers keep the
+    /// default no-op.
+    fn zero_grad(&mut self) {}
+
+    /// Total stored scalar parameters.
+    fn num_params(&self) -> usize {
+        0
+    }
+
+    /// Visits every crossbar-mapped parameter in this layer (and
+    /// sub-layers).
+    fn visit_mapped(&mut self, visit: &mut dyn FnMut(&mut MappedParam)) {
+        let _ = visit;
+    }
+}
+
+/// An ordered pipeline of layers, itself a [`Layer`].
+///
+/// # Example
+///
+/// ```
+/// use xbar_nn::{Flatten, Relu, Sequential};
+///
+/// let mut net = Sequential::new();
+/// net.push(Flatten::new());
+/// net.push(Relu::new());
+/// assert_eq!(net.len(), 2);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends an already-boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the pipeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Multi-line structural summary (one layer per line).
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        for (i, l) in self.layers.iter().enumerate() {
+            s.push_str(&format!("{i:>3}: {}\n", l.describe()));
+        }
+        s.push_str(&format!("total params: {}", self.num_params()));
+        s
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Layer for Sequential {
+    fn describe(&self) -> String {
+        format!("sequential x{}", self.layers.len())
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train)?;
+        }
+        Ok(cur)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let mut cur = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    fn update(&mut self, lr: f32) {
+        for layer in &mut self.layers {
+            layer.update(lr);
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+
+    fn visit_mapped(&mut self, visit: &mut dyn FnMut(&mut MappedParam)) {
+        for layer in &mut self.layers {
+            layer.visit_mapped(visit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Relu;
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut net = Sequential::new();
+        let x = Tensor::from_vec(vec![1.0, -2.0], &[1, 2]).unwrap();
+        assert_eq!(net.forward(&x, true).unwrap(), x);
+        assert_eq!(net.backward(&x).unwrap(), x);
+        assert!(net.is_empty());
+    }
+
+    #[test]
+    fn sequential_chains_layers() {
+        let mut net = Sequential::new();
+        net.push(Relu::new());
+        net.push(Relu::new());
+        let x = Tensor::from_vec(vec![1.0, -2.0, 3.0, -4.0], &[2, 2]).unwrap();
+        let y = net.forward(&x, true).unwrap();
+        assert_eq!(y.data(), &[1.0, 0.0, 3.0, 0.0]);
+        let g = net.backward(&Tensor::ones(&[2, 2])).unwrap();
+        assert_eq!(g.data(), &[1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn summary_lists_layers() {
+        let mut net = Sequential::new();
+        net.push(Relu::new());
+        let s = net.summary();
+        assert!(s.contains("relu"));
+        assert!(s.contains("total params: 0"));
+    }
+}

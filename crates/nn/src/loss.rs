@@ -1,0 +1,178 @@
+use xbar_tensor::Tensor;
+
+use crate::NnError;
+
+/// Softmax cross-entropy loss over class logits.
+///
+/// Combines the softmax and the negative log-likelihood in one numerically
+/// stable step, returning both the mean loss and the gradient with respect
+/// to the logits (already divided by the batch size, ready to feed to
+/// `backward`).
+///
+/// # Example
+///
+/// ```
+/// use xbar_nn::SoftmaxCrossEntropy;
+/// use xbar_tensor::Tensor;
+///
+/// # fn main() -> Result<(), xbar_nn::NnError> {
+/// let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 0.0, 3.0, 0.0], &[2, 3])?;
+/// let (loss, grad) = SoftmaxCrossEntropy::forward(&logits, &[0, 1])?;
+/// assert!(loss < 0.5); // both predictions confident and correct
+/// assert_eq!(grad.shape(), &[2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Computes `(mean_loss, grad_logits)` for a batch of logits
+    /// `(batch, classes)` and integer `labels`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `logits` is not 2-D, the label count does
+    /// not match the batch, or any label is out of class range.
+    pub fn forward(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor), NnError> {
+        if logits.ndim() != 2 {
+            return Err(NnError::Shape(xbar_tensor::ShapeError::new(
+                "cross-entropy",
+                format!("expected (batch, classes), got {:?}", logits.shape()),
+            )));
+        }
+        let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+        if labels.len() != batch {
+            return Err(NnError::Shape(xbar_tensor::ShapeError::new(
+                "cross-entropy",
+                format!("batch {batch} but {} labels", labels.len()),
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+            return Err(NnError::Config(format!(
+                "label {bad} out of range for {classes} classes"
+            )));
+        }
+        let mut grad = Tensor::zeros(&[batch, classes]);
+        let mut total_loss = 0.0f64;
+        for b in 0..batch {
+            let row = &logits.data()[b * classes..(b + 1) * classes];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exp_sum: f32 = row.iter().map(|&v| (v - max).exp()).sum();
+            let log_sum = exp_sum.ln() + max;
+            total_loss += f64::from(log_sum - row[labels[b]]);
+            let g = &mut grad.data_mut()[b * classes..(b + 1) * classes];
+            for (j, gv) in g.iter_mut().enumerate() {
+                let p = (row[j] - max).exp() / exp_sum;
+                *gv = (p - if j == labels[b] { 1.0 } else { 0.0 }) / batch as f32;
+            }
+        }
+        Ok(((total_loss / batch as f64) as f32, grad))
+    }
+
+    /// Softmax probabilities for a batch of logits (no loss/grad) —
+    /// convenient for calibration and analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `logits` is not 2-D.
+    pub fn probabilities(logits: &Tensor) -> Result<Tensor, NnError> {
+        if logits.ndim() != 2 {
+            return Err(NnError::Shape(xbar_tensor::ShapeError::new(
+                "softmax",
+                format!("expected (batch, classes), got {:?}", logits.shape()),
+            )));
+        }
+        let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+        let mut out = logits.clone();
+        for b in 0..batch {
+            let row = &mut out.data_mut()[b * classes..(b + 1) * classes];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, _) = SoftmaxCrossEntropy::forward(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, 0.0], &[1, 2]).unwrap();
+        let (loss, _) = SoftmaxCrossEntropy::forward(&logits, &[0]).unwrap();
+        assert!(loss < 1e-3);
+        let (wrong_loss, _) = SoftmaxCrossEntropy::forward(&logits, &[1]).unwrap();
+        assert!(wrong_loss > 5.0);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.5, 0.0], &[2, 3]).unwrap();
+        let (_, grad) = SoftmaxCrossEntropy::forward(&logits, &[2, 0]).unwrap();
+        for b in 0..2 {
+            let s: f32 = grad.data()[b * 3..(b + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits =
+            Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1, 0.0, -0.4], &[2, 3]).unwrap();
+        let labels = [1usize, 2];
+        let (loss0, grad) = SoftmaxCrossEntropy::forward(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let (lossp, _) = SoftmaxCrossEntropy::forward(&lp, &labels).unwrap();
+            let num = (lossp - loss0) / eps;
+            assert!(
+                (num - grad.data()[i]).abs() < 1e-3,
+                "grad {i}: {num} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn numerically_stable_for_large_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, 0.0], &[1, 2]).unwrap();
+        let (loss, grad) = SoftmaxCrossEntropy::forward(&logits, &[0]).unwrap();
+        assert!(loss.is_finite() && loss < 1e-3);
+        assert!(grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let p = SoftmaxCrossEntropy::probabilities(&logits).unwrap();
+        assert!((p.sum() - 1.0).abs() < 1e-6);
+        assert!(p.data()[2] > p.data()[1] && p.data()[1] > p.data()[0]);
+    }
+
+    #[test]
+    fn rejects_bad_labels_and_shapes() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(SoftmaxCrossEntropy::forward(&logits, &[0]).is_err()); // count
+        assert!(SoftmaxCrossEntropy::forward(&logits, &[0, 3]).is_err()); // range
+        assert!(SoftmaxCrossEntropy::forward(&Tensor::zeros(&[6]), &[0]).is_err()); // ndim
+    }
+}

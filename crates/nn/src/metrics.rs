@@ -1,0 +1,150 @@
+//! Classification metrics.
+
+use xbar_tensor::Tensor;
+
+use crate::NnError;
+
+/// Fraction of rows whose argmax matches the label.
+///
+/// # Errors
+///
+/// Returns a shape error if `logits` is not `(batch, classes)` with
+/// `batch == labels.len()`.
+///
+/// # Example
+///
+/// ```
+/// use xbar_nn::accuracy;
+/// use xbar_tensor::Tensor;
+///
+/// # fn main() -> Result<(), xbar_nn::NnError> {
+/// let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8], &[2, 2])?;
+/// assert_eq!(accuracy(&logits, &[0, 1])?, 1.0);
+/// assert_eq!(accuracy(&logits, &[1, 1])?, 0.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32, NnError> {
+    if logits.ndim() != 2 || logits.shape()[0] != labels.len() {
+        return Err(NnError::Shape(xbar_tensor::ShapeError::new(
+            "accuracy",
+            format!(
+                "expected ({}, classes) logits, got {:?}",
+                labels.len(),
+                logits.shape()
+            ),
+        )));
+    }
+    if labels.is_empty() {
+        return Ok(0.0);
+    }
+    let classes = logits.shape()[1];
+    let mut correct = 0usize;
+    for (b, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[b * classes..(b + 1) * classes];
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        if best == label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f32 / labels.len() as f32)
+}
+
+/// Confusion matrix `counts[true][predicted]` for `classes` classes.
+///
+/// # Errors
+///
+/// Returns a shape error on dimension mismatch or an out-of-range label.
+pub fn confusion_matrix(
+    logits: &Tensor,
+    labels: &[usize],
+    classes: usize,
+) -> Result<Vec<Vec<usize>>, NnError> {
+    if logits.ndim() != 2 || logits.shape()[0] != labels.len() || logits.shape()[1] != classes {
+        return Err(NnError::Shape(xbar_tensor::ShapeError::new(
+            "confusion_matrix",
+            format!(
+                "expected ({}, {classes}) logits, got {:?}",
+                labels.len(),
+                logits.shape()
+            ),
+        )));
+    }
+    let mut counts = vec![vec![0usize; classes]; classes];
+    for (b, &label) in labels.iter().enumerate() {
+        if label >= classes {
+            return Err(NnError::Config(format!(
+                "label {label} out of range for {classes} classes"
+            )));
+        }
+        let row = &logits.data()[b * classes..(b + 1) * classes];
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        counts[label][best] += 1;
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits =
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]).unwrap();
+        assert_eq!(accuracy(&logits, &[0, 1, 0]).unwrap(), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 0, 1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_empty_batch_is_zero() {
+        let logits = Tensor::zeros(&[0, 3]);
+        assert_eq!(accuracy(&logits, &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_rejects_mismatched_labels() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(accuracy(&logits, &[0]).is_err());
+    }
+
+    #[test]
+    fn confusion_matrix_diagonal_for_perfect_predictions() {
+        let logits = Tensor::from_vec(
+            vec![
+                1.0, 0.0, 0.0, //
+                0.0, 1.0, 0.0, //
+                0.0, 0.0, 1.0,
+            ],
+            &[3, 3],
+        )
+        .unwrap();
+        let cm = confusion_matrix(&logits, &[0, 1, 2], 3).unwrap();
+        assert_eq!(cm[0], vec![1, 0, 0]);
+        assert_eq!(cm[1], vec![0, 1, 0]);
+        assert_eq!(cm[2], vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn confusion_matrix_off_diagonal_for_errors() {
+        let logits = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]).unwrap();
+        let cm = confusion_matrix(&logits, &[0], 2).unwrap();
+        assert_eq!(cm[0][1], 1);
+    }
+
+    #[test]
+    fn confusion_matrix_rejects_bad_labels() {
+        let logits = Tensor::zeros(&[1, 2]);
+        assert!(confusion_matrix(&logits, &[5], 2).is_err());
+    }
+}

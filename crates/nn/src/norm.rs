@@ -1,0 +1,302 @@
+use xbar_tensor::Tensor;
+
+use crate::{Layer, NnError};
+
+/// Per-channel batch normalization over NCHW tensors.
+///
+/// Batch-norm parameters (`γ`, `β`) and statistics are digital bookkeeping
+/// outside the crossbar — only the convolution/dense weights are mapped —
+/// matching how crossbar accelerators implement normalization in the
+/// periphery or digitally. Training uses batch statistics and maintains
+/// running estimates; inference (`train = false`) uses the running
+/// estimates.
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Tensor,
+    beta: Tensor,
+    gamma_grad: Tensor,
+    beta_grad: Tensor,
+    running_mean: Tensor,
+    running_var: Tensor,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer over `channels` feature maps with the
+    /// standard `eps = 1e-5`, `momentum = 0.1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "batch norm needs at least one channel");
+        Self {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            gamma_grad: Tensor::zeros(&[channels]),
+            beta_grad: Tensor::zeros(&[channels]),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            cache: None,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    fn check_input(&self, x: &Tensor) -> Result<(usize, usize, usize), NnError> {
+        if x.ndim() != 4 || x.shape()[1] != self.channels {
+            return Err(NnError::Shape(xbar_tensor::ShapeError::new(
+                "batchnorm",
+                format!(
+                    "expected (n, {}, h, w), got {:?}",
+                    self.channels,
+                    x.shape()
+                ),
+            )));
+        }
+        Ok((x.shape()[0], x.shape()[2], x.shape()[3]))
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn describe(&self) -> String {
+        format!("batchnorm c{}", self.channels)
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        let (n, h, w) = self.check_input(x)?;
+        let c = self.channels;
+        let spatial = h * w;
+        let m = (n * spatial) as f32;
+        let mut y = x.clone();
+        if train {
+            let mut xhat = x.clone();
+            let mut inv_stds = Vec::with_capacity(c);
+            for ci in 0..c {
+                // Channel mean/var over batch and spatial dims.
+                let mut mean = 0.0f32;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * spatial;
+                    mean += x.data()[base..base + spatial].iter().sum::<f32>();
+                }
+                mean /= m;
+                let mut var = 0.0f32;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * spatial;
+                    var += x.data()[base..base + spatial]
+                        .iter()
+                        .map(|&v| (v - mean) * (v - mean))
+                        .sum::<f32>();
+                }
+                var /= m;
+                let inv_std = 1.0 / (var + self.eps).sqrt();
+                inv_stds.push(inv_std);
+                let (g, b) = (self.gamma.data()[ci], self.beta.data()[ci]);
+                for ni in 0..n {
+                    let base = (ni * c + ci) * spatial;
+                    for k in base..base + spatial {
+                        let xh = (x.data()[k] - mean) * inv_std;
+                        xhat.data_mut()[k] = xh;
+                        y.data_mut()[k] = g * xh + b;
+                    }
+                }
+                // Running estimates.
+                let rm = self.running_mean.data_mut();
+                rm[ci] = (1.0 - self.momentum) * rm[ci] + self.momentum * mean;
+                let rv = self.running_var.data_mut();
+                rv[ci] = (1.0 - self.momentum) * rv[ci] + self.momentum * var;
+            }
+            self.cache = Some(BnCache {
+                xhat,
+                inv_std: inv_stds,
+                shape: x.shape().to_vec(),
+            });
+        } else {
+            for ci in 0..c {
+                let mean = self.running_mean.data()[ci];
+                let inv_std = 1.0 / (self.running_var.data()[ci] + self.eps).sqrt();
+                let (g, b) = (self.gamma.data()[ci], self.beta.data()[ci]);
+                for ni in 0..n {
+                    let base = (ni * c + ci) * spatial;
+                    for k in base..base + spatial {
+                        y.data_mut()[k] = g * (x.data()[k] - mean) * inv_std + b;
+                    }
+                }
+            }
+        }
+        Ok(y)
+    }
+
+    #[allow(clippy::needless_range_loop)] // ci walks several per-channel arrays in lockstep
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let BnCache {
+            xhat,
+            inv_std,
+            shape,
+        } = self
+            .cache
+            .take()
+            .ok_or_else(|| NnError::State("batchnorm backward without forward".into()))?;
+        if grad.shape() != shape.as_slice() {
+            return Err(NnError::Shape(xbar_tensor::ShapeError::new(
+                "batchnorm backward",
+                format!("expected {:?}, got {:?}", shape, grad.shape()),
+            )));
+        }
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let spatial = h * w;
+        let m = (n * spatial) as f32;
+        let mut dx = Tensor::zeros(&shape);
+        for ci in 0..c {
+            // Reductions Σg and Σ(g·x̂) per channel.
+            let mut sum_g = 0.0f32;
+            let mut sum_gx = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * spatial;
+                for k in base..base + spatial {
+                    sum_g += grad.data()[k];
+                    sum_gx += grad.data()[k] * xhat.data()[k];
+                }
+            }
+            self.beta_grad.data_mut()[ci] += sum_g;
+            self.gamma_grad.data_mut()[ci] += sum_gx;
+            let scale = self.gamma.data()[ci] * inv_std[ci] / m;
+            for ni in 0..n {
+                let base = (ni * c + ci) * spatial;
+                for k in base..base + spatial {
+                    dx.data_mut()[k] =
+                        scale * (m * grad.data()[k] - sum_g - xhat.data()[k] * sum_gx);
+                }
+            }
+        }
+        Ok(dx)
+    }
+
+    fn update(&mut self, lr: f32) {
+        let gg = self.gamma_grad.clone();
+        let bg = self.beta_grad.clone();
+        self.gamma
+            .add_scaled(&gg, -lr)
+            .expect("gamma shapes fixed at construction");
+        self.beta
+            .add_scaled(&bg, -lr)
+            .expect("beta shapes fixed at construction");
+    }
+
+    fn zero_grad(&mut self) {
+        self.gamma_grad.map_inplace(|_| 0.0);
+        self.beta_grad.map_inplace(|_| 0.0);
+    }
+
+    fn num_params(&self) -> usize {
+        2 * self.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_tensor::rng::XorShiftRng;
+
+    #[test]
+    fn training_forward_normalizes_channels() {
+        let mut rng = XorShiftRng::new(141);
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::rand_normal(&[4, 3, 5, 5], 3.0, 2.0, &mut rng);
+        let y = bn.forward(&x, true).unwrap();
+        // Each channel of y should be ~N(0,1).
+        let spatial = 25;
+        for ci in 0..3 {
+            let mut vals = Vec::new();
+            for ni in 0..4 {
+                let base = (ni * 3 + ci) * spatial;
+                vals.extend_from_slice(&y.data()[base..base + spatial]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-3, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut rng = XorShiftRng::new(142);
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::rand_normal(&[8, 2, 4, 4], 5.0, 1.0, &mut rng);
+        // Accumulate running stats over many passes.
+        for _ in 0..50 {
+            bn.forward(&x, true).unwrap();
+        }
+        let y = bn.forward(&x, false).unwrap();
+        // Running stats converge to batch stats -> eval output also ~N(0,1).
+        let mean = y.mean();
+        assert!(mean.abs() < 0.1, "eval mean {mean}");
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = XorShiftRng::new(143);
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::rand_normal(&[2, 2, 3, 3], 0.0, 1.0, &mut rng);
+        // Loss: weighted sum to give non-uniform gradients.
+        let wts = Tensor::rand_normal(&[2, 2, 3, 3], 0.0, 1.0, &mut rng);
+        let y = bn.forward(&x, true).unwrap();
+        let loss0: f32 = y.data().iter().zip(wts.data()).map(|(&a, &b)| a * b).sum();
+        let gx = bn.backward(&wts).unwrap();
+        let eps = 1e-2;
+        for &i in &[0usize, 7, 20, 35] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let yp = bn.forward(&xp, true).unwrap();
+            let lossp: f32 = yp.data().iter().zip(wts.data()).map(|(&a, &b)| a * b).sum();
+            let num = (lossp - loss0) / eps;
+            assert!(
+                (num - gx.data()[i]).abs() < 0.05 * gx.abs_max().max(1.0),
+                "grad {i}: numeric {num} vs analytic {}",
+                gx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_beta_update() {
+        let mut rng = XorShiftRng::new(144);
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::rand_normal(&[2, 2, 2, 2], 0.0, 1.0, &mut rng);
+        bn.forward(&x, true).unwrap();
+        bn.backward(&Tensor::ones(&[2, 2, 2, 2])).unwrap();
+        let g0 = bn.gamma.clone();
+        bn.update(0.1);
+        // beta_grad = sum of ones > 0 -> beta decreases.
+        assert!(bn.beta.data().iter().all(|&b| b < 0.0));
+        // gamma changed unless gradient was exactly zero.
+        assert!(!bn.gamma.all_close(&g0, 0.0) || bn.gamma_grad.abs_max() == 0.0);
+    }
+
+    #[test]
+    fn rejects_wrong_channels() {
+        let mut bn = BatchNorm2d::new(3);
+        assert!(bn.forward(&Tensor::zeros(&[1, 2, 4, 4]), true).is_err());
+    }
+
+    #[test]
+    fn num_params_is_two_per_channel() {
+        assert_eq!(BatchNorm2d::new(16).num_params(), 32);
+    }
+}

@@ -1,0 +1,214 @@
+use xbar_tensor::Tensor;
+
+use crate::{Layer, MappedParam, NnError, Sequential};
+
+/// A residual block: `y = relu(body(x) + shortcut(x))`.
+///
+/// The body is any [`Sequential`] pipeline (typically conv–BN–relu–conv–BN
+/// in ResNet-20); the shortcut is the identity when `None`, or a projection
+/// pipeline (1×1 strided convolution + BN) when the block changes spatial
+/// size or channel count.
+pub struct ResidualBlock {
+    body: Sequential,
+    shortcut: Option<Sequential>,
+    relu_mask: Option<Vec<bool>>,
+}
+
+impl ResidualBlock {
+    /// Creates a residual block with an identity shortcut.
+    pub fn new(body: Sequential) -> Self {
+        Self {
+            body,
+            shortcut: None,
+            relu_mask: None,
+        }
+    }
+
+    /// Creates a residual block with a projection shortcut.
+    pub fn with_projection(body: Sequential, shortcut: Sequential) -> Self {
+        Self {
+            body,
+            shortcut: Some(shortcut),
+            relu_mask: None,
+        }
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn describe(&self) -> String {
+        match &self.shortcut {
+            Some(_) => format!("residual(project) [{} body layers]", self.body.len()),
+            None => format!("residual [{} body layers]", self.body.len()),
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        let branch = self.body.forward(x, train)?;
+        let skip = match &mut self.shortcut {
+            Some(s) => s.forward(x, train)?,
+            None => x.clone(),
+        };
+        let pre = branch.add(&skip)?;
+        if train {
+            self.relu_mask = Some(pre.data().iter().map(|&v| v > 0.0).collect());
+        }
+        Ok(pre.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let mask = self
+            .relu_mask
+            .take()
+            .ok_or_else(|| NnError::State("residual backward without forward".into()))?;
+        if mask.len() != grad.len() {
+            return Err(NnError::Shape(xbar_tensor::ShapeError::new(
+                "residual backward",
+                format!("cached {} elements, grad has {}", mask.len(), grad.len()),
+            )));
+        }
+        let mut g = grad.clone();
+        for (v, &m) in g.data_mut().iter_mut().zip(&mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        let g_body = self.body.backward(&g)?;
+        let g_skip = match &mut self.shortcut {
+            Some(s) => s.backward(&g)?,
+            None => g,
+        };
+        Ok(g_body.add(&g_skip)?)
+    }
+
+    fn update(&mut self, lr: f32) {
+        self.body.update(lr);
+        if let Some(s) = &mut self.shortcut {
+            s.update(lr);
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        self.body.zero_grad();
+        if let Some(s) = &mut self.shortcut {
+            s.zero_grad();
+        }
+    }
+
+    fn num_params(&self) -> usize {
+        self.body.num_params() + self.shortcut.as_ref().map_or(0, |s| s.num_params())
+    }
+
+    fn visit_mapped(&mut self, visit: &mut dyn FnMut(&mut MappedParam)) {
+        self.body.visit_mapped(visit);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_mapped(visit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Conv2d, WeightKind};
+    use xbar_device::DeviceConfig;
+    use xbar_tensor::rng::XorShiftRng;
+
+    fn small_body(rng: &mut XorShiftRng) -> Sequential {
+        let mut s = Sequential::new();
+        s.push(
+            Conv2d::same3x3(2, 2, WeightKind::Signed, DeviceConfig::ideal(), rng).unwrap(),
+        );
+        s
+    }
+
+    #[test]
+    fn identity_shortcut_adds_input() {
+        let mut rng = XorShiftRng::new(151);
+        let mut block = ResidualBlock::new(small_body(&mut rng));
+        let x = Tensor::rand_normal(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let y = block.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), x.shape());
+        // y = relu(conv(x) + x) — all outputs non-negative.
+        assert!(y.min() >= 0.0);
+    }
+
+    #[test]
+    fn gradient_flows_through_both_paths() {
+        let mut rng = XorShiftRng::new(152);
+        let mut block = ResidualBlock::new(small_body(&mut rng));
+        let x = Tensor::rand_normal(&[1, 2, 4, 4], 0.5, 0.2, &mut rng);
+        let y = block.forward(&x, true).unwrap();
+        let gx = block.backward(&Tensor::ones(y.shape())).unwrap();
+        // Numeric spot check.
+        let eps = 1e-3;
+        let mut block2 = ResidualBlock::new(small_body(&mut XorShiftRng::new(152)));
+        for &i in &[0usize, 10, 25] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let yp = block2.forward(&xp, false).unwrap();
+            let y0 = block2.forward(&x, false).unwrap();
+            let num = (yp.sum() - y0.sum()) / eps;
+            assert!(
+                (num - gx.data()[i]).abs() < 0.1,
+                "grad {i}: {num} vs {}",
+                gx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn projection_shortcut_changes_shape() {
+        let mut rng = XorShiftRng::new(153);
+        let mut body = Sequential::new();
+        body.push(
+            Conv2d::new(2, 4, 3, 2, 1, WeightKind::Signed, DeviceConfig::ideal(), &mut rng)
+                .unwrap(),
+        );
+        let mut proj = Sequential::new();
+        proj.push(
+            Conv2d::new(2, 4, 1, 2, 0, WeightKind::Signed, DeviceConfig::ideal(), &mut rng)
+                .unwrap(),
+        );
+        let mut block = ResidualBlock::with_projection(body, proj);
+        let x = Tensor::rand_normal(&[1, 2, 8, 8], 0.0, 1.0, &mut rng);
+        let y = block.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[1, 4, 4, 4]);
+        let gx = block.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+    }
+
+    #[test]
+    fn visit_mapped_reaches_both_paths() {
+        use xbar_core::Mapping;
+        let mut rng = XorShiftRng::new(154);
+        let mut body = Sequential::new();
+        body.push(
+            Conv2d::same3x3(
+                2,
+                2,
+                WeightKind::Mapped(Mapping::Acm),
+                DeviceConfig::ideal(),
+                &mut rng,
+            )
+            .unwrap(),
+        );
+        let mut proj = Sequential::new();
+        proj.push(
+            Conv2d::new(
+                2,
+                2,
+                1,
+                1,
+                0,
+                WeightKind::Mapped(Mapping::Acm),
+                DeviceConfig::ideal(),
+                &mut rng,
+            )
+            .unwrap(),
+        );
+        let mut block = ResidualBlock::with_projection(body, proj);
+        let mut count = 0;
+        block.visit_mapped(&mut |_| count += 1);
+        assert_eq!(count, 2);
+    }
+}

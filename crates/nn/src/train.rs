@@ -1,0 +1,435 @@
+//! Vanilla-SGD training driver.
+//!
+//! The paper trains every model "using a vanilla stochastic gradient
+//! descent" (Sec. IV); this module provides exactly that — shuffled
+//! mini-batches, a constant or step-decayed learning rate, per-epoch
+//! train/test statistics — over any [`Layer`] (normally a
+//! [`crate::Sequential`]) with [`crate::SoftmaxCrossEntropy`] loss.
+
+use xbar_tensor::rng::XorShiftRng;
+use xbar_tensor::Tensor;
+
+use crate::{accuracy, Layer, NnError, SoftmaxCrossEntropy};
+
+/// Hyper-parameters for [`train`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// Multiplicative learning-rate decay applied after every epoch
+    /// (`1.0` = constant).
+    pub lr_decay: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Print one line per epoch to stdout.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            batch_size: 32,
+            lr: 0.05,
+            lr_decay: 0.95,
+            seed: 0x7EA1,
+            verbose: false,
+        }
+    }
+}
+
+/// Statistics for one training epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub train_loss: f32,
+    /// Training accuracy over the epoch (running, pre-update batches).
+    pub train_acc: f32,
+    /// Test accuracy after the epoch (if a test set was provided).
+    pub test_acc: Option<f32>,
+    /// Learning rate used this epoch.
+    pub lr: f32,
+}
+
+impl EpochStats {
+    /// Training error percentage, `100·(1 − train_acc)` — the paper's
+    /// Fig. 5a/5e y-axis.
+    pub fn train_error_pct(&self) -> f32 {
+        100.0 * (1.0 - self.train_acc)
+    }
+
+    /// Test error percentage, if a test set was provided.
+    pub fn test_error_pct(&self) -> Option<f32> {
+        self.test_acc.map(|a| 100.0 * (1.0 - a))
+    }
+}
+
+/// Per-epoch history of a training run.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    epochs: Vec<EpochStats>,
+}
+
+impl History {
+    /// All epoch records, in order.
+    pub fn epochs(&self) -> &[EpochStats] {
+        &self.epochs
+    }
+
+    /// The final epoch's statistics.
+    pub fn last(&self) -> Option<&EpochStats> {
+        self.epochs.last()
+    }
+
+    /// Final test accuracy, if recorded.
+    pub fn final_test_acc(&self) -> Option<f32> {
+        self.last().and_then(|e| e.test_acc)
+    }
+
+    /// Best (maximum) test accuracy across epochs, if recorded.
+    pub fn best_test_acc(&self) -> Option<f32> {
+        self.epochs.iter().filter_map(|e| e.test_acc).fold(None, |best, a| {
+            Some(best.map_or(a, |b: f32| b.max(a)))
+        })
+    }
+}
+
+/// A labelled dataset split: images/features plus integer class labels.
+///
+/// The feature tensor's first dimension is the sample index; the rest is
+/// the per-sample shape (e.g. `(n, c, h, w)` images or `(n, d)` features).
+#[derive(Debug, Clone)]
+pub struct Split<'a> {
+    /// Feature tensor, sample-major.
+    pub x: &'a Tensor,
+    /// One label per sample.
+    pub labels: &'a [usize],
+}
+
+impl<'a> Split<'a> {
+    /// Creates a split, validating that counts agree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Config`] if the label count disagrees with the
+    /// first tensor dimension.
+    pub fn new(x: &'a Tensor, labels: &'a [usize]) -> Result<Self, NnError> {
+        if x.ndim() == 0 || x.shape()[0] != labels.len() {
+            return Err(NnError::Config(format!(
+                "{} samples but {} labels",
+                x.shape().first().copied().unwrap_or(0),
+                labels.len()
+            )));
+        }
+        Ok(Self { x, labels })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the split is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Copies the rows at `idxs` (first-dimension indices) into a new tensor.
+pub(crate) fn gather_rows(x: &Tensor, idxs: &[usize]) -> Tensor {
+    let sample: usize = x.shape()[1..].iter().product();
+    let mut shape = x.shape().to_vec();
+    shape[0] = idxs.len();
+    let mut out = Tensor::zeros(&shape);
+    for (row, &i) in idxs.iter().enumerate() {
+        out.data_mut()[row * sample..(row + 1) * sample]
+            .copy_from_slice(&x.data()[i * sample..(i + 1) * sample]);
+    }
+    out
+}
+
+/// Trains `net` with softmax cross-entropy under vanilla SGD.
+///
+/// Returns the per-epoch [`History`]. When `test` is provided, test
+/// accuracy is evaluated after each epoch (inference mode — batch norm uses
+/// running statistics, caches are not retained).
+///
+/// # Errors
+///
+/// Returns an error on empty data, a zero batch size, or any layer
+/// shape/state failure.
+pub fn train(
+    net: &mut dyn Layer,
+    train_split: Split<'_>,
+    test: Option<Split<'_>>,
+    cfg: &TrainConfig,
+) -> Result<History, NnError> {
+    if train_split.is_empty() {
+        return Err(NnError::Config("empty training set".into()));
+    }
+    if cfg.batch_size == 0 {
+        return Err(NnError::Config("batch size must be positive".into()));
+    }
+    if cfg.lr <= 0.0 || !cfg.lr.is_finite() {
+        return Err(NnError::Config(format!("bad learning rate {}", cfg.lr)));
+    }
+    let mut rng = XorShiftRng::new(cfg.seed);
+    let n = train_split.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut lr = cfg.lr;
+    let mut history = History::default();
+    for epoch in 0..cfg.epochs {
+        rng.shuffle(&mut order);
+        let mut loss_sum = 0.0f64;
+        let mut acc_sum = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let xb = gather_rows(train_split.x, chunk);
+            let yb: Vec<usize> = chunk.iter().map(|&i| train_split.labels[i]).collect();
+            let logits = net.forward(&xb, true)?;
+            let (loss, grad) = SoftmaxCrossEntropy::forward(&logits, &yb)?;
+            loss_sum += f64::from(loss);
+            acc_sum += f64::from(accuracy(&logits, &yb)?);
+            batches += 1;
+            net.zero_grad();
+            net.backward(&grad)?;
+            net.update(lr);
+        }
+        let test_acc = match &test {
+            Some(t) => Some(evaluate(net, t.x, t.labels, cfg.batch_size)?.1),
+            None => None,
+        };
+        let stats = EpochStats {
+            epoch,
+            train_loss: (loss_sum / batches as f64) as f32,
+            train_acc: (acc_sum / batches as f64) as f32,
+            test_acc,
+            lr,
+        };
+        if cfg.verbose {
+            match test_acc {
+                Some(a) => println!(
+                    "epoch {:>3}: loss {:.4} train-acc {:.3} test-acc {:.3} (lr {:.4})",
+                    epoch, stats.train_loss, stats.train_acc, a, lr
+                ),
+                None => println!(
+                    "epoch {:>3}: loss {:.4} train-acc {:.3} (lr {:.4})",
+                    epoch, stats.train_loss, stats.train_acc, lr
+                ),
+            }
+        }
+        history.epochs.push(stats);
+        lr *= cfg.lr_decay;
+    }
+    Ok(history)
+}
+
+/// Evaluates `net` in inference mode, returning `(mean_loss, accuracy)`.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatches or a zero batch size.
+pub fn evaluate(
+    net: &mut dyn Layer,
+    x: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+) -> Result<(f32, f32), NnError> {
+    if batch_size == 0 {
+        return Err(NnError::Config("batch size must be positive".into()));
+    }
+    if labels.is_empty() {
+        return Ok((0.0, 0.0));
+    }
+    let idxs: Vec<usize> = (0..labels.len()).collect();
+    let mut loss_sum = 0.0f64;
+    let mut correct = 0.0f64;
+    for chunk in idxs.chunks(batch_size) {
+        let xb = gather_rows(x, chunk);
+        let yb: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+        let logits = net.forward(&xb, false)?;
+        let (loss, _) = SoftmaxCrossEntropy::forward(&logits, &yb)?;
+        loss_sum += f64::from(loss) * chunk.len() as f64;
+        correct += f64::from(accuracy(&logits, &yb)?) * chunk.len() as f64;
+    }
+    let n = labels.len() as f64;
+    Ok(((loss_sum / n) as f32, (correct / n) as f32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dense, Relu, Sequential, WeightKind};
+    use xbar_core::Mapping;
+    use xbar_device::DeviceConfig;
+
+    /// Two-Gaussian-blob binary classification problem.
+    fn blobs(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = XorShiftRng::new(seed);
+        let mut x = Tensor::zeros(&[n, 2]);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let (cx, cy) = if class == 0 { (-1.0, -1.0) } else { (1.0, 1.0) };
+            *x.at_mut(&[i, 0]) = rng.normal_with(cx, 0.4);
+            *x.at_mut(&[i, 1]) = rng.normal_with(cy, 0.4);
+            labels.push(class);
+        }
+        (x, labels)
+    }
+
+    fn mlp(kind: WeightKind, seed: u64) -> Sequential {
+        let mut rng = XorShiftRng::new(seed);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 16, kind, DeviceConfig::ideal(), &mut rng).unwrap());
+        net.push(Relu::new());
+        net.push(Dense::new(16, 2, kind, DeviceConfig::ideal(), &mut rng).unwrap());
+        net
+    }
+
+    #[test]
+    fn training_learns_blobs_baseline() {
+        let (x, labels) = blobs(200, 161);
+        let (tx, tlabels) = blobs(100, 162);
+        let mut net = mlp(WeightKind::Signed, 163);
+        let cfg = TrainConfig {
+            epochs: 15,
+            batch_size: 16,
+            lr: 0.1,
+            ..TrainConfig::default()
+        };
+        let hist = train(
+            &mut net,
+            Split::new(&x, &labels).unwrap(),
+            Some(Split::new(&tx, &tlabels).unwrap()),
+            &cfg,
+        )
+        .unwrap();
+        assert!(hist.final_test_acc().unwrap() > 0.95, "{:?}", hist.last());
+    }
+
+    #[test]
+    fn training_learns_blobs_all_mappings() {
+        let (x, labels) = blobs(200, 164);
+        let (tx, tlabels) = blobs(100, 165);
+        for mapping in Mapping::ALL {
+            let mut net = mlp(WeightKind::Mapped(mapping), 166);
+            let cfg = TrainConfig {
+                epochs: 15,
+                batch_size: 16,
+                lr: 0.1,
+                ..TrainConfig::default()
+            };
+            let hist = train(
+                &mut net,
+                Split::new(&x, &labels).unwrap(),
+                Some(Split::new(&tx, &tlabels).unwrap()),
+                &cfg,
+            )
+            .unwrap();
+            assert!(
+                hist.final_test_acc().unwrap() > 0.9,
+                "{mapping}: {:?}",
+                hist.last()
+            );
+        }
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let (x, labels) = blobs(100, 167);
+        let mut net = mlp(WeightKind::Signed, 168);
+        let cfg = TrainConfig {
+            epochs: 8,
+            batch_size: 10,
+            lr: 0.05,
+            ..TrainConfig::default()
+        };
+        let hist = train(&mut net, Split::new(&x, &labels).unwrap(), None, &cfg).unwrap();
+        let first = hist.epochs().first().unwrap().train_loss;
+        let last = hist.last().unwrap().train_loss;
+        assert!(last < first, "{first} -> {last}");
+        assert!(hist.last().unwrap().test_acc.is_none());
+    }
+
+    #[test]
+    fn history_accessors() {
+        let (x, labels) = blobs(60, 169);
+        let (tx, tl) = blobs(30, 170);
+        let mut net = mlp(WeightKind::Signed, 171);
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        };
+        let hist = train(
+            &mut net,
+            Split::new(&x, &labels).unwrap(),
+            Some(Split::new(&tx, &tl).unwrap()),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(hist.epochs().len(), 3);
+        assert!(hist.best_test_acc().unwrap() >= hist.final_test_acc().unwrap() - 1e-6);
+        let e = hist.last().unwrap();
+        assert!((e.train_error_pct() - 100.0 * (1.0 - e.train_acc)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn config_validation() {
+        let (x, labels) = blobs(10, 172);
+        let mut net = mlp(WeightKind::Signed, 173);
+        let bad_batch = TrainConfig {
+            batch_size: 0,
+            ..TrainConfig::default()
+        };
+        assert!(train(&mut net, Split::new(&x, &labels).unwrap(), None, &bad_batch).is_err());
+        let bad_lr = TrainConfig {
+            lr: -1.0,
+            ..TrainConfig::default()
+        };
+        assert!(train(&mut net, Split::new(&x, &labels).unwrap(), None, &bad_lr).is_err());
+        assert!(Split::new(&x, &labels[..5]).is_err());
+    }
+
+    #[test]
+    fn evaluate_on_empty_set() {
+        let mut net = mlp(WeightKind::Signed, 174);
+        let x = Tensor::zeros(&[0, 2]);
+        assert_eq!(evaluate(&mut net, &x, &[], 8).unwrap(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn gather_rows_copies_selected_samples() {
+        let x = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[4, 3]).unwrap();
+        let g = gather_rows(&x, &[2, 0]);
+        assert_eq!(g.shape(), &[2, 3]);
+        assert_eq!(g.data(), &[6.0, 7.0, 8.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, labels) = blobs(80, 175);
+        let run = |seed| {
+            let mut net = mlp(WeightKind::Mapped(Mapping::Acm), 176);
+            let cfg = TrainConfig {
+                epochs: 3,
+                seed,
+                ..TrainConfig::default()
+            };
+            train(&mut net, Split::new(&x, &labels).unwrap(), None, &cfg)
+                .unwrap()
+                .last()
+                .unwrap()
+                .train_loss
+        };
+        assert_eq!(run(1), run(1));
+        // Different shuffling order almost surely gives a different loss.
+        assert_ne!(run(1), run(2));
+    }
+}

@@ -1,0 +1,646 @@
+//! 2-D convolution and pooling kernels (NCHW layout).
+//!
+//! Convolution is implemented by lowering to matrix multiplication via
+//! [`im2col`]/[`col2im`], the standard approach for CPU DNN kernels: the
+//! receptive field of every output pixel becomes one row of a patch matrix,
+//! so the convolution forward pass is a single GEMM against the flattened
+//! filter bank. This is also exactly the form in which a convolution is
+//! mapped onto a crossbar array (each filter is one crossbar column group),
+//! which is why the mapped convolution layers in `xbar-nn` reuse these
+//! kernels unchanged.
+
+use crate::{linalg, ShapeError, Tensor};
+
+/// Spatial geometry of a convolution or pooling operation.
+///
+/// # Example
+///
+/// ```
+/// use xbar_tensor::conv::ConvGeometry;
+///
+/// let g = ConvGeometry::new(32, 32, 3, 3, 1, 1);
+/// assert_eq!((g.out_h, g.out_w), (32, 32)); // "same" conv
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+impl ConvGeometry {
+    /// Computes the output geometry for the given input size, kernel,
+    /// stride, and padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0` or the kernel (after padding) does not fit in
+    /// the input.
+    pub fn new(in_h: usize, in_w: usize, k_h: usize, k_w: usize, stride: usize, pad: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(
+            in_h + 2 * pad >= k_h && in_w + 2 * pad >= k_w,
+            "kernel {k_h}x{k_w} larger than padded input {}x{}",
+            in_h + 2 * pad,
+            in_w + 2 * pad
+        );
+        Self {
+            in_h,
+            in_w,
+            k_h,
+            k_w,
+            stride,
+            pad,
+            out_h: (in_h + 2 * pad - k_h) / stride + 1,
+            out_w: (in_w + 2 * pad - k_w) / stride + 1,
+        }
+    }
+}
+
+fn expect_4d(op: &'static str, t: &Tensor) -> Result<(usize, usize, usize, usize), ShapeError> {
+    if t.ndim() != 4 {
+        return Err(ShapeError::new(
+            op,
+            format!("expected NCHW 4-D tensor, got shape {:?}", t.shape()),
+        ));
+    }
+    let s = t.shape();
+    Ok((s[0], s[1], s[2], s[3]))
+}
+
+/// Lowers an NCHW input to a patch matrix of shape
+/// `(N·out_h·out_w, C·k_h·k_w)`.
+///
+/// Row `((n·out_h + oh)·out_w + ow)` holds the receptive field of output
+/// pixel `(n, oh, ow)` flattened in `(c, kh, kw)` order. Padded positions
+/// contribute zeros.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `input` is not 4-D or its spatial dims disagree
+/// with `geom`.
+pub fn im2col(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor, ShapeError> {
+    let (n, c, h, w) = expect_4d("im2col", input)?;
+    if h != geom.in_h || w != geom.in_w {
+        return Err(ShapeError::new(
+            "im2col",
+            format!("input {h}x{w} but geometry expects {}x{}", geom.in_h, geom.in_w),
+        ));
+    }
+    let k = c * geom.k_h * geom.k_w;
+    let rows = n * geom.out_h * geom.out_w;
+    let mut cols = Tensor::zeros(&[rows, k]);
+    let src = input.data();
+    let dst = cols.data_mut();
+    for ni in 0..n {
+        for oh in 0..geom.out_h {
+            for ow in 0..geom.out_w {
+                let row = ((ni * geom.out_h + oh) * geom.out_w + ow) * k;
+                let ih0 = (oh * geom.stride) as isize - geom.pad as isize;
+                let iw0 = (ow * geom.stride) as isize - geom.pad as isize;
+                for ci in 0..c {
+                    let plane = (ni * c + ci) * h * w;
+                    for kh in 0..geom.k_h {
+                        let ih = ih0 + kh as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        let src_row = plane + ih as usize * w;
+                        let dst_base = row + (ci * geom.k_h + kh) * geom.k_w;
+                        for kw in 0..geom.k_w {
+                            let iw = iw0 + kw as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            dst[dst_base + kw] = src[src_row + iw as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(cols)
+}
+
+/// Scatter-adds a patch matrix back to an NCHW tensor — the adjoint of
+/// [`im2col`], used for the convolution input gradient.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `cols` does not have the shape [`im2col`] would
+/// produce for `(n, c)` and `geom`.
+pub fn col2im(cols: &Tensor, n: usize, c: usize, geom: &ConvGeometry) -> Result<Tensor, ShapeError> {
+    let k = c * geom.k_h * geom.k_w;
+    let rows = n * geom.out_h * geom.out_w;
+    if cols.ndim() != 2 || cols.shape() != [rows, k] {
+        return Err(ShapeError::new(
+            "col2im",
+            format!("expected cols of shape [{rows}, {k}], got {:?}", cols.shape()),
+        ));
+    }
+    let (h, w) = (geom.in_h, geom.in_w);
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let src = cols.data();
+    let dst = out.data_mut();
+    for ni in 0..n {
+        for oh in 0..geom.out_h {
+            for ow in 0..geom.out_w {
+                let row = ((ni * geom.out_h + oh) * geom.out_w + ow) * k;
+                let ih0 = (oh * geom.stride) as isize - geom.pad as isize;
+                let iw0 = (ow * geom.stride) as isize - geom.pad as isize;
+                for ci in 0..c {
+                    let plane = (ni * c + ci) * h * w;
+                    for kh in 0..geom.k_h {
+                        let ih = ih0 + kh as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        let dst_row = plane + ih as usize * w;
+                        let src_base = row + (ci * geom.k_h + kh) * geom.k_w;
+                        for kw in 0..geom.k_w {
+                            let iw = iw0 + kw as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            dst[dst_row + iw as usize] += src[src_base + kw];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Convolution forward pass.
+///
+/// `input` is NCHW `(n, c, h, w)`; `weight` is the flattened filter bank
+/// `(out_c, c·k_h·k_w)`. Returns `(output, cols)` where `output` is
+/// `(n, out_c, out_h, out_w)` and `cols` is the patch matrix, which callers
+/// cache for the backward pass ([`conv2d_backward`]).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on operand rank or dimension mismatches.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    geom: &ConvGeometry,
+) -> Result<(Tensor, Tensor), ShapeError> {
+    let (n, c, _, _) = expect_4d("conv2d_forward", input)?;
+    let cols = im2col(input, geom)?;
+    let k = c * geom.k_h * geom.k_w;
+    if weight.ndim() != 2 || weight.shape()[1] != k {
+        return Err(ShapeError::new(
+            "conv2d_forward",
+            format!("weight shape {:?} incompatible with patch width {k}", weight.shape()),
+        ));
+    }
+    let out_c = weight.shape()[0];
+    // (rows, k) x (out_c, k)^T -> (rows, out_c)
+    let out_mat = linalg::matmul_nt(&cols, weight)?;
+    let output = rows_to_nchw(&out_mat, n, out_c, geom.out_h, geom.out_w);
+    Ok((output, cols))
+}
+
+/// Reorders a `(n·oh·ow, out_c)` matrix into an NCHW tensor.
+pub fn rows_to_nchw(mat: &Tensor, n: usize, out_c: usize, oh: usize, ow: usize) -> Tensor {
+    let mut out = Tensor::zeros(&[n, out_c, oh, ow]);
+    let src = mat.data();
+    let dst = out.data_mut();
+    let spatial = oh * ow;
+    for ni in 0..n {
+        for s in 0..spatial {
+            let row = (ni * spatial + s) * out_c;
+            for oc in 0..out_c {
+                dst[(ni * out_c + oc) * spatial + s] = src[row + oc];
+            }
+        }
+    }
+    out
+}
+
+/// Reorders an NCHW tensor into a `(n·oh·ow, out_c)` matrix — the inverse
+/// of [`rows_to_nchw`].
+pub fn nchw_to_rows(t: &Tensor) -> Result<Tensor, ShapeError> {
+    let (n, c, h, w) = expect_4d("nchw_to_rows", t)?;
+    let spatial = h * w;
+    let mut out = Tensor::zeros(&[n * spatial, c]);
+    let src = t.data();
+    let dst = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * spatial;
+            for s in 0..spatial {
+                dst[(ni * spatial + s) * c + ci] = src[plane + s];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Gradients of the convolution forward pass.
+///
+/// Given `grad_out` `(n, out_c, out_h, out_w)`, the cached `cols` from
+/// [`conv2d_forward`], and the `weight` used in the forward pass, returns
+/// `(grad_input, grad_weight)`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on operand mismatches.
+pub fn conv2d_backward(
+    grad_out: &Tensor,
+    cols: &Tensor,
+    weight: &Tensor,
+    n: usize,
+    in_c: usize,
+    geom: &ConvGeometry,
+) -> Result<(Tensor, Tensor), ShapeError> {
+    let g_mat = nchw_to_rows(grad_out)?; // (rows, out_c)
+    // dW = g_mat^T . cols -> (out_c, k)
+    let grad_weight = linalg::matmul_tn(&g_mat, cols)?;
+    // dcols = g_mat . weight -> (rows, k)
+    let d_cols = linalg::matmul(&g_mat, weight)?;
+    let grad_input = col2im(&d_cols, n, in_c, geom)?;
+    Ok((grad_input, grad_weight))
+}
+
+/// Max-pooling forward pass. Returns the pooled tensor and the flat argmax
+/// index of each output element (for the backward scatter).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `input` is not 4-D or disagrees with `geom`.
+pub fn maxpool2d_forward(
+    input: &Tensor,
+    geom: &ConvGeometry,
+) -> Result<(Tensor, Vec<usize>), ShapeError> {
+    let (n, c, h, w) = expect_4d("maxpool2d_forward", input)?;
+    if h != geom.in_h || w != geom.in_w {
+        return Err(ShapeError::new(
+            "maxpool2d_forward",
+            format!("input {h}x{w} but geometry expects {}x{}", geom.in_h, geom.in_w),
+        ));
+    }
+    let mut out = Tensor::zeros(&[n, c, geom.out_h, geom.out_w]);
+    let mut idx = vec![0usize; out.len()];
+    let src = input.data();
+    let dst = out.data_mut();
+    let mut o = 0;
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            for oh in 0..geom.out_h {
+                for ow in 0..geom.out_w {
+                    let ih0 = (oh * geom.stride) as isize - geom.pad as isize;
+                    let iw0 = (ow * geom.stride) as isize - geom.pad as isize;
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_at = plane; // fallback; overwritten on first in-bounds hit
+                    for kh in 0..geom.k_h {
+                        let ih = ih0 + kh as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        for kw in 0..geom.k_w {
+                            let iw = iw0 + kw as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            let at = plane + ih as usize * w + iw as usize;
+                            if src[at] > best {
+                                best = src[at];
+                                best_at = at;
+                            }
+                        }
+                    }
+                    dst[o] = best;
+                    idx[o] = best_at;
+                    o += 1;
+                }
+            }
+        }
+    }
+    Ok((out, idx))
+}
+
+/// Max-pooling backward pass: routes each output gradient to the input
+/// position that produced the max.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `grad_out` length disagrees with `indices`.
+pub fn maxpool2d_backward(
+    grad_out: &Tensor,
+    indices: &[usize],
+    input_shape: &[usize],
+) -> Result<Tensor, ShapeError> {
+    if grad_out.len() != indices.len() {
+        return Err(ShapeError::new(
+            "maxpool2d_backward",
+            format!("grad len {} vs indices len {}", grad_out.len(), indices.len()),
+        ));
+    }
+    let mut grad_in = Tensor::zeros(input_shape);
+    let dst = grad_in.data_mut();
+    for (&g, &at) in grad_out.data().iter().zip(indices) {
+        dst[at] += g;
+    }
+    Ok(grad_in)
+}
+
+/// Average-pooling forward pass (counts only in-bounds elements, i.e.
+/// padding does not dilute the average).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `input` is not 4-D or disagrees with `geom`.
+pub fn avgpool2d_forward(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor, ShapeError> {
+    let (n, c, h, w) = expect_4d("avgpool2d_forward", input)?;
+    if h != geom.in_h || w != geom.in_w {
+        return Err(ShapeError::new(
+            "avgpool2d_forward",
+            format!("input {h}x{w} but geometry expects {}x{}", geom.in_h, geom.in_w),
+        ));
+    }
+    let mut out = Tensor::zeros(&[n, c, geom.out_h, geom.out_w]);
+    let src = input.data();
+    let dst = out.data_mut();
+    let mut o = 0;
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            for oh in 0..geom.out_h {
+                for ow in 0..geom.out_w {
+                    let ih0 = (oh * geom.stride) as isize - geom.pad as isize;
+                    let iw0 = (ow * geom.stride) as isize - geom.pad as isize;
+                    let mut acc = 0.0;
+                    let mut count = 0;
+                    for kh in 0..geom.k_h {
+                        let ih = ih0 + kh as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        for kw in 0..geom.k_w {
+                            let iw = iw0 + kw as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            acc += src[plane + ih as usize * w + iw as usize];
+                            count += 1;
+                        }
+                    }
+                    dst[o] = if count > 0 { acc / count as f32 } else { 0.0 };
+                    o += 1;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Average-pooling backward pass: spreads each output gradient uniformly
+/// over the in-bounds elements of its window.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `grad_out` disagrees with the geometry.
+pub fn avgpool2d_backward(
+    grad_out: &Tensor,
+    n: usize,
+    c: usize,
+    geom: &ConvGeometry,
+) -> Result<Tensor, ShapeError> {
+    let expected = [n, c, geom.out_h, geom.out_w];
+    if grad_out.shape() != expected {
+        return Err(ShapeError::new(
+            "avgpool2d_backward",
+            format!("grad shape {:?}, expected {:?}", grad_out.shape(), expected),
+        ));
+    }
+    let (h, w) = (geom.in_h, geom.in_w);
+    let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+    let src = grad_out.data();
+    let dst = grad_in.data_mut();
+    let mut o = 0;
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            for oh in 0..geom.out_h {
+                for ow in 0..geom.out_w {
+                    let ih0 = (oh * geom.stride) as isize - geom.pad as isize;
+                    let iw0 = (ow * geom.stride) as isize - geom.pad as isize;
+                    let mut in_bounds = Vec::with_capacity(geom.k_h * geom.k_w);
+                    for kh in 0..geom.k_h {
+                        let ih = ih0 + kh as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        for kw in 0..geom.k_w {
+                            let iw = iw0 + kw as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            in_bounds.push(plane + ih as usize * w + iw as usize);
+                        }
+                    }
+                    if !in_bounds.is_empty() {
+                        let share = src[o] / in_bounds.len() as f32;
+                        for at in in_bounds {
+                            dst[at] += share;
+                        }
+                    }
+                    o += 1;
+                }
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::XorShiftRng;
+
+    /// Direct (non-im2col) convolution used as the ground-truth reference.
+    fn naive_conv(input: &Tensor, weight: &Tensor, geom: &ConvGeometry, out_c: usize) -> Tensor {
+        let s = input.shape();
+        let (n, c) = (s[0], s[1]);
+        let mut out = Tensor::zeros(&[n, out_c, geom.out_h, geom.out_w]);
+        for ni in 0..n {
+            for oc in 0..out_c {
+                for oh in 0..geom.out_h {
+                    for ow in 0..geom.out_w {
+                        let mut acc = 0.0;
+                        for ci in 0..c {
+                            for kh in 0..geom.k_h {
+                                for kw in 0..geom.k_w {
+                                    let ih = (oh * geom.stride + kh) as isize - geom.pad as isize;
+                                    let iw = (ow * geom.stride + kw) as isize - geom.pad as isize;
+                                    if ih < 0
+                                        || iw < 0
+                                        || ih >= geom.in_h as isize
+                                        || iw >= geom.in_w as isize
+                                    {
+                                        continue;
+                                    }
+                                    acc += input.at(&[ni, ci, ih as usize, iw as usize])
+                                        * weight.at(&[oc, (ci * geom.k_h + kh) * geom.k_w + kw]);
+                                }
+                            }
+                        }
+                        *out.at_mut(&[ni, oc, oh, ow]) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn geometry_same_and_valid_conv() {
+        let same = ConvGeometry::new(8, 8, 3, 3, 1, 1);
+        assert_eq!((same.out_h, same.out_w), (8, 8));
+        let valid = ConvGeometry::new(8, 8, 3, 3, 1, 0);
+        assert_eq!((valid.out_h, valid.out_w), (6, 6));
+        let strided = ConvGeometry::new(8, 8, 2, 2, 2, 0);
+        assert_eq!((strided.out_h, strided.out_w), (4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn geometry_rejects_zero_stride() {
+        let _ = ConvGeometry::new(8, 8, 3, 3, 0, 1);
+    }
+
+    #[test]
+    fn conv_forward_matches_naive_reference() {
+        let mut rng = XorShiftRng::new(31);
+        for &(pad, stride) in &[(0usize, 1usize), (1, 1), (1, 2)] {
+            let geom = ConvGeometry::new(6, 5, 3, 3, stride, pad);
+            let input = Tensor::rand_normal(&[2, 3, 6, 5], 0.0, 1.0, &mut rng);
+            let weight = Tensor::rand_normal(&[4, 3 * 9], 0.0, 1.0, &mut rng);
+            let (out, _) = conv2d_forward(&input, &weight, &geom).unwrap();
+            let expected = naive_conv(&input, &weight, &geom, 4);
+            assert!(out.all_close(&expected, 1e-4), "pad={pad} stride={stride}");
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_are_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of an adjoint pair, which is what backward relies on.
+        let mut rng = XorShiftRng::new(32);
+        let geom = ConvGeometry::new(5, 5, 3, 3, 1, 1);
+        let x = Tensor::rand_normal(&[1, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let cols = im2col(&x, &geom).unwrap();
+        let y = Tensor::rand_normal(cols.shape(), 0.0, 1.0, &mut rng);
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
+        let back = col2im(&y, 1, 2, &geom).unwrap();
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(&a, &b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_backward_matches_finite_differences() {
+        let mut rng = XorShiftRng::new(33);
+        let geom = ConvGeometry::new(4, 4, 3, 3, 1, 1);
+        let input = Tensor::rand_normal(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let weight = Tensor::rand_normal(&[3, 2 * 9], 0.0, 1.0, &mut rng);
+        let (out, cols) = conv2d_forward(&input, &weight, &geom).unwrap();
+        // Loss = sum(out); grad_out = ones.
+        let grad_out = Tensor::ones(out.shape());
+        let (gi, gw) = conv2d_backward(&grad_out, &cols, &weight, 1, 2, &geom).unwrap();
+
+        let eps = 1e-3;
+        // Check a few weight entries.
+        for &wi in &[0usize, 5, 17, 26] {
+            let mut wp = weight.clone();
+            wp.data_mut()[wi] += eps;
+            let (op, _) = conv2d_forward(&input, &wp, &geom).unwrap();
+            let num = (op.sum() - out.sum()) / eps;
+            assert!(
+                (num - gw.data()[wi]).abs() < 0.05,
+                "weight grad {wi}: numeric {num} vs analytic {}",
+                gw.data()[wi]
+            );
+        }
+        // Check a few input entries.
+        for &xi in &[0usize, 7, 15, 31] {
+            let mut xp = input.clone();
+            xp.data_mut()[xi] += eps;
+            let (op, _) = conv2d_forward(&xp, &weight, &geom).unwrap();
+            let num = (op.sum() - out.sum()) / eps;
+            assert!(
+                (num - gi.data()[xi]).abs() < 0.05,
+                "input grad {xi}: numeric {num} vs analytic {}",
+                gi.data()[xi]
+            );
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let geom = ConvGeometry::new(4, 4, 2, 2, 2, 0);
+        let input = Tensor::from_vec(
+            (0..16).map(|x| x as f32).collect(),
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let (out, idx) = maxpool2d_forward(&input, &geom).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[5.0, 7.0, 13.0, 15.0]);
+        let grad_out = Tensor::ones(out.shape());
+        let gi = maxpool2d_backward(&grad_out, &idx, input.shape()).unwrap();
+        assert_eq!(gi.sum(), 4.0);
+        assert_eq!(gi.at(&[0, 0, 1, 1]), 1.0); // position of 5
+        assert_eq!(gi.at(&[0, 0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn avgpool_forward_matches_manual() {
+        let geom = ConvGeometry::new(2, 2, 2, 2, 2, 0);
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let out = avgpool2d_forward(&input, &geom).unwrap();
+        assert_eq!(out.data(), &[2.5]);
+    }
+
+    #[test]
+    fn avgpool_backward_spreads_gradient() {
+        let geom = ConvGeometry::new(2, 2, 2, 2, 2, 0);
+        let grad_out = Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]).unwrap();
+        let gi = avgpool2d_backward(&grad_out, 1, 1, &geom).unwrap();
+        assert_eq!(gi.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn global_avgpool_via_full_window() {
+        let geom = ConvGeometry::new(3, 3, 3, 3, 1, 0);
+        let input = Tensor::from_vec((1..=9).map(|x| x as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let out = avgpool2d_forward(&input, &geom).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 1, 1]);
+        assert_eq!(out.data(), &[5.0]);
+    }
+
+    #[test]
+    fn nchw_row_round_trip() {
+        let mut rng = XorShiftRng::new(34);
+        let t = Tensor::rand_normal(&[2, 3, 4, 5], 0.0, 1.0, &mut rng);
+        let rows = nchw_to_rows(&t).unwrap();
+        let back = rows_to_nchw(&rows, 2, 3, 4, 5);
+        assert!(back.all_close(&t, 0.0));
+    }
+}

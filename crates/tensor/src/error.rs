@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when tensor shapes are incompatible with the requested
+/// operation.
+///
+/// Carries the operation name and the offending shapes so the failure is
+/// actionable without a debugger.
+///
+/// # Example
+///
+/// ```
+/// use xbar_tensor::Tensor;
+///
+/// let a = Tensor::zeros(&[2, 3]);
+/// let b = Tensor::zeros(&[4, 4]);
+/// let err = xbar_tensor::linalg::matmul(&a, &b).unwrap_err();
+/// assert!(err.to_string().contains("matmul"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    detail: String,
+}
+
+impl ShapeError {
+    /// Creates a new shape error for operation `op` with a human-readable
+    /// `detail` describing the mismatch.
+    pub fn new(op: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            op,
+            detail: detail.into(),
+        }
+    }
+
+    /// The name of the operation that rejected the shapes.
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// The human-readable mismatch description.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape mismatch in {}: {}", self.op, self.detail)
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_op_and_detail() {
+        let e = ShapeError::new("matmul", "inner dims 3 vs 4");
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("inner dims 3 vs 4"));
+        assert_eq!(e.op(), "matmul");
+        assert_eq!(e.detail(), "inner dims 3 vs 4");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

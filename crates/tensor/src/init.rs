@@ -1,0 +1,106 @@
+//! Weight initializers.
+//!
+//! The mapped layers in `xbar-nn` initialize the *signed* weight matrix `W`
+//! with one of these schemes and then decompose it into the non-negative
+//! crossbar matrix `M`, so that all mapping approaches start training from
+//! statistically identical signed weights (the comparison in the paper's
+//! Fig. 5 depends on this parity).
+
+use crate::rng::XorShiftRng;
+use crate::Tensor;
+
+/// Weight-initialization scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Init {
+    /// He/Kaiming normal: `N(0, sqrt(2 / fan_in))` — the right scale for
+    /// ReLU networks, used by every model in this workspace.
+    #[default]
+    HeNormal,
+    /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Uniform in `[-0.5, 0.5]` scaled by `1/sqrt(fan_in)` — the classic
+    /// LeCun-style initializer.
+    LecunUniform,
+    /// All zeros (used for biases).
+    Zeros,
+}
+
+impl Init {
+    /// Samples a tensor of the given shape.
+    ///
+    /// `fan_in`/`fan_out` are passed explicitly because for convolution
+    /// filters they include the kernel area, which the flat shape does not
+    /// reveal.
+    pub fn sample(
+        self,
+        shape: &[usize],
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut XorShiftRng,
+    ) -> Tensor {
+        match self {
+            Init::HeNormal => {
+                let std = (2.0 / fan_in.max(1) as f32).sqrt();
+                Tensor::rand_normal(shape, 0.0, std, rng)
+            }
+            Init::XavierUniform => {
+                let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                Tensor::rand_uniform(shape, -a, a, rng)
+            }
+            Init::LecunUniform => {
+                let a = 1.0 / (fan_in.max(1) as f32).sqrt();
+                Tensor::rand_uniform(shape, -a, a, rng)
+            }
+            Init::Zeros => Tensor::zeros(shape),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_normal_has_expected_scale() {
+        let mut rng = XorShiftRng::new(41);
+        let t = Init::HeNormal.sample(&[100, 100], 100, 100, &mut rng);
+        let std = (t.norm_sq() / t.len() as f32).sqrt();
+        let expected = (2.0_f32 / 100.0).sqrt();
+        assert!((std - expected).abs() / expected < 0.1, "std {std} vs {expected}");
+    }
+
+    #[test]
+    fn xavier_uniform_bounded() {
+        let mut rng = XorShiftRng::new(42);
+        let a = (6.0_f32 / 200.0).sqrt();
+        let t = Init::XavierUniform.sample(&[100, 100], 100, 100, &mut rng);
+        assert!(t.min() >= -a && t.max() <= a);
+    }
+
+    #[test]
+    fn lecun_uniform_bounded() {
+        let mut rng = XorShiftRng::new(43);
+        let t = Init::LecunUniform.sample(&[64, 64], 64, 64, &mut rng);
+        let a = 1.0 / 8.0;
+        assert!(t.min() >= -a && t.max() <= a);
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = XorShiftRng::new(44);
+        let t = Init::Zeros.sample(&[10], 10, 10, &mut rng);
+        assert_eq!(t.sum(), 0.0);
+    }
+
+    #[test]
+    fn default_is_he_normal() {
+        assert_eq!(Init::default(), Init::HeNormal);
+    }
+
+    #[test]
+    fn zero_fan_in_does_not_divide_by_zero() {
+        let mut rng = XorShiftRng::new(45);
+        let t = Init::HeNormal.sample(&[4], 0, 0, &mut rng);
+        assert!(t.data().iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,44 @@
+//! # xbar-tensor
+//!
+//! Minimal, dependency-free dense `f32` tensor library backing the
+//! crossbar-array neural-network simulation stack.
+//!
+//! The crate provides exactly what a from-scratch DNN trainer needs:
+//!
+//! * [`Tensor`] — an owned, row-major, N-dimensional `f32` array with
+//!   shape-checked elementwise arithmetic and reductions;
+//! * [`linalg`] — blocked matrix multiplication kernels (plain, transposed
+//!   operands, and GEMV) tuned for the single-core simulation workloads in
+//!   this workspace;
+//! * [`conv`] — `im2col`/`col2im` based 2-D convolution and pooling
+//!   forward/backward kernels;
+//! * [`rng`] — a small deterministic xorshift PRNG so every experiment in
+//!   the workspace is reproducible from a single seed;
+//! * [`init`] — common weight initializers (He, Xavier, uniform).
+//!
+//! # Example
+//!
+//! ```
+//! use xbar_tensor::{Tensor, linalg};
+//!
+//! # fn main() -> Result<(), xbar_tensor::ShapeError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = linalg::matmul(&a, &b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod error;
+mod tensor;
+
+pub mod conv;
+pub mod init;
+pub mod linalg;
+pub mod rng;
+
+pub use error::ShapeError;
+pub use tensor::Tensor;

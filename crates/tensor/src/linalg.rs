@@ -1,0 +1,353 @@
+//! Matrix multiplication kernels.
+//!
+//! All kernels operate on 2-D [`Tensor`]s and are written in the `ikj` loop
+//! order (accumulating into the output row) so the inner loop streams
+//! contiguously through both the right operand and the output — the cache
+//! behaviour that matters on the single-core simulation machines this
+//! workspace targets.
+
+use crate::{ShapeError, Tensor};
+
+fn expect_2d(op: &'static str, t: &Tensor) -> Result<(usize, usize), ShapeError> {
+    if t.ndim() != 2 {
+        return Err(ShapeError::new(
+            op,
+            format!("expected 2-D operand, got shape {:?}", t.shape()),
+        ));
+    }
+    Ok((t.shape()[0], t.shape()[1]))
+}
+
+/// Computes `C = A · B` for `A: (m, k)` and `B: (k, n)`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if either operand is not 2-D or the inner
+/// dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use xbar_tensor::{Tensor, linalg};
+///
+/// # fn main() -> Result<(), xbar_tensor::ShapeError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+/// let c = linalg::matmul(&a, &b)?;
+/// assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    let (m, ka) = expect_2d("matmul", a)?;
+    let (kb, n) = expect_2d("matmul", b)?;
+    if ka != kb {
+        return Err(ShapeError::new(
+            "matmul",
+            format!("inner dims {ka} vs {kb}"),
+        ));
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * ka..(i + 1) * ka];
+        let orow = &mut od[i * n..(i + 1) * n];
+        for (p, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow) {
+                *o += aval * bval;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Computes `C = Aᵀ · B` for `A: (k, m)` and `B: (k, n)` without
+/// materialising the transpose.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if either operand is not 2-D or the shared
+/// dimension disagrees.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    let (ka, m) = expect_2d("matmul_tn", a)?;
+    let (kb, n) = expect_2d("matmul_tn", b)?;
+    if ka != kb {
+        return Err(ShapeError::new(
+            "matmul_tn",
+            format!("shared dims {ka} vs {kb}"),
+        ));
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    for p in 0..ka {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let orow = &mut od[i * n..(i + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow) {
+                *o += aval * bval;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Computes `C = A · Bᵀ` for `A: (m, k)` and `B: (n, k)` without
+/// materialising the transpose.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if either operand is not 2-D or the shared
+/// dimension disagrees.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    let (m, ka) = expect_2d("matmul_nt", a)?;
+    let (n, kb) = expect_2d("matmul_nt", b)?;
+    if ka != kb {
+        return Err(ShapeError::new(
+            "matmul_nt",
+            format!("shared dims {ka} vs {kb}"),
+        ));
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * ka..(i + 1) * ka];
+        for j in 0..n {
+            let brow = &bd[j * kb..(j + 1) * kb];
+            let mut acc = 0.0_f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            od[i * n + j] = acc;
+        }
+    }
+    Ok(out)
+}
+
+/// Computes the matrix-vector product `y = A · x` for `A: (m, k)` and a
+/// 1-D `x` of length `k`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `A` is not 2-D, `x` is not 1-D, or the lengths
+/// disagree.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor, ShapeError> {
+    let (m, k) = expect_2d("matvec", a)?;
+    if x.ndim() != 1 || x.len() != k {
+        return Err(ShapeError::new(
+            "matvec",
+            format!("vector shape {:?} incompatible with matrix (m={m}, k={k})", x.shape()),
+        ));
+    }
+    let mut out = Tensor::zeros(&[m]);
+    let (ad, xd) = (a.data(), x.data());
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        od[i] = arow.iter().zip(xd).map(|(&a, &b)| a * b).sum();
+    }
+    Ok(out)
+}
+
+/// Computes the outer product `A = x · yᵀ` of two 1-D tensors.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if either operand is not 1-D.
+pub fn outer(x: &Tensor, y: &Tensor) -> Result<Tensor, ShapeError> {
+    if x.ndim() != 1 || y.ndim() != 1 {
+        return Err(ShapeError::new(
+            "outer",
+            format!("expected 1-D operands, got {:?} and {:?}", x.shape(), y.shape()),
+        ));
+    }
+    let (m, n) = (x.len(), y.len());
+    let mut out = Tensor::zeros(&[m, n]);
+    let od = out.data_mut();
+    for (i, &xv) in x.data().iter().enumerate() {
+        for (j, &yv) in y.data().iter().enumerate() {
+            od[i * n + j] = xv * yv;
+        }
+    }
+    Ok(out)
+}
+
+/// Rank of a matrix computed by Gaussian elimination with partial pivoting.
+///
+/// Entries with magnitude below `tol` (relative to the largest pivot
+/// candidate) are treated as zero. Used by the mapping-validity checks in
+/// `xbar-core` (the periphery matrix must have full row rank).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the operand is not 2-D.
+pub fn rank(a: &Tensor, tol: f32) -> Result<usize, ShapeError> {
+    let (m, n) = expect_2d("rank", a)?;
+    let mut work: Vec<f64> = a.data().iter().map(|&x| x as f64).collect();
+    let tol = tol as f64;
+    let mut rank = 0;
+    let mut row = 0;
+    for col in 0..n {
+        if row >= m {
+            break;
+        }
+        // Partial pivot: largest |entry| in this column at or below `row`.
+        let mut pivot = row;
+        for r in row + 1..m {
+            if work[r * n + col].abs() > work[pivot * n + col].abs() {
+                pivot = r;
+            }
+        }
+        if work[pivot * n + col].abs() <= tol {
+            continue;
+        }
+        if pivot != row {
+            for c in 0..n {
+                work.swap(row * n + c, pivot * n + c);
+            }
+        }
+        let pv = work[row * n + col];
+        for r in row + 1..m {
+            let factor = work[r * n + col] / pv;
+            if factor != 0.0 {
+                for c in col..n {
+                    work[r * n + c] -= factor * work[row * n + c];
+                }
+            }
+        }
+        rank += 1;
+        row += 1;
+    }
+    Ok(rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::XorShiftRng;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        Tensor::from_fn(&[m, n], |idx| {
+            let (i, j) = (idx / n, idx % n);
+            (0..k).map(|p| a.at(&[i, p]) * b.at(&[p, j])).sum()
+        })
+    }
+
+    #[test]
+    fn matmul_matches_naive_reference() {
+        let mut rng = XorShiftRng::new(21);
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (5, 5, 5), (7, 3, 11)] {
+            let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
+            let fast = matmul(&a, &b).unwrap();
+            assert!(fast.all_close(&naive_matmul(&a, &b), 1e-4));
+        }
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let mut rng = XorShiftRng::new(22);
+        let a = Tensor::rand_normal(&[4, 4], 0.0, 1.0, &mut rng);
+        assert!(matmul(&a, &Tensor::eye(4)).unwrap().all_close(&a, 1e-6));
+        assert!(matmul(&Tensor::eye(4), &a).unwrap().all_close(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_inner_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_rejects_non_2d() {
+        let a = Tensor::zeros(&[2, 3, 4]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let mut rng = XorShiftRng::new(23);
+        let a = Tensor::rand_normal(&[6, 3], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[6, 5], 0.0, 1.0, &mut rng);
+        let expected = matmul(&a.transpose().unwrap(), &b).unwrap();
+        assert!(matmul_tn(&a, &b).unwrap().all_close(&expected, 1e-4));
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let mut rng = XorShiftRng::new(24);
+        let a = Tensor::rand_normal(&[4, 7], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[5, 7], 0.0, 1.0, &mut rng);
+        let expected = matmul(&a, &b.transpose().unwrap()).unwrap();
+        assert!(matmul_nt(&a, &b).unwrap().all_close(&expected, 1e-4));
+    }
+
+    #[test]
+    fn matvec_matches_matmul_with_column() {
+        let mut rng = XorShiftRng::new(25);
+        let a = Tensor::rand_normal(&[5, 3], 0.0, 1.0, &mut rng);
+        let x = Tensor::rand_normal(&[3], 0.0, 1.0, &mut rng);
+        let xc = x.reshape(&[3, 1]).unwrap();
+        let expected = matmul(&a, &xc).unwrap();
+        let got = matvec(&a, &x).unwrap();
+        assert!(got.reshape(&[5, 1]).unwrap().all_close(&expected, 1e-5));
+    }
+
+    #[test]
+    fn matvec_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[5, 3]);
+        assert!(matvec(&a, &Tensor::zeros(&[4])).is_err());
+        assert!(matvec(&a, &Tensor::zeros(&[3, 1])).is_err());
+    }
+
+    #[test]
+    fn outer_product_shape_and_values() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let y = Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]).unwrap();
+        let o = outer(&x, &y).unwrap();
+        assert_eq!(o.shape(), &[2, 3]);
+        assert_eq!(o.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn rank_of_identity_and_singular_matrices() {
+        assert_eq!(rank(&Tensor::eye(4), 1e-6).unwrap(), 4);
+        assert_eq!(rank(&Tensor::zeros(&[3, 5]), 1e-6).unwrap(), 0);
+        // Rank-1 matrix: outer product.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let o = outer(&x, &x).unwrap();
+        assert_eq!(rank(&o, 1e-5).unwrap(), 1);
+    }
+
+    #[test]
+    fn rank_of_wide_full_row_rank_matrix() {
+        // ACM-style periphery: rows (1,-1,0), (0,1,-1) — rank 2.
+        let s = Tensor::from_vec(vec![1.0, -1.0, 0.0, 0.0, 1.0, -1.0], &[2, 3]).unwrap();
+        assert_eq!(rank(&s, 1e-6).unwrap(), 2);
+    }
+
+    #[test]
+    fn matmul_associativity_on_random_matrices() {
+        let mut rng = XorShiftRng::new(26);
+        let a = Tensor::rand_normal(&[3, 4], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[4, 5], 0.0, 1.0, &mut rng);
+        let c = Tensor::rand_normal(&[5, 2], 0.0, 1.0, &mut rng);
+        let left = matmul(&matmul(&a, &b).unwrap(), &c).unwrap();
+        let right = matmul(&a, &matmul(&b, &c).unwrap()).unwrap();
+        assert!(left.all_close(&right, 1e-3));
+    }
+}

@@ -1,0 +1,215 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic component in the workspace (weight init, synthetic data,
+//! device variation sampling) draws from [`XorShiftRng`], a small
+//! xorshift64* generator, so that an experiment is fully reproducible from a
+//! single `u64` seed. The generator is *not* cryptographically secure — it
+//! is a simulation PRNG.
+
+/// A deterministic xorshift64* pseudo-random number generator.
+///
+/// # Example
+///
+/// ```
+/// use xbar_tensor::rng::XorShiftRng;
+///
+/// let mut a = XorShiftRng::new(42);
+/// let mut b = XorShiftRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct XorShiftRng {
+    state: u64,
+    /// Cached second output of the Box–Muller transform.
+    spare_normal: Option<f32>,
+}
+
+impl XorShiftRng {
+    /// Creates a generator from `seed`. A zero seed is remapped to a fixed
+    /// non-zero constant because xorshift has an all-zero fixed point.
+    pub fn new(seed: u64) -> Self {
+        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        Self {
+            state,
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator. Useful for giving each
+    /// Monte-Carlo sample its own stream.
+    pub fn fork(&mut self, stream: u64) -> Self {
+        let mixed = self
+            .next_u64()
+            .wrapping_add(stream.wrapping_mul(0xA076_1D64_78BD_642F));
+        Self::new(mixed | 1)
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        // Use the top 24 bits for a uniformly spaced mantissa.
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo <= hi, "uniform bounds inverted: [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        // Multiplicative range reduction; bias is negligible for the small
+        // ranges used in simulation (n << 2^64).
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn normal(&mut self) -> f32 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Reject u1 == 0 to keep ln finite.
+        let mut u1 = self.next_f32();
+        while u1 <= f32::EPSILON {
+            u1 = self.next_f32();
+        }
+        let u2 = self.next_f32();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std_dev: f32) -> f32 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Fisher–Yates shuffle of `slice`.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl Default for XorShiftRng {
+    fn default() -> Self {
+        Self::new(0x5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = XorShiftRng::new(7);
+        let mut b = XorShiftRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShiftRng::new(1);
+        let mut b = XorShiftRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be effectively independent");
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShiftRng::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut r = XorShiftRng::new(3);
+        for _ in 0..10_000 {
+            let x = r.next_f32();
+            assert!((0.0..1.0).contains(&x), "{x} out of [0,1)");
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_respected() {
+        let mut r = XorShiftRng::new(4);
+        for _ in 0..1000 {
+            let x = r.uniform(-2.5, 3.5);
+            assert!((-2.5..3.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_covers_range() {
+        let mut r = XorShiftRng::new(5);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.below(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut r = XorShiftRng::new(6);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| r.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_with_scales_and_shifts() {
+        let mut r = XorShiftRng::new(8);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| r.normal_with(5.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        assert!((mean - 5.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = XorShiftRng::new(9);
+        let mut v: Vec<usize> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn fork_produces_distinct_streams() {
+        let mut parent = XorShiftRng::new(10);
+        let mut c1 = parent.fork(0);
+        let mut c2 = parent.fork(1);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the tensor kernels: algebraic identities that
+//! must hold for arbitrary shapes and values.
+
+use proptest::prelude::*;
+use xbar_tensor::conv::{conv2d_backward, conv2d_forward, ConvGeometry};
+use xbar_tensor::{linalg, rng::XorShiftRng, Tensor};
+
+fn tensor(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = XorShiftRng::new(seed);
+    Tensor::rand_normal(shape, 0.0, 1.0, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_identity(
+        seed in any::<u64>(),
+        m in 1usize..8, k in 1usize..8, n in 1usize..8,
+    ) {
+        let a = tensor(&[m, k], seed);
+        let b = tensor(&[k, n], seed ^ 1);
+        let left = linalg::matmul(&a, &b).unwrap().transpose().unwrap();
+        let right = linalg::matmul(&b.transpose().unwrap(), &a.transpose().unwrap()).unwrap();
+        prop_assert!(left.all_close(&right, 1e-4));
+    }
+
+    /// Matmul distributes over addition: A·(B + C) = A·B + A·C.
+    #[test]
+    fn matmul_distributes(
+        seed in any::<u64>(),
+        m in 1usize..6, k in 1usize..6, n in 1usize..6,
+    ) {
+        let a = tensor(&[m, k], seed);
+        let b = tensor(&[k, n], seed ^ 2);
+        let c = tensor(&[k, n], seed ^ 3);
+        let left = linalg::matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let right = linalg::matmul(&a, &b)
+            .unwrap()
+            .add(&linalg::matmul(&a, &c).unwrap())
+            .unwrap();
+        prop_assert!(left.all_close(&right, 1e-3));
+    }
+
+    /// matmul_tn and matmul_nt agree with explicit transposes.
+    #[test]
+    fn transposed_kernels_agree(
+        seed in any::<u64>(),
+        m in 1usize..7, k in 1usize..7, n in 1usize..7,
+    ) {
+        let a = tensor(&[k, m], seed);
+        let b = tensor(&[k, n], seed ^ 4);
+        let tn = linalg::matmul_tn(&a, &b).unwrap();
+        let explicit = linalg::matmul(&a.transpose().unwrap(), &b).unwrap();
+        prop_assert!(tn.all_close(&explicit, 1e-4));
+
+        let c = tensor(&[m, k], seed ^ 5);
+        let d = tensor(&[n, k], seed ^ 6);
+        let nt = linalg::matmul_nt(&c, &d).unwrap();
+        let explicit = linalg::matmul(&c, &d.transpose().unwrap()).unwrap();
+        prop_assert!(nt.all_close(&explicit, 1e-4));
+    }
+
+    /// rank(A) ≤ min(m, n); rank of a product ≤ min of ranks.
+    #[test]
+    fn rank_bounds(seed in any::<u64>(), m in 1usize..6, n in 1usize..6) {
+        let a = tensor(&[m, n], seed);
+        let r = linalg::rank(&a, 1e-5).unwrap();
+        prop_assert!(r <= m.min(n));
+    }
+
+    /// Convolution is linear in its input: conv(x1 + x2) = conv(x1) + conv(x2).
+    #[test]
+    fn conv_is_linear_in_input(seed in any::<u64>(), c in 1usize..3, oc in 1usize..3) {
+        let geom = ConvGeometry::new(5, 5, 3, 3, 1, 1);
+        let x1 = tensor(&[1, c, 5, 5], seed);
+        let x2 = tensor(&[1, c, 5, 5], seed ^ 7);
+        let w = tensor(&[oc, c * 9], seed ^ 8);
+        let (y1, _) = conv2d_forward(&x1, &w, &geom).unwrap();
+        let (y2, _) = conv2d_forward(&x2, &w, &geom).unwrap();
+        let (ysum, _) = conv2d_forward(&x1.add(&x2).unwrap(), &w, &geom).unwrap();
+        prop_assert!(ysum.all_close(&y1.add(&y2).unwrap(), 1e-3));
+    }
+
+    /// The conv backward pass is the adjoint of the forward pass:
+    /// <conv(x), g> == <x, conv_backward(g)>.
+    #[test]
+    fn conv_backward_is_adjoint(seed in any::<u64>(), c in 1usize..3) {
+        let geom = ConvGeometry::new(4, 4, 3, 3, 1, 1);
+        let x = tensor(&[1, c, 4, 4], seed);
+        let w = tensor(&[2, c * 9], seed ^ 9);
+        let (y, cols) = conv2d_forward(&x, &w, &geom).unwrap();
+        let g = tensor(y.shape(), seed ^ 10);
+        let (gx, _) = conv2d_backward(&g, &cols, &w, 1, c, &geom).unwrap();
+        let lhs: f32 = y.data().iter().zip(g.data()).map(|(&a, &b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(gx.data()).map(|(&a, &b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    /// Reshape preserves data; transpose twice is identity.
+    #[test]
+    fn structural_round_trips(seed in any::<u64>(), m in 1usize..8, n in 1usize..8) {
+        let a = tensor(&[m, n], seed);
+        let r = a.reshape(&[n, m]).unwrap();
+        prop_assert_eq!(r.data(), a.data());
+        let tt = a.transpose().unwrap().transpose().unwrap();
+        prop_assert_eq!(&tt, &a);
+    }
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the full ACM crossbar stack.
+#![deny(missing_docs)]
+pub use xbar_core as core;
+pub use xbar_data as data;
+pub use xbar_device as device;
+pub use xbar_models as models;
+pub use xbar_neurosim as neurosim;
+pub use xbar_nn as nn;
+pub use xbar_tensor as tensor;

@@ -1,0 +1,47 @@
+//! Price a crossbar accelerator for your own layer stack with the
+//! NeuroSim+-style analytical model (the paper's Table I engine).
+//!
+//! ```text
+//! cargo run --release -p xbar --example hardware_cost
+//! ```
+
+use xbar_core::Mapping;
+use xbar_neurosim::{evaluate, LayerDims, TechParams, Workload};
+
+fn main() {
+    let params = TechParams::nm14();
+    println!("technology: {}\n", params.label);
+
+    // The paper's Table I workload plus a custom deeper MLP.
+    let workloads = [
+        Workload::table1_mlp(),
+        Workload::new(
+            vec![
+                LayerDims::new(784, 300),
+                LayerDims::new(300, 100),
+                LayerDims::new(100, 10),
+            ],
+            "3-layer MLP 784-300-100-10",
+        ),
+    ];
+
+    for w in &workloads {
+        println!("== {} ==", w.name());
+        println!(
+            "{:<8} {:>14} {:>16} {:>14} {:>12}",
+            "mapping", "XBar um^2", "periphery um^2", "energy uJ", "delay ms"
+        );
+        for mapping in Mapping::ALL {
+            let r = evaluate(w, mapping, &params);
+            println!(
+                "{:<8} {:>14.0} {:>16.0} {:>14.3} {:>12.3}",
+                mapping.tag(),
+                r.xbar_area_um2,
+                r.periphery_area_um2,
+                r.read_energy_uj,
+                r.read_delay_ms
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,54 @@
+//! Train the LeNet variant on the synthetic digit task with 4-bit
+//! crossbar weights, comparing the ACM mapping against BC at identical
+//! hardware cost.
+//!
+//! ```text
+//! cargo run --release -p xbar --example train_digits
+//! ```
+
+use xbar_core::Mapping;
+use xbar_data::SyntheticMnist;
+use xbar_device::DeviceConfig;
+use xbar_models::{lenet, ModelConfig, ModelScale};
+use xbar_nn::{train, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SyntheticMnist::builder().train(1200).test(400).seed(7).build();
+    println!(
+        "dataset: {} ({} train / {} test, {:?} images)",
+        data.train.name(),
+        data.train.len(),
+        data.test.len(),
+        data.train.image_shape()
+    );
+
+    let device = DeviceConfig::quantized_linear(4);
+    for mapping in [Mapping::Acm, Mapping::BiasColumn] {
+        let cfg = ModelConfig::mapped(mapping, device);
+        let mut net = lenet((1, 16, 16), 10, ModelScale::Small, &cfg)?;
+        let tc = TrainConfig {
+            epochs: 8,
+            batch_size: 32,
+            lr: 0.08,
+            lr_decay: 0.93,
+            seed: 99,
+            verbose: false,
+        };
+        let hist = train(&mut net, data.train.as_split(), Some(data.test.as_split()), &tc)?;
+        println!("\n--- {} (4-bit weights, same crossbar cost) ---", mapping.tag());
+        for e in hist.epochs() {
+            println!(
+                "epoch {:>2}: loss {:.4}  train err {:>5.2}%  test err {:>5.2}%",
+                e.epoch,
+                e.train_loss,
+                e.train_error_pct(),
+                e.test_error_pct().unwrap_or(f32::NAN)
+            );
+        }
+        println!(
+            "best test accuracy: {:.1}%",
+            100.0 * hist.best_test_acc().unwrap_or(0.0)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,22 @@
+#!/bin/bash
+# Regenerates every paper artefact at the default (Small) scale.
+set -x
+cd /root/repo
+R=results
+B="cargo run -q --release -p xbar-bench --bin"
+$B fig5_fp32 -- --net lenet --epochs 15 --train 1200 --test 400          > $R/fig5a_lenet_fp32.txt 2>&1
+$B fig5_fp32 -- --net resnet20 --epochs 15 --train 1200 --test 400       > $R/fig5e_resnet20_fp32.txt 2>&1
+$B fig5_precision -- --net lenet --update linear --min-bits 2 --max-bits 8 --epochs 10 --train 1000 --test 300 --seeds 2     > $R/fig5b_lenet_linear.txt 2>&1
+$B fig5_precision -- --net lenet --update nonlinear --min-bits 2 --max-bits 8 --epochs 10 --train 1000 --test 300 --seeds 2  > $R/fig5f_lenet_nonlinear.txt 2>&1
+$B fig5_precision -- --net resnet20 --update linear --min-bits 3 --max-bits 7 --epochs 10 --train 1000 --test 300 --seeds 1  > $R/fig5d_resnet20_linear.txt 2>&1
+$B fig5_precision -- --net resnet20 --update nonlinear --min-bits 3 --max-bits 7 --epochs 10 --train 1000 --test 300 --seeds 1 > $R/fig5h_resnet20_nonlinear.txt 2>&1
+$B fig5_precision -- --net vgg9 --update linear --min-bits 3 --max-bits 7 --epochs 10 --train 1000 --test 300 --seeds 1      > $R/fig5c_vgg9_linear.txt 2>&1
+$B fig5_precision -- --net vgg9 --update nonlinear --min-bits 3 --max-bits 7 --epochs 10 --train 1000 --test 300 --seeds 1   > $R/fig5g_vgg9_nonlinear.txt 2>&1
+$B fig6_variation -- --net vgg9 --epochs 10 --train 1000 --test 300 --samples 8 > $R/fig6_vgg9_variation.txt 2>&1
+$B table1_system > $R/table1_system.txt 2>&1
+$B ablation_regularization > $R/ablation_regularization.txt 2>&1
+$B ablation_order -- --perms 4 --epochs 6 > $R/ablation_order.txt 2>&1
+$B ablation_asymmetric -- --bits 4 --epochs 8 > $R/ablation_asymmetric.txt 2>&1
+$B ablation_ladder -- --epochs 8 > $R/ablation_ladder.txt 2>&1
+$B ablation_dropout -- --bits 3 --epochs 8 > $R/ablation_dropout.txt 2>&1
+echo ALL_DONE

@@ -1,0 +1,126 @@
+//! Integration tests of the crossbar simulator against the mathematical
+//! layer stack: an ideal crossbar must agree exactly with the dense math,
+//! and non-idealities must degrade it in bounded, predictable ways.
+
+use proptest::prelude::*;
+use xbar_core::{CrossbarArray, Mapping};
+use xbar_device::{ClampMode, DeviceConfig, VariationModel};
+use xbar_tensor::{linalg, rng::XorShiftRng, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Ideal crossbar MVM == mathematical MVM for all mappings, any
+    /// representable W, any input.
+    #[test]
+    fn ideal_crossbar_is_exact(
+        seed in any::<u64>(),
+        n_out in 1usize..10,
+        n_in in 1usize..10,
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let amp = 0.3 / n_out as f32;
+        let w = Tensor::rand_uniform(&[n_out, n_in], -amp, amp, &mut rng);
+        let x = Tensor::rand_uniform(&[n_in], -1.0, 1.0, &mut rng);
+        let expected = linalg::matvec(&w, &x).expect("dims");
+        for mapping in Mapping::ALL {
+            let xbar =
+                CrossbarArray::program_signed(&w, mapping, DeviceConfig::ideal(), &mut rng)
+                    .expect("representable");
+            let y = xbar.mvm_signed(&x).expect("dims");
+            prop_assert!(y.all_close(&expected, 1e-4), "{} diverged", mapping);
+        }
+    }
+
+    /// Quantized programming error is bounded by the state spacing: the
+    /// effective weight error per element is at most one quantizer step
+    /// per contributing device (2 for all our mappings).
+    #[test]
+    fn quantized_weight_error_is_bounded(
+        seed in any::<u64>(),
+        bits in 2u8..8,
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let w = Tensor::rand_uniform(&[4, 6], -0.05, 0.05, &mut rng);
+        for mapping in Mapping::ALL {
+            let dev = DeviceConfig::quantized_linear(bits);
+            let xbar = CrossbarArray::program_signed(&w, mapping, dev, &mut rng)
+                .expect("representable");
+            let err = xbar.effective_weights().sub(&w).expect("dims").abs_max();
+            let bound = dev.quantizer().step() * 1.01; // nearest-state snap: half step per element, 2 elements
+            prop_assert!(err <= bound, "{}: error {} > bound {}", mapping, err, bound);
+        }
+    }
+
+    /// Monte-Carlo resampling leaves targets untouched and produces
+    /// different programmed arrays each time.
+    #[test]
+    fn resampling_is_fresh_noise(seed in any::<u64>()) {
+        let mut rng = XorShiftRng::new(seed);
+        let w = Tensor::rand_uniform(&[4, 4], -0.05, 0.05, &mut rng);
+        let dev = DeviceConfig::quantized_linear(4).with_variation_sigma(0.1);
+        let mut xbar =
+            CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut rng).expect("ok");
+        let t0 = xbar.targets().clone();
+        let p0 = xbar.conductances().clone();
+        xbar.resample_variation(&mut rng);
+        prop_assert!(xbar.targets().all_close(&t0, 0.0));
+        prop_assert!(!xbar.conductances().all_close(&p0, 1e-7));
+    }
+}
+
+#[test]
+fn variation_noise_statistics_scale_with_sigma() {
+    // Program the same array at two sigmas; the weight-space perturbation
+    // RMS should roughly double when sigma doubles.
+    let mut rng = XorShiftRng::new(97);
+    let w = Tensor::rand_uniform(&[16, 64], -0.01, 0.01, &mut rng);
+    let rms_at = |sigma: f32, rng: &mut XorShiftRng| {
+        let dev = DeviceConfig::quantized_linear(6)
+            .with_variation_sigma(sigma);
+        let xbar = CrossbarArray::program_signed(&w, Mapping::DoubleElement, dev, rng).unwrap();
+        let diff = xbar
+            .effective_weights()
+            .sub(&linalg::matmul(xbar.periphery().matrix(), xbar.targets()).unwrap())
+            .unwrap();
+        (diff.norm_sq() / diff.len() as f32).sqrt()
+    };
+    let r1 = rms_at(0.05, &mut rng);
+    let r2 = rms_at(0.10, &mut rng);
+    let ratio = r2 / r1;
+    assert!(
+        (1.6..=2.4).contains(&ratio),
+        "noise should scale linearly with sigma, got ratio {ratio}"
+    );
+}
+
+#[test]
+fn unclamped_variation_model_is_unbiased() {
+    let range = xbar_device::ConductanceRange::normalized();
+    let var = VariationModel::new(0.2).with_clamp(ClampMode::None);
+    let mut rng = XorShiftRng::new(98);
+    let t = Tensor::full(&[64, 64], 0.5);
+    let noisy = var.sample_tensor(&t, range, &mut rng);
+    let mean = noisy.mean();
+    assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+}
+
+#[test]
+fn bc_and_acm_arrays_use_identical_element_counts() {
+    // Table I's "same hardware" claim at the simulator level.
+    let mut rng = XorShiftRng::new(99);
+    let w = Tensor::rand_uniform(&[8, 16], -0.02, 0.02, &mut rng);
+    let bc = CrossbarArray::program_signed(&w, Mapping::BiasColumn, DeviceConfig::ideal(), &mut rng)
+        .unwrap();
+    let acm =
+        CrossbarArray::program_signed(&w, Mapping::Acm, DeviceConfig::ideal(), &mut rng).unwrap();
+    let de = CrossbarArray::program_signed(
+        &w,
+        Mapping::DoubleElement,
+        DeviceConfig::ideal(),
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(bc.num_elements(), acm.num_elements());
+    assert!(de.num_elements() > acm.num_elements() * 17 / 10);
+}

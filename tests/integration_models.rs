@@ -1,0 +1,106 @@
+//! Integration tests of the model zoo: architecture shapes, mapped-layer
+//! counts, and end-to-end backward passes at every scale.
+
+use xbar_core::Mapping;
+use xbar_device::DeviceConfig;
+use xbar_models::{lenet, mlp2, resnet20, vgg9, ModelConfig, ModelScale};
+use xbar_nn::Layer;
+use xbar_tensor::Tensor;
+
+fn mapped_cfg() -> ModelConfig {
+    ModelConfig::mapped(Mapping::Acm, DeviceConfig::quantized_linear(4))
+}
+
+#[test]
+fn forward_shapes_for_all_architectures() {
+    let x1 = Tensor::zeros(&[2, 1, 16, 16]);
+    let x3 = Tensor::zeros(&[2, 3, 16, 16]);
+    let mut le = lenet((1, 16, 16), 10, ModelScale::Tiny, &mapped_cfg()).unwrap();
+    assert_eq!(le.forward(&x1, false).unwrap().shape(), &[2, 10]);
+    let mut vg = vgg9((3, 16, 16), 10, ModelScale::Tiny, &mapped_cfg()).unwrap();
+    assert_eq!(vg.forward(&x3, false).unwrap().shape(), &[2, 10]);
+    let mut rn = resnet20((3, 16, 16), 10, ModelScale::Tiny, &mapped_cfg()).unwrap();
+    assert_eq!(rn.forward(&x3, false).unwrap().shape(), &[2, 10]);
+    let mut ml = mlp2(256, 32, 10, &mapped_cfg()).unwrap();
+    assert_eq!(ml.forward(&x1, false).unwrap().shape(), &[2, 10]);
+}
+
+#[test]
+fn mapped_layer_counts_match_architectures() {
+    let count = |net: &mut dyn Layer| {
+        let mut c = 0;
+        net.visit_mapped(&mut |_| c += 1);
+        c
+    };
+    // LeNet: 2 conv + 3 dense.
+    let mut le = lenet((1, 16, 16), 10, ModelScale::Tiny, &mapped_cfg()).unwrap();
+    assert_eq!(count(&mut le), 5);
+    // VGG-9: 6 conv + 3 dense.
+    let mut vg = vgg9((3, 16, 16), 10, ModelScale::Tiny, &mapped_cfg()).unwrap();
+    assert_eq!(count(&mut vg), 9);
+    // ResNet-20: 20 weighted layers + 2 projections.
+    let mut rn = resnet20((3, 16, 16), 10, ModelScale::Tiny, &mapped_cfg()).unwrap();
+    assert_eq!(count(&mut rn), 22);
+    // MLP: 2 dense.
+    let mut ml = mlp2(64, 16, 10, &mapped_cfg()).unwrap();
+    assert_eq!(count(&mut ml), 2);
+}
+
+#[test]
+fn backward_round_trip_every_architecture_and_mapping() {
+    for mapping in Mapping::ALL {
+        let cfg = ModelConfig::mapped(mapping, DeviceConfig::quantized_linear(4));
+        let x = Tensor::zeros(&[1, 3, 16, 16]);
+        for (name, mut net) in [
+            ("vgg9", vgg9((3, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap()),
+            ("resnet20", resnet20((3, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap()),
+            ("lenet", lenet((3, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap()),
+        ] {
+            let y = net.forward(&x, true).unwrap();
+            let g = net.backward(&Tensor::ones(y.shape())).unwrap();
+            assert_eq!(g.shape(), x.shape(), "{name}/{mapping}");
+            net.update(0.01);
+            net.zero_grad();
+        }
+    }
+}
+
+#[test]
+fn de_models_use_about_twice_the_crossbar_elements() {
+    // Count only mapped parameters (exclude BN and biases) via
+    // visit_mapped.
+    let crossbar_elements = |mapping: Mapping| {
+        let cfg = ModelConfig::mapped(mapping, DeviceConfig::ideal());
+        let mut net = vgg9((3, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap();
+        let mut total = 0usize;
+        net.visit_mapped(&mut |p| total += p.num_params());
+        total
+    };
+    let de = crossbar_elements(Mapping::DoubleElement) as f64;
+    let acm = crossbar_elements(Mapping::Acm) as f64;
+    let bc = crossbar_elements(Mapping::BiasColumn) as f64;
+    assert_eq!(acm, bc, "ACM and BC are at exact resource parity");
+    let ratio = de / acm;
+    assert!((1.7..2.1).contains(&ratio), "DE/ACM element ratio {ratio}");
+}
+
+#[test]
+fn scale_orders_parameter_counts() {
+    let cfg = ModelConfig::baseline();
+    let tiny = resnet20((3, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap().num_params();
+    let small = resnet20((3, 16, 16), 10, ModelScale::Small, &cfg).unwrap().num_params();
+    let paper = resnet20((3, 32, 32), 10, ModelScale::Paper, &cfg).unwrap().num_params();
+    assert!(tiny < small && small < paper);
+    // ResNet-20 at paper scale is ~0.27M params; sanity-band it.
+    assert!((200_000..400_000).contains(&paper), "paper-scale params {paper}");
+}
+
+#[test]
+fn act_quant_follows_device_quantization() {
+    let fp = ModelConfig::mapped(Mapping::Acm, DeviceConfig::ideal());
+    let q = ModelConfig::mapped(Mapping::Acm, DeviceConfig::quantized_linear(4));
+    let net_fp = lenet((1, 16, 16), 10, ModelScale::Tiny, &fp).unwrap();
+    let net_q = lenet((1, 16, 16), 10, ModelScale::Tiny, &q).unwrap();
+    assert!(!net_fp.summary().contains("quant-act"));
+    assert!(net_q.summary().contains("quant-act 8b"));
+}

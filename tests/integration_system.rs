@@ -1,0 +1,103 @@
+//! Integration tests of the system-level evaluation: the analytical cost
+//! model's Table I numbers, their consistency with the mapping layer's
+//! element accounting, and extrapolation behaviour.
+
+use xbar_core::Mapping;
+use xbar_neurosim::{evaluate, table1, LayerDims, TechParams, Workload};
+
+#[test]
+#[allow(clippy::approx_constant)] // 0.318 ms is the paper's DE delay, not 1/pi
+fn table1_reproduces_paper_numbers() {
+    let rows = table1(&TechParams::nm14());
+    let close = |a: f64, b: f64| (a - b).abs() / b < 0.02;
+    // Paper Table I (BC, DE, ACM).
+    let expect = [
+        (914.0, 157.0, 2.402, 0.240),
+        (2088.0, 246.0, 14.408, 0.318),
+        (914.0, 157.0, 2.402, 0.240),
+    ];
+    for (r, (area, periph, energy, delay)) in rows.iter().zip(expect) {
+        assert!(close(r.xbar_area_um2, area), "{:?} area {}", r.mapping, r.xbar_area_um2);
+        assert!(
+            close(r.periphery_area_um2, periph),
+            "{:?} periphery {}",
+            r.mapping,
+            r.periphery_area_um2
+        );
+        assert!(close(r.read_energy_uj, energy), "{:?} energy {}", r.mapping, r.read_energy_uj);
+        assert!(close(r.read_delay_ms, delay), "{:?} delay {}", r.mapping, r.read_delay_ms);
+    }
+}
+
+#[test]
+fn paper_conclusion_ratios() {
+    // "reducing the read energy consumption by 7x and area by 2.3x"
+    // (conclusion; the table itself gives 6.0x / 2.28x).
+    let rows = table1(&TechParams::nm14());
+    let (de, acm) = (&rows[1], &rows[2]);
+    let area = de.xbar_area_um2 / acm.xbar_area_um2;
+    let energy = de.read_energy_uj / acm.read_energy_uj;
+    assert!((2.2..2.4).contains(&area), "area ratio {area}");
+    assert!((5.5..7.5).contains(&energy), "energy ratio {energy}");
+}
+
+#[test]
+fn cost_model_is_consistent_with_element_counting() {
+    // More crossbar elements must never cost less area under the model.
+    let params = TechParams::nm14();
+    let w = Workload::new(vec![LayerDims::new(128, 64)], "single");
+    let mut by_elements: Vec<(usize, f64)> = Mapping::ALL
+        .iter()
+        .map(|&m| {
+            (
+                m.num_elements(64, 128),
+                evaluate(&w, m, &params).xbar_area_um2,
+            )
+        })
+        .collect();
+    by_elements.sort_by_key(|&(e, _)| e);
+    for pair in by_elements.windows(2) {
+        assert!(pair[0].1 <= pair[1].1, "area not monotone in elements: {pair:?}");
+    }
+}
+
+#[test]
+fn deeper_workloads_cost_more() {
+    let params = TechParams::nm14();
+    let shallow = Workload::new(vec![LayerDims::new(100, 50)], "1-layer");
+    let deep = Workload::new(
+        vec![LayerDims::new(100, 50), LayerDims::new(50, 50)],
+        "2-layer",
+    );
+    for m in Mapping::ALL {
+        let s = evaluate(&shallow, m, &params);
+        let d = evaluate(&deep, m, &params);
+        assert!(d.total_area_um2() > s.total_area_um2());
+        assert!(d.read_energy_uj > s.read_energy_uj);
+        assert!(d.read_delay_ms > s.read_delay_ms);
+    }
+}
+
+#[test]
+fn mlp_model_and_cost_workload_agree_on_shape() {
+    // The Table I workload prices the same 400-100-10 MLP that
+    // xbar_models::mlp2 builds: crossbar element counts must agree.
+    use xbar_models::{mlp2, ModelConfig};
+    use xbar_nn::Layer;
+    for mapping in Mapping::ALL {
+        let net = mlp2(
+            400,
+            100,
+            10,
+            &ModelConfig::mapped(mapping, xbar_device::DeviceConfig::ideal()),
+        )
+        .unwrap();
+        let expected: usize = Workload::table1_mlp()
+            .layers()
+            .iter()
+            .map(|l| mapping.num_elements(l.outputs, l.inputs))
+            .sum();
+        // net params = crossbar elements + biases (100 + 10).
+        assert_eq!(net.num_params(), expected + 110, "{mapping}");
+    }
+}

@@ -1,0 +1,161 @@
+//! End-to-end training integration: every model type learns the synthetic
+//! tasks through the full stack (datasets → models → mapped layers →
+//! trainer), under FP32 and quantized/nonlinear devices.
+
+use xbar_core::Mapping;
+use xbar_data::SyntheticMnist;
+use xbar_device::DeviceConfig;
+use xbar_models::{lenet, mlp2, ModelConfig, ModelScale};
+use xbar_nn::{evaluate, train, Layer, TrainConfig, WeightKind};
+
+fn quick_cfg(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 16,
+        lr: 0.08,
+        lr_decay: 0.95,
+        seed: 0x7357,
+        verbose: false,
+    }
+}
+
+#[test]
+fn all_model_types_learn_fp32() {
+    let data = SyntheticMnist::builder().train(300).test(100).seed(41).build();
+    for (label, cfg) in [
+        ("baseline", ModelConfig::baseline()),
+        ("acm", ModelConfig::mapped(Mapping::Acm, DeviceConfig::ideal())),
+        ("de", ModelConfig::mapped(Mapping::DoubleElement, DeviceConfig::ideal())),
+        ("bc", ModelConfig::mapped(Mapping::BiasColumn, DeviceConfig::ideal())),
+    ] {
+        let mut net = lenet((1, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap();
+        let hist = train(
+            &mut net,
+            data.train.as_split(),
+            Some(data.test.as_split()),
+            &quick_cfg(10),
+        )
+        .unwrap();
+        let acc = hist.best_test_acc().unwrap();
+        // Tiny-width nets on 300 samples are weak learners; the bar is
+        // "clearly above 10% chance", not benchmark accuracy.
+        assert!(acc > 0.4, "{label}: only reached {acc}");
+    }
+}
+
+#[test]
+fn quantized_training_learns_at_4_bits() {
+    let data = SyntheticMnist::builder().train(300).test(100).seed(42).build();
+    for mapping in Mapping::ALL {
+        let cfg = ModelConfig::mapped(mapping, DeviceConfig::quantized_linear(4));
+        let mut net = lenet((1, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap();
+        let hist = train(
+            &mut net,
+            data.train.as_split(),
+            Some(data.test.as_split()),
+            &quick_cfg(10),
+        )
+        .unwrap();
+        let acc = hist.best_test_acc().unwrap();
+        assert!(acc > 0.3, "{mapping}: only reached {acc}");
+    }
+}
+
+#[test]
+fn nonlinear_device_training_still_learns_at_high_bits() {
+    let data = SyntheticMnist::builder().train(300).test(100).seed(43).build();
+    let cfg = ModelConfig::mapped(Mapping::Acm, DeviceConfig::quantized_nonlinear(6, 5.0));
+    let mut net = lenet((1, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap();
+    let hist = train(
+        &mut net,
+        data.train.as_split(),
+        Some(data.test.as_split()),
+        &quick_cfg(8),
+    )
+    .unwrap();
+    let acc = hist.best_test_acc().unwrap();
+    assert!(acc > 0.4, "nonlinear 6-bit only reached {acc}");
+}
+
+#[test]
+fn conductances_stay_physical_throughout_training() {
+    // After arbitrary amounts of SGD, every crossbar element must remain
+    // inside the device range — the non-negativity constraint the whole
+    // paper is built on.
+    let data = SyntheticMnist::builder().train(200).test(50).seed(44).build();
+    for device in [
+        DeviceConfig::ideal(),
+        DeviceConfig::quantized_linear(3),
+        DeviceConfig::quantized_nonlinear(4, 5.0),
+    ] {
+        let cfg = ModelConfig::mapped(Mapping::Acm, device);
+        let mut net = lenet((1, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap();
+        train(&mut net, data.train.as_split(), None, &quick_cfg(3)).unwrap();
+        net.visit_mapped(&mut |p| {
+            assert!(p.shadow().min() >= 0.0, "negative conductance after training");
+            assert!(p.shadow().max() <= 1.0, "conductance above g_max after training");
+        });
+    }
+}
+
+#[test]
+fn training_is_deterministic_given_seeds() {
+    let data = SyntheticMnist::builder().train(150).test(50).seed(45).build();
+    let run = || {
+        let cfg = ModelConfig::mapped(Mapping::Acm, DeviceConfig::quantized_linear(4));
+        let mut net = mlp2(256, 16, 10, &cfg).unwrap();
+        train(
+            &mut net,
+            data.train.as_split(),
+            Some(data.test.as_split()),
+            &quick_cfg(3),
+        )
+        .unwrap()
+        .last()
+        .unwrap()
+        .train_loss
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn evaluate_matches_history_test_accuracy() {
+    let data = SyntheticMnist::builder().train(200).test(80).seed(46).build();
+    let cfg = ModelConfig::mapped(Mapping::DoubleElement, DeviceConfig::ideal());
+    let mut net = mlp2(256, 24, 10, &cfg).unwrap();
+    let hist = train(
+        &mut net,
+        data.train.as_split(),
+        Some(data.test.as_split()),
+        &quick_cfg(4),
+    )
+    .unwrap();
+    let (_, acc) = evaluate(&mut net, data.test.features(), data.test.labels(), 16).unwrap();
+    let recorded = hist.final_test_acc().unwrap();
+    assert!((acc - recorded).abs() < 1e-6, "{acc} vs {recorded}");
+}
+
+#[test]
+fn baseline_weights_are_unconstrained_but_mapped_are_clipped() {
+    let data = SyntheticMnist::builder().train(200).test(50).seed(47).build();
+    // Train hard with a large lr to push weights around.
+    let mut cfg = quick_cfg(4);
+    cfg.lr = 0.3;
+    let model_cfg = ModelConfig {
+        kind: WeightKind::Mapped(Mapping::BiasColumn),
+        device: DeviceConfig::ideal(),
+        act_bits: None,
+        seed: 48,
+    };
+    let mut net = mlp2(256, 16, 10, &model_cfg).unwrap();
+    train(&mut net, data.train.as_split(), None, &cfg).unwrap();
+    net.visit_mapped(&mut |p| {
+        // BC reference column stays exactly at midpoint.
+        let shadow = p.shadow();
+        let nd = shadow.shape()[0];
+        let n_in = shadow.shape()[1];
+        for i in 0..n_in {
+            assert_eq!(shadow.at(&[nd - 1, i]), 0.5, "reference column drifted");
+        }
+    });
+}

@@ -1,0 +1,109 @@
+//! Integration tests of the Fig. 6 methodology: network-wide variation
+//! application, restoration, and the qualitative degradation ordering.
+
+use xbar_core::Mapping;
+use xbar_data::SyntheticMnist;
+use xbar_device::DeviceConfig;
+use xbar_models::{mlp2, ModelConfig};
+use xbar_nn::{evaluate, train, Layer, Sequential, TrainConfig};
+use xbar_tensor::rng::XorShiftRng;
+
+fn trained_net(mapping: Mapping, bits: u8, seed: u64) -> (Sequential, xbar_data::DatasetPair) {
+    let data = SyntheticMnist::builder().train(400).test(150).seed(seed).build();
+    let cfg = ModelConfig::mapped(mapping, DeviceConfig::quantized_linear(bits)).with_seed(seed);
+    let mut net = mlp2(256, 32, 10, &cfg).unwrap();
+    let tc = TrainConfig {
+        epochs: 8,
+        batch_size: 16,
+        lr: 0.08,
+        lr_decay: 0.95,
+        seed,
+        verbose: false,
+    };
+    train(&mut net, data.train.as_split(), Some(data.test.as_split()), &tc).unwrap();
+    (net, data)
+}
+
+#[test]
+fn variation_applies_to_every_mapped_layer_and_clears() {
+    let (mut net, data) = trained_net(Mapping::Acm, 4, 51);
+    let (_, clean) = evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
+    let mut rng = XorShiftRng::new(52);
+    let mut count = 0;
+    net.visit_mapped(&mut |p| {
+        p.apply_variation(0.2, &mut rng);
+        assert!(p.has_variation());
+        count += 1;
+    });
+    assert_eq!(count, 2, "mlp2 has two mapped layers");
+    net.visit_mapped(&mut |p| p.clear_variation());
+    let (_, restored) = evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
+    assert_eq!(clean, restored, "clearing variation must restore exactly");
+}
+
+#[test]
+fn accuracy_degrades_monotonically_with_sigma_on_average() {
+    let (mut net, data) = trained_net(Mapping::DoubleElement, 4, 53);
+    let mut rng = XorShiftRng::new(54);
+    let mut mean_acc = |sigma: f32, rng: &mut XorShiftRng| {
+        let samples = 6;
+        let mut total = 0.0;
+        for s in 0..samples {
+            let mut sample_rng = rng.fork(s);
+            net.visit_mapped(&mut |p| p.apply_variation(sigma, &mut sample_rng));
+            let (_, acc) =
+                evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
+            net.visit_mapped(&mut |p| p.clear_variation());
+            total += acc;
+        }
+        total / samples as f32
+    };
+    let a0 = mean_acc(0.0, &mut rng);
+    let a10 = mean_acc(0.10, &mut rng);
+    let a25 = mean_acc(0.25, &mut rng);
+    assert!(a0 >= a10 - 0.02, "sigma 0 ({a0}) should beat sigma 10% ({a10})");
+    assert!(a10 > a25 - 0.02, "sigma 10% ({a10}) should beat sigma 25% ({a25})");
+    assert!(a0 - a25 > 0.05, "25% variation should visibly hurt ({a0} -> {a25})");
+}
+
+#[test]
+fn bc_degrades_faster_than_acm_under_variation() {
+    // The paper's headline Fig. 6 observation: BC is consistently the most
+    // variation-sensitive mapping (its coarser weight scale doubles the
+    // effective conductance noise).
+    let sigma = 0.15;
+    let samples = 8;
+    let mut drops = Vec::new();
+    for mapping in [Mapping::Acm, Mapping::BiasColumn] {
+        let (mut net, data) = trained_net(mapping, 4, 55);
+        let (_, clean) =
+            evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
+        let mut rng = XorShiftRng::new(56);
+        let mut total = 0.0;
+        for s in 0..samples {
+            let mut sample_rng = rng.fork(s);
+            net.visit_mapped(&mut |p| p.apply_variation(sigma, &mut sample_rng));
+            let (_, acc) =
+                evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
+            net.visit_mapped(&mut |p| p.clear_variation());
+            total += acc;
+        }
+        drops.push(clean - total / samples as f32);
+    }
+    assert!(
+        drops[1] > drops[0],
+        "BC drop {} should exceed ACM drop {}",
+        drops[1],
+        drops[0]
+    );
+}
+
+#[test]
+fn zero_sigma_variation_is_identity() {
+    let (mut net, data) = trained_net(Mapping::Acm, 3, 57);
+    let (_, clean) = evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
+    let mut rng = XorShiftRng::new(58);
+    net.visit_mapped(&mut |p| p.apply_variation(0.0, &mut rng));
+    let (_, noisy) = evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
+    assert_eq!(clean, noisy);
+}
