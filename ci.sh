@@ -1,0 +1,19 @@
+#!/bin/sh
+# Offline CI gate: everything a PR must pass, in the order cheapest-first.
+# Property-based suites need the proptest registry crate; opt in with
+#   CI_FEATURES="--features slow-proptests" ./ci.sh
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace ${CI_FEATURES:-}"
+# shellcheck disable=SC2086  # CI_FEATURES is intentionally word-split
+cargo test -q --workspace ${CI_FEATURES:-}
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -367,6 +367,88 @@ pub fn run_variation_sweep(
     Ok(out)
 }
 
+/// One cell of the fault-injection sweep: accuracy with and without
+/// fault-aware remapping at one (stuck-at rate, variation σ) point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPoint {
+    /// Total stuck-at rate (fraction of cells, 80/20 off/on split).
+    pub rate: f32,
+    /// Device variation σ as a fraction of the conductance range.
+    pub sigma: f32,
+    /// Mean inference accuracy (%) programming onto the defective array
+    /// as-is.
+    pub naive: f32,
+    /// Mean inference accuracy (%) with null-space fault remapping.
+    pub remapped: f32,
+    /// Mean stuck cells per Monte-Carlo sample across the network.
+    pub mean_stuck: f32,
+}
+
+/// Runs the fault-injection experiment: trains one `mapping`-mapped
+/// network at `bits` precision, then for every (stuck-at rate, σ) cell
+/// programs the trained conductances onto `samples` randomly defective
+/// chips — once naively and once with fault-aware null-space remapping —
+/// and reports the mean inference accuracy of each arm. Both arms of a
+/// sample share the same defect pattern, so the comparison is paired.
+///
+/// # Errors
+///
+/// Propagates training/evaluation errors.
+pub fn run_fault_sweep(
+    setup: &Setup,
+    mapping: Mapping,
+    bits: u8,
+    rates: &[f32],
+    sigmas: &[f32],
+    samples: usize,
+) -> Result<Vec<FaultPoint>, NnError> {
+    use xbar_device::FaultModel;
+    let data = setup.data();
+    let device = DeviceConfig::quantized_linear(bits);
+    let (mut net, _) = setup.train_model_keep(ModelType::Mapped(mapping), device, &data)?;
+    let mut out = Vec::new();
+    for &rate in rates {
+        let model = FaultModel::uniform(rate);
+        for &sigma in sigmas {
+            let mut acc = [0.0f32; 2]; // [naive, remapped]
+            let mut stuck_total = 0usize;
+            for s in 0..samples {
+                for (arm, remap) in [false, true].into_iter().enumerate() {
+                    // Re-fork per arm: identical defect pattern for both.
+                    let mut rng = XorShiftRng::new(
+                        setup.seed ^ u64::from(bits) << 8 ^ 0x666,
+                    )
+                    .fork(s as u64);
+                    let mut stuck = 0usize;
+                    let mut result = Ok(());
+                    net.visit_mapped(&mut |p| {
+                        match p.apply_faults(model, sigma, remap, &mut rng) {
+                            Ok((prog, _)) => stuck += prog.num_stuck(),
+                            Err(e) => result = Err(e),
+                        }
+                    });
+                    result?;
+                    let (_, a) =
+                        evaluate(&mut net, data.test.features(), data.test.labels(), setup.batch)?;
+                    net.visit_mapped(&mut |p| p.clear_variation());
+                    acc[arm] += a;
+                    if !remap {
+                        stuck_total += stuck;
+                    }
+                }
+            }
+            out.push(FaultPoint {
+                rate,
+                sigma,
+                naive: 100.0 * acc[0] / samples as f32,
+                remapped: 100.0 * acc[1] / samples as f32,
+                mean_stuck: stuck_total as f32 / samples as f32,
+            });
+        }
+    }
+    Ok(out)
+}
+
 /// Per-epoch error curves for one model type (Fig. 5a / 5e).
 #[derive(Debug, Clone)]
 pub struct Fp32Curve {

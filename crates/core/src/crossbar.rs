@@ -1,8 +1,8 @@
-use xbar_device::DeviceConfig;
+use xbar_device::{DeviceConfig, FaultMap, ProgrammingReport};
 use xbar_tensor::rng::XorShiftRng;
 use xbar_tensor::{linalg, Tensor};
 
-use crate::{decompose, Mapping, MappingError, PeripheryMatrix};
+use crate::{decompose, remap_for_faults, Mapping, MappingError, PeripheryMatrix, RemapReport};
 
 /// A behavioural simulator of one crossbar array plus its periphery.
 ///
@@ -46,6 +46,10 @@ pub struct CrossbarArray {
     targets: Tensor,
     /// Realised conductances after variation sampling.
     programmed: Tensor,
+    /// The stuck-at defect pattern this physical array was dealt.
+    faults: FaultMap,
+    /// Outcome of the most recent programming pass.
+    report: ProgrammingReport,
 }
 
 impl CrossbarArray {
@@ -66,6 +70,24 @@ impl CrossbarArray {
         Self::program_conductances(&m, mapping, device, rng)
     }
 
+    /// Like [`CrossbarArray::program_signed`], but absorbs the sampled
+    /// stuck-at faults into the mapping's null-space slack before
+    /// programming (see [`remap_for_faults`]); the [`RemapReport`] carries
+    /// the residual weight error that could not be absorbed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the decomposition fails.
+    pub fn program_signed_remapped(
+        w: &Tensor,
+        mapping: Mapping,
+        device: DeviceConfig,
+        rng: &mut XorShiftRng,
+    ) -> Result<(Self, RemapReport), MappingError> {
+        let m = decompose(w, mapping, device.range())?;
+        Self::program_conductances_remapped(&m, mapping, device, rng)
+    }
+
     /// Programs an explicit non-negative conductance matrix
     /// `M (N_D × N_I)` — the path used after training, where the trainer
     /// owns `M` directly.
@@ -80,11 +102,44 @@ impl CrossbarArray {
         device: DeviceConfig,
         rng: &mut XorShiftRng,
     ) -> Result<Self, MappingError> {
+        Self::program_inner(m, mapping, device, false, rng).map(|(xbar, _)| xbar)
+    }
+
+    /// Like [`CrossbarArray::program_conductances`], but fault-aware: after
+    /// sampling the stuck-at pattern, each faulty column is shifted along
+    /// the periphery's null direction so the stuck cells land on the
+    /// conductances they are frozen at anyway (see [`remap_for_faults`]).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`CrossbarArray::program_conductances`].
+    pub fn program_conductances_remapped(
+        m: &Tensor,
+        mapping: Mapping,
+        device: DeviceConfig,
+        rng: &mut XorShiftRng,
+    ) -> Result<(Self, RemapReport), MappingError> {
+        Self::program_inner(m, mapping, device, true, rng)
+            .map(|(xbar, report)| (xbar, report.expect("remap requested")))
+    }
+
+    fn program_inner(
+        m: &Tensor,
+        mapping: Mapping,
+        device: DeviceConfig,
+        remap: bool,
+        rng: &mut XorShiftRng,
+    ) -> Result<(Self, Option<RemapReport>), MappingError> {
         if m.ndim() != 2 {
             return Err(MappingError::Shape(xbar_tensor::ShapeError::new(
                 "program_conductances",
                 format!("expected 2-D conductance matrix, got {:?}", m.shape()),
             )));
+        }
+        if !m.data().iter().all(|v| v.is_finite()) {
+            return Err(MappingError::NonFiniteInput {
+                op: "program_conductances",
+            });
         }
         let range = device.range();
         if m.min() < range.g_min() - 1e-6 || m.max() > range.g_max() + 1e-6 {
@@ -124,16 +179,44 @@ impl CrossbarArray {
         // Stage 1: snap to the device's programmable states (non-uniform
         // in conductance for nonlinear devices — states sit at equal pulse
         // spacing along the transfer curve).
-        let targets = m.map(|g| device.snap(g));
-        // Stage 2: sample device variation around each state.
-        let programmed = device.variation().sample_tensor(&targets, range, rng);
-        Ok(Self {
-            mapping,
-            periphery,
-            device,
-            targets,
-            programmed,
-        })
+        let mut targets = m.map(|g| device.snap(g));
+        // Stage 2: deal this physical array its stuck-at defect pattern
+        // (consumes no randomness under the default fault-free model).
+        let faults = device.faults().sample_map(nd, m.shape()[1], rng);
+        // Stage 3 (optional): absorb the faults into the mapping's slack.
+        // The compensated targets stay analog — closed-loop programming can
+        // trim a cell to any in-range conductance; the state ladder only
+        // constrains training-time weight updates. Re-snapping here would
+        // quantize away sub-step compensations.
+        let remap_report = if remap {
+            let (shifted, report) = remap_for_faults(&targets, &periphery, &faults, range)?;
+            targets = shifted;
+            Some(report)
+        } else {
+            None
+        };
+        // Stage 4: write the targets through the programming scheme —
+        // variation per write, stuck cells frozen, unconverged cells
+        // reported rather than silently mis-written.
+        let (programmed, report) = device.programming().program_tensor(
+            &targets,
+            &device.variation(),
+            range,
+            Some(&faults),
+            rng,
+        );
+        Ok((
+            Self {
+                mapping,
+                periphery,
+                device,
+                targets,
+                programmed,
+                faults,
+                report,
+            },
+            remap_report,
+        ))
     }
 
     /// The mapping this array was programmed with.
@@ -188,14 +271,51 @@ impl CrossbarArray {
             .expect("periphery and conductances are dimension-checked at construction")
     }
 
-    /// Re-samples device variation around the stored targets, modelling a
-    /// fresh chip programmed with the same weights — one Monte-Carlo sample
-    /// of the paper's Fig. 6 loop.
+    /// The stuck-at defect pattern this array was dealt at programming
+    /// time (pristine under the default fault-free device).
+    pub fn fault_map(&self) -> &FaultMap {
+        &self.faults
+    }
+
+    /// Outcome of the most recent programming pass: converged / stuck /
+    /// unconverged cell counts and write statistics.
+    pub fn programming_report(&self) -> &ProgrammingReport {
+        &self.report
+    }
+
+    /// Returns a typed error if the last programming pass left any cell
+    /// out of tolerance — for callers that need strict convergence rather
+    /// than the default graceful degradation.
+    ///
+    /// # Errors
+    ///
+    /// [`MappingError::ProgrammingFailed`] with the unconverged-cell count
+    /// and worst residual.
+    pub fn require_converged(&self) -> Result<(), MappingError> {
+        if self.report.all_converged() {
+            Ok(())
+        } else {
+            Err(MappingError::ProgrammingFailed {
+                unconverged: self.report.num_unconverged(),
+                worst_residual: self.report.worst_residual(),
+            })
+        }
+    }
+
+    /// Re-programs the array around the stored targets, modelling a fresh
+    /// chip written with the same weights — one Monte-Carlo sample of the
+    /// paper's Fig. 6 loop. The defect pattern is part of the chip, so it
+    /// is kept; variation (and write-verify retries) are re-drawn.
     pub fn resample_variation(&mut self, rng: &mut XorShiftRng) {
-        self.programmed =
-            self.device
-                .variation()
-                .sample_tensor(&self.targets, self.device.range(), rng);
+        let (programmed, report) = self.device.programming().program_tensor(
+            &self.targets,
+            &self.device.variation(),
+            self.device.range(),
+            Some(&self.faults),
+            rng,
+        );
+        self.programmed = programmed;
+        self.report = report;
     }
 
     /// Raw analog column outputs `y_dev = G · x` for a 1-D input of length
@@ -203,8 +323,14 @@ impl CrossbarArray {
     ///
     /// # Errors
     ///
-    /// Returns a shape error on input-length mismatch.
+    /// Returns a shape error on input-length mismatch, or
+    /// [`MappingError::NonFiniteInput`] if `x` contains NaN/Inf — a DAC
+    /// has no encoding for either, and letting them through would poison
+    /// every column sum.
     pub fn mvm_raw(&self, x: &Tensor) -> Result<Tensor, MappingError> {
+        if !x.data().iter().all(|v| v.is_finite()) {
+            return Err(MappingError::NonFiniteInput { op: "mvm_raw" });
+        }
         linalg::matvec(&self.programmed, x).map_err(MappingError::from)
     }
 
@@ -222,8 +348,12 @@ impl CrossbarArray {
     ///
     /// # Errors
     ///
-    /// Returns a shape error if `x` is not `(batch, n_in())`.
+    /// Returns a shape error if `x` is not `(batch, n_in())`, or
+    /// [`MappingError::NonFiniteInput`] if `x` contains NaN/Inf.
     pub fn forward(&self, x: &Tensor) -> Result<Tensor, MappingError> {
+        if !x.data().iter().all(|v| v.is_finite()) {
+            return Err(MappingError::NonFiniteInput { op: "forward" });
+        }
         // (batch, n_in) · G^T -> (batch, nd)
         let raw = linalg::matmul_nt(x, &self.programmed).map_err(MappingError::from)?;
         self.periphery.combine(&raw)
@@ -354,6 +484,145 @@ mod tests {
         let xb =
             CrossbarArray::program_signed(&w, Mapping::Acm, DeviceConfig::ideal(), &mut r).unwrap();
         assert!(xb.mvm_signed(&Tensor::zeros(&[5])).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_inputs_and_conductances() {
+        let w = test_w();
+        let mut r = rng();
+        let xb =
+            CrossbarArray::program_signed(&w, Mapping::Acm, DeviceConfig::ideal(), &mut r).unwrap();
+        let bad = Tensor::from_vec(vec![1.0, f32::NAN, 0.0], &[3]).unwrap();
+        assert!(matches!(
+            xb.mvm_raw(&bad),
+            Err(MappingError::NonFiniteInput { op: "mvm_raw" })
+        ));
+        assert!(matches!(
+            xb.mvm_signed(&bad),
+            Err(MappingError::NonFiniteInput { .. })
+        ));
+        let bad_batch = Tensor::from_vec(vec![0.5, 0.5, f32::INFINITY], &[1, 3]).unwrap();
+        assert!(matches!(
+            xb.forward(&bad_batch),
+            Err(MappingError::NonFiniteInput { op: "forward" })
+        ));
+        let bad_m = Tensor::from_vec(vec![0.1, f32::NAN, 0.2, 0.3, 0.4, 0.5], &[3, 2]).unwrap();
+        assert!(matches!(
+            CrossbarArray::program_conductances(&bad_m, Mapping::Acm, DeviceConfig::ideal(), &mut r),
+            Err(MappingError::NonFiniteInput { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_free_device_reports_pristine_map_and_full_convergence() {
+        let w = test_w();
+        let mut r = rng();
+        let xb =
+            CrossbarArray::program_signed(&w, Mapping::Acm, DeviceConfig::ideal(), &mut r).unwrap();
+        assert!(xb.fault_map().is_pristine());
+        assert!(xb.programming_report().all_converged());
+        assert!(xb.require_converged().is_ok());
+        assert_eq!(xb.programming_report().total_cells(), xb.num_elements());
+    }
+
+    #[test]
+    fn fault_model_freezes_cells_through_programming() {
+        use xbar_device::FaultModel;
+        let mut r = rng();
+        let w = Tensor::rand_uniform(&[8, 16], -0.02, 0.02, &mut r);
+        let dev = DeviceConfig::ideal().with_faults(FaultModel::uniform(0.05));
+        let xb = CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut r).unwrap();
+        let stuck = xb.fault_map().num_stuck();
+        assert!(stuck > 0, "5% rate on 144 cells should hit");
+        assert_eq!(xb.programming_report().num_stuck(), stuck);
+        let range = dev.range();
+        for (row, col, kind) in xb.fault_map().iter_stuck() {
+            assert_eq!(
+                xb.conductances().at(&[row, col]),
+                kind.forced_value(range)
+            );
+        }
+    }
+
+    #[test]
+    fn remapped_programming_recovers_weight_accuracy() {
+        use xbar_device::FaultModel;
+        let mut r = rng();
+        let w = Tensor::rand_uniform(&[8, 16], -0.02, 0.02, &mut r);
+        let dev = DeviceConfig::ideal().with_faults(FaultModel::uniform(0.02));
+        // Same seed for both arrays → identical fault pattern.
+        let naive =
+            CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut XorShiftRng::new(5)).unwrap();
+        let (remapped, report) =
+            CrossbarArray::program_signed_remapped(&w, Mapping::Acm, dev, &mut XorShiftRng::new(5))
+                .unwrap();
+        assert_eq!(naive.fault_map(), remapped.fault_map());
+        assert!(naive.fault_map().num_stuck() > 0);
+        let err = |xb: &CrossbarArray| xb.effective_weights().sub(&w).unwrap().norm_sq().sqrt();
+        assert!(
+            err(&remapped) < err(&naive) * 0.5,
+            "remapped error {} vs naive {}",
+            err(&remapped),
+            err(&naive)
+        );
+        assert!(report.residual_after() <= report.residual_before());
+        assert_eq!(report.stuck_cells(), naive.fault_map().num_stuck());
+    }
+
+    #[test]
+    fn resample_keeps_fault_pattern_but_redraws_noise() {
+        use xbar_device::FaultModel;
+        let mut r = rng();
+        let w = Tensor::rand_uniform(&[6, 10], -0.02, 0.02, &mut r);
+        let dev = DeviceConfig::ideal()
+            .with_faults(FaultModel::uniform(0.05))
+            .with_variation_sigma(0.05);
+        let mut xb = CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut r).unwrap();
+        let map_before = xb.fault_map().clone();
+        let prog_before = xb.conductances().clone();
+        xb.resample_variation(&mut r);
+        assert_eq!(xb.fault_map(), &map_before, "defects belong to the chip");
+        assert!(!xb.conductances().all_close(&prog_before, 1e-7));
+        for (row, col, kind) in xb.fault_map().iter_stuck() {
+            assert_eq!(xb.conductances().at(&[row, col]), kind.forced_value(dev.range()));
+        }
+    }
+
+    #[test]
+    fn strict_convergence_check_surfaces_programming_failure() {
+        use xbar_device::ProgrammingModel;
+        let w = test_w();
+        // Impossible tolerance with heavy noise: nothing converges.
+        let dev = DeviceConfig::ideal()
+            .with_variation_sigma(0.2)
+            .with_programming(ProgrammingModel::write_verify(2, 1e-6));
+        let mut r = rng();
+        let xb = CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut r).unwrap();
+        assert!(xb.programming_report().num_unconverged() > 0);
+        let err = xb.require_converged().unwrap_err();
+        assert!(matches!(err, MappingError::ProgrammingFailed { .. }));
+    }
+
+    #[test]
+    fn write_verify_tightens_programmed_weights() {
+        use xbar_device::ProgrammingModel;
+        let mut r = rng();
+        let w = Tensor::rand_uniform(&[8, 16], -0.02, 0.02, &mut r);
+        let err_with = |prog: ProgrammingModel| {
+            let dev = DeviceConfig::ideal()
+                .with_variation_sigma(0.1)
+                .with_programming(prog);
+            let xb =
+                CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut XorShiftRng::new(17))
+                    .unwrap();
+            xb.effective_weights().sub(&w).unwrap().norm_sq().sqrt()
+        };
+        let one_shot = err_with(ProgrammingModel::one_shot());
+        let verified = err_with(ProgrammingModel::write_verify(8, 0.02));
+        assert!(
+            verified < one_shot * 0.5,
+            "write-verify {verified} vs one-shot {one_shot}"
+        );
     }
 
     #[test]

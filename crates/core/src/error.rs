@@ -23,6 +23,30 @@ pub enum MappingError {
         /// Human-readable detail (offending value / bound).
         detail: String,
     },
+    /// An input tensor contained NaN or ±Inf. Analog crossbar hardware has
+    /// no representation for these; letting them through would silently
+    /// poison every downstream accumulation.
+    NonFiniteInput {
+        /// The operation that rejected the input.
+        op: &'static str,
+    },
+    /// A stuck-at fault map was supplied for an array of a different
+    /// shape.
+    FaultMapMismatch {
+        /// `(rows, cols)` of the conductance matrix being programmed.
+        expected: (usize, usize),
+        /// `(rows, cols)` of the offending fault map.
+        got: (usize, usize),
+    },
+    /// Closed-loop programming exhausted its write budget with cells still
+    /// out of tolerance, and the caller demanded full convergence.
+    ProgrammingFailed {
+        /// Number of cells that failed to converge.
+        unconverged: usize,
+        /// The largest remaining `|realised − target|`, in conductance
+        /// units.
+        worst_residual: f32,
+    },
 }
 
 impl fmt::Display for MappingError {
@@ -34,6 +58,26 @@ impl fmt::Display for MappingError {
             }
             Self::NotRepresentable { mapping, detail } => {
                 write!(f, "matrix not representable under {mapping} mapping: {detail}")
+            }
+            Self::NonFiniteInput { op } => {
+                write!(f, "{op}: input contains NaN or infinite values")
+            }
+            Self::FaultMapMismatch { expected, got } => {
+                write!(
+                    f,
+                    "fault map shape {}x{} does not match array shape {}x{}",
+                    got.0, got.1, expected.0, expected.1
+                )
+            }
+            Self::ProgrammingFailed {
+                unconverged,
+                worst_residual,
+            } => {
+                write!(
+                    f,
+                    "programming left {unconverged} cell(s) out of tolerance \
+                     (worst residual {worst_residual})"
+                )
             }
         }
     }
@@ -73,6 +117,23 @@ mod tests {
 
         let e = MappingError::from(ShapeError::new("compose", "bad dims"));
         assert!(e.to_string().contains("compose"));
+
+        let e = MappingError::NonFiniteInput { op: "mvm_raw" };
+        assert!(e.to_string().contains("mvm_raw"));
+        assert!(e.to_string().contains("NaN"));
+
+        let e = MappingError::FaultMapMismatch {
+            expected: (3, 4),
+            got: (5, 6),
+        };
+        assert!(e.to_string().contains("5x6"));
+        assert!(e.to_string().contains("3x4"));
+
+        let e = MappingError::ProgrammingFailed {
+            unconverged: 7,
+            worst_residual: 0.25,
+        };
+        assert!(e.to_string().contains('7'));
     }
 
     #[test]

@@ -30,6 +30,9 @@
 //! * [`CrossbarArray`] — a behavioural crossbar simulator that programs
 //!   `M` through a [`xbar_device::DeviceConfig`] (quantization +
 //!   variation) and evaluates signed MVMs;
+//! * [`remap_for_faults`] — fault-aware remapping: stuck-at defects are
+//!   absorbed into the null-space slack of `W = S·M` (shifting a column by
+//!   `c·x_h` changes no weight), with the unabsorbable residual reported;
 //! * [`analysis`] — the Sec. III-E regularization identity
 //!   (`ΣW = M̄_1 − M̄_{N_D}`), representable-sum counting, weight-range and
 //!   hardware-cost accounting.
@@ -63,6 +66,7 @@ mod decompose;
 mod error;
 mod mapping;
 mod periphery;
+mod remap;
 mod tiling;
 
 pub use balance::{balance_profile, BalanceProfile};
@@ -71,4 +75,5 @@ pub use decompose::{compose, decompose, decompose_with_periphery, max_representa
 pub use error::MappingError;
 pub use mapping::Mapping;
 pub use periphery::PeripheryMatrix;
+pub use remap::{remap_for_faults, RemapReport};
 pub use tiling::{TiledCrossbar, TileShape};

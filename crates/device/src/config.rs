@@ -1,4 +1,4 @@
-use crate::{ConductanceRange, Quantizer, UpdateModel, VariationModel};
+use crate::{ConductanceRange, FaultModel, ProgrammingModel, Quantizer, UpdateModel, VariationModel};
 
 /// Complete non-ideality description of a synapse device, consumed by the
 /// mapped layers in `xbar-nn` and the crossbar simulator in `xbar-core`.
@@ -27,6 +27,8 @@ pub struct DeviceConfig {
     bits: Option<u8>,
     update: UpdateModel,
     variation: VariationModel,
+    faults: FaultModel,
+    programming: ProgrammingModel,
 }
 
 impl DeviceConfig {
@@ -98,6 +100,16 @@ impl DeviceConfig {
         self.variation
     }
 
+    /// The stuck-at fault statistics.
+    pub fn faults(&self) -> FaultModel {
+        self.faults
+    }
+
+    /// The conductance-programming scheme.
+    pub fn programming(&self) -> ProgrammingModel {
+        self.programming
+    }
+
     /// Number of programming pulses needed to traverse the full range —
     /// one pulse per state transition, `2^B − 1` for a `B`-bit device, or a
     /// fine default of 256 for full-precision simulation.
@@ -112,6 +124,21 @@ impl DeviceConfig {
     /// Convenient for sweeping Fig. 6's x-axis on a trained model.
     pub fn with_variation_sigma(mut self, sigma_frac: f32) -> Self {
         self.variation = VariationModel::new(sigma_frac);
+        self
+    }
+
+    /// Returns a copy with different stuck-at fault statistics (keeps
+    /// everything else). Convenient for sweeping fault rates on a trained
+    /// model.
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Returns a copy with a different programming scheme (keeps
+    /// everything else).
+    pub fn with_programming(mut self, programming: ProgrammingModel) -> Self {
+        self.programming = programming;
         self
     }
 
@@ -144,6 +171,8 @@ pub struct DeviceConfigBuilder {
     bits: Option<u8>,
     update: UpdateModel,
     variation: VariationModel,
+    faults: FaultModel,
+    programming: ProgrammingModel,
 }
 
 impl DeviceConfigBuilder {
@@ -153,6 +182,8 @@ impl DeviceConfigBuilder {
             bits: None,
             update: UpdateModel::Linear,
             variation: VariationModel::none(),
+            faults: FaultModel::none(),
+            programming: ProgrammingModel::one_shot(),
         }
     }
 
@@ -196,6 +227,18 @@ impl DeviceConfigBuilder {
         self
     }
 
+    /// Sets the stuck-at fault statistics.
+    pub fn faults(mut self, faults: FaultModel) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the conductance-programming scheme.
+    pub fn programming(mut self, programming: ProgrammingModel) -> Self {
+        self.programming = programming;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -212,6 +255,8 @@ impl DeviceConfigBuilder {
             bits: self.bits,
             update: self.update,
             variation: self.variation,
+            faults: self.faults,
+            programming: self.programming,
         }
     }
 }
@@ -281,5 +326,28 @@ mod tests {
     #[test]
     fn default_builder_equals_ideal() {
         assert_eq!(DeviceConfigBuilder::default().build(), DeviceConfig::ideal());
+    }
+
+    #[test]
+    fn ideal_device_is_fault_free_one_shot() {
+        let d = DeviceConfig::ideal();
+        assert!(d.faults().is_none());
+        assert!(d.programming().is_one_shot());
+    }
+
+    #[test]
+    fn fault_and_programming_conveniences_compose() {
+        let d = DeviceConfig::quantized_linear(4)
+            .with_faults(FaultModel::uniform(0.01))
+            .with_programming(ProgrammingModel::write_verify(6, 0.02));
+        assert_eq!(d.bits(), Some(4));
+        assert!((d.faults().total_rate() - 0.01).abs() < 1e-7);
+        assert_eq!(d.programming().max_writes(), 6);
+        let b = DeviceConfig::builder()
+            .faults(FaultModel::uniform(0.01))
+            .programming(ProgrammingModel::write_verify(6, 0.02))
+            .build();
+        assert_eq!(b.faults(), d.faults());
+        assert_eq!(b.programming(), d.programming());
     }
 }

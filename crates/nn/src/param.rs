@@ -433,6 +433,66 @@ impl MappedParam {
         }
     }
 
+    /// Deals this parameter's crossbar a stuck-at defect pattern drawn
+    /// from `faults`, programs the quantized conductances onto the
+    /// defective array (through the device's [`xbar_device::ProgrammingModel`]
+    /// with `sigma_frac` variation per write), and makes subsequent forward
+    /// passes use the faulty conductances — the fault-injection analogue of
+    /// [`MappedParam::apply_variation`].
+    ///
+    /// With `remap` set, the healthy cells of each faulty column are first
+    /// moved to compensate for the frozen ones, exploiting the mapping's
+    /// null-space slack ([`xbar_core::remap_for_faults`]); the returned
+    /// [`xbar_core::RemapReport`] carries the unabsorbed residual. The
+    /// [`xbar_device::ProgrammingReport`] lists stuck and unconverged
+    /// cells rather than failing on them.
+    ///
+    /// Call [`MappedParam::clear_variation`] to return to ideal inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::State`] for baseline (signed) parameters, which
+    /// have no crossbar cells to fail.
+    pub fn apply_faults(
+        &mut self,
+        faults: xbar_device::FaultModel,
+        sigma_frac: f32,
+        remap: bool,
+        rng: &mut XorShiftRng,
+    ) -> Result<(xbar_device::ProgrammingReport, Option<xbar_core::RemapReport>), NnError> {
+        let Some(periphery) = &self.periphery else {
+            return Err(NnError::State(
+                "baseline signed weights have no crossbar cells to fail".into(),
+            ));
+        };
+        let range = self.device.range();
+        let var = xbar_device::VariationModel::new(sigma_frac);
+        let mut targets = self.quantized_shadow();
+        let map = faults.sample_map(targets.shape()[0], targets.shape()[1], rng);
+        let remap_report = if remap {
+            // The compensated targets are programmed as-is: write-verify
+            // programming is an analog trim, not restricted to the state
+            // ladder that governs training updates. Re-snapping here would
+            // quantize away sub-step compensations.
+            let (shifted, report) =
+                xbar_core::remap_for_faults(&targets, periphery, &map, range)
+                    .map_err(NnError::Mapping)?;
+            targets = shifted;
+            Some(report)
+        } else {
+            None
+        };
+        let (programmed, prog_report) = self.device.programming().program_tensor(
+            &targets,
+            &var,
+            range,
+            Some(&map),
+            rng,
+        );
+        self.variation_override = Some(programmed);
+        Ok((prog_report, remap_report))
+    }
+
     /// Installs an explicit conductance override for inference — the
     /// deployment-study generalization of [`MappedParam::apply_variation`]:
     /// forward passes read `conductances` (for mapped weights) or the
@@ -740,6 +800,69 @@ mod tests {
         assert!(!noisy.all_close(&clean, 1e-4));
         p.clear_variation();
         assert!(p.effective_weights().all_close(&clean, 0.0));
+    }
+
+    #[test]
+    fn fault_injection_overrides_and_reports() {
+        use xbar_device::FaultModel;
+        let w = he_init(8, 32, 120);
+        let mut p =
+            MappedParam::from_signed(&w, WeightKind::Mapped(Mapping::Acm), DeviceConfig::ideal())
+                .unwrap();
+        let clean = p.effective_weights();
+        let mut rng = XorShiftRng::new(121);
+        let (prog, remap) = p
+            .apply_faults(FaultModel::uniform(0.05), 0.0, false, &mut rng)
+            .unwrap();
+        assert!(remap.is_none());
+        assert!(prog.num_stuck() > 0);
+        assert!(p.has_variation());
+        assert!(!p.effective_weights().all_close(&clean, 1e-5));
+        p.clear_variation();
+        assert!(p.effective_weights().all_close(&clean, 0.0));
+    }
+
+    #[test]
+    fn fault_remap_recovers_effective_weights() {
+        use xbar_device::FaultModel;
+        let w = he_init(8, 32, 122);
+        let err_with = |remap: bool| {
+            let mut p = MappedParam::from_signed(
+                &w,
+                WeightKind::Mapped(Mapping::Acm),
+                DeviceConfig::ideal(),
+            )
+            .unwrap();
+            let clean = p.effective_weights();
+            // Same seed → identical fault pattern for both arms.
+            let mut rng = XorShiftRng::new(123);
+            let (_, remap_report) = p
+                .apply_faults(FaultModel::uniform(0.03), 0.0, remap, &mut rng)
+                .unwrap();
+            assert_eq!(remap_report.is_some(), remap);
+            p.effective_weights().sub(&clean).unwrap().norm_sq().sqrt()
+        };
+        let naive = err_with(false);
+        let remapped = err_with(true);
+        // Training spreads conductances across the whole range, so some
+        // shifts clamp against the device limits — recovery is partial
+        // here, unlike the mid-range-target case which absorbs exactly.
+        assert!(
+            remapped < naive * 0.75,
+            "remapped {remapped} vs naive {naive}"
+        );
+    }
+
+    #[test]
+    fn fault_injection_rejects_baseline() {
+        use xbar_device::FaultModel;
+        let w = he_init(4, 4, 124);
+        let mut p =
+            MappedParam::from_signed(&w, WeightKind::Signed, DeviceConfig::ideal()).unwrap();
+        let mut rng = XorShiftRng::new(125);
+        assert!(p
+            .apply_faults(FaultModel::uniform(0.01), 0.0, false, &mut rng)
+            .is_err());
     }
 
     #[test]

