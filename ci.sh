@@ -16,4 +16,9 @@ cargo test -q --workspace ${CI_FEATURES:-}
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> bench_kernels --smoke (parity + BENCH_kernels.json)"
+# Tiny sizes; asserts serial==parallel bitwise on every entry and refreshes
+# BENCH_kernels.json (the 256^3 headline square is measured in smoke too).
+cargo run --release -p xbar-bench --bin bench_kernels -- --smoke
+
 echo "CI OK"

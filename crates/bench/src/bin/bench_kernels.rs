@@ -1,0 +1,38 @@
+//! Kernel/e2e benchmark: times the blocked/SIMD/parallel compute kernels
+//! against the seed's naive serial baselines and writes
+//! `BENCH_kernels.json` (in the current directory — repo root when run
+//! through `cargo run`).
+//!
+//! ```text
+//! bench_kernels [--smoke | --full] [--out BENCH_kernels.json]
+//! ```
+//!
+//! `--smoke` runs tiny shapes (plus the headline 256³ square) and is what
+//! `ci.sh` invokes; `--full` (the default) runs the LeNet/VGG/ResNet GEMM
+//! suite and the e2e crossbar entries. Every entry asserts bitwise parity
+//! between serial and parallel execution before timing, so the binary
+//! doubles as a determinism check.
+
+use xbar_bench::cli::Args;
+use xbar_bench::kernel_bench::{self, Mode};
+
+fn main() {
+    let args = Args::from_env();
+    let mode = if args.has("smoke") { Mode::Smoke } else { Mode::Full };
+    let out_path = args.get_str("out", "BENCH_kernels.json");
+
+    eprintln!(
+        "bench_kernels: mode={} threads={} simd={}",
+        mode.tag(),
+        xbar_tensor::backend::threads(),
+        xbar_tensor::simd_active()
+    );
+    let report = kernel_bench::run(mode);
+    print!("{}", report.summary());
+
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

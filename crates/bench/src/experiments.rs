@@ -5,6 +5,7 @@ use xbar_data::{DatasetPair, SyntheticCifar, SyntheticMnist};
 use xbar_device::DeviceConfig;
 use xbar_models::{lenet, resnet20, vgg9, ModelConfig, ModelScale};
 use xbar_nn::{evaluate, train, History, Layer, NnError, Sequential, TrainConfig};
+use xbar_tensor::backend;
 use xbar_tensor::rng::XorShiftRng;
 
 /// Which network architecture an experiment uses.
@@ -342,16 +343,30 @@ pub fn run_variation_sweep(
         }
         for &sigma in sigmas {
             let mut accs = [0.0f32; 3];
-            for (i, net) in nets.iter_mut().enumerate() {
+            for (i, net) in nets.iter().enumerate() {
                 let mut rng = XorShiftRng::new(setup.seed ^ (b as u64) << 8 ^ 0x555);
+                // Fork every per-sample stream serially (fork advances the
+                // parent), then fan the Monte-Carlo draws across the
+                // compute pool: each worker task clones the trained net
+                // once and runs the apply→evaluate→clear cycle on its own
+                // copy. Results come back in sample order and are summed
+                // in that order, so the mean is bitwise identical to the
+                // serial loop.
+                let sample_rngs: Vec<XorShiftRng> =
+                    (0..samples).map(|s| rng.fork(s as u64)).collect();
+                let results = backend::parallel_map_with(
+                    || net.clone(),
+                    sample_rngs,
+                    |worker, _s, mut sample_rng| {
+                        worker.visit_mapped(&mut |p| p.apply_variation(sigma, &mut sample_rng));
+                        let r = evaluate(worker, data.test.features(), data.test.labels(), setup.batch);
+                        worker.visit_mapped(&mut |p| p.clear_variation());
+                        r.map(|(_, acc)| acc)
+                    },
+                );
                 let mut total = 0.0f32;
-                for s in 0..samples {
-                    let mut sample_rng = rng.fork(s as u64);
-                    net.visit_mapped(&mut |p| p.apply_variation(sigma, &mut sample_rng));
-                    let (_, acc) =
-                        evaluate(net, data.test.features(), data.test.labels(), setup.batch)?;
-                    net.visit_mapped(&mut |p| p.clear_variation());
-                    total += acc;
+                for r in results {
+                    total += r?;
                 }
                 accs[i] = 100.0 * total / samples as f32;
             }
@@ -405,37 +420,60 @@ pub fn run_fault_sweep(
     use xbar_device::FaultModel;
     let data = setup.data();
     let device = DeviceConfig::quantized_linear(bits);
-    let (mut net, _) = setup.train_model_keep(ModelType::Mapped(mapping), device, &data)?;
+    let (net, _) = setup.train_model_keep(ModelType::Mapped(mapping), device, &data)?;
     let mut out = Vec::new();
     for &rate in rates {
         let model = FaultModel::uniform(rate);
         for &sigma in sigmas {
-            let mut acc = [0.0f32; 2]; // [naive, remapped]
-            let mut stuck_total = 0usize;
-            for s in 0..samples {
-                for (arm, remap) in [false, true].into_iter().enumerate() {
-                    // Re-fork per arm: identical defect pattern for both.
-                    let mut rng = XorShiftRng::new(
-                        setup.seed ^ u64::from(bits) << 8 ^ 0x666,
-                    )
-                    .fork(s as u64);
-                    let mut stuck = 0usize;
-                    let mut result = Ok(());
-                    net.visit_mapped(&mut |p| {
-                        match p.apply_faults(model, sigma, remap, &mut rng) {
-                            Ok((prog, _)) => stuck += prog.num_stuck(),
-                            Err(e) => result = Err(e),
+            // Fan the Monte-Carlo chips across the compute pool: one item
+            // per defective chip, both arms evaluated by the same task so
+            // they share the worker's cloned net. The per-(sample, arm)
+            // RNG is rebuilt from constants exactly as in the serial
+            // loop, and the in-order reduction below reproduces its
+            // summation order bitwise.
+            let results = backend::parallel_map_with(
+                || net.clone(),
+                (0..samples).collect::<Vec<usize>>(),
+                |worker, _idx, s| -> Result<([f32; 2], usize), NnError> {
+                    let mut accs = [0.0f32; 2]; // [naive, remapped]
+                    let mut stuck_naive = 0usize;
+                    for (arm, remap) in [false, true].into_iter().enumerate() {
+                        // Re-fork per arm: identical defect pattern for both.
+                        let mut rng = XorShiftRng::new(
+                            setup.seed ^ u64::from(bits) << 8 ^ 0x666,
+                        )
+                        .fork(s as u64);
+                        let mut stuck = 0usize;
+                        let mut result = Ok(());
+                        worker.visit_mapped(&mut |p| {
+                            match p.apply_faults(model, sigma, remap, &mut rng) {
+                                Ok((prog, _)) => stuck += prog.num_stuck(),
+                                Err(e) => result = Err(e),
+                            }
+                        });
+                        result?;
+                        let (_, a) = evaluate(
+                            worker,
+                            data.test.features(),
+                            data.test.labels(),
+                            setup.batch,
+                        )?;
+                        worker.visit_mapped(&mut |p| p.clear_variation());
+                        accs[arm] = a;
+                        if !remap {
+                            stuck_naive = stuck;
                         }
-                    });
-                    result?;
-                    let (_, a) =
-                        evaluate(&mut net, data.test.features(), data.test.labels(), setup.batch)?;
-                    net.visit_mapped(&mut |p| p.clear_variation());
-                    acc[arm] += a;
-                    if !remap {
-                        stuck_total += stuck;
                     }
-                }
+                    Ok((accs, stuck_naive))
+                },
+            );
+            let mut acc = [0.0f32; 2];
+            let mut stuck_total = 0usize;
+            for r in results {
+                let (a, stuck) = r?;
+                acc[0] += a[0];
+                acc[1] += a[1];
+                stuck_total += stuck;
             }
             out.push(FaultPoint {
                 rate,

@@ -1,0 +1,459 @@
+//! Criterion-free kernel/e2e benchmark harness behind the
+//! `bench_kernels` binary.
+//!
+//! Measures the rewritten compute kernels against three arms:
+//!
+//! * **naive** — the seed's original single-threaded kernels, re-created
+//!   here verbatim as the reference baseline (GEMM shapes only);
+//! * **serial** — the new blocked/SIMD kernels under
+//!   [`backend::force_serial`];
+//! * **parallel** — the same kernels with the pool enabled.
+//!
+//! Every entry asserts the determinism contract (`parallel` bitwise equal
+//! to `serial`) before timing, and the report carries both the headline
+//! `speedup` (naive → parallel, i.e. versus the seed's serial kernels)
+//! and `speedup_vs_serial` (threading only). GEMM sizes are drawn from
+//! the LeNet/VGG/ResNet layer shapes the trainer actually hits, plus the
+//! canonical 256×256×256 square.
+
+use std::time::Instant;
+
+use xbar_core::{CrossbarArray, Mapping};
+use xbar_device::DeviceConfig;
+use xbar_tensor::rng::XorShiftRng;
+use xbar_tensor::{backend, linalg, simd_active, Tensor};
+
+/// Benchmark scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Tiny sizes for CI: asserts parity on every entry and still
+    /// measures the acceptance-criterion 256³ square, in a few seconds.
+    Smoke,
+    /// The full shape suite including e2e crossbar entries.
+    Full,
+}
+
+impl Mode {
+    /// Mode tag used in the JSON report.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Mode::Smoke => "smoke",
+            Mode::Full => "full",
+        }
+    }
+}
+
+/// One benchmark row.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Entry name, e.g. `matmul_square_256`.
+    pub name: String,
+    /// Kernel kind (`matmul`, `matmul_tn`, `matmul_nt`, `conv2d`,
+    /// `crossbar_forward`, `crossbar_trials`).
+    pub kind: &'static str,
+    /// Human-readable problem dimensions.
+    pub dims: String,
+    /// Nominal floating-point operations per evaluation.
+    pub flops: f64,
+    /// Best-of-reps wall time of the seed's naive kernel, if applicable.
+    pub naive_ms: Option<f64>,
+    /// Best-of-reps wall time of the new kernels, forced serial.
+    pub serial_ms: f64,
+    /// Best-of-reps wall time of the new kernels with the pool enabled.
+    pub parallel_ms: f64,
+    /// Whether the parallel result was bitwise identical to serial.
+    pub parity: bool,
+}
+
+impl Entry {
+    /// Throughput of the parallel arm in GFLOP/s.
+    pub fn gflops(&self) -> f64 {
+        self.flops / (self.parallel_ms / 1e3) / 1e9
+    }
+
+    /// Headline speedup: seed's naive serial kernel → new parallel path.
+    pub fn speedup(&self) -> Option<f64> {
+        self.naive_ms.map(|n| n / self.parallel_ms)
+    }
+
+    /// Threading-only speedup: new kernel serial → parallel.
+    pub fn speedup_vs_serial(&self) -> f64 {
+        self.serial_ms / self.parallel_ms
+    }
+}
+
+/// A full benchmark report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Scale the suite ran at.
+    pub mode: Mode,
+    /// Pool lanes in the parallel arm.
+    pub threads: usize,
+    /// Whether the SIMD micro-kernel was active.
+    pub simd: bool,
+    /// All measured entries.
+    pub entries: Vec<Entry>,
+}
+
+impl Report {
+    /// Serializes the report as pretty-printed JSON (hand-rolled — the
+    /// workspace is offline and dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"bench\": \"kernels\",\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode.tag()));
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"simd\": {},\n", self.simd));
+        s.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            s.push_str("    {");
+            s.push_str(&format!("\"name\": \"{}\", ", e.name));
+            s.push_str(&format!("\"kind\": \"{}\", ", e.kind));
+            s.push_str(&format!("\"dims\": \"{}\", ", e.dims));
+            if let Some(naive) = e.naive_ms {
+                s.push_str(&format!("\"naive_ms\": {naive:.4}, "));
+            }
+            s.push_str(&format!("\"serial_ms\": {:.4}, ", e.serial_ms));
+            s.push_str(&format!("\"parallel_ms\": {:.4}, ", e.parallel_ms));
+            s.push_str(&format!("\"gflops\": {:.3}, ", e.gflops()));
+            if let Some(sp) = e.speedup() {
+                s.push_str(&format!("\"speedup\": {sp:.3}, "));
+            }
+            s.push_str(&format!(
+                "\"speedup_vs_serial\": {:.3}, ",
+                e.speedup_vs_serial()
+            ));
+            s.push_str(&format!("\"parity\": {}", e.parity));
+            s.push_str(if i + 1 == self.entries.len() { "}\n" } else { "},\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Plain-text summary table (one line per entry).
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "kernel bench [{}] threads={} simd={}\n",
+            self.mode.tag(),
+            self.threads,
+            self.simd
+        );
+        for e in &self.entries {
+            let speedup = e
+                .speedup()
+                .map_or_else(|| "    -".into(), |v| format!("{v:5.2}"));
+            s.push_str(&format!(
+                "  {:<24} {:>18}  {:8.3} ms  {:7.2} GF/s  x{} vs naive  x{:.2} vs serial  parity={}\n",
+                e.name,
+                e.dims,
+                e.parallel_ms,
+                e.gflops(),
+                speedup,
+                e.speedup_vs_serial(),
+                e.parity
+            ));
+        }
+        s
+    }
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let out = f();
+        let dt = t.elapsed().as_secs_f64() * 1e3;
+        drop(out);
+        if dt < best {
+            best = dt;
+        }
+    }
+    best
+}
+
+/// The seed repository's original `matmul` kernel (`ikj`, zero-skip),
+/// preserved as the performance baseline.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut od[i * n..(i + 1) * n];
+        for (p, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow) {
+                *o += aval * bval;
+            }
+        }
+    }
+    out
+}
+
+/// The seed's original `matmul_nt` kernel (scalar-accumulator dot loop).
+fn naive_matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[0];
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0_f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            od[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// The seed's original `matmul_tn` kernel (shared-dim-major, zero-skip).
+fn naive_matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let orow = &mut od[i * n..(i + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow) {
+                *o += aval * bval;
+            }
+        }
+    }
+    out
+}
+
+/// Runs one GEMM-variant entry: parity check, then naive / serial /
+/// parallel timings.
+fn gemm_entry(
+    name: &str,
+    kind: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    reps: usize,
+    seed: u64,
+) -> Entry {
+    let mut rng = XorShiftRng::new(seed);
+    let (a_shape, b_shape): ([usize; 2], [usize; 2]) = match kind {
+        "matmul" => ([m, k], [k, n]),
+        "matmul_tn" => ([k, m], [k, n]),
+        "matmul_nt" => ([m, k], [n, k]),
+        other => unreachable!("unknown GEMM kind {other}"),
+    };
+    let a = Tensor::rand_normal(&a_shape, 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_normal(&b_shape, 0.0, 1.0, &mut rng);
+    let run = |a: &Tensor, b: &Tensor| match kind {
+        "matmul" => linalg::matmul(a, b).unwrap(),
+        "matmul_tn" => linalg::matmul_tn(a, b).unwrap(),
+        "matmul_nt" => linalg::matmul_nt(a, b).unwrap(),
+        other => unreachable!("unknown GEMM kind {other}"),
+    };
+    let naive = |a: &Tensor, b: &Tensor| match kind {
+        "matmul" => naive_matmul(a, b),
+        "matmul_tn" => naive_matmul_tn(a, b),
+        "matmul_nt" => naive_matmul_nt(a, b),
+        other => unreachable!("unknown GEMM kind {other}"),
+    };
+
+    backend::force_serial(true);
+    let serial_out = run(&a, &b);
+    let serial_ms = time_ms(reps, || run(&a, &b));
+    let naive_ms = time_ms(reps, || naive(&a, &b));
+    backend::force_serial(false);
+    let parallel_out = run(&a, &b);
+    let parallel_ms = time_ms(reps, || run(&a, &b));
+
+    let parity = serial_out.data() == parallel_out.data();
+    assert!(parity, "{name}: parallel result diverged from serial");
+    Entry {
+        name: name.to_string(),
+        kind,
+        dims: format!("{m}x{k}x{n}"),
+        flops: 2.0 * (m * k * n) as f64,
+        naive_ms: Some(naive_ms),
+        serial_ms,
+        parallel_ms,
+        parity,
+    }
+}
+
+/// Runs a serial/parallel e2e entry (no naive arm).
+fn e2e_entry<T: PartialEq>(
+    name: &str,
+    kind: &'static str,
+    dims: String,
+    flops: f64,
+    reps: usize,
+    run: impl Fn() -> T,
+) -> Entry {
+    backend::force_serial(true);
+    let serial_out = run();
+    let serial_ms = time_ms(reps, &run);
+    backend::force_serial(false);
+    let parallel_out = run();
+    let parallel_ms = time_ms(reps, &run);
+    let parity = serial_out == parallel_out;
+    assert!(parity, "{name}: parallel result diverged from serial");
+    Entry {
+        name: name.to_string(),
+        kind,
+        dims,
+        flops,
+        naive_ms: None,
+        serial_ms,
+        parallel_ms,
+        parity,
+    }
+}
+
+/// Runs the benchmark suite at `mode` scale.
+pub fn run(mode: Mode) -> Report {
+    let reps = match mode {
+        Mode::Smoke => 3,
+        Mode::Full => 7,
+    };
+    let mut entries = Vec::new();
+
+    // The 256³ square is measured in BOTH modes: it carries the repo's
+    // headline acceptance number, and smoke runs overwrite the JSON.
+    entries.push(gemm_entry("matmul_square_256", "matmul", 256, 256, 256, reps, 11));
+
+    match mode {
+        Mode::Smoke => {
+            entries.push(gemm_entry("matmul_smoke_odd", "matmul", 33, 65, 17, reps, 12));
+            entries.push(gemm_entry("matmul_nt_smoke", "matmul_nt", 64, 64, 64, reps, 13));
+            entries.push(gemm_entry("matmul_tn_smoke", "matmul_tn", 64, 64, 64, reps, 14));
+        }
+        Mode::Full => {
+            entries.push(gemm_entry("matmul_tn_square_256", "matmul_tn", 256, 256, 256, reps, 15));
+            entries.push(gemm_entry("matmul_nt_square_256", "matmul_nt", 256, 256, 256, reps, 16));
+            // LeNet conv2 im2col GEMM at batch 32 (8×8 spatial, 6·5·5
+            // patch, 16 filters).
+            entries.push(gemm_entry("lenet_conv2_gemm", "matmul_nt", 2048, 150, 16, reps, 17));
+            // LeNet fc1 forward at batch 32.
+            entries.push(gemm_entry("lenet_fc1_gemm", "matmul_nt", 32, 400, 120, reps, 18));
+            // VGG 3×3 conv 64→128 channels on 8×8 at batch 32.
+            entries.push(gemm_entry("vgg_conv_gemm", "matmul_nt", 2048, 576, 128, reps, 19));
+            // ResNet-20 3×3 conv 32→32 channels on 16×16 at batch 32.
+            entries.push(gemm_entry("resnet_conv_gemm", "matmul_nt", 8192, 288, 32, reps, 20));
+            // Dense backward weight gradient (xᵀ·dy) shape.
+            entries.push(gemm_entry("dense_bwd_gemm", "matmul_tn", 400, 32, 120, reps, 21));
+        }
+    }
+
+    // E2E: conv2d forward (im2col + GEMM + NCHW reorder).
+    {
+        use xbar_tensor::conv::{conv2d_forward, ConvGeometry};
+        let (batch, in_c, hw, out_c) = match mode {
+            Mode::Smoke => (4, 3, 8, 8),
+            Mode::Full => (32, 64, 8, 128),
+        };
+        let geom = ConvGeometry::new(hw, hw, 3, 3, 1, 1);
+        let mut rng = XorShiftRng::new(31);
+        let input = Tensor::rand_normal(&[batch, in_c, hw, hw], 0.0, 1.0, &mut rng);
+        let weight = Tensor::rand_normal(&[out_c, in_c * 9], 0.0, 1.0, &mut rng);
+        let flops = 2.0 * (batch * geom.out_h * geom.out_w * out_c * in_c * 9) as f64;
+        entries.push(e2e_entry(
+            "conv2d_forward",
+            "conv2d",
+            format!("{batch}x{in_c}x{hw}x{hw}->{out_c}"),
+            flops,
+            reps,
+            || {
+                let (out, _) = conv2d_forward(&input, &weight, &geom).unwrap();
+                out
+            },
+        ));
+    }
+
+    // E2E: batched crossbar inference and Monte-Carlo variation fan-out.
+    {
+        let (n_out, n_in, batch, trials) = match mode {
+            Mode::Smoke => (16, 32, 8, 4),
+            Mode::Full => (128, 256, 64, 16),
+        };
+        let mut rng = XorShiftRng::new(41);
+        let w = Tensor::rand_uniform(&[n_out, n_in], -0.02, 0.02, &mut rng);
+        let dev = DeviceConfig::quantized_linear(4).with_variation_sigma(0.05);
+        let xbar = CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut rng).unwrap();
+        let x = Tensor::rand_uniform(&[batch, n_in], -1.0, 1.0, &mut rng);
+        let fwd_flops = 2.0 * (batch * xbar.n_dev() * n_in) as f64;
+        entries.push(e2e_entry(
+            "crossbar_forward",
+            "crossbar_forward",
+            format!("{batch}x{n_in}->{n_out}"),
+            fwd_flops,
+            reps,
+            || xbar.forward(&x).unwrap(),
+        ));
+        entries.push(e2e_entry(
+            "crossbar_trials",
+            "crossbar_trials",
+            format!("{trials}x({batch}x{n_in}->{n_out})"),
+            fwd_flops * trials as f64,
+            reps,
+            || {
+                let mut trial_rng = XorShiftRng::new(4242);
+                let outs = xbar.variation_trials(&x, trials, &mut trial_rng).unwrap();
+                outs.into_iter()
+                    .flat_map(|t| t.data().to_vec())
+                    .collect::<Vec<f32>>()
+            },
+        ));
+    }
+
+    Report {
+        mode,
+        threads: backend::threads(),
+        simd: simd_active(),
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_runs_with_parity() {
+        let report = run(Mode::Smoke);
+        assert!(report.entries.len() >= 5);
+        assert!(report.entries.iter().all(|e| e.parity));
+        assert!(report.entries.iter().any(|e| e.name == "matmul_square_256"));
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"kernels\""));
+        assert!(json.contains("matmul_square_256"));
+        assert!(json.contains("speedup_vs_serial"));
+        assert!(!report.summary().is_empty());
+    }
+
+    #[test]
+    fn naive_kernels_agree_with_linalg_within_tolerance() {
+        let mut rng = XorShiftRng::new(7);
+        let a = Tensor::rand_normal(&[33, 40], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[40, 21], 0.0, 1.0, &mut rng);
+        assert!(naive_matmul(&a, &b).all_close(&linalg::matmul(&a, &b).unwrap(), 1e-4));
+        let at = Tensor::rand_normal(&[40, 33], 0.0, 1.0, &mut rng);
+        assert!(naive_matmul_tn(&at, &b).all_close(&linalg::matmul_tn(&at, &b).unwrap(), 1e-4));
+        let bt = Tensor::rand_normal(&[21, 40], 0.0, 1.0, &mut rng);
+        assert!(naive_matmul_nt(&a, &bt).all_close(&linalg::matmul_nt(&a, &bt).unwrap(), 1e-4));
+    }
+}

@@ -23,4 +23,5 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod kernel_bench;
 pub mod output;

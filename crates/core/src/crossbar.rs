@@ -1,6 +1,6 @@
 use xbar_device::{DeviceConfig, FaultMap, ProgrammingReport};
 use xbar_tensor::rng::XorShiftRng;
-use xbar_tensor::{linalg, Tensor};
+use xbar_tensor::{backend, linalg, Tensor};
 
 use crate::{decompose, remap_for_faults, Mapping, MappingError, PeripheryMatrix, RemapReport};
 
@@ -358,6 +358,37 @@ impl CrossbarArray {
         let raw = linalg::matmul_nt(x, &self.programmed).map_err(MappingError::from)?;
         self.periphery.combine(&raw)
     }
+
+    /// Monte-Carlo fan-out: evaluates `trials` freshly re-programmed
+    /// copies of this array on the same batch `X (batch × N_I)`, fanning
+    /// the trials across the compute pool. Trial `t` behaves exactly like
+    /// `{ let mut c = self.clone(); c.resample_variation(&mut rng.fork(t)); c.forward(x) }`
+    /// run serially in trial order — per-trial RNG streams are forked from
+    /// `rng` up front, so the returned outputs are bitwise identical for
+    /// any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first trial's error on input-shape or non-finite-input
+    /// failures (all trials share `x`, so all fail alike).
+    pub fn variation_trials(
+        &self,
+        x: &Tensor,
+        trials: usize,
+        rng: &mut XorShiftRng,
+    ) -> Result<Vec<Tensor>, MappingError> {
+        // Fork serially, in trial order, before going parallel: forking
+        // advances the parent stream, so this is the step that must not
+        // race.
+        let trial_rngs: Vec<XorShiftRng> = (0..trials).map(|t| rng.fork(t as u64)).collect();
+        backend::parallel_map(trial_rngs, |_, mut trial_rng| {
+            let mut chip = self.clone();
+            chip.resample_variation(&mut trial_rng);
+            chip.forward(x)
+        })
+        .into_iter()
+        .collect()
+    }
 }
 
 #[cfg(test)]
@@ -586,6 +617,31 @@ mod tests {
         for (row, col, kind) in xb.fault_map().iter_stuck() {
             assert_eq!(xb.conductances().at(&[row, col]), kind.forced_value(dev.range()));
         }
+    }
+
+    #[test]
+    fn variation_trials_match_serial_resample_loop() {
+        let w = test_w();
+        let dev = DeviceConfig::quantized_linear(4).with_variation_sigma(0.05);
+        let mut r = rng();
+        let xb = CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut r).unwrap();
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, 0.2, 0.3], &[2, 3]).unwrap();
+        let mut rng_a = XorShiftRng::new(99);
+        let got = xb.variation_trials(&x, 5, &mut rng_a).unwrap();
+        assert_eq!(got.len(), 5);
+        // Reference: the documented serial loop with the same fork order.
+        let mut rng_b = XorShiftRng::new(99);
+        let forks: Vec<_> = (0..5u64).map(|t| rng_b.fork(t)).collect();
+        for (t, mut fr) in forks.into_iter().enumerate() {
+            let mut chip = xb.clone();
+            chip.resample_variation(&mut fr);
+            let want = chip.forward(&x).unwrap();
+            assert_eq!(got[t].data(), want.data(), "trial {t}");
+        }
+        // Variation is actually redrawn between trials.
+        assert!(!got[0].all_close(&got[1], 1e-7));
+        // The parent stream advanced exactly as the serial loop's did.
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
     }
 
     #[test]

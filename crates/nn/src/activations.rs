@@ -4,7 +4,7 @@ use xbar_tensor::Tensor;
 use crate::{Layer, NnError};
 
 /// Rectified linear unit, `y = max(x, 0)`.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Relu {
     mask: Option<Vec<bool>>,
 }
@@ -17,6 +17,10 @@ impl Relu {
 }
 
 impl Layer for Relu {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn describe(&self) -> String {
         "relu".into()
     }
@@ -56,7 +60,7 @@ impl Layer for Relu {
 /// unchanged inside the clip range and zeroes them outside (the clipped-STE
 /// rule). The paper quantizes activations to 8 bits in all Fig. 5
 /// experiments — place one of these after each activation.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct QuantAct {
     bits: u8,
     limit: f32,
@@ -92,6 +96,10 @@ impl QuantAct {
 }
 
 impl Layer for QuantAct {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn describe(&self) -> String {
         format!("quant-act {}b clip {}", self.bits, self.limit)
     }
@@ -126,7 +134,7 @@ impl Layer for QuantAct {
 
 /// Flattens an NCHW tensor to `(batch, c·h·w)`; the backward pass restores
 /// the original shape.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Flatten {
     input_shape: Option<Vec<usize>>,
 }
@@ -139,6 +147,10 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn describe(&self) -> String {
         "flatten".into()
     }

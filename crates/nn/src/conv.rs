@@ -17,6 +17,7 @@ use crate::{Layer, MappedParam, NnError, WeightKind};
 ///
 /// Stride and padding are fixed at construction; the spatial geometry is
 /// derived from the first input seen and revalidated on each call.
+#[derive(Clone)]
 pub struct Conv2d {
     in_c: usize,
     out_c: usize,
@@ -29,6 +30,7 @@ pub struct Conv2d {
     cache: Option<ConvCache>,
 }
 
+#[derive(Clone)]
 struct ConvCache {
     cols: Tensor,
     w_eff: Tensor,
@@ -109,6 +111,10 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn describe(&self) -> String {
         let kind = match self.weights.mapping() {
             Some(m) => m.tag().to_string(),

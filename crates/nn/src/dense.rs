@@ -30,6 +30,7 @@ use crate::{Layer, MappedParam, NnError, WeightKind};
 /// # Ok(())
 /// # }
 /// ```
+#[derive(Clone)]
 pub struct Dense {
     weights: MappedParam,
     bias: Tensor,
@@ -89,6 +90,10 @@ impl Dense {
 }
 
 impl Layer for Dense {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn describe(&self) -> String {
         let kind = match self.weights.mapping() {
             Some(m) => m.tag().to_string(),

@@ -12,7 +12,7 @@ use crate::{Layer, NnError};
 /// have a much stronger regularization effect" (Sec. III-E) — this layer
 /// exists so that comparison can actually be run (see the
 /// `ablation_dropout` experiment binary).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Dropout {
     p: f32,
     rng: XorShiftRng,
@@ -42,6 +42,10 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn describe(&self) -> String {
         format!("dropout p={}", self.p)
     }

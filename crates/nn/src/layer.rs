@@ -19,9 +19,20 @@ use crate::{MappedParam, NnError};
 /// Layers with crossbar-mapped weights expose them through
 /// [`Layer::visit_mapped`] so experiment harnesses can apply device
 /// variation to every array in a network without knowing its structure.
-pub trait Layer {
+///
+/// Layers are `Send + Sync` plain data (no interior mutability — all
+/// mutation goes through `&mut self`), and [`Layer::clone_box`] provides a
+/// deep copy through the trait object. Together these let experiment
+/// harnesses clone a trained network per worker and fan Monte-Carlo
+/// trials across the compute pool.
+pub trait Layer: Send + Sync {
     /// Short human-readable descriptor, e.g. `"dense 128->10 [ACM]"`.
     fn describe(&self) -> String;
+
+    /// Deep-copies this layer as a boxed trait object — the object-safe
+    /// stand-in for `Clone` that makes `Box<dyn Layer>` (and therefore
+    /// [`Sequential`]) clonable.
+    fn clone_box(&self) -> Box<dyn Layer>;
 
     /// Runs the layer forward. `train` selects training behaviour
     /// (caching, batch statistics).
@@ -74,9 +85,15 @@ pub trait Layer {
 /// net.push(Relu::new());
 /// assert_eq!(net.len(), 2);
 /// ```
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.as_ref().clone_box()
+    }
 }
 
 impl Sequential {
@@ -127,6 +144,10 @@ impl std::fmt::Debug for Sequential {
 impl Layer for Sequential {
     fn describe(&self) -> String {
         format!("sequential x{}", self.layers.len())
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, NnError> {
@@ -192,6 +213,21 @@ mod tests {
         assert_eq!(y.data(), &[1.0, 0.0, 3.0, 0.0]);
         let g = net.backward(&Tensor::ones(&[2, 2])).unwrap();
         assert_eq!(g.data(), &[1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn sequential_clone_is_deep_and_independent() {
+        let mut net = Sequential::new();
+        net.push(Relu::new());
+        let mut copy = net.clone();
+        assert_eq!(copy.len(), net.len());
+        // Forward on the copy (which caches state) must leave the
+        // original able to run its own independent cycle.
+        let x = Tensor::from_vec(vec![1.0, -2.0], &[1, 2]).unwrap();
+        let y = copy.forward(&x, true).unwrap();
+        assert_eq!(y.data(), &[1.0, 0.0]);
+        let y2 = net.forward(&x, true).unwrap();
+        assert_eq!(y2.data(), y.data());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::{Layer, NnError};
 /// periphery or digitally. Training uses batch statistics and maintains
 /// running estimates; inference (`train = false`) uses the running
 /// estimates.
+#[derive(Clone)]
 pub struct BatchNorm2d {
     channels: usize,
     eps: f32,
@@ -23,6 +24,7 @@ pub struct BatchNorm2d {
     cache: Option<BnCache>,
 }
 
+#[derive(Clone)]
 struct BnCache {
     xhat: Tensor,
     inv_std: Vec<f32>,
@@ -73,6 +75,10 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn describe(&self) -> String {
         format!("batchnorm c{}", self.channels)
     }

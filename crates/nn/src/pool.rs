@@ -6,7 +6,7 @@ use xbar_tensor::Tensor;
 use crate::{Layer, NnError};
 
 /// Max pooling over `k×k` windows.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MaxPool2d {
     kernel: usize,
     stride: usize,
@@ -35,6 +35,10 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn describe(&self) -> String {
         format!("maxpool {}x{} s{}", self.kernel, self.kernel, self.stride)
     }
@@ -71,7 +75,7 @@ impl Layer for MaxPool2d {
 }
 
 /// Average pooling over `k×k` windows.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct AvgPool2d {
     kernel: usize,
     stride: usize,
@@ -95,6 +99,10 @@ impl AvgPool2d {
 }
 
 impl Layer for AvgPool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn describe(&self) -> String {
         format!("avgpool {}x{} s{}", self.kernel, self.kernel, self.stride)
     }
@@ -132,7 +140,7 @@ impl Layer for AvgPool2d {
 
 /// Global average pooling: collapses each channel's spatial map to its
 /// mean, producing `(batch, channels)` — the classifier head of ResNets.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct GlobalAvgPool {
     input_shape: Option<Vec<usize>>,
 }
@@ -145,6 +153,10 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn describe(&self) -> String {
         "global-avgpool".into()
     }

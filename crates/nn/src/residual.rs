@@ -8,6 +8,7 @@ use crate::{Layer, MappedParam, NnError, Sequential};
 /// in ResNet-20); the shortcut is the identity when `None`, or a projection
 /// pipeline (1×1 strided convolution + BN) when the block changes spatial
 /// size or channel count.
+#[derive(Clone)]
 pub struct ResidualBlock {
     body: Sequential,
     shortcut: Option<Sequential>,
@@ -35,6 +36,10 @@ impl ResidualBlock {
 }
 
 impl Layer for ResidualBlock {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn describe(&self) -> String {
         match &self.shortcut {
             Some(_) => format!("residual(project) [{} body layers]", self.body.len()),

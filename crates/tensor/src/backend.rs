@@ -1,0 +1,589 @@
+//! Parallel compute backend: a dependency-free scoped worker pool.
+//!
+//! Every hot kernel in the workspace (GEMM, im2col, pooling, Monte-Carlo
+//! trial fan-out) runs through this module. The design goals, in order:
+//!
+//! 1. **Determinism** — results are bitwise identical regardless of the
+//!    thread count. Work is split into *fixed* chunks whose boundaries
+//!    depend only on the problem size, every chunk writes a disjoint
+//!    region of the output, and per-element arithmetic is the same code
+//!    on the serial and parallel paths. Reductions over chunk results are
+//!    always performed in chunk order on the calling thread.
+//! 2. **Zero dependencies** — `std::thread` + `Mutex`/`Condvar` only, so
+//!    the workspace keeps building fully offline.
+//! 3. **Graceful degradation** — on a single-core host (or with
+//!    `XBAR_THREADS=1`) everything runs inline on the caller with no
+//!    queueing overhead.
+//!
+//! # Configuration
+//!
+//! * `XBAR_THREADS=N` caps the pool at `N` lanes (the calling thread
+//!   counts as one lane; `N = 1` is the guaranteed-serial mode). Unset, the
+//!   pool sizes itself from [`std::thread::available_parallelism`].
+//! * [`force_serial`] switches the process to serial execution at runtime
+//!   — used by the benchmark harness to time the serial baseline, and by
+//!   parity tests to compare serial and parallel results in one process.
+//!
+//! # Nested parallelism
+//!
+//! A task already running on a pool worker that calls back into a
+//! `parallel_*` helper executes its sub-work inline — workers never block
+//! on other workers, so pool-in-pool usage cannot deadlock.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A unit of queued work. Lifetime-erased to `'static`; soundness is
+/// provided by [`Pool::run_scoped`], which does not return until every
+/// task it enqueued has finished.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Counts outstanding tasks of one `run_scoped` call and captures the
+/// first panic so it can be re-thrown on the caller.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            state: Mutex::new(LatchState {
+                remaining: count,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut st = self.state.lock().unwrap();
+        st.remaining -= 1;
+        if st.panic.is_none() {
+            st.panic = panic;
+        }
+        if st.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+thread_local! {
+    /// True on pool worker threads; `run_scoped` from a worker runs inline.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Process-wide serial override (see [`force_serial`]).
+static FORCE_SERIAL: AtomicBool = AtomicBool::new(false);
+
+/// A scoped worker pool over `threads` concurrent lanes (workers plus the
+/// calling thread). Most callers want the process-wide [`global`] pool;
+/// explicit construction exists for tests and embedders.
+pub struct Pool {
+    shared: Arc<Shared>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Pool({} threads)", self.threads)
+    }
+}
+
+impl Pool {
+    /// Creates a pool with `threads` total lanes (`threads - 1` spawned
+    /// workers; the caller is the last lane). `threads <= 1` creates a
+    /// serial pool that never spawns and always runs inline.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        for w in 1..threads {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("xbar-worker-{w}"))
+                .spawn(move || {
+                    IN_WORKER.with(|f| f.set(true));
+                    loop {
+                        let job = {
+                            let mut q = shared.queue.lock().unwrap();
+                            loop {
+                                if let Some(job) = q.pop_front() {
+                                    break job;
+                                }
+                                q = shared.available.wait(q).unwrap();
+                            }
+                        };
+                        job();
+                    }
+                })
+                .expect("spawning pool worker");
+        }
+        Self { shared, threads }
+    }
+
+    /// Total concurrent lanes (including the calling thread). Always >= 1.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task to completion, using the pool workers plus the
+    /// calling thread, and returns once all have finished. Tasks may
+    /// borrow from the caller's stack (the `'scope` lifetime): none of
+    /// them outlives this call.
+    ///
+    /// Runs inline, in order, when the pool is serial, [`force_serial`] is
+    /// active, the caller is itself a pool worker (nested parallelism), or
+    /// there is at most one task.
+    ///
+    /// # Panics
+    ///
+    /// If a task panics, the panic is captured and re-thrown on the
+    /// calling thread after the remaining tasks have completed.
+    pub fn run_scoped<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if tasks.len() <= 1 || self.threads <= 1 || serial_active() {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+        let latch = Arc::new(Latch::new(tasks.len()));
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            for task in tasks {
+                // SAFETY: the job is only erased to 'static so it can sit
+                // in the queue; this function blocks until the latch
+                // reports every job finished, so no borrow in `task`
+                // outlives its referent.
+                let task: Box<dyn FnOnce() + Send + 'static> =
+                    unsafe { std::mem::transmute(task) };
+                let latch = Arc::clone(&latch);
+                q.push_back(Box::new(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                    latch.complete(result.err());
+                }));
+            }
+            self.shared.available.notify_all();
+        }
+        // The caller is a lane too: drain jobs (from any in-flight scope —
+        // helping a sibling scope is sound because *its* caller waits on
+        // its own latch) until the queue is empty, then sleep on the latch.
+        loop {
+            let job = self.shared.queue.lock().unwrap().pop_front();
+            match job {
+                Some(job) => job(),
+                None => break,
+            }
+        }
+        let mut st = latch.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = latch.done.wait(st).unwrap();
+        }
+        if let Some(payload) = st.panic.take() {
+            drop(st);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Resolves the configured lane count: `XBAR_THREADS` if set and valid,
+/// otherwise [`std::thread::available_parallelism`]. This is what the
+/// global pool is sized with on first use; later env changes have no
+/// effect on an already-built pool.
+pub fn configured_threads() -> usize {
+    match std::env::var("XBAR_THREADS") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("XBAR_THREADS={s:?} is not a positive integer; using hardware default");
+                hardware_threads()
+            }
+        },
+        Err(_) => hardware_threads(),
+    }
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The process-wide pool, created on first use from `XBAR_THREADS` /
+/// available parallelism.
+pub fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool::new(configured_threads()))
+}
+
+/// Total concurrent lanes of the global pool.
+pub fn threads() -> usize {
+    global().threads()
+}
+
+/// Switches the whole process to guaranteed-serial execution (`on =
+/// true`) or back to pooled execution (`on = false`). Parallel helpers
+/// observe the flag at entry. Because every kernel is
+/// thread-count-invariant, toggling this changes wall-clock only, never
+/// results — which is exactly what the benchmark harness and the parity
+/// tests rely on.
+pub fn force_serial(on: bool) {
+    FORCE_SERIAL.store(on, Ordering::SeqCst);
+}
+
+/// Whether execution is currently serial: forced via [`force_serial`], or
+/// running on a pool worker (nested parallelism runs inline).
+pub fn serial_active() -> bool {
+    FORCE_SERIAL.load(Ordering::SeqCst) || IN_WORKER.with(std::cell::Cell::get)
+}
+
+/// How many tasks to split `n_items` into: enough to load every lane with
+/// a little slack for imbalance, never more than the item count. The task
+/// count influences scheduling only — results are chunk-invariant — so it
+/// may depend on the lane count without breaking determinism.
+fn task_count(n_items: usize) -> usize {
+    n_items.min(threads().saturating_mul(3))
+}
+
+/// Runs `f` over disjoint sub-ranges covering `0..n`. Ranges are multiples
+/// of `grain` items (the last may be short); `f` must only touch state
+/// owned by its range. Runs `f(0..n)` inline when serial or when the work
+/// is one grain or less.
+pub fn parallel_for<F>(n: usize, grain: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let grain = grain.max(1);
+    let n_chunks = n.div_ceil(grain);
+    if n == 0 {
+        return;
+    }
+    if n_chunks <= 1 || global().threads() <= 1 || serial_active() {
+        f(0..n);
+        return;
+    }
+    // Group whole grains into one task per lane-slot.
+    let groups = task_count(n_chunks);
+    let grains_per_group = n_chunks.div_ceil(groups);
+    let step = grains_per_group * grain;
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..n.div_ceil(step))
+        .map(|g| {
+            let start = g * step;
+            let end = (start + step).min(n);
+            Box::new(move || f(start..end)) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    global().run_scoped(tasks);
+}
+
+/// Splits `data` into consecutive `chunk_len`-sized pieces (the last may
+/// be short) and runs `f(chunk_index, chunk)` for each, in parallel.
+/// Chunk boundaries depend only on `chunk_len`, so any per-chunk
+/// computation that matches the serial loop is bitwise reproducible.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` while `data` is non-empty.
+pub fn parallel_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(chunk_len > 0, "parallel_chunks_mut: chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    if n_chunks <= 1 || global().threads() <= 1 || serial_active() {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let groups = task_count(n_chunks);
+    let chunks_per_group = n_chunks.div_ceil(groups);
+    let f = &f;
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(groups);
+    let mut rest = data;
+    let mut base = 0usize;
+    while !rest.is_empty() {
+        let take = (chunks_per_group * chunk_len).min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        rest = tail;
+        let first_chunk = base;
+        tasks.push(Box::new(move || {
+            for (i, chunk) in head.chunks_mut(chunk_len).enumerate() {
+                f(first_chunk + i, chunk);
+            }
+        }));
+        base += take.div_ceil(chunk_len);
+    }
+    global().run_scoped(tasks);
+}
+
+/// Applies `f(index, item)` to every item, in parallel, preserving input
+/// order in the returned vector. The reduction (vector assembly) happens
+/// in index order, so `parallel_map(v, f)` equals the serial
+/// `v.into_iter().map(f).collect()` whenever each `f(i, item)` is
+/// independent of the others.
+pub fn parallel_map<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(usize, I) -> R + Sync,
+{
+    parallel_map_with(|| (), items, |(), i, item| f(i, item))
+}
+
+/// Like [`parallel_map`], but each task first builds a private scratch
+/// state with `make_state` (e.g. a cloned network for Monte-Carlo trials)
+/// that is reused across the items of that task. `f` must leave the state
+/// equivalent to fresh after each item — results must not depend on how
+/// items are grouped into tasks, which is also what keeps the output
+/// thread-count-invariant.
+pub fn parallel_map_with<S, I, R, MK, F>(make_state: MK, items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    MK: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, I) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 || global().threads() <= 1 || serial_active() {
+        let mut state = make_state();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut state, i, item))
+            .collect();
+    }
+    let groups = task_count(n);
+    let per_group = n.div_ceil(groups);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    {
+        let f = &f;
+        let make_state = &make_state;
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(groups);
+        let mut item_groups: Vec<Vec<I>> = Vec::with_capacity(groups);
+        let mut items = items;
+        while !items.is_empty() {
+            let tail = items.split_off(per_group.min(items.len()));
+            item_groups.push(std::mem::replace(&mut items, tail));
+        }
+        for (gi, (group, out)) in item_groups
+            .into_iter()
+            .zip(slots.chunks_mut(per_group))
+            .enumerate()
+        {
+            let base = gi * per_group;
+            tasks.push(Box::new(move || {
+                let mut state = make_state();
+                for ((off, item), slot) in group.into_iter().enumerate().zip(out.iter_mut()) {
+                    *slot = Some(f(&mut state, base + off, item));
+                }
+            }));
+        }
+        global().run_scoped(tasks);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("parallel_map task filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn serial_pool_runs_inline_in_order() {
+        let pool = Pool::new(1);
+        let order = Mutex::new(Vec::new());
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|i| {
+                let order = &order;
+                Box::new(move || order.lock().unwrap().push(i)) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_scoped(tasks);
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pool_executes_all_tasks() {
+        let pool = Pool::new(4);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..64)
+            .map(|_| {
+                let counter = &counter;
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_scoped(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn scoped_borrow_of_stack_data() {
+        let pool = Pool::new(3);
+        let mut data = vec![0u64; 97];
+        {
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+            for (i, chunk) in data.chunks_mut(10).enumerate() {
+                tasks.push(Box::new(move || {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = (i * 10 + j) as u64;
+                    }
+                }));
+            }
+            pool.run_scoped(tasks);
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn panic_in_task_propagates_after_completion() {
+        let pool = Pool::new(2);
+        let done = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+                .map(|i| {
+                    let done = &done;
+                    Box::new(move || {
+                        if i == 3 {
+                            panic!("boom");
+                        }
+                        done.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_scoped(tasks);
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        assert_eq!(done.load(Ordering::SeqCst), 7, "surviving tasks all ran");
+    }
+
+    #[test]
+    fn parallel_for_covers_range_once() {
+        let n = 1013;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(n, 64, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn parallel_for_empty_and_single() {
+        parallel_for(0, 8, |_| panic!("must not be called"));
+        let hits = AtomicUsize::new(0);
+        parallel_for(3, 8, |r| {
+            assert_eq!(r, 0..3);
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn parallel_chunks_mut_indexes_match_serial() {
+        let mut par = vec![0u32; 257];
+        parallel_chunks_mut(&mut par, 10, |i, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 1000 + j) as u32;
+            }
+        });
+        let mut ser = vec![0u32; 257];
+        for (i, chunk) in ser.chunks_mut(10).enumerate() {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 1000 + j) as u32;
+            }
+        }
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..533).collect();
+        let out = parallel_map(items, |i, x| {
+            assert_eq!(i, x);
+            x * 2 + 1
+        });
+        assert_eq!(out, (0..533).map(|x| x * 2 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_with_builds_state_per_task() {
+        let builds = AtomicUsize::new(0);
+        let out = parallel_map_with(
+            || {
+                builds.fetch_add(1, Ordering::SeqCst);
+                0usize
+            },
+            (0..40).collect::<Vec<usize>>(),
+            |scratch, _i, x| {
+                *scratch += 1; // scratch usage must not leak into results
+                x + 1
+            },
+        );
+        assert_eq!(out, (1..=40).collect::<Vec<_>>());
+        assert!(builds.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn nested_parallel_for_runs_inline_without_deadlock() {
+        // A parallel_for body that itself calls parallel_for: the inner
+        // call must run inline on the worker rather than re-entering the
+        // pool (which could deadlock a fully-busy pool).
+        let n = 64;
+        let hits: Vec<AtomicUsize> = (0..n * n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(n, 1, |outer| {
+            for i in outer {
+                parallel_for(n, 1, |inner| {
+                    for j in inner {
+                        hits[i * n + j].fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn force_serial_round_trip() {
+        assert!(!serial_active());
+        force_serial(true);
+        assert!(serial_active());
+        let hits = AtomicUsize::new(0);
+        parallel_for(100, 1, |r| {
+            // Forced-serial: a single inline call over the whole range.
+            assert_eq!(r, 0..100);
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        force_serial(false);
+        assert!(!serial_active());
+    }
+}

@@ -9,7 +9,7 @@
 //! which is why the mapped convolution layers in `xbar-nn` reuse these
 //! kernels unchanged.
 
-use crate::{linalg, ShapeError, Tensor};
+use crate::{backend, linalg, ShapeError, Tensor};
 
 /// Spatial geometry of a convolution or pooling operation.
 ///
@@ -105,10 +105,13 @@ pub fn im2col(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor, ShapeError>
     let mut cols = Tensor::zeros(&[rows, k]);
     let src = input.data();
     let dst = cols.data_mut();
-    for ni in 0..n {
+    // Sample `ni` owns the contiguous destination block of
+    // `out_h·out_w·k` floats, so batch parallelism is a disjoint-chunk
+    // split; each chunk runs the identical per-sample loop.
+    backend::parallel_chunks_mut(dst, geom.out_h * geom.out_w * k, |ni, block| {
         for oh in 0..geom.out_h {
             for ow in 0..geom.out_w {
-                let row = ((ni * geom.out_h + oh) * geom.out_w + ow) * k;
+                let row = (oh * geom.out_w + ow) * k;
                 let ih0 = (oh * geom.stride) as isize - geom.pad as isize;
                 let iw0 = (ow * geom.stride) as isize - geom.pad as isize;
                 for ci in 0..c {
@@ -125,13 +128,13 @@ pub fn im2col(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor, ShapeError>
                             if iw < 0 || iw >= w as isize {
                                 continue;
                             }
-                            dst[dst_base + kw] = src[src_row + iw as usize];
+                            block[dst_base + kw] = src[src_row + iw as usize];
                         }
                     }
                 }
             }
         }
-    }
+    });
     Ok(cols)
 }
 
@@ -155,14 +158,17 @@ pub fn col2im(cols: &Tensor, n: usize, c: usize, geom: &ConvGeometry) -> Result<
     let mut out = Tensor::zeros(&[n, c, h, w]);
     let src = cols.data();
     let dst = out.data_mut();
-    for ni in 0..n {
+    // Sample `ni` scatter-adds exclusively into its own `c·h·w` output
+    // plane, and the within-sample accumulation order is unchanged from
+    // the serial loop, so the batch split is deterministic.
+    backend::parallel_chunks_mut(dst, c * h * w, |ni, planes| {
         for oh in 0..geom.out_h {
             for ow in 0..geom.out_w {
                 let row = ((ni * geom.out_h + oh) * geom.out_w + ow) * k;
                 let ih0 = (oh * geom.stride) as isize - geom.pad as isize;
                 let iw0 = (ow * geom.stride) as isize - geom.pad as isize;
                 for ci in 0..c {
-                    let plane = (ni * c + ci) * h * w;
+                    let plane = ci * h * w;
                     for kh in 0..geom.k_h {
                         let ih = ih0 + kh as isize;
                         if ih < 0 || ih >= h as isize {
@@ -175,13 +181,13 @@ pub fn col2im(cols: &Tensor, n: usize, c: usize, geom: &ConvGeometry) -> Result<
                             if iw < 0 || iw >= w as isize {
                                 continue;
                             }
-                            dst[dst_row + iw as usize] += src[src_base + kw];
+                            planes[dst_row + iw as usize] += src[src_base + kw];
                         }
                     }
                 }
             }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -299,8 +305,17 @@ pub fn maxpool2d_forward(
     let mut idx = vec![0usize; out.len()];
     let src = input.data();
     let dst = out.data_mut();
-    let mut o = 0;
-    for ni in 0..n {
+    // Batch-parallel: zip each sample's output block with its index block
+    // (both are `c·out_h·out_w` long) so every task owns disjoint slices.
+    let sample = c * geom.out_h * geom.out_w;
+    let work: Vec<(usize, &mut [f32], &mut [usize])> = dst
+        .chunks_mut(sample.max(1))
+        .zip(idx.chunks_mut(sample.max(1)))
+        .enumerate()
+        .map(|(ni, (d, ix))| (ni, d, ix))
+        .collect();
+    backend::parallel_map(work, |_, (ni, d, ix)| {
+        let mut o = 0;
         for ci in 0..c {
             let plane = (ni * c + ci) * h * w;
             for oh in 0..geom.out_h {
@@ -326,13 +341,13 @@ pub fn maxpool2d_forward(
                             }
                         }
                     }
-                    dst[o] = best;
-                    idx[o] = best_at;
+                    d[o] = best;
+                    ix[o] = best_at;
                     o += 1;
                 }
             }
         }
-    }
+    });
     Ok((out, idx))
 }
 
@@ -355,8 +370,27 @@ pub fn maxpool2d_backward(
     }
     let mut grad_in = Tensor::zeros(input_shape);
     let dst = grad_in.data_mut();
-    for (&g, &at) in grad_out.data().iter().zip(indices) {
-        dst[at] += g;
+    let god = grad_out.data();
+    // For the NCHW case, sample `ni` scatters only into its own input
+    // plane (forward indices are always in-sample), so the batch split is
+    // race-free. Non-4-D shapes fall back to the serial loop.
+    let n = input_shape.first().copied().unwrap_or(0);
+    if input_shape.len() == 4 && n > 0 && god.len().is_multiple_of(n) && !dst.is_empty() {
+        let plane = input_shape[1] * input_shape[2] * input_shape[3];
+        let per = god.len() / n;
+        backend::parallel_chunks_mut(dst, plane, |ni, chunk| {
+            let base = ni * plane;
+            for (&g, &at) in god[ni * per..(ni + 1) * per]
+                .iter()
+                .zip(&indices[ni * per..(ni + 1) * per])
+            {
+                chunk[at - base] += g;
+            }
+        });
+    } else {
+        for (&g, &at) in god.iter().zip(indices) {
+            dst[at] += g;
+        }
     }
     Ok(grad_in)
 }
@@ -378,8 +412,9 @@ pub fn avgpool2d_forward(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor, 
     let mut out = Tensor::zeros(&[n, c, geom.out_h, geom.out_w]);
     let src = input.data();
     let dst = out.data_mut();
-    let mut o = 0;
-    for ni in 0..n {
+    // Batch-parallel over each sample's `c·out_h·out_w` output block.
+    backend::parallel_chunks_mut(dst, (c * geom.out_h * geom.out_w).max(1), |ni, block| {
+        let mut o = 0;
         for ci in 0..c {
             let plane = (ni * c + ci) * h * w;
             for oh in 0..geom.out_h {
@@ -402,12 +437,12 @@ pub fn avgpool2d_forward(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor, 
                             count += 1;
                         }
                     }
-                    dst[o] = if count > 0 { acc / count as f32 } else { 0.0 };
+                    block[o] = if count > 0 { acc / count as f32 } else { 0.0 };
                     o += 1;
                 }
             }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -434,10 +469,13 @@ pub fn avgpool2d_backward(
     let mut grad_in = Tensor::zeros(&[n, c, h, w]);
     let src = grad_out.data();
     let dst = grad_in.data_mut();
-    let mut o = 0;
-    for ni in 0..n {
+    // Batch-parallel: sample `ni` reads its own `c·out_h·out_w` gradient
+    // block and writes its own `c·h·w` input plane.
+    let out_block = c * geom.out_h * geom.out_w;
+    backend::parallel_chunks_mut(dst, (c * h * w).max(1), |ni, planes| {
+        let mut o = ni * out_block;
         for ci in 0..c {
-            let plane = (ni * c + ci) * h * w;
+            let plane = ci * h * w;
             for oh in 0..geom.out_h {
                 for ow in 0..geom.out_w {
                     let ih0 = (oh * geom.stride) as isize - geom.pad as isize;
@@ -459,14 +497,14 @@ pub fn avgpool2d_backward(
                     if !in_bounds.is_empty() {
                         let share = src[o] / in_bounds.len() as f32;
                         for at in in_bounds {
-                            dst[at] += share;
+                            planes[at] += share;
                         }
                     }
                     o += 1;
                 }
             }
         }
-    }
+    });
     Ok(grad_in)
 }
 

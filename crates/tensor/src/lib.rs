@@ -7,9 +7,11 @@
 //!
 //! * [`Tensor`] — an owned, row-major, N-dimensional `f32` array with
 //!   shape-checked elementwise arithmetic and reductions;
-//! * [`linalg`] — blocked matrix multiplication kernels (plain, transposed
-//!   operands, and GEMV) tuned for the single-core simulation workloads in
-//!   this workspace;
+//! * [`backend`] — a dependency-free scoped worker pool (`XBAR_THREADS`,
+//!   guaranteed-serial mode) with a strict determinism contract: every
+//!   parallel kernel is bitwise identical to its serial execution;
+//! * [`linalg`] — cache-blocked, SIMD-accelerated, row-parallel matrix
+//!   multiplication kernels (plain, transposed operands, and GEMV);
 //! * [`conv`] — `im2col`/`col2im` based 2-D convolution and pooling
 //!   forward/backward kernels;
 //! * [`rng`] — a small deterministic xorshift PRNG so every experiment in
@@ -33,12 +35,15 @@
 #![deny(missing_docs)]
 
 mod error;
+mod gemm;
 mod tensor;
 
+pub mod backend;
 pub mod conv;
 pub mod init;
 pub mod linalg;
 pub mod rng;
 
 pub use error::ShapeError;
+pub use gemm::simd_active;
 pub use tensor::Tensor;

@@ -1,12 +1,14 @@
 //! Matrix multiplication kernels.
 //!
-//! All kernels operate on 2-D [`Tensor`]s and are written in the `ikj` loop
-//! order (accumulating into the output row) so the inner loop streams
-//! contiguously through both the right operand and the output — the cache
-//! behaviour that matters on the single-core simulation machines this
-//! workspace targets.
+//! All kernels operate on 2-D [`Tensor`]s. The three matmul variants are
+//! thin shape-checking wrappers over the shared cache-blocked GEMM engine
+//! in `gemm` (packed panels, SIMD micro-kernel where available, row-range
+//! parallelism via [`crate::backend`]); sub-threshold problems fall back
+//! to simple streaming loops. All kernels honour the backend's
+//! determinism contract: results are bitwise identical for any thread
+//! count, including the forced-serial mode.
 
-use crate::{ShapeError, Tensor};
+use crate::{backend, gemm, ShapeError, Tensor};
 
 fn expect_2d(op: &'static str, t: &Tensor) -> Result<(usize, usize), ShapeError> {
     if t.ndim() != 2 {
@@ -48,21 +50,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
         ));
     }
     let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    let od = out.data_mut();
-    for i in 0..m {
-        let arow = &ad[i * ka..(i + 1) * ka];
-        let orow = &mut od[i * n..(i + 1) * n];
-        for (p, &aval) in arow.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            for (o, &bval) in orow.iter_mut().zip(brow) {
-                *o += aval * bval;
-            }
-        }
-    }
+    gemm::gemm(false, false, a.data(), b.data(), out.data_mut(), m, ka, n);
     Ok(out)
 }
 
@@ -83,21 +71,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
         ));
     }
     let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    let od = out.data_mut();
-    for p in 0..ka {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for (i, &aval) in arow.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
-            }
-            let orow = &mut od[i * n..(i + 1) * n];
-            for (o, &bval) in orow.iter_mut().zip(brow) {
-                *o += aval * bval;
-            }
-        }
-    }
+    gemm::gemm(true, false, a.data(), b.data(), out.data_mut(), m, ka, n);
     Ok(out)
 }
 
@@ -118,19 +92,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
         ));
     }
     let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.data(), b.data());
-    let od = out.data_mut();
-    for i in 0..m {
-        let arow = &ad[i * ka..(i + 1) * ka];
-        for j in 0..n {
-            let brow = &bd[j * kb..(j + 1) * kb];
-            let mut acc = 0.0_f32;
-            for (&x, &y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            od[i * n + j] = acc;
-        }
-    }
+    gemm::gemm(false, true, a.data(), b.data(), out.data_mut(), m, ka, n);
     Ok(out)
 }
 
@@ -152,10 +114,18 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor, ShapeError> {
     let mut out = Tensor::zeros(&[m]);
     let (ad, xd) = (a.data(), x.data());
     let od = out.data_mut();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        od[i] = arow.iter().zip(xd).map(|(&a, &b)| a * b).sum();
-    }
+    // Row-parallel with enough rows per task to amortise dispatch. The
+    // per-row expression is unchanged from the original serial kernel, so
+    // each output element is bitwise identical regardless of the split.
+    let rows_per_task = (16 * 1024 / k.max(1)).max(1);
+    backend::parallel_chunks_mut(od, rows_per_task, |ci, chunk| {
+        let base = ci * rows_per_task;
+        for (off, o) in chunk.iter_mut().enumerate() {
+            let i = base + off;
+            let arow = &ad[i * k..(i + 1) * k];
+            *o = arow.iter().zip(xd).map(|(&a, &b)| a * b).sum();
+        }
+    });
     Ok(out)
 }
 
@@ -338,6 +308,47 @@ mod tests {
         // ACM-style periphery: rows (1,-1,0), (0,1,-1) — rank 2.
         let s = Tensor::from_vec(vec![1.0, -1.0, 0.0, 0.0, 1.0, -1.0], &[2, 3]).unwrap();
         assert_eq!(rank(&s, 1e-6).unwrap(), 2);
+    }
+
+    #[test]
+    fn matmul_propagates_inf_through_zero_rows() {
+        // Regression: the old kernels skipped `aval == 0.0`, silently
+        // turning `0 · ±Inf` (NaN by IEEE 754) into 0. A zero row in A
+        // against a B containing Inf must now yield NaN everywhere the
+        // Inf participates.
+        let a = Tensor::zeros(&[2, 3]);
+        let mut b = Tensor::ones(&[3, 4]);
+        b.data_mut()[4 + 2] = f32::INFINITY;
+        let c = matmul(&a, &b).unwrap();
+        for i in 0..2 {
+            assert!(c.at(&[i, 2]).is_nan(), "0 * Inf must give NaN");
+            assert_eq!(c.at(&[i, 0]), 0.0);
+        }
+        // Same contract for the TN variant (shared-dim-major loops).
+        let at = Tensor::zeros(&[3, 2]);
+        let ct = matmul_tn(&at, &b).unwrap();
+        for i in 0..2 {
+            assert!(ct.at(&[i, 2]).is_nan());
+        }
+        // And NT: B is (n, k) with an Inf in the shared dimension.
+        let mut bt = Tensor::ones(&[4, 3]);
+        bt.data_mut()[2 * 3 + 1] = f32::INFINITY;
+        let cnt = matmul_nt(&a, &bt).unwrap();
+        for i in 0..2 {
+            assert!(cnt.at(&[i, 2]).is_nan());
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_reference_on_unroll_remainders() {
+        // k values around the 4-way unroll boundary of the NT small path.
+        let mut rng = XorShiftRng::new(27);
+        for &k in &[1usize, 2, 3, 4, 5, 7, 8, 9] {
+            let a = Tensor::rand_normal(&[3, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal(&[5, k], 0.0, 1.0, &mut rng);
+            let expected = matmul(&a, &b.transpose().unwrap()).unwrap();
+            assert!(matmul_nt(&a, &b).unwrap().all_close(&expected, 1e-4), "k={k}");
+        }
     }
 
     #[test]
