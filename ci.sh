@@ -6,6 +6,9 @@ set -eu
 
 cd "$(dirname "$0")"
 
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release
 
@@ -20,5 +23,25 @@ echo "==> bench_kernels --smoke (parity + BENCH_kernels.json)"
 # Tiny sizes; asserts serial==parallel bitwise on every entry and refreshes
 # BENCH_kernels.json (the 256^3 headline square is measured in smoke too).
 cargo run --release -p xbar-bench --bin bench_kernels -- --smoke
+
+echo "==> sweep kill/resume smoke (byte-identical resumed output)"
+# A tiny sweep run straight through, then again but aborted (simulated
+# kill -9) after the first journaled cell and resumed from the journal.
+# The two output files must be byte-identical.
+SWEEP_TMP=$(mktemp -d)
+trap 'rm -rf "$SWEEP_TMP"' EXIT
+SWEEP_ARGS="--net lenet --tiny --bits 2 --sigmas 0,0.1 --samples 2 --epochs 1 --train 40 --test 20"
+# shellcheck disable=SC2086  # SWEEP_ARGS is intentionally word-split
+cargo run --release -p xbar-bench --bin sweep -- $SWEEP_ARGS \
+    --out "$SWEEP_TMP/full.json"
+# shellcheck disable=SC2086
+cargo run --release -p xbar-bench --bin sweep -- $SWEEP_ARGS \
+    --journal "$SWEEP_TMP/j.jsonl" --abort-after-cells 1 \
+    --out "$SWEEP_TMP/unused.json" || true  # aborts by design
+# shellcheck disable=SC2086
+cargo run --release -p xbar-bench --bin sweep -- $SWEEP_ARGS \
+    --journal "$SWEEP_TMP/j.jsonl" --resume --out "$SWEEP_TMP/resumed.json"
+cmp "$SWEEP_TMP/full.json" "$SWEEP_TMP/resumed.json"
+echo "    resumed output byte-identical"
 
 echo "CI OK"

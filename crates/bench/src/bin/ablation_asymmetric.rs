@@ -13,20 +13,24 @@
 //! ```
 
 use xbar_bench::cli::Args;
+use xbar_bench::error::{exit_on_error, BenchError};
 use xbar_bench::experiments::{ModelType, NetKind, Setup};
 use xbar_bench::output::{pct, ResultsTable};
 use xbar_device::{DeviceConfig, UpdateModel};
 use xbar_models::ModelScale;
 
 fn main() {
-    let args = Args::from_env();
-    let bits: u8 = args.get("bits", 4);
-    let nu: f32 = args.get("nu", 5.0);
+    exit_on_error(run(Args::from_env()));
+}
+
+fn run(args: Args) -> Result<(), BenchError> {
+    let bits: u8 = args.try_get("bits", 4)?;
+    let nu: f32 = args.try_get("nu", 5.0)?;
     let mut setup = Setup::new(NetKind::Lenet);
-    setup.epochs = args.get("epochs", 10);
-    setup.train_n = args.get("train", 1000);
-    setup.test_n = args.get("test", 300);
-    setup.seed = args.get("seed", setup.seed);
+    setup.epochs = args.try_get("epochs", 10)?;
+    setup.train_n = args.try_get("train", 1000)?;
+    setup.test_n = args.try_get("test", 300)?;
+    setup.seed = args.try_get("seed", setup.seed)?;
     if args.has("tiny") {
         setup.scale = ModelScale::Tiny;
     }
@@ -53,7 +57,7 @@ fn main() {
     for (name, device) in devices {
         let mut row = vec![name.to_string()];
         for model in ModelType::MAPPED {
-            let hist = setup.train_model(model, device, &data).expect("training failed");
+            let hist = setup.train_model(model, device, &data)?;
             let err = hist.best_test_acc().map_or(100.0, |a| 100.0 * (1.0 - a));
             row.push(pct(err));
         }
@@ -64,4 +68,5 @@ fn main() {
         "expectation: asymmetric >= symmetric >= linear error for every mapping; \
          the gap quantifies what the paper's symmetric assumption isolates away"
     );
+    Ok(())
 }

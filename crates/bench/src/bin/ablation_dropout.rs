@@ -13,37 +13,65 @@
 //! ```
 
 use xbar_bench::cli::Args;
+use xbar_bench::error::{exit_on_error, BenchError};
 use xbar_bench::output::{pct, ResultsTable};
 use xbar_core::Mapping;
 use xbar_data::SyntheticMnist;
 use xbar_device::DeviceConfig;
-use xbar_nn::{evaluate, train, Dense, Dropout, Flatten, Layer, Relu, Sequential, TrainConfig, WeightKind};
+use xbar_nn::{
+    evaluate, train, Dense, Dropout, Flatten, Layer, NnError, Relu, Sequential, TrainConfig,
+    WeightKind,
+};
 use xbar_tensor::rng::XorShiftRng;
 
-fn build_mlp(mapping: Mapping, bits: u8, dropout: Option<f32>, seed: u64) -> Sequential {
+fn build_mlp(
+    mapping: Mapping,
+    bits: u8,
+    dropout: Option<f32>,
+    seed: u64,
+) -> Result<Sequential, NnError> {
     let device = DeviceConfig::quantized_linear(bits);
     let mut rng = XorShiftRng::new(seed);
     let mut net = Sequential::new();
     net.push(Flatten::new());
-    net.push(Dense::new(256, 32, WeightKind::Mapped(mapping), device, &mut rng).unwrap());
+    net.push(Dense::new(
+        256,
+        32,
+        WeightKind::Mapped(mapping),
+        device,
+        &mut rng,
+    )?);
     net.push(Relu::new());
     if let Some(p) = dropout {
         net.push(Dropout::new(p, seed ^ 0xD0));
     }
-    net.push(Dense::new(32, 10, WeightKind::Mapped(mapping), device, &mut rng).unwrap());
-    net
+    net.push(Dense::new(
+        32,
+        10,
+        WeightKind::Mapped(mapping),
+        device,
+        &mut rng,
+    )?);
+    Ok(net)
 }
 
 fn main() {
-    let args = Args::from_env();
-    let bits: u8 = args.get("bits", 3);
-    let samples: usize = args.get("samples", 10);
-    let epochs: usize = args.get("epochs", 10);
-    let p: f32 = args.get("p", 0.25);
-    let seed: u64 = args.get("seed", 0xD20u64);
+    exit_on_error(run(Args::from_env()));
+}
+
+fn run(args: Args) -> Result<(), BenchError> {
+    let bits: u8 = args.try_get("bits", 3)?;
+    let samples: usize = args.try_get("samples", 10)?;
+    let epochs: usize = args.try_get("epochs", 10)?;
+    let p: f32 = args.try_get("p", 0.25)?;
+    let seed: u64 = args.try_get("seed", 0xD20u64)?;
 
     eprintln!("dropout-vs-ACM-regularization ablation: {bits}-bit MLP, p={p}");
-    let data = SyntheticMnist::builder().train(1000).test(300).seed(seed).build();
+    let data = SyntheticMnist::builder()
+        .train(1000)
+        .test(300)
+        .seed(seed)
+        .build();
     let tc = TrainConfig {
         epochs,
         batch_size: 32,
@@ -51,36 +79,38 @@ fn main() {
         lr_decay: 0.93,
         seed,
         verbose: false,
+        ..TrainConfig::default()
     };
 
-    let mut table =
-        ResultsTable::new(&["config", "clean-acc%", "acc@10%var", "acc@20%var"]);
+    let mut table = ResultsTable::new(&["config", "clean-acc%", "acc@10%var", "acc@20%var"]);
     for (label, mapping, drop) in [
         ("DE", Mapping::DoubleElement, None),
         ("DE+dropout", Mapping::DoubleElement, Some(p)),
         ("ACM", Mapping::Acm, None),
         ("ACM+dropout", Mapping::Acm, Some(p)),
     ] {
-        let mut net = build_mlp(mapping, bits, drop, seed);
-        train(&mut net, data.train.as_split(), Some(data.test.as_split()), &tc)
-            .expect("training failed");
-        let (_, clean) =
-            evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
-        let mut noisy_acc = |sigma: f32| {
+        let mut net = build_mlp(mapping, bits, drop, seed)?;
+        train(
+            &mut net,
+            data.train.as_split(),
+            Some(data.test.as_split()),
+            &tc,
+        )?;
+        let (_, clean) = evaluate(&mut net, data.test.features(), data.test.labels(), 32)?;
+        let mut noisy_acc = |sigma: f32| -> Result<f32, NnError> {
             let mut rng = XorShiftRng::new(seed ^ 0xAB);
             let mut total = 0.0;
             for s in 0..samples {
                 let mut sr = rng.fork(s as u64);
                 net.visit_mapped(&mut |prm| prm.apply_variation(sigma, &mut sr));
-                let (_, acc) =
-                    evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
+                let result = evaluate(&mut net, data.test.features(), data.test.labels(), 32);
                 net.visit_mapped(&mut |prm| prm.clear_variation());
-                total += acc;
+                total += result?.1;
             }
-            total / samples as f32
+            Ok(total / samples as f32)
         };
-        let a10 = noisy_acc(0.10);
-        let a20 = noisy_acc(0.20);
+        let a10 = noisy_acc(0.10)?;
+        let a20 = noisy_acc(0.20)?;
         table.push(vec![
             label.to_string(),
             pct(100.0 * clean),
@@ -89,4 +119,5 @@ fn main() {
         ]);
     }
     table.print(args.has("csv"));
+    Ok(())
 }

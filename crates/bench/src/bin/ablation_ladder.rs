@@ -14,6 +14,7 @@
 //! ```
 
 use xbar_bench::cli::Args;
+use xbar_bench::error::{exit_on_error, BenchError};
 use xbar_bench::experiments::{ModelType, NetKind, Setup};
 use xbar_bench::output::{pct, ResultsTable};
 use xbar_device::{DeviceConfig, UpdateModel};
@@ -21,17 +22,20 @@ use xbar_nn::{evaluate, Layer};
 use xbar_tensor::Tensor;
 
 fn main() {
-    let args = Args::from_env();
-    let nu: f32 = args.get("nu", 5.0);
+    exit_on_error(run(Args::from_env()));
+}
+
+fn run(args: Args) -> Result<(), BenchError> {
+    let nu: f32 = args.try_get("nu", 5.0)?;
     let mut setup = Setup::new(NetKind::Lenet);
-    setup.epochs = args.get("epochs", 10);
-    setup.train_n = args.get("train", 1000);
-    setup.test_n = args.get("test", 300);
-    setup.seed = args.get("seed", setup.seed);
+    setup.epochs = args.try_get("epochs", 10)?;
+    setup.train_n = args.try_get("train", 1000)?;
+    setup.test_n = args.try_get("test", 300)?;
+    setup.seed = args.try_get("seed", setup.seed)?;
     if args.has("tiny") {
         setup.scale = xbar_models::ModelScale::Tiny;
     }
-    let bits_list: Vec<u8> = match args.get::<i64>("bits", -1) {
+    let bits_list: Vec<u8> = match args.try_get::<i64>("bits", -1)? {
         -1 => vec![2, 3, 4, 6],
         b => vec![b as u8],
     };
@@ -57,25 +61,32 @@ fn main() {
             .build();
         let mut row = vec![bits.to_string()];
         for model in ModelType::MAPPED {
-            let (mut net, _) = setup
-                .train_model_keep(model, device, &data)
-                .expect("training failed");
-            let (_, uni_acc) =
-                evaluate(&mut net, data.test.features(), data.test.labels(), setup.batch)
-                    .expect("eval failed");
+            let (mut net, _) = setup.train_model_keep(model, device, &data)?;
+            let (_, uni_acc) = evaluate(
+                &mut net,
+                data.test.features(),
+                data.test.labels(),
+                setup.batch,
+            )?;
             // Redeploy: snap every trained conductance onto the ladder by
             // overriding with the ladder-snapped shadow (variation
             // override doubles as a deployment-override mechanism).
             net.visit_mapped(&mut |p| {
-                let snapped: Vec<f32> =
-                    p.shadow().data().iter().map(|&g| ladder_dev.snap(g)).collect();
-                let t = Tensor::from_vec(snapped, p.shadow().shape())
-                    .expect("same shape");
+                let snapped: Vec<f32> = p
+                    .shadow()
+                    .data()
+                    .iter()
+                    .map(|&g| ladder_dev.snap(g))
+                    .collect();
+                let t = Tensor::from_vec(snapped, p.shadow().shape()).expect("same shape");
                 p.set_inference_override(t);
             });
-            let (_, ladder_acc) =
-                evaluate(&mut net, data.test.features(), data.test.labels(), setup.batch)
-                    .expect("eval failed");
+            let (_, ladder_acc) = evaluate(
+                &mut net,
+                data.test.features(),
+                data.test.labels(),
+                setup.batch,
+            )?;
             net.visit_mapped(&mut |p| p.clear_variation());
             row.push(pct(100.0 * uni_acc));
             row.push(pct(100.0 * ladder_acc));
@@ -83,4 +94,5 @@ fn main() {
         table.push(row);
     }
     table.print(args.has("csv"));
+    Ok(())
 }

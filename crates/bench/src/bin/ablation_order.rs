@@ -10,6 +10,7 @@
 //! ```
 
 use xbar_bench::cli::Args;
+use xbar_bench::error::{exit_on_error, BenchError};
 use xbar_bench::experiments::{ModelType, NetKind, Setup};
 use xbar_bench::output::{pct, ResultsTable};
 use xbar_core::Mapping;
@@ -25,21 +26,22 @@ fn permute_labels(d: &Dataset, perm: &[usize]) -> Dataset {
 }
 
 fn main() {
-    let args = Args::from_env();
-    let bits: u8 = args.get("bits", 3);
-    let perms: usize = args.get("perms", 5);
+    exit_on_error(run(Args::from_env()));
+}
+
+fn run(args: Args) -> Result<(), BenchError> {
+    let bits: u8 = args.try_get("bits", 3)?;
+    let perms: usize = args.try_get("perms", 5)?;
     let mut setup = Setup::new(NetKind::Lenet);
-    setup.epochs = args.get("epochs", 8);
-    setup.train_n = args.get("train", 1000);
-    setup.test_n = args.get("test", 300);
-    setup.seed = args.get("seed", setup.seed);
+    setup.epochs = args.try_get("epochs", 8)?;
+    setup.train_n = args.try_get("train", 1000)?;
+    setup.test_n = args.try_get("test", 300)?;
+    setup.seed = args.try_get("seed", setup.seed)?;
     if args.has("tiny") {
         setup.scale = ModelScale::Tiny;
     }
 
-    eprintln!(
-        "ACM column-order ablation: LeNet, {bits}-bit, {perms} class permutations"
-    );
+    eprintln!("ACM column-order ablation: LeNet, {bits}-bit, {perms} class permutations");
 
     let data = setup.data();
     let device = DeviceConfig::quantized_linear(bits);
@@ -59,16 +61,15 @@ fn main() {
             train: train_d,
             test: test_d,
         };
-        let run = |model| {
-            setup
-                .train_model(model, device, &permuted)
-                .expect("training failed")
+        let run = |model| -> Result<f32, BenchError> {
+            Ok(setup
+                .train_model(model, device, &permuted)?
                 .last()
                 .and_then(|e| e.test_error_pct())
-                .unwrap_or(100.0)
+                .unwrap_or(100.0))
         };
-        let acm = run(ModelType::Mapped(Mapping::Acm));
-        let de = run(ModelType::Mapped(Mapping::DoubleElement));
+        let acm = run(ModelType::Mapped(Mapping::Acm))?;
+        let de = run(ModelType::Mapped(Mapping::DoubleElement))?;
         acm_errs.push(acm);
         de_errs.push(de);
         table.push(vec![p.to_string(), pct(acm), pct(de)]);
@@ -84,4 +85,5 @@ fn main() {
     let (dm, dsd) = stats(&de_errs);
     eprintln!("ACM error over permutations: mean {am:.2}% sd {asd:.2}%");
     eprintln!("DE  error over permutations: mean {dm:.2}% sd {dsd:.2}% (control)");
+    Ok(())
 }

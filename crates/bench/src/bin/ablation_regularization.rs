@@ -8,19 +8,21 @@
 //! ```
 
 use xbar_bench::cli::Args;
+use xbar_bench::error::{exit_on_error, BenchError};
 use xbar_bench::output::ResultsTable;
-use xbar_core::analysis::{
-    acm_sum_identity, constraint_tightness, representable_sum_count,
-};
+use xbar_core::analysis::{acm_sum_identity, constraint_tightness, representable_sum_count};
 use xbar_core::{decompose, Mapping};
 use xbar_device::ConductanceRange;
 use xbar_tensor::rng::XorShiftRng;
 use xbar_tensor::Tensor;
 
 fn main() {
-    let args = Args::from_env();
-    let n_in: usize = args.get("inputs", 64);
-    let n_out: usize = args.get("outputs", 32);
+    exit_on_error(run(Args::from_env()));
+}
+
+fn run(args: Args) -> Result<(), BenchError> {
+    let n_in: usize = args.try_get("inputs", 64)?;
+    let n_out: usize = args.try_get("outputs", 32)?;
 
     eprintln!("Sec. III-E regularization ablation for a {n_out}x{n_in} layer");
 
@@ -34,7 +36,10 @@ fn main() {
     for bits in 1..=8u8 {
         table.push(vec![
             bits.to_string(),
-            format!("{:.3e}", representable_sum_count(Mapping::Acm, bits, n_in, n_out)),
+            format!(
+                "{:.3e}",
+                representable_sum_count(Mapping::Acm, bits, n_in, n_out)
+            ),
             format!(
                 "{:.3e}",
                 representable_sum_count(Mapping::DoubleElement, bits, n_in, n_out)
@@ -45,7 +50,7 @@ fn main() {
     table.print(args.has("csv"));
 
     // Part 2: numeric verification of Eq. 4 on random decompositions.
-    let mut rng = XorShiftRng::new(args.get("seed", 0xE4u64));
+    let mut rng = XorShiftRng::new(args.try_get("seed", 0xE4u64)?);
     let mut worst = 0.0f32;
     let trials = 50;
     for _ in 0..trials {
@@ -59,4 +64,5 @@ fn main() {
         "Eq. 4 identity verified on {trials} random {n_out}x{n_in} decompositions; \
          worst |sum(W) - (M1 - M_nd)| = {worst:.3e}"
     );
+    Ok(())
 }

@@ -14,11 +14,19 @@
 //! doubles as a determinism check.
 
 use xbar_bench::cli::Args;
+use xbar_bench::error::{exit_on_error, BenchError};
 use xbar_bench::kernel_bench::{self, Mode};
 
 fn main() {
-    let args = Args::from_env();
-    let mode = if args.has("smoke") { Mode::Smoke } else { Mode::Full };
+    exit_on_error(run(Args::from_env()));
+}
+
+fn run(args: Args) -> Result<(), BenchError> {
+    let mode = if args.has("smoke") {
+        Mode::Smoke
+    } else {
+        Mode::Full
+    };
     let out_path = args.get_str("out", "BENCH_kernels.json");
 
     eprintln!(
@@ -30,9 +38,8 @@ fn main() {
     let report = kernel_bench::run(mode);
     print!("{}", report.summary());
 
-    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
-        eprintln!("error: cannot write {out_path}: {e}");
-        std::process::exit(1);
-    }
+    std::fs::write(&out_path, report.to_json())
+        .map_err(|e| BenchError::io(out_path.clone(), &e))?;
     eprintln!("wrote {out_path}");
+    Ok(())
 }

@@ -12,70 +12,49 @@
 //! ```
 
 use xbar_bench::cli::Args;
-use xbar_bench::experiments::{run_fault_sweep, NetKind, Setup};
+use xbar_bench::error::{exit_on_error, BenchError};
+use xbar_bench::experiments::{run_fault_sweep, setup_from_args};
 use xbar_bench::output::{pct, ResultsTable};
 use xbar_core::Mapping;
-use xbar_models::ModelScale;
-
-fn parse_list(raw: &str) -> Vec<f32> {
-    raw.split(',')
-        .filter(|s| !s.is_empty())
-        .map(|s| {
-            s.trim().parse().unwrap_or_else(|_| {
-                eprintln!("error: bad number {s:?} in list");
-                std::process::exit(2);
-            })
-        })
-        .collect()
-}
 
 fn main() {
-    let args = Args::from_env();
-    let net = NetKind::from_name(&args.get_str("net", "lenet")).unwrap_or_else(|| {
-        eprintln!("error: --net must be lenet | vgg9 | resnet20");
-        std::process::exit(2);
-    });
-    let mut setup = Setup::new(net);
-    setup.epochs = args.get("epochs", setup.epochs);
-    setup.train_n = args.get("train", setup.train_n);
-    setup.test_n = args.get("test", setup.test_n);
-    setup.lr = args.get("lr", setup.lr);
-    setup.seed = args.get("seed", setup.seed);
-    if args.has("paper-scale") {
-        setup.scale = ModelScale::Paper;
-    } else if args.has("tiny") {
-        setup.scale = ModelScale::Tiny;
-    }
+    exit_on_error(run(Args::from_env()));
+}
+
+fn run(args: Args) -> Result<(), BenchError> {
+    let setup = setup_from_args(&args, "lenet")?;
     let mapping = match args.get_str("mapping", "acm").to_ascii_lowercase().as_str() {
         "acm" => Mapping::Acm,
         "bc" => Mapping::BiasColumn,
         "de" => Mapping::DoubleElement,
         other => {
-            eprintln!("error: --mapping must be acm | bc | de, got {other:?}");
-            std::process::exit(2);
+            return Err(BenchError::Usage(format!(
+                "--mapping must be acm | bc | de, got {other:?}"
+            )))
         }
     };
-    let bits: u8 = args.get::<i64>("bits", 4) as u8;
-    let samples: usize = args.get("samples", 10);
-    let rates = parse_list(&args.get_str("rates", "0,0.002,0.005,0.01,0.02,0.05"));
-    let sigmas = parse_list(&args.get_str("sigmas", "0,0.10"));
+    let bits: u8 = args.try_get::<i64>("bits", 4)? as u8;
+    let samples: usize = args.try_get("samples", 10)?;
+    let rates = args.try_get_list("rates", &[0.0, 0.002, 0.005, 0.01, 0.02, 0.05])?;
+    let sigmas = args.try_get_list("sigmas", &[0.0, 0.10])?;
 
     eprintln!(
         "fault-recovery sweep: {} ({:?}), {mapping} {bits}-bit, rates {rates:?}, \
          sigmas {sigmas:?}, {samples} samples/point, seed {:#x}",
-        net.name(),
+        setup.net.name(),
         setup.scale,
         setup.seed
     );
 
-    let points = run_fault_sweep(&setup, mapping, bits, &rates, &sigmas, samples)
-        .unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        });
+    let points = run_fault_sweep(&setup, mapping, bits, &rates, &sigmas, samples)?;
 
     let mut table = ResultsTable::new(&[
-        "rate%", "sigma%", "stuck", "naive-acc%", "remap-acc%", "recovered%",
+        "rate%",
+        "sigma%",
+        "stuck",
+        "naive-acc%",
+        "remap-acc%",
+        "recovered%",
     ]);
     // Accuracy lost to faults alone = fault-free accuracy (same σ) minus
     // the faulty accuracy; "recovered" is the share of that loss the
@@ -101,4 +80,5 @@ fn main() {
         ]);
     }
     table.print(args.has("csv"));
+    Ok(())
 }

@@ -7,31 +7,21 @@
 //! ```
 
 use xbar_bench::cli::Args;
-use xbar_bench::experiments::{run_fp32_curves, NetKind, Setup};
+use xbar_bench::error::{exit_on_error, BenchError};
+use xbar_bench::experiments::{run_fp32_curves, setup_from_args};
 use xbar_bench::output::{pct, ResultsTable};
-use xbar_models::ModelScale;
 
 fn main() {
-    let args = Args::from_env();
-    let net = NetKind::from_name(&args.get_str("net", "lenet")).unwrap_or_else(|| {
-        eprintln!("error: --net must be lenet | vgg9 | resnet20");
-        std::process::exit(2);
-    });
-    let mut setup = Setup::new(net);
-    setup.epochs = args.get("epochs", 15);
-    setup.train_n = args.get("train", setup.train_n);
-    setup.test_n = args.get("test", setup.test_n);
-    setup.lr = args.get("lr", setup.lr);
-    setup.seed = args.get("seed", setup.seed);
-    if args.has("paper-scale") {
-        setup.scale = ModelScale::Paper;
-    } else if args.has("tiny") {
-        setup.scale = ModelScale::Tiny;
-    }
+    exit_on_error(run(Args::from_env()));
+}
+
+fn run(args: Args) -> Result<(), BenchError> {
+    let mut setup = setup_from_args(&args, "lenet")?;
+    setup.epochs = args.try_get("epochs", 15)?;
 
     eprintln!(
         "fig5 fp32 curves: {} ({:?}), {} train / {} test, {} epochs, seed {:#x}",
-        net.name(),
+        setup.net.name(),
         setup.scale,
         setup.train_n,
         setup.test_n,
@@ -39,10 +29,7 @@ fn main() {
         setup.seed
     );
 
-    let curves = run_fp32_curves(&setup).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
+    let curves = run_fp32_curves(&setup)?;
 
     let mut table = ResultsTable::new(&[
         "epoch",
@@ -69,7 +56,13 @@ fn main() {
     // Paper-style summary: at FP32 all model types converge comparably.
     let finals: Vec<(String, f32)> = curves
         .iter()
-        .map(|c| (c.model.label().to_string(), c.errors.last().map_or(100.0, |e| e.1)))
+        .map(|c| {
+            (
+                c.model.label().to_string(),
+                c.errors.last().map_or(100.0, |e| e.1),
+            )
+        })
         .collect();
     eprintln!("final test error (%): {finals:?}");
+    Ok(())
 }

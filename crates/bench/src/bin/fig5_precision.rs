@@ -8,57 +8,43 @@
 //! ```
 
 use xbar_bench::cli::Args;
+use xbar_bench::error::{exit_on_error, BenchError};
 use xbar_bench::experiments::{
-    bit_range, run_precision_sweep_seeds, NetKind, Setup, UpdateKind, DEFAULT_NU,
+    bit_range, run_precision_sweep_seeds, setup_from_args, NetKind, UpdateKind, DEFAULT_NU,
 };
 use xbar_bench::output::{pct, ResultsTable};
-use xbar_models::ModelScale;
 
 fn main() {
-    let args = Args::from_env();
-    let net = NetKind::from_name(&args.get_str("net", "lenet")).unwrap_or_else(|| {
-        eprintln!("error: --net must be lenet | vgg9 | resnet20");
-        std::process::exit(2);
-    });
+    exit_on_error(run(Args::from_env()));
+}
+
+fn run(args: Args) -> Result<(), BenchError> {
+    let setup = setup_from_args(&args, "lenet")?;
     let update = match args.get_str("update", "linear").as_str() {
         "linear" => UpdateKind::Linear,
-        "nonlinear" => UpdateKind::Nonlinear(args.get("nu", DEFAULT_NU)),
+        "nonlinear" => UpdateKind::Nonlinear(args.try_get("nu", DEFAULT_NU)?),
         other => {
-            eprintln!("error: --update must be linear | nonlinear (got {other})");
-            std::process::exit(2);
+            return Err(BenchError::Usage(format!(
+                "--update must be linear | nonlinear (got {other})"
+            )))
         }
     };
     // Paper sweeps 2-8 bits for LeNet, 3-8 for the CIFAR networks.
-    let default_lo = if net == NetKind::Lenet { 2 } else { 3 };
-    let lo: u8 = args.get("min-bits", default_lo);
-    let hi: u8 = args.get("max-bits", 8);
-    let mut setup = Setup::new(net);
-    setup.epochs = args.get("epochs", setup.epochs);
-    setup.train_n = args.get("train", setup.train_n);
-    setup.test_n = args.get("test", setup.test_n);
-    setup.lr = args.get("lr", setup.lr);
-    setup.seed = args.get("seed", setup.seed);
-    if args.has("paper-scale") {
-        setup.scale = ModelScale::Paper;
-    } else if args.has("tiny") {
-        setup.scale = ModelScale::Tiny;
-    }
+    let default_lo = if setup.net == NetKind::Lenet { 2 } else { 3 };
+    let lo: u8 = args.try_get("min-bits", default_lo)?;
+    let hi: u8 = args.try_get("max-bits", 8)?;
 
     eprintln!(
         "fig5 precision sweep: {} ({:?}), {} update, bits {lo}..={hi}, {} epochs, seed {:#x}",
-        net.name(),
+        setup.net.name(),
         setup.scale,
         update.name(),
         setup.epochs,
         setup.seed
     );
 
-    let seeds: usize = args.get("seeds", 2);
-    let points = run_precision_sweep_seeds(&setup, update, bit_range(lo, hi), seeds)
-        .unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        });
+    let seeds: usize = args.try_get("seeds", 2)?;
+    let points = run_precision_sweep_seeds(&setup, update, bit_range(lo, hi), seeds)?;
 
     let mut table = ResultsTable::new(&["bits", "ACM-err%", "DE-err%", "BC-err%"]);
     for p in &points {
@@ -73,4 +59,5 @@ fn main() {
             low_bits.iter().map(|p| p.bc - p.acm).sum::<f32>() / low_bits.len() as f32;
         eprintln!("mean ACM accuracy gain over BC at <=5 bits: {mean_gain:.2}%");
     }
+    Ok(())
 }

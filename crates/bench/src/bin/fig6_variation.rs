@@ -8,46 +8,32 @@
 //! ```
 
 use xbar_bench::cli::Args;
-use xbar_bench::experiments::{run_variation_sweep, NetKind, Setup};
+use xbar_bench::error::{exit_on_error, BenchError};
+use xbar_bench::experiments::{run_variation_sweep, setup_from_args};
 use xbar_bench::output::{pct, ResultsTable};
-use xbar_models::ModelScale;
 
 fn main() {
-    let args = Args::from_env();
-    let net = NetKind::from_name(&args.get_str("net", "vgg9")).unwrap_or_else(|| {
-        eprintln!("error: --net must be lenet | vgg9 | resnet20");
-        std::process::exit(2);
-    });
-    let mut setup = Setup::new(net);
-    setup.epochs = args.get("epochs", setup.epochs);
-    setup.train_n = args.get("train", setup.train_n);
-    setup.test_n = args.get("test", setup.test_n);
-    setup.lr = args.get("lr", setup.lr);
-    setup.seed = args.get("seed", setup.seed);
-    if args.has("paper-scale") {
-        setup.scale = ModelScale::Paper;
-    } else if args.has("tiny") {
-        setup.scale = ModelScale::Tiny;
-    }
+    exit_on_error(run(Args::from_env()));
+}
+
+fn run(args: Args) -> Result<(), BenchError> {
+    let setup = setup_from_args(&args, "vgg9")?;
     // Paper shows 1/3/4/6 bits; 0-25% sigma; 25 samples per point.
-    let bits: Vec<u8> = match args.get::<i64>("bits", -1) {
+    let bits: Vec<u8> = match args.try_get::<i64>("bits", -1)? {
         -1 => vec![1, 3, 4, 6],
         b => vec![b as u8],
     };
-    let samples: usize = args.get("samples", 25);
+    let samples: usize = args.try_get("samples", 25)?;
     let sigmas: Vec<f32> = vec![0.0, 0.05, 0.10, 0.15, 0.20, 0.25];
 
     eprintln!(
         "fig6 variation sweep: {} ({:?}), bits {bits:?}, {samples} samples/point, seed {:#x}",
-        net.name(),
+        setup.net.name(),
         setup.scale,
         setup.seed
     );
 
-    let points = run_variation_sweep(&setup, &bits, &sigmas, samples).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
+    let points = run_variation_sweep(&setup, &bits, &sigmas, samples)?;
 
     let mut table = ResultsTable::new(&["bits", "sigma%", "DE-acc%", "ACM-acc%", "BC-acc%"]);
     for p in &points {
@@ -69,8 +55,7 @@ fn main() {
     if !at15.is_empty() {
         let vs_de: f32 = at15.iter().map(|p| p.acm - p.de).sum::<f32>() / at15.len() as f32;
         let vs_bc: f32 = at15.iter().map(|p| p.acm - p.bc).sum::<f32>() / at15.len() as f32;
-        eprintln!(
-            "at 15% sigma, <=3 bits: ACM vs DE {vs_de:+.2}%, ACM vs BC {vs_bc:+.2}%"
-        );
+        eprintln!("at 15% sigma, <=3 bits: ACM vs DE {vs_de:+.2}%, ACM vs BC {vs_bc:+.2}%");
     }
+    Ok(())
 }

@@ -8,6 +8,7 @@
 //! ```
 
 use xbar_bench::cli::Args;
+use xbar_bench::error::{exit_on_error, BenchError};
 use xbar_bench::experiments::{
     bit_range, run_fp32_curves, run_precision_sweep_seeds, run_variation_sweep, NetKind, Setup,
     UpdateKind, DEFAULT_NU,
@@ -17,9 +18,16 @@ use xbar_core::Mapping;
 use xbar_neurosim::{table1, TechParams};
 
 fn main() {
-    let args = Args::from_env();
+    exit_on_error(run(Args::from_env()));
+}
+
+fn run(args: Args) -> Result<(), BenchError> {
     let full = args.has("full");
-    let (train, test, epochs, seeds) = if full { (1000, 300, 10, 2) } else { (300, 100, 4, 1) };
+    let (train, test, epochs, seeds) = if full {
+        (1000, 300, 10, 2)
+    } else {
+        (300, 100, 4, 1)
+    };
 
     println!("== Fig. 5a / 5e: FP32 convergence ==");
     for net in [NetKind::Lenet, NetKind::Resnet20] {
@@ -27,7 +35,7 @@ fn main() {
         setup.train_n = train;
         setup.test_n = test;
         setup.epochs = epochs;
-        let curves = run_fp32_curves(&setup).expect("fp32 curves");
+        let curves = run_fp32_curves(&setup)?;
         let finals: Vec<String> = curves
             .iter()
             .map(|c| {
@@ -50,8 +58,7 @@ fn main() {
             setup.epochs = epochs;
             let lo = if net == NetKind::Lenet { 2 } else { 3 };
             let hi = if full { 8 } else { 4 };
-            let pts = run_precision_sweep_seeds(&setup, update, bit_range(lo, hi), seeds)
-                .expect("precision sweep");
+            let pts = run_precision_sweep_seeds(&setup, update, bit_range(lo, hi), seeds)?;
             let mut t = ResultsTable::new(&["bits", "ACM", "DE", "BC"]);
             for p in &pts {
                 t.push(vec![p.bits.to_string(), pct(p.acm), pct(p.de), pct(p.bc)]);
@@ -69,8 +76,7 @@ fn main() {
     setup.test_n = test;
     setup.epochs = epochs;
     let bits: &[u8] = if full { &[1, 3, 4, 6] } else { &[3] };
-    let pts = run_variation_sweep(&setup, bits, &[0.0, 0.10, 0.20], if full { 8 } else { 3 })
-        .expect("variation sweep");
+    let pts = run_variation_sweep(&setup, bits, &[0.0, 0.10, 0.20], if full { 8 } else { 3 })?;
     for p in &pts {
         println!(
             "  {}b sigma {:>2.0}%: DE {:.1} ACM {:.1} BC {:.1}",
@@ -96,4 +102,5 @@ fn main() {
     }
     let _ = Mapping::ALL; // anchor the mapping order used above
     println!("\nall artefacts regenerated.");
+    Ok(())
 }

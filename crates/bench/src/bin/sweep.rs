@@ -1,0 +1,129 @@
+//! Fault-tolerant, resumable variation sweep (the Fig. 6 grid under the
+//! resilient runner).
+//!
+//! Each `(bits, sigma)` cell runs with panic isolation and bounded retry;
+//! completed cells stream to an append-only JSONL journal, so a killed run
+//! restarted with `--resume` skips them and still produces output
+//! byte-identical to an uninterrupted run.
+//!
+//! ```text
+//! cargo run -p xbar-bench --release --bin sweep -- \
+//!     --net lenet --tiny --bits 2,4 --sigmas 0,0.1 --samples 4 \
+//!     --journal sweep.jsonl --out sweep.json
+//! # after a crash:
+//! ... --journal sweep.jsonl --resume --out sweep.json
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use xbar_bench::cli::Args;
+use xbar_bench::error::{exit_on_error, BenchError};
+use xbar_bench::experiments::{run_variation_cell, setup_from_args, train_mapped_nets};
+use xbar_bench::json::Json;
+use xbar_bench::sweep::{run_sweep, CellOutcome, SweepConfig};
+use xbar_nn::Sequential;
+
+fn main() {
+    exit_on_error(run(Args::from_env()));
+}
+
+fn run(args: Args) -> Result<(), BenchError> {
+    let setup = setup_from_args(&args, "lenet")?;
+    let net = setup.net;
+    let bits: Vec<u8> = args.try_get_list("bits", &[1, 3, 4, 6])?;
+    let sigmas: Vec<f32> = args.try_get_list("sigmas", &[0.0, 0.05, 0.10, 0.15, 0.20, 0.25])?;
+    let samples: usize = args.try_get("samples", 25)?;
+    let inject_panic = args.get_str("inject-panic", "");
+
+    let journal = args.get_str("journal", "");
+    let cfg = SweepConfig {
+        journal: (!journal.is_empty()).then(|| journal.clone().into()),
+        resume: args.has("resume"),
+        retries: args.try_get("retries", 0)?,
+        abort_after_cells: match args.try_get::<i64>("abort-after-cells", -1)? {
+            n if n < 0 => None,
+            n => Some(n as usize),
+        },
+    };
+
+    let cells: Vec<(String, (u8, f32))> = bits
+        .iter()
+        .flat_map(|&b| sigmas.iter().map(move |&s| (format!("b{b}-s{s}"), (b, s))))
+        .collect();
+    eprintln!(
+        "resilient variation sweep: {} ({:?}), {} cells, {samples} samples/cell, seed {:#x}{}",
+        net.name(),
+        setup.scale,
+        cells.len(),
+        setup.seed,
+        if cfg.resume { " [resume]" } else { "" }
+    );
+
+    let data = setup.data();
+    // Trained nets are shared by every sigma-cell of a bit width; train
+    // lazily (and under the cell's isolation) so that a resumed run whose
+    // remaining cells cover fewer bit widths never trains the rest.
+    let nets_by_bits: HashMap<u8, Mutex<Option<Arc<Vec<Sequential>>>>> =
+        bits.iter().map(|&b| (b, Mutex::new(None))).collect();
+
+    let report = run_sweep(cells, &cfg, |key, &(b, sigma)| {
+        if key == inject_panic {
+            panic!("injected panic for cell {key}");
+        }
+        let slot = &nets_by_bits[&b];
+        let nets = {
+            let mut guard = slot.lock().unwrap_or_else(|p| p.into_inner());
+            match guard.as_ref() {
+                Some(nets) => Arc::clone(nets),
+                None => {
+                    let nets = Arc::new(train_mapped_nets(&setup, b, &data)?);
+                    *guard = Some(Arc::clone(&nets));
+                    nets
+                }
+            }
+        };
+        let p = run_variation_cell(&setup, &nets, b, sigma, samples, &data)?;
+        Ok(Json::Obj(vec![
+            ("bits".into(), Json::Num(f64::from(p.bits))),
+            ("sigma".into(), Json::Num(f64::from(p.sigma))),
+            ("acm".into(), Json::Num(f64::from(p.acm))),
+            ("de".into(), Json::Num(f64::from(p.de))),
+            ("bc".into(), Json::Num(f64::from(p.bc))),
+        ]))
+    })?;
+
+    let mut cell_values = Vec::new();
+    for (key, outcome) in &report.cells {
+        if let CellOutcome::Ok(v) = outcome {
+            let mut fields = vec![("key".to_string(), Json::Str(key.clone()))];
+            if let Json::Obj(inner) = v {
+                fields.extend(inner.clone());
+            }
+            cell_values.push(Json::Obj(fields));
+        }
+    }
+    let failures: Vec<Json> = report.failures().iter().map(|f| f.to_json()).collect();
+    let doc = Json::Obj(vec![
+        ("net".into(), Json::Str(net.name().into())),
+        ("samples".into(), Json::Num(samples as f64)),
+        ("cells".into(), Json::Arr(cell_values)),
+        ("failures".into(), Json::Arr(failures)),
+    ]);
+    let rendered = format!("{}\n", doc.render());
+
+    let out = args.get_str("out", "");
+    if out.is_empty() {
+        print!("{rendered}");
+    } else {
+        std::fs::write(&out, rendered).map_err(|e| BenchError::io(out.clone(), &e))?;
+        eprintln!("wrote {out}");
+    }
+    eprintln!(
+        "{} ok ({} skipped via journal), {} failed",
+        report.cells.len() - report.failures().len(),
+        report.skipped,
+        report.failures().len()
+    );
+    Ok(())
+}

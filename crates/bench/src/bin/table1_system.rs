@@ -20,10 +20,17 @@ fn main() {
     let params = TechParams::nm14();
 
     let workload = Workload::new(
-        vec![LayerDims::new(inputs, hidden), LayerDims::new(hidden, classes)],
+        vec![
+            LayerDims::new(inputs, hidden),
+            LayerDims::new(hidden, classes),
+        ],
         format!("2-layer MLP {inputs}-{hidden}-{classes}"),
     );
-    eprintln!("table1 system-level evaluation: {} @ {}", workload.name(), params.label);
+    eprintln!(
+        "table1 system-level evaluation: {} @ {}",
+        workload.name(),
+        params.label
+    );
 
     let reports: Vec<_> = Mapping::ALL
         .iter()

@@ -1,6 +1,19 @@
 //! A minimal flag parser for the experiment binaries (no external deps).
 
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// A command-line value that could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
 
 /// Parsed command-line flags: `--key value` pairs and bare `--switch`es.
 #[derive(Debug, Clone, Default)]
@@ -42,18 +55,58 @@ impl Args {
 
     /// String value of `--key`, or `default`.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Parsed value of `--key`, or `default`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] naming the flag on an unparsable value.
+    pub fn try_get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError(format!("cannot parse --{key} {raw}"))),
+        }
     }
 
     /// Parsed value of `--key`, or `default`; exits with a message on an
-    /// unparsable value (these are CLI tools).
+    /// unparsable value (for quick tools — prefer [`Args::try_get`] in
+    /// binaries that report errors through `run() -> Result`).
     pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.try_get(key, default).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    }
+
+    /// Comma-separated list value of `--key` (e.g. `--sigmas 0.0,0.1,0.2`),
+    /// or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] naming the flag and the offending element.
+    pub fn try_get_list<T: std::str::FromStr + Clone>(
+        &self,
+        key: &str,
+        default: &[T],
+    ) -> Result<Vec<T>, CliError> {
         match self.values.get(key) {
-            None => default,
-            Some(raw) => raw.parse().unwrap_or_else(|_| {
-                eprintln!("error: cannot parse --{key} {raw}");
-                std::process::exit(2);
-            }),
+            None => Ok(default.to_vec()),
+            Some(raw) => raw
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| CliError(format!("cannot parse --{key} element '{s}'")))
+                })
+                .collect(),
         }
     }
 
@@ -98,5 +151,26 @@ mod tests {
         // "-3" does not start with "--", so it parses as a value.
         let a = parse(&["--offset", "-3"]);
         assert_eq!(a.get::<i32>("offset", 0), -3);
+    }
+
+    #[test]
+    fn try_get_reports_bad_values_as_errors() {
+        let a = parse(&["--epochs", "twelve"]);
+        let err = a.try_get::<usize>("epochs", 1).unwrap_err();
+        assert!(err.0.contains("--epochs"));
+        assert!(err.0.contains("twelve"));
+        assert_eq!(a.try_get::<usize>("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn list_values_parse_with_defaults() {
+        let a = parse(&["--sigmas", "0.0, 0.1,0.2"]);
+        assert_eq!(
+            a.try_get_list::<f32>("sigmas", &[]).unwrap(),
+            vec![0.0, 0.1, 0.2]
+        );
+        assert_eq!(a.try_get_list::<u8>("bits", &[2, 4]).unwrap(), vec![2, 4]);
+        let bad = parse(&["--bits", "2,x"]);
+        assert!(bad.try_get_list::<u8>("bits", &[]).is_err());
     }
 }

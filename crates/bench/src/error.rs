@@ -1,0 +1,125 @@
+//! Typed errors for the experiment binaries.
+//!
+//! Every binary follows the `fn main() { exit(run(...)) }` pattern: `run`
+//! returns `Result<(), BenchError>`, so a bad flag or an unwritable output
+//! path degrades to a one-line message and a conventional exit code
+//! instead of a panic and a backtrace.
+
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
+
+use xbar_nn::NnError;
+
+use crate::cli::CliError;
+
+/// Errors from the experiment harnesses and their binaries.
+#[derive(Debug)]
+pub enum BenchError {
+    /// Bad command-line usage (unparsable flag, unknown name). Exit code 2.
+    Usage(String),
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The OS error message.
+        detail: String,
+    },
+    /// The sweep journal is malformed beyond the tolerated torn tail line.
+    Journal(String),
+    /// An experiment failed inside the model/training stack.
+    Nn(NnError),
+}
+
+impl BenchError {
+    /// Conventional process exit code for this error: 2 for usage errors,
+    /// 1 for everything else.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            Self::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+
+    /// Convenience constructor for filesystem failures.
+    pub fn io(path: impl Into<PathBuf>, e: &std::io::Error) -> Self {
+        Self::Io {
+            path: path.into(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Usage(msg) => write!(f, "usage error: {msg}"),
+            Self::Io { path, detail } => write!(f, "io error on {}: {detail}", path.display()),
+            Self::Journal(msg) => write!(f, "journal error: {msg}"),
+            Self::Nn(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for BenchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for BenchError {
+    fn from(e: NnError) -> Self {
+        Self::Nn(e)
+    }
+}
+
+impl From<CliError> for BenchError {
+    fn from(e: CliError) -> Self {
+        Self::Usage(e.0)
+    }
+}
+
+/// Runs `run`'s result to completion for a binary `main`: prints the error
+/// to stderr and exits with its conventional code on failure.
+pub fn exit_on_error(result: Result<(), BenchError>) {
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_follow_convention() {
+        assert_eq!(BenchError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(BenchError::Journal("x".into()).exit_code(), 1);
+        assert_eq!(
+            BenchError::io("/tmp/x", &std::io::Error::other("boom")).exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn display_includes_context() {
+        let e = BenchError::io("/tmp/out.json", &std::io::Error::other("disk full"));
+        let s = e.to_string();
+        assert!(s.contains("/tmp/out.json"));
+        assert!(s.contains("disk full"));
+        assert!(BenchError::from(CliError("bad flag".into()))
+            .to_string()
+            .contains("bad flag"));
+    }
+
+    #[test]
+    fn nn_errors_convert_and_chain() {
+        let e = BenchError::from(NnError::Config("tiny".into()));
+        assert!(e.source().is_some());
+        assert_eq!(e.exit_code(), 1);
+    }
+}

@@ -144,9 +144,7 @@ impl Setup {
     pub fn build(&self, model: ModelType, device: DeviceConfig) -> Result<Sequential, NnError> {
         let cfg = match model {
             ModelType::Baseline => ModelConfig::baseline().with_seed(self.seed ^ 0x333),
-            ModelType::Mapped(m) => {
-                ModelConfig::mapped(m, device).with_seed(self.seed ^ 0x333)
-            }
+            ModelType::Mapped(m) => ModelConfig::mapped(m, device).with_seed(self.seed ^ 0x333),
         };
         match self.net {
             NetKind::Lenet => lenet(self.net.input(), 10, self.scale, &cfg),
@@ -164,6 +162,7 @@ impl Setup {
             lr_decay: 0.93,
             seed: self.seed ^ 0x444,
             verbose: false,
+            ..TrainConfig::default()
         }
     }
 
@@ -318,6 +317,86 @@ pub struct VariationPoint {
     pub bc: f32,
 }
 
+/// Trains the three mapped model types (ACM, DE, BC) at `bits` precision
+/// on `data`, returning the trained networks in [`ModelType::MAPPED`]
+/// order — the per-bit-width setup stage of the Fig. 6 sweep.
+///
+/// # Errors
+///
+/// Propagates model-construction and training errors.
+pub fn train_mapped_nets(
+    setup: &Setup,
+    bits: u8,
+    data: &DatasetPair,
+) -> Result<Vec<Sequential>, NnError> {
+    let device = DeviceConfig::quantized_linear(bits);
+    let mut nets = Vec::new();
+    for model in ModelType::MAPPED {
+        let (net, _) = setup.train_model_keep(model, device, data)?;
+        nets.push(net);
+    }
+    Ok(nets)
+}
+
+/// Evaluates one `(bits, sigma)` cell of the Fig. 6 experiment on
+/// already-trained `nets` (from [`train_mapped_nets`]): mean inference
+/// accuracy over `samples` Monte-Carlo variation draws per mapping, no
+/// fine-tuning. Deterministic given `(setup.seed, bits, sigma, samples)` —
+/// the per-sample RNG streams are derived from those alone, so a cell can
+/// be retried or recomputed in any order with bitwise-identical results.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn run_variation_cell(
+    setup: &Setup,
+    nets: &[Sequential],
+    bits: u8,
+    sigma: f32,
+    samples: usize,
+    data: &DatasetPair,
+) -> Result<VariationPoint, NnError> {
+    let mut accs = [0.0f32; 3];
+    for (i, net) in nets.iter().enumerate() {
+        let mut rng = XorShiftRng::new(setup.seed ^ (bits as u64) << 8 ^ 0x555);
+        // Fork every per-sample stream serially (fork advances the
+        // parent), then fan the Monte-Carlo draws across the
+        // compute pool: each worker task clones the trained net
+        // once and runs the apply→evaluate→clear cycle on its own
+        // copy. Results come back in sample order and are summed
+        // in that order, so the mean is bitwise identical to the
+        // serial loop.
+        let sample_rngs: Vec<XorShiftRng> = (0..samples).map(|s| rng.fork(s as u64)).collect();
+        let results = backend::parallel_map_with(
+            || net.clone(),
+            sample_rngs,
+            |worker, _s, mut sample_rng| {
+                worker.visit_mapped(&mut |p| p.apply_variation(sigma, &mut sample_rng));
+                let r = evaluate(
+                    worker,
+                    data.test.features(),
+                    data.test.labels(),
+                    setup.batch,
+                );
+                worker.visit_mapped(&mut |p| p.clear_variation());
+                r.map(|(_, acc)| acc)
+            },
+        );
+        let mut total = 0.0f32;
+        for r in results {
+            total += r?;
+        }
+        accs[i] = 100.0 * total / samples as f32;
+    }
+    Ok(VariationPoint {
+        bits,
+        sigma,
+        acm: accs[0],
+        de: accs[1],
+        bc: accs[2],
+    })
+}
+
 /// Runs the Fig. 6 experiment: trains each mapping once per bit width,
 /// then evaluates inference accuracy under Gaussian device variation
 /// (mean over `samples` Monte-Carlo draws per point, no fine-tuning).
@@ -334,49 +413,9 @@ pub fn run_variation_sweep(
     let data = setup.data();
     let mut out = Vec::new();
     for &b in bits {
-        let device = DeviceConfig::quantized_linear(b);
-        // Train all three mappings once.
-        let mut nets = Vec::new();
-        for model in ModelType::MAPPED {
-            let (net, _) = setup.train_model_keep(model, device, &data)?;
-            nets.push(net);
-        }
+        let nets = train_mapped_nets(setup, b, &data)?;
         for &sigma in sigmas {
-            let mut accs = [0.0f32; 3];
-            for (i, net) in nets.iter().enumerate() {
-                let mut rng = XorShiftRng::new(setup.seed ^ (b as u64) << 8 ^ 0x555);
-                // Fork every per-sample stream serially (fork advances the
-                // parent), then fan the Monte-Carlo draws across the
-                // compute pool: each worker task clones the trained net
-                // once and runs the apply→evaluate→clear cycle on its own
-                // copy. Results come back in sample order and are summed
-                // in that order, so the mean is bitwise identical to the
-                // serial loop.
-                let sample_rngs: Vec<XorShiftRng> =
-                    (0..samples).map(|s| rng.fork(s as u64)).collect();
-                let results = backend::parallel_map_with(
-                    || net.clone(),
-                    sample_rngs,
-                    |worker, _s, mut sample_rng| {
-                        worker.visit_mapped(&mut |p| p.apply_variation(sigma, &mut sample_rng));
-                        let r = evaluate(worker, data.test.features(), data.test.labels(), setup.batch);
-                        worker.visit_mapped(&mut |p| p.clear_variation());
-                        r.map(|(_, acc)| acc)
-                    },
-                );
-                let mut total = 0.0f32;
-                for r in results {
-                    total += r?;
-                }
-                accs[i] = 100.0 * total / samples as f32;
-            }
-            out.push(VariationPoint {
-                bits: b,
-                sigma,
-                acm: accs[0],
-                de: accs[1],
-                bc: accs[2],
-            });
+            out.push(run_variation_cell(setup, &nets, b, sigma, samples, &data)?);
         }
     }
     Ok(out)
@@ -439,17 +478,15 @@ pub fn run_fault_sweep(
                     let mut stuck_naive = 0usize;
                     for (arm, remap) in [false, true].into_iter().enumerate() {
                         // Re-fork per arm: identical defect pattern for both.
-                        let mut rng = XorShiftRng::new(
-                            setup.seed ^ u64::from(bits) << 8 ^ 0x666,
-                        )
-                        .fork(s as u64);
+                        let mut rng = XorShiftRng::new(setup.seed ^ u64::from(bits) << 8 ^ 0x666)
+                            .fork(s as u64);
                         let mut stuck = 0usize;
                         let mut result = Ok(());
-                        worker.visit_mapped(&mut |p| {
-                            match p.apply_faults(model, sigma, remap, &mut rng) {
-                                Ok((prog, _)) => stuck += prog.num_stuck(),
-                                Err(e) => result = Err(e),
-                            }
+                        worker.visit_mapped(&mut |p| match p
+                            .apply_faults(model, sigma, remap, &mut rng)
+                        {
+                            Ok((prog, _)) => stuck += prog.num_stuck(),
+                            Err(e) => result = Err(e),
                         });
                         result?;
                         let (_, a) = evaluate(
@@ -516,6 +553,35 @@ pub fn run_fp32_curves(setup: &Setup) -> Result<Vec<Fp32Curve>, NnError> {
     Ok(out)
 }
 
+/// Parses the setup flags shared by every experiment binary (`--net`,
+/// `--epochs`, `--train`, `--test`, `--lr`, `--seed`, `--tiny`,
+/// `--paper-scale`) into a [`Setup`].
+///
+/// # Errors
+///
+/// Returns [`BenchError::Usage`](crate::error::BenchError::Usage) on an
+/// unknown network name or an unparsable flag value.
+pub fn setup_from_args(
+    args: &crate::cli::Args,
+    default_net: &str,
+) -> Result<Setup, crate::error::BenchError> {
+    use crate::error::BenchError;
+    let net = NetKind::from_name(&args.get_str("net", default_net))
+        .ok_or_else(|| BenchError::Usage("--net must be lenet | vgg9 | resnet20".into()))?;
+    let mut setup = Setup::new(net);
+    setup.epochs = args.try_get("epochs", setup.epochs)?;
+    setup.train_n = args.try_get("train", setup.train_n)?;
+    setup.test_n = args.try_get("test", setup.test_n)?;
+    setup.lr = args.try_get("lr", setup.lr)?;
+    setup.seed = args.try_get("seed", setup.seed)?;
+    if args.has("paper-scale") {
+        setup.scale = ModelScale::Paper;
+    } else if args.has("tiny") {
+        setup.scale = ModelScale::Tiny;
+    }
+    Ok(setup)
+}
+
 /// Splits `lo..=hi` into the bit widths of a Fig. 5 sweep.
 pub fn bit_range(lo: u8, hi: u8) -> Vec<u8> {
     (lo..=hi).collect()
@@ -569,8 +635,7 @@ mod tests {
     #[test]
     fn smoke_precision_sweep_lenet() {
         let setup = tiny_setup(NetKind::Lenet);
-        let points =
-            run_precision_sweep(&setup, UpdateKind::Linear, [4u8]).unwrap();
+        let points = run_precision_sweep(&setup, UpdateKind::Linear, [4u8]).unwrap();
         assert_eq!(points.len(), 1);
         let p = &points[0];
         assert!(p.acm >= 0.0 && p.acm <= 100.0);

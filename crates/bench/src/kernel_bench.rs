@@ -124,7 +124,11 @@ impl Report {
                 e.speedup_vs_serial()
             ));
             s.push_str(&format!("\"parity\": {}", e.parity));
-            s.push_str(if i + 1 == self.entries.len() { "}\n" } else { "},\n" });
+            s.push_str(if i + 1 == self.entries.len() {
+                "}\n"
+            } else {
+                "},\n"
+            });
         }
         s.push_str("  ]\n}\n");
         s
@@ -334,28 +338,116 @@ pub fn run(mode: Mode) -> Report {
 
     // The 256³ square is measured in BOTH modes: it carries the repo's
     // headline acceptance number, and smoke runs overwrite the JSON.
-    entries.push(gemm_entry("matmul_square_256", "matmul", 256, 256, 256, reps, 11));
+    entries.push(gemm_entry(
+        "matmul_square_256",
+        "matmul",
+        256,
+        256,
+        256,
+        reps,
+        11,
+    ));
 
     match mode {
         Mode::Smoke => {
-            entries.push(gemm_entry("matmul_smoke_odd", "matmul", 33, 65, 17, reps, 12));
-            entries.push(gemm_entry("matmul_nt_smoke", "matmul_nt", 64, 64, 64, reps, 13));
-            entries.push(gemm_entry("matmul_tn_smoke", "matmul_tn", 64, 64, 64, reps, 14));
+            entries.push(gemm_entry(
+                "matmul_smoke_odd",
+                "matmul",
+                33,
+                65,
+                17,
+                reps,
+                12,
+            ));
+            entries.push(gemm_entry(
+                "matmul_nt_smoke",
+                "matmul_nt",
+                64,
+                64,
+                64,
+                reps,
+                13,
+            ));
+            entries.push(gemm_entry(
+                "matmul_tn_smoke",
+                "matmul_tn",
+                64,
+                64,
+                64,
+                reps,
+                14,
+            ));
         }
         Mode::Full => {
-            entries.push(gemm_entry("matmul_tn_square_256", "matmul_tn", 256, 256, 256, reps, 15));
-            entries.push(gemm_entry("matmul_nt_square_256", "matmul_nt", 256, 256, 256, reps, 16));
+            entries.push(gemm_entry(
+                "matmul_tn_square_256",
+                "matmul_tn",
+                256,
+                256,
+                256,
+                reps,
+                15,
+            ));
+            entries.push(gemm_entry(
+                "matmul_nt_square_256",
+                "matmul_nt",
+                256,
+                256,
+                256,
+                reps,
+                16,
+            ));
             // LeNet conv2 im2col GEMM at batch 32 (8×8 spatial, 6·5·5
             // patch, 16 filters).
-            entries.push(gemm_entry("lenet_conv2_gemm", "matmul_nt", 2048, 150, 16, reps, 17));
+            entries.push(gemm_entry(
+                "lenet_conv2_gemm",
+                "matmul_nt",
+                2048,
+                150,
+                16,
+                reps,
+                17,
+            ));
             // LeNet fc1 forward at batch 32.
-            entries.push(gemm_entry("lenet_fc1_gemm", "matmul_nt", 32, 400, 120, reps, 18));
+            entries.push(gemm_entry(
+                "lenet_fc1_gemm",
+                "matmul_nt",
+                32,
+                400,
+                120,
+                reps,
+                18,
+            ));
             // VGG 3×3 conv 64→128 channels on 8×8 at batch 32.
-            entries.push(gemm_entry("vgg_conv_gemm", "matmul_nt", 2048, 576, 128, reps, 19));
+            entries.push(gemm_entry(
+                "vgg_conv_gemm",
+                "matmul_nt",
+                2048,
+                576,
+                128,
+                reps,
+                19,
+            ));
             // ResNet-20 3×3 conv 32→32 channels on 16×16 at batch 32.
-            entries.push(gemm_entry("resnet_conv_gemm", "matmul_nt", 8192, 288, 32, reps, 20));
+            entries.push(gemm_entry(
+                "resnet_conv_gemm",
+                "matmul_nt",
+                8192,
+                288,
+                32,
+                reps,
+                20,
+            ));
             // Dense backward weight gradient (xᵀ·dy) shape.
-            entries.push(gemm_entry("dense_bwd_gemm", "matmul_tn", 400, 32, 120, reps, 21));
+            entries.push(gemm_entry(
+                "dense_bwd_gemm",
+                "matmul_tn",
+                400,
+                32,
+                120,
+                reps,
+                21,
+            ));
         }
     }
 

@@ -22,6 +22,9 @@
 #![deny(missing_docs)]
 
 pub mod cli;
+pub mod error;
 pub mod experiments;
+pub mod json;
 pub mod kernel_bench;
 pub mod output;
+pub mod sweep;

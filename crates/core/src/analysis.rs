@@ -64,9 +64,7 @@ pub fn representable_sum_count(mapping: Mapping, bits: u8, n_in: usize, n_out: u
         // DE/BC: every weight contributes independently; the sum of
         // n_in·n_out quantized weights spans 2·n_in·n_out·levels steps
         // (each weight can move the sum by ±levels steps).
-        Mapping::DoubleElement | Mapping::BiasColumn => {
-            2.0 * (n_in * n_out) as f64 * levels + 1.0
-        }
+        Mapping::DoubleElement | Mapping::BiasColumn => 2.0 * (n_in * n_out) as f64 * levels + 1.0,
     }
 }
 

@@ -123,12 +123,18 @@ mod tests {
         let mut rng = XorShiftRng::new(202);
         let w_small = Tensor::rand_uniform(&[4, 6], -0.02, 0.02, &mut rng);
         let w_big = w_small.scale(8.0);
-        let p_small =
-            balance_profile(&decompose(&w_small, Mapping::Acm, range()).unwrap(), range(), 1e-4)
-                .unwrap();
-        let p_big =
-            balance_profile(&decompose(&w_big, Mapping::Acm, range()).unwrap(), range(), 1e-4)
-                .unwrap();
+        let p_small = balance_profile(
+            &decompose(&w_small, Mapping::Acm, range()).unwrap(),
+            range(),
+            1e-4,
+        )
+        .unwrap();
+        let p_big = balance_profile(
+            &decompose(&w_big, Mapping::Acm, range()).unwrap(),
+            range(),
+            1e-4,
+        )
+        .unwrap();
         assert!(p_big.mean_headroom < p_small.mean_headroom);
     }
 

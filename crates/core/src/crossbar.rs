@@ -442,7 +442,10 @@ mod tests {
         let xb = CrossbarArray::program_signed(&w, Mapping::DoubleElement, dev, &mut r).unwrap();
         let q = dev.quantizer();
         for &g in xb.conductances().data() {
-            assert!((g - q.quantize(g)).abs() < 1e-6, "{g} is not a device state");
+            assert!(
+                (g - q.quantize(g)).abs() < 1e-6,
+                "{g} is not a device state"
+            );
         }
     }
 
@@ -539,7 +542,12 @@ mod tests {
         ));
         let bad_m = Tensor::from_vec(vec![0.1, f32::NAN, 0.2, 0.3, 0.4, 0.5], &[3, 2]).unwrap();
         assert!(matches!(
-            CrossbarArray::program_conductances(&bad_m, Mapping::Acm, DeviceConfig::ideal(), &mut r),
+            CrossbarArray::program_conductances(
+                &bad_m,
+                Mapping::Acm,
+                DeviceConfig::ideal(),
+                &mut r
+            ),
             Err(MappingError::NonFiniteInput { .. })
         ));
     }
@@ -568,10 +576,7 @@ mod tests {
         assert_eq!(xb.programming_report().num_stuck(), stuck);
         let range = dev.range();
         for (row, col, kind) in xb.fault_map().iter_stuck() {
-            assert_eq!(
-                xb.conductances().at(&[row, col]),
-                kind.forced_value(range)
-            );
+            assert_eq!(xb.conductances().at(&[row, col]), kind.forced_value(range));
         }
     }
 
@@ -615,7 +620,10 @@ mod tests {
         assert_eq!(xb.fault_map(), &map_before, "defects belong to the chip");
         assert!(!xb.conductances().all_close(&prog_before, 1e-7));
         for (row, col, kind) in xb.fault_map().iter_stuck() {
-            assert_eq!(xb.conductances().at(&[row, col]), kind.forced_value(dev.range()));
+            assert_eq!(
+                xb.conductances().at(&[row, col]),
+                kind.forced_value(dev.range())
+            );
         }
     }
 

@@ -304,7 +304,9 @@ mod tests {
         let w = small_random_w(&mut rng, 5, 7, 0.9);
         let m = decompose(&w, Mapping::DoubleElement, range()).unwrap();
         assert!(m.min() >= 0.0 && m.max() <= 1.0);
-        assert!(compose(&m, Mapping::DoubleElement).unwrap().all_close(&w, 1e-5));
+        assert!(compose(&m, Mapping::DoubleElement)
+            .unwrap()
+            .all_close(&w, 1e-5));
     }
 
     #[test]
@@ -313,7 +315,9 @@ mod tests {
         let w = small_random_w(&mut rng, 5, 7, 0.45);
         let m = decompose(&w, Mapping::BiasColumn, range()).unwrap();
         assert!(m.min() >= 0.0 && m.max() <= 1.0);
-        assert!(compose(&m, Mapping::BiasColumn).unwrap().all_close(&w, 1e-5));
+        assert!(compose(&m, Mapping::BiasColumn)
+            .unwrap()
+            .all_close(&w, 1e-5));
     }
 
     #[test]
@@ -352,7 +356,10 @@ mod tests {
     fn bc_rejects_weights_beyond_half_span() {
         let w = Tensor::from_vec(vec![0.7], &[1, 1]).unwrap();
         let err = decompose(&w, Mapping::BiasColumn, range()).unwrap_err();
-        assert!(matches!(err, MappingError::NotRepresentable { mapping: "BC", .. }));
+        assert!(matches!(
+            err,
+            MappingError::NotRepresentable { mapping: "BC", .. }
+        ));
         // ...but DE and ACM accept the same weight.
         assert!(decompose(&w, Mapping::DoubleElement, range()).is_ok());
         assert!(decompose(&w, Mapping::Acm, range()).is_ok());
@@ -369,7 +376,10 @@ mod tests {
         // All-positive column: suffix spread = sum of weights = 1.5 > span.
         let w = Tensor::from_vec(vec![0.5, 0.5, 0.5], &[3, 1]).unwrap();
         let err = decompose(&w, Mapping::Acm, range()).unwrap_err();
-        assert!(matches!(err, MappingError::NotRepresentable { mapping: "ACM", .. }));
+        assert!(matches!(
+            err,
+            MappingError::NotRepresentable { mapping: "ACM", .. }
+        ));
         // The same magnitudes with alternating signs fit easily — this is
         // the column-balance property the paper discusses in Sec. III-D.
         let w = Tensor::from_vec(vec![0.5, -0.5, 0.5], &[3, 1]).unwrap();

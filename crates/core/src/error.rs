@@ -57,7 +57,10 @@ impl fmt::Display for MappingError {
                 write!(f, "invalid periphery matrix: {reason}")
             }
             Self::NotRepresentable { mapping, detail } => {
-                write!(f, "matrix not representable under {mapping} mapping: {detail}")
+                write!(
+                    f,
+                    "matrix not representable under {mapping} mapping: {detail}"
+                )
             }
             Self::NonFiniteInput { op } => {
                 write!(f, "{op}: input contains NaN or infinite values")

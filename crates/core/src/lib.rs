@@ -76,4 +76,4 @@ pub use error::MappingError;
 pub use mapping::Mapping;
 pub use periphery::PeripheryMatrix;
 pub use remap::{remap_for_faults, RemapReport};
-pub use tiling::{TiledCrossbar, TileShape};
+pub use tiling::{TileShape, TiledCrossbar};

@@ -138,13 +138,12 @@ impl PeripheryMatrix {
             });
         }
         // Condition 2: strictly positive null vector.
-        let null_vector = find_positive_null_vector(&s).ok_or_else(|| {
-            MappingError::InvalidPeriphery {
+        let null_vector =
+            find_positive_null_vector(&s).ok_or_else(|| MappingError::InvalidPeriphery {
                 reason: "no strictly positive null vector found; \
                          non-negative decomposition not guaranteed"
                     .into(),
-            }
-        })?;
+            })?;
         Ok(Self { s, null_vector })
     }
 
@@ -312,8 +311,7 @@ mod tests {
     #[test]
     fn bias_column_stencil_matches_figure1b() {
         let s = PeripheryMatrix::bias_column(2);
-        let expected =
-            Tensor::from_vec(vec![1.0, 0.0, -1.0, 0.0, 1.0, -1.0], &[2, 3]).unwrap();
+        let expected = Tensor::from_vec(vec![1.0, 0.0, -1.0, 0.0, 1.0, -1.0], &[2, 3]).unwrap();
         assert_eq!(s.matrix(), &expected);
     }
 

@@ -118,8 +118,7 @@ impl TiledCrossbar {
                 for i in 0..rows {
                     for j in 0..cols {
                         let target = device.snap(m.at(&[c0 + j, r0 + i]));
-                        let realised =
-                            device.variation().sample(target, device.range(), rng);
+                        let realised = device.variation().sample(target, device.range(), rng);
                         *block.at_mut(&[i, j]) = realised;
                     }
                 }
@@ -179,7 +178,11 @@ impl TiledCrossbar {
         if x.ndim() != 1 || x.len() != self.n_in {
             return Err(MappingError::Shape(xbar_tensor::ShapeError::new(
                 "tiled mvm",
-                format!("expected 1-D input of length {}, got {:?}", self.n_in, x.shape()),
+                format!(
+                    "expected 1-D input of length {}, got {:?}",
+                    self.n_in,
+                    x.shape()
+                ),
             )));
         }
         // Accumulate raw device-column outputs across the tile grid.
@@ -191,9 +194,8 @@ impl TiledCrossbar {
                 let block = &self.tiles[gr * self.grid_cols + gc];
                 let (rows, cols) = (block.shape()[0], block.shape()[1]);
                 // Partial product: x-slice (rows) through the tile.
-                let x_slice =
-                    Tensor::from_vec(x.data()[r0..r0 + rows].to_vec(), &[rows])
-                        .expect("slice length matches");
+                let x_slice = Tensor::from_vec(x.data()[r0..r0 + rows].to_vec(), &[rows])
+                    .expect("slice length matches");
                 // block^T · x_slice -> cols partial sums.
                 for j in 0..cols {
                     let mut acc = 0.0;
@@ -224,8 +226,7 @@ mod tests {
         let x = Tensor::rand_uniform(&[30], -1.0, 1.0, &mut r);
         for mapping in Mapping::ALL {
             let mono =
-                CrossbarArray::program_signed(&w, mapping, DeviceConfig::ideal(), &mut r)
-                    .unwrap();
+                CrossbarArray::program_signed(&w, mapping, DeviceConfig::ideal(), &mut r).unwrap();
             let tiled = TiledCrossbar::program_signed(
                 &w,
                 mapping,

@@ -153,7 +153,8 @@ mod tests {
         let x = Tensor::zeros(&[4, 1, 2, 2]);
         assert!(Dataset::new(x.clone(), vec![0, 1], 2, "n").is_err()); // count
         assert!(Dataset::new(x.clone(), vec![0, 1, 2, 1], 2, "n").is_err()); // range
-        assert!(Dataset::new(Tensor::zeros(&[4, 4]), vec![0; 4], 2, "n").is_err()); // ndim
+        assert!(Dataset::new(Tensor::zeros(&[4, 4]), vec![0; 4], 2, "n").is_err());
+        // ndim
     }
 
     #[test]

@@ -26,11 +26,7 @@ fn be_u32(bytes: &[u8], at: usize) -> Result<u32, DataError> {
 }
 
 /// Parses one IDX image file + one IDX label file into a dataset.
-fn parse_idx_pair(
-    images: &[u8],
-    labels: &[u8],
-    name: &str,
-) -> Result<Dataset, DataError> {
+fn parse_idx_pair(images: &[u8], labels: &[u8], name: &str) -> Result<Dataset, DataError> {
     if be_u32(images, 0)? != 0x0000_0803 {
         return Err(DataError::Format("bad IDX image magic".into()));
     }
@@ -129,10 +125,7 @@ pub fn load_cifar10(dir: impl AsRef<Path>) -> Result<DatasetPair, DataError> {
         train_bufs.push(read_file(&dir.join(format!("data_batch_{i}.bin")))?);
     }
     let train = parse_cifar_batches(&train_bufs, "cifar10-train")?;
-    let test = parse_cifar_batches(
-        &[read_file(&dir.join("test_batch.bin"))?],
-        "cifar10-test",
-    )?;
+    let test = parse_cifar_batches(&[read_file(&dir.join("test_batch.bin"))?], "cifar10-test")?;
     Ok(DatasetPair { train, test })
 }
 

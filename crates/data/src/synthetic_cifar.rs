@@ -237,7 +237,12 @@ mod tests {
 
     #[test]
     fn classes_are_distinguishable_without_noise() {
-        let pair = SyntheticCifar::builder().train(10).test(1).noise(0.0).seed(11).build();
+        let pair = SyntheticCifar::builder()
+            .train(10)
+            .test(1)
+            .noise(0.0)
+            .seed(11)
+            .build();
         let x = pair.train.features();
         let sample = 3 * 16 * 16;
         for a in 0..10 {

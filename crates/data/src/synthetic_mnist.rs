@@ -10,25 +10,45 @@ use crate::{Dataset, DatasetPair};
 /// strokes on a dark background, like MNIST digits.
 const GLYPHS_5X7: [[u8; 7]; 10] = [
     // 0
-    [0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110],
+    [
+        0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110,
+    ],
     // 1
-    [0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110],
+    [
+        0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110,
+    ],
     // 2
-    [0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111],
+    [
+        0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111,
+    ],
     // 3
-    [0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110],
+    [
+        0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110,
+    ],
     // 4
-    [0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010],
+    [
+        0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010,
+    ],
     // 5
-    [0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110],
+    [
+        0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110,
+    ],
     // 6
-    [0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110],
+    [
+        0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110,
+    ],
     // 7
-    [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000],
+    [
+        0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000,
+    ],
     // 8
-    [0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110],
+    [
+        0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110,
+    ],
     // 9
-    [0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100],
+    [
+        0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100,
+    ],
 ];
 
 /// Generator for the synthetic MNIST-like task.
@@ -115,19 +135,25 @@ impl SyntheticMnistBuilder {
     /// Generates the train/test pair.
     pub fn build(self) -> DatasetPair {
         let mut rng = XorShiftRng::new(self.seed);
-        let train = generate(self.train, self.size, self.noise, &mut rng, "synthetic-mnist");
-        let test = generate(self.test, self.size, self.noise, &mut rng, "synthetic-mnist");
+        let train = generate(
+            self.train,
+            self.size,
+            self.noise,
+            &mut rng,
+            "synthetic-mnist",
+        );
+        let test = generate(
+            self.test,
+            self.size,
+            self.noise,
+            &mut rng,
+            "synthetic-mnist",
+        );
         DatasetPair { train, test }
     }
 }
 
-fn generate(
-    n: usize,
-    size: usize,
-    noise: f32,
-    rng: &mut XorShiftRng,
-    name: &str,
-) -> Dataset {
+fn generate(n: usize, size: usize, noise: f32, rng: &mut XorShiftRng, name: &str) -> Dataset {
     let mut x = Tensor::zeros(&[n, 1, size, size]);
     let mut labels = Vec::with_capacity(n);
     // Glyph is 5x7; scale so it fills most of the canvas.
@@ -203,7 +229,12 @@ mod tests {
     #[test]
     fn clean_digits_are_distinguishable() {
         // With zero noise, digit images of different classes must differ.
-        let pair = SyntheticMnist::builder().train(10).test(1).noise(0.0).seed(3).build();
+        let pair = SyntheticMnist::builder()
+            .train(10)
+            .test(1)
+            .noise(0.0)
+            .seed(3)
+            .build();
         let x = pair.train.features();
         let size = 16 * 16;
         for a in 0..10 {
@@ -218,7 +249,11 @@ mod tests {
 
     #[test]
     fn glyphs_are_rendered_not_blank() {
-        let pair = SyntheticMnist::builder().train(10).test(1).noise(0.0).build();
+        let pair = SyntheticMnist::builder()
+            .train(10)
+            .test(1)
+            .noise(0.0)
+            .build();
         let x = pair.train.features();
         // Every image should contain lit pixels (value 0.5 - 0.5 ≥ 0.25).
         let size = 16 * 16;

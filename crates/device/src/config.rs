@@ -1,4 +1,6 @@
-use crate::{ConductanceRange, FaultModel, ProgrammingModel, Quantizer, UpdateModel, VariationModel};
+use crate::{
+    ConductanceRange, FaultModel, ProgrammingModel, Quantizer, UpdateModel, VariationModel,
+};
 
 /// Complete non-ideality description of a synapse device, consumed by the
 /// mapped layers in `xbar-nn` and the crossbar simulator in `xbar-core`.
@@ -325,7 +327,10 @@ mod tests {
 
     #[test]
     fn default_builder_equals_ideal() {
-        assert_eq!(DeviceConfigBuilder::default().build(), DeviceConfig::ideal());
+        assert_eq!(
+            DeviceConfigBuilder::default().build(),
+            DeviceConfig::ideal()
+        );
     }
 
     #[test]

@@ -186,7 +186,10 @@ impl FaultMap {
     ///
     /// Panics if the indices are out of bounds.
     pub fn get(&self, row: usize, col: usize) -> Option<FaultKind> {
-        assert!(row < self.rows && col < self.cols, "fault index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "fault index out of bounds"
+        );
         self.faults[row * self.cols + col]
     }
 
@@ -197,7 +200,10 @@ impl FaultMap {
     ///
     /// Panics if the indices are out of bounds.
     pub fn set(&mut self, row: usize, col: usize, kind: FaultKind) {
-        assert!(row < self.rows && col < self.cols, "fault index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "fault index out of bounds"
+        );
         self.faults[row * self.cols + col] = Some(kind);
     }
 

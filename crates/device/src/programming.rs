@@ -115,7 +115,11 @@ impl ProgrammingModel {
                 "fault map shape mismatch"
             );
         }
-        let cols = if targets.ndim() == 2 { targets.shape()[1] } else { targets.len() };
+        let cols = if targets.ndim() == 2 {
+            targets.shape()[1]
+        } else {
+            targets.len()
+        };
         let tol = self.tolerance_frac * range.span();
         let mut out = targets.clone();
         let mut report = ProgrammingReport::new(targets.len());
@@ -283,7 +287,10 @@ mod tests {
             None,
             &mut XorShiftRng::new(21),
         );
-        assert_eq!(got, expected, "one-shot must reproduce the legacy noise path");
+        assert_eq!(
+            got, expected,
+            "one-shot must reproduce the legacy noise path"
+        );
         assert!(report.all_converged());
         assert_eq!(report.total_writes(), 15);
     }

@@ -148,13 +148,7 @@ impl UpdateModel {
     /// # Panics
     ///
     /// Panics if `total_pulses == 0`.
-    pub fn apply(
-        &self,
-        g: f32,
-        pulses: i32,
-        total_pulses: u32,
-        range: ConductanceRange,
-    ) -> f32 {
+    pub fn apply(&self, g: f32, pulses: i32, total_pulses: u32, range: ConductanceRange) -> f32 {
         self.apply_fractional(g, pulses as f32, total_pulses, range)
     }
 
@@ -513,7 +507,10 @@ mod state_ladder_tests {
             let g = m.state_conductance(k, 8, range());
             let next = m.apply(g, 1, 7, range());
             let expected = m.state_conductance(k + 1, 8, range());
-            assert!((next - expected).abs() < 1e-5, "state {k}: {next} vs {expected}");
+            assert!(
+                (next - expected).abs() < 1e-5,
+                "state {k}: {next} vs {expected}"
+            );
         }
     }
 

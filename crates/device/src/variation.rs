@@ -176,9 +176,11 @@ mod tests {
         let n = 20_000;
         let samples: Vec<f32> = (0..n).map(|_| v.sample(5.0, wide, &mut rng)).collect();
         let mean = samples.iter().sum::<f32>() / n as f32;
-        let std =
-            (samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32).sqrt();
-        assert!((std - 1.0).abs() < 0.05, "std {std} (expected 1.0 = 10% of span 10)");
+        let std = (samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32).sqrt();
+        assert!(
+            (std - 1.0).abs() < 0.05,
+            "std {std} (expected 1.0 = 10% of span 10)"
+        );
     }
 
     #[test]

@@ -1,6 +1,4 @@
-use xbar_nn::{
-    Conv2d, Dense, Flatten, MaxPool2d, NnError, QuantAct, Relu, Sequential,
-};
+use xbar_nn::{Conv2d, Dense, Flatten, MaxPool2d, NnError, QuantAct, Relu, Sequential};
 use xbar_tensor::rng::XorShiftRng;
 
 use crate::{ModelConfig, ModelScale};
@@ -42,7 +40,9 @@ pub fn lenet(
     push_act_quant(&mut net, cfg);
     net.push(MaxPool2d::halving());
     // Conv stage 2.
-    net.push(Conv2d::new(c1, c2, 5, 1, 2, cfg.kind, cfg.device, &mut rng)?);
+    net.push(Conv2d::new(
+        c1, c2, 5, 1, 2, cfg.kind, cfg.device, &mut rng,
+    )?);
     net.push(Relu::new());
     push_act_quant(&mut net, cfg);
     net.push(MaxPool2d::halving());

@@ -47,17 +47,29 @@ mod tests {
     #[test]
     fn forward_flat_and_image_inputs() {
         let mut net = mlp2(16, 8, 4, &ModelConfig::baseline()).unwrap();
-        assert_eq!(net.forward(&Tensor::zeros(&[3, 16]), false).unwrap().shape(), &[3, 4]);
         assert_eq!(
-            net.forward(&Tensor::zeros(&[3, 1, 4, 4]), false).unwrap().shape(),
+            net.forward(&Tensor::zeros(&[3, 16]), false)
+                .unwrap()
+                .shape(),
+            &[3, 4]
+        );
+        assert_eq!(
+            net.forward(&Tensor::zeros(&[3, 1, 4, 4]), false)
+                .unwrap()
+                .shape(),
             &[3, 4]
         );
     }
 
     #[test]
     fn mapped_mlp_element_counts() {
-        let acm = mlp2(400, 100, 10, &ModelConfig::mapped(Mapping::Acm, DeviceConfig::ideal()))
-            .unwrap();
+        let acm = mlp2(
+            400,
+            100,
+            10,
+            &ModelConfig::mapped(Mapping::Acm, DeviceConfig::ideal()),
+        )
+        .unwrap();
         let de = mlp2(
             400,
             100,

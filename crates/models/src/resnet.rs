@@ -35,7 +35,9 @@ pub fn resnet20(
     let base = scale.width(16, 4, 2);
     let widths = [base, base * 2, base * 4];
     let mut net = Sequential::new();
-    net.push(Conv2d::same3x3(c, widths[0], cfg.kind, cfg.device, &mut rng)?);
+    net.push(Conv2d::same3x3(
+        c, widths[0], cfg.kind, cfg.device, &mut rng,
+    )?);
     net.push(BatchNorm2d::new(widths[0]));
     net.push(Relu::new());
     push_act_quant(&mut net, cfg);
@@ -62,7 +64,9 @@ fn basic_block(
     rng: &mut XorShiftRng,
 ) -> Result<ResidualBlock, NnError> {
     let mut body = Sequential::new();
-    body.push(Conv2d::new(in_c, out_c, 3, stride, 1, cfg.kind, cfg.device, rng)?);
+    body.push(Conv2d::new(
+        in_c, out_c, 3, stride, 1, cfg.kind, cfg.device, rng,
+    )?);
     body.push(BatchNorm2d::new(out_c));
     body.push(Relu::new());
     push_act_quant(&mut body, cfg);
@@ -72,7 +76,9 @@ fn basic_block(
         Ok(ResidualBlock::new(body))
     } else {
         let mut shortcut = Sequential::new();
-        shortcut.push(Conv2d::new(in_c, out_c, 1, stride, 0, cfg.kind, cfg.device, rng)?);
+        shortcut.push(Conv2d::new(
+            in_c, out_c, 1, stride, 0, cfg.kind, cfg.device, rng,
+        )?);
         shortcut.push(BatchNorm2d::new(out_c));
         Ok(ResidualBlock::with_projection(body, shortcut))
     }

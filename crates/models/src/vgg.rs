@@ -40,7 +40,9 @@ pub fn vgg9(
     let mut in_c = c;
     for &out_c in &stage_widths {
         for _ in 0..2 {
-            net.push(Conv2d::same3x3(in_c, out_c, cfg.kind, cfg.device, &mut rng)?);
+            net.push(Conv2d::same3x3(
+                in_c, out_c, cfg.kind, cfg.device, &mut rng,
+            )?);
             net.push(Relu::new());
             push_act_quant(&mut net, cfg);
             in_c = out_c;
@@ -52,10 +54,14 @@ pub fn vgg9(
     net.push(Dense::new(flat, fc_width, cfg.kind, cfg.device, &mut rng)?);
     net.push(Relu::new());
     push_act_quant(&mut net, cfg);
-    net.push(Dense::new(fc_width, fc_width, cfg.kind, cfg.device, &mut rng)?);
+    net.push(Dense::new(
+        fc_width, fc_width, cfg.kind, cfg.device, &mut rng,
+    )?);
     net.push(Relu::new());
     push_act_quant(&mut net, cfg);
-    net.push(Dense::new(fc_width, classes, cfg.kind, cfg.device, &mut rng)?);
+    net.push(Dense::new(
+        fc_width, classes, cfg.kind, cfg.device, &mut rng,
+    )?);
     Ok(net)
 }
 

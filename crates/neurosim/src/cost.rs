@@ -92,14 +92,46 @@ mod tests {
         assert_eq!(de.mapping, Mapping::DoubleElement);
         assert_eq!(acm.mapping, Mapping::Acm);
         // Paper Table I, within 2% (the model is calibrated on these).
-        assert!(pct_close(bc.xbar_area_um2, 914.0, 2.0), "{}", bc.xbar_area_um2);
-        assert!(pct_close(bc.periphery_area_um2, 157.0, 2.0), "{}", bc.periphery_area_um2);
-        assert!(pct_close(bc.read_energy_uj, 2.402, 2.0), "{}", bc.read_energy_uj);
-        assert!(pct_close(bc.read_delay_ms, 0.240, 2.0), "{}", bc.read_delay_ms);
-        assert!(pct_close(de.xbar_area_um2, 2088.0, 2.0), "{}", de.xbar_area_um2);
-        assert!(pct_close(de.periphery_area_um2, 246.0, 2.0), "{}", de.periphery_area_um2);
-        assert!(pct_close(de.read_energy_uj, 14.408, 2.0), "{}", de.read_energy_uj);
-        assert!(pct_close(de.read_delay_ms, 0.318, 2.0), "{}", de.read_delay_ms);
+        assert!(
+            pct_close(bc.xbar_area_um2, 914.0, 2.0),
+            "{}",
+            bc.xbar_area_um2
+        );
+        assert!(
+            pct_close(bc.periphery_area_um2, 157.0, 2.0),
+            "{}",
+            bc.periphery_area_um2
+        );
+        assert!(
+            pct_close(bc.read_energy_uj, 2.402, 2.0),
+            "{}",
+            bc.read_energy_uj
+        );
+        assert!(
+            pct_close(bc.read_delay_ms, 0.240, 2.0),
+            "{}",
+            bc.read_delay_ms
+        );
+        assert!(
+            pct_close(de.xbar_area_um2, 2088.0, 2.0),
+            "{}",
+            de.xbar_area_um2
+        );
+        assert!(
+            pct_close(de.periphery_area_um2, 246.0, 2.0),
+            "{}",
+            de.periphery_area_um2
+        );
+        assert!(
+            pct_close(de.read_energy_uj, 14.408, 2.0),
+            "{}",
+            de.read_energy_uj
+        );
+        assert!(
+            pct_close(de.read_delay_ms, 0.318, 2.0),
+            "{}",
+            de.read_delay_ms
+        );
     }
 
     #[test]
@@ -137,8 +169,7 @@ mod tests {
     fn total_area_sums_components() {
         let r = table1(&TechParams::nm14());
         assert!(
-            (r[0].total_area_um2() - (r[0].xbar_area_um2 + r[0].periphery_area_um2)).abs()
-                < 1e-9
+            (r[0].total_area_um2() - (r[0].xbar_area_um2 + r[0].periphery_area_um2)).abs() < 1e-9
         );
     }
 }

@@ -130,11 +130,7 @@ impl Layer for Conv2d {
         if x.ndim() != 4 || x.shape()[1] != self.in_c {
             return Err(NnError::Shape(xbar_tensor::ShapeError::new(
                 "conv forward",
-                format!(
-                    "expected (n, {}, h, w), got {:?}",
-                    self.in_c,
-                    x.shape()
-                ),
+                format!("expected (n, {}, h, w), got {:?}", self.in_c, x.shape()),
             )));
         }
         let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
@@ -185,8 +181,7 @@ impl Layer for Conv2d {
                 format!("expected {:?}, got {:?}", expected, grad.shape()),
             )));
         }
-        let (grad_input, grad_weight) =
-            conv2d_backward(grad, &cols, &w_eff, n, self.in_c, &geom)?;
+        let (grad_input, grad_weight) = conv2d_backward(grad, &cols, &w_eff, n, self.in_c, &geom)?;
         self.weights.accumulate_grad(&grad_weight)?;
         // Per-channel bias gradient: sum over batch and spatial dims.
         let spatial = geom.out_h * geom.out_w;
@@ -219,6 +214,11 @@ impl Layer for Conv2d {
 
     fn visit_mapped(&mut self, visit: &mut dyn FnMut(&mut MappedParam)) {
         visit(&mut self.weights);
+    }
+
+    fn visit_state(&mut self, prefix: &str, visitor: &mut dyn crate::StateVisitor) {
+        self.weights.visit_state(&format!("{prefix}w."), visitor);
+        visitor.tensor(&format!("{prefix}bias"), &mut self.bias);
     }
 }
 
@@ -257,8 +257,17 @@ mod tests {
     #[test]
     fn forward_shapes() {
         let mut r = rng();
-        let mut c = Conv2d::new(2, 4, 3, 1, 1, WeightKind::Signed, DeviceConfig::ideal(), &mut r)
-            .unwrap();
+        let mut c = Conv2d::new(
+            2,
+            4,
+            3,
+            1,
+            1,
+            WeightKind::Signed,
+            DeviceConfig::ideal(),
+            &mut r,
+        )
+        .unwrap();
         let x = Tensor::zeros(&[3, 2, 8, 8]);
         let y = c.forward(&x, true).unwrap();
         assert_eq!(y.shape(), &[3, 4, 8, 8]);
@@ -267,8 +276,17 @@ mod tests {
     #[test]
     fn strided_forward_shapes() {
         let mut r = rng();
-        let mut c = Conv2d::new(1, 2, 3, 2, 1, WeightKind::Signed, DeviceConfig::ideal(), &mut r)
-            .unwrap();
+        let mut c = Conv2d::new(
+            1,
+            2,
+            3,
+            2,
+            1,
+            WeightKind::Signed,
+            DeviceConfig::ideal(),
+            &mut r,
+        )
+        .unwrap();
         let x = Tensor::zeros(&[1, 1, 8, 8]);
         let y = c.forward(&x, true).unwrap();
         assert_eq!(y.shape(), &[1, 2, 4, 4]);
@@ -277,16 +295,34 @@ mod tests {
     #[test]
     fn rejects_wrong_channel_count() {
         let mut r = rng();
-        let mut c = Conv2d::new(2, 4, 3, 1, 1, WeightKind::Signed, DeviceConfig::ideal(), &mut r)
-            .unwrap();
+        let mut c = Conv2d::new(
+            2,
+            4,
+            3,
+            1,
+            1,
+            WeightKind::Signed,
+            DeviceConfig::ideal(),
+            &mut r,
+        )
+        .unwrap();
         assert!(c.forward(&Tensor::zeros(&[1, 3, 8, 8]), true).is_err());
     }
 
     #[test]
     fn gradients_match_finite_differences() {
         let mut r = rng();
-        let mut c = Conv2d::new(2, 3, 3, 1, 1, WeightKind::Signed, DeviceConfig::ideal(), &mut r)
-            .unwrap();
+        let mut c = Conv2d::new(
+            2,
+            3,
+            3,
+            1,
+            1,
+            WeightKind::Signed,
+            DeviceConfig::ideal(),
+            &mut r,
+        )
+        .unwrap();
         let x = Tensor::rand_normal(&[1, 2, 5, 5], 0.0, 1.0, &mut r);
         let y = c.forward(&x, true).unwrap();
         let gx = c.backward(&Tensor::ones(y.shape())).unwrap();
@@ -307,8 +343,8 @@ mod tests {
     #[test]
     fn mapped_conv_trains_toward_target() {
         let mut r = rng();
-        let mut c = conv_mapped(1, 2, 3, 1, 1, Mapping::Acm, DeviceConfig::ideal(), &mut r)
-            .unwrap();
+        let mut c =
+            conv_mapped(1, 2, 3, 1, 1, Mapping::Acm, DeviceConfig::ideal(), &mut r).unwrap();
         let x = Tensor::rand_normal(&[4, 1, 6, 6], 0.0, 1.0, &mut r);
         let target = Tensor::rand_normal(&[4, 2, 6, 6], 0.0, 0.5, &mut r);
         let mut first = None;
@@ -330,8 +366,17 @@ mod tests {
     #[test]
     fn bias_gradient_accumulates_spatially() {
         let mut r = rng();
-        let mut c = Conv2d::new(1, 1, 1, 1, 0, WeightKind::Signed, DeviceConfig::ideal(), &mut r)
-            .unwrap();
+        let mut c = Conv2d::new(
+            1,
+            1,
+            1,
+            1,
+            0,
+            WeightKind::Signed,
+            DeviceConfig::ideal(),
+            &mut r,
+        )
+        .unwrap();
         let x = Tensor::ones(&[1, 1, 2, 2]);
         c.forward(&x, true).unwrap();
         c.backward(&Tensor::ones(&[1, 1, 2, 2])).unwrap();
@@ -341,8 +386,17 @@ mod tests {
     #[test]
     fn num_params_and_describe() {
         let mut r = rng();
-        let c = conv_mapped(2, 4, 3, 1, 1, Mapping::DoubleElement, DeviceConfig::ideal(), &mut r)
-            .unwrap();
+        let c = conv_mapped(
+            2,
+            4,
+            3,
+            1,
+            1,
+            Mapping::DoubleElement,
+            DeviceConfig::ideal(),
+            &mut r,
+        )
+        .unwrap();
         // DE: 2*4 = 8 device rows x (2*9) inputs + 4 bias.
         assert_eq!(c.num_params(), 8 * 18 + 4);
         assert!(c.describe().contains("DE"));
@@ -351,9 +405,19 @@ mod tests {
     #[test]
     fn geometry_adapts_to_input_size() {
         let mut r = rng();
-        let mut c = Conv2d::same3x3(1, 1, WeightKind::Signed, DeviceConfig::ideal(), &mut r)
-            .unwrap();
-        assert_eq!(c.forward(&Tensor::zeros(&[1, 1, 8, 8]), false).unwrap().shape(), &[1, 1, 8, 8]);
-        assert_eq!(c.forward(&Tensor::zeros(&[1, 1, 5, 5]), false).unwrap().shape(), &[1, 1, 5, 5]);
+        let mut c =
+            Conv2d::same3x3(1, 1, WeightKind::Signed, DeviceConfig::ideal(), &mut r).unwrap();
+        assert_eq!(
+            c.forward(&Tensor::zeros(&[1, 1, 8, 8]), false)
+                .unwrap()
+                .shape(),
+            &[1, 1, 8, 8]
+        );
+        assert_eq!(
+            c.forward(&Tensor::zeros(&[1, 1, 5, 5]), false)
+                .unwrap()
+                .shape(),
+            &[1, 1, 5, 5]
+        );
     }
 }

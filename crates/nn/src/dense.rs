@@ -169,6 +169,11 @@ impl Layer for Dense {
     fn visit_mapped(&mut self, visit: &mut dyn FnMut(&mut MappedParam)) {
         visit(&mut self.weights);
     }
+
+    fn visit_state(&mut self, prefix: &str, visitor: &mut dyn crate::StateVisitor) {
+        self.weights.visit_state(&format!("{prefix}w."), visitor);
+        visitor.tensor(&format!("{prefix}bias"), &mut self.bias);
+    }
 }
 
 /// Convenience constructor for a baseline (signed, full-precision) dense

@@ -27,7 +27,10 @@ impl Dropout {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability {p} outside [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability {p} outside [0, 1)"
+        );
         Self {
             p,
             rng: XorShiftRng::new(seed),
@@ -60,7 +63,13 @@ impl Layer for Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let mask: Vec<f32> = (0..x.len())
-            .map(|_| if self.rng.next_f32() < keep { scale } else { 0.0 })
+            .map(|_| {
+                if self.rng.next_f32() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mut y = x.clone();
         for (v, &m) in y.data_mut().iter_mut().zip(&mask) {
@@ -86,6 +95,10 @@ impl Layer for Dropout {
             *g *= m;
         }
         Ok(out)
+    }
+
+    fn visit_state(&mut self, prefix: &str, visitor: &mut dyn crate::StateVisitor) {
+        visitor.rng(&format!("{prefix}rng"), &mut self.rng);
     }
 }
 

@@ -4,6 +4,8 @@ use std::fmt;
 use xbar_core::MappingError;
 use xbar_tensor::ShapeError;
 
+use crate::persist::PersistError;
+
 /// Errors from network construction, forward/backward passes, and training.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NnError {
@@ -15,6 +17,8 @@ pub enum NnError {
     Config(String),
     /// Backward called without (or inconsistently with) a prior forward.
     State(String),
+    /// Checkpoint save/load failed.
+    Persist(PersistError),
 }
 
 impl fmt::Display for NnError {
@@ -24,6 +28,7 @@ impl fmt::Display for NnError {
             Self::Mapping(e) => write!(f, "{e}"),
             Self::Config(msg) => write!(f, "invalid configuration: {msg}"),
             Self::State(msg) => write!(f, "invalid layer state: {msg}"),
+            Self::Persist(e) => write!(f, "{e}"),
         }
     }
 }
@@ -33,8 +38,15 @@ impl Error for NnError {
         match self {
             Self::Shape(e) => Some(e),
             Self::Mapping(e) => Some(e),
+            Self::Persist(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<PersistError> for NnError {
+    fn from(e: PersistError) -> Self {
+        Self::Persist(e)
     }
 }
 
@@ -57,8 +69,12 @@ mod tests {
     #[test]
     fn display_all_variants() {
         assert!(NnError::Config("bad".into()).to_string().contains("bad"));
-        assert!(NnError::State("no forward".into()).to_string().contains("no forward"));
-        assert!(NnError::from(ShapeError::new("op", "d")).to_string().contains("op"));
+        assert!(NnError::State("no forward".into())
+            .to_string()
+            .contains("no forward"));
+        assert!(NnError::from(ShapeError::new("op", "d"))
+            .to_string()
+            .contains("op"));
         let me = MappingError::NotRepresentable {
             mapping: "BC",
             detail: "x".into(),

@@ -1,6 +1,23 @@
+use xbar_tensor::rng::XorShiftRng;
 use xbar_tensor::Tensor;
 
 use crate::{MappedParam, NnError};
+
+/// Receives every persistent state component of a layer tree, in a fixed
+/// deterministic order — the bridge between [`Layer::visit_state`] and the
+/// checkpoint codec in [`crate::persist`].
+///
+/// Implementations either *read* the visited values (saving) or *write*
+/// them (restoring); layers themselves stay agnostic of the direction.
+pub trait StateVisitor {
+    /// Visits a named tensor-valued state component (weights, biases,
+    /// running statistics).
+    fn tensor(&mut self, name: &str, value: &mut Tensor);
+
+    /// Visits a named deterministic RNG stream (dropout masks, stochastic
+    /// pulse rounding).
+    fn rng(&mut self, name: &str, value: &mut XorShiftRng);
+}
 
 /// A trainable network layer.
 ///
@@ -70,6 +87,21 @@ pub trait Layer: Send + Sync {
     /// sub-layers).
     fn visit_mapped(&mut self, visit: &mut dyn FnMut(&mut MappedParam)) {
         let _ = visit;
+    }
+
+    /// Visits every *persistent* state component of this layer (and
+    /// sub-layers) under `prefix`-qualified names: trained parameters,
+    /// running statistics, and RNG streams — everything a checkpoint must
+    /// capture for a resumed run to continue bitwise. Transient state
+    /// (forward caches, accumulated gradients) is excluded: the training
+    /// loop rebuilds it before use. Stateless layers keep the default
+    /// no-op.
+    ///
+    /// The visit order must be deterministic and identical between save
+    /// and restore — the persist codec matches components positionally and
+    /// verifies names.
+    fn visit_state(&mut self, prefix: &str, visitor: &mut dyn StateVisitor) {
+        let _ = (prefix, visitor);
     }
 }
 
@@ -185,6 +217,12 @@ impl Layer for Sequential {
     fn visit_mapped(&mut self, visit: &mut dyn FnMut(&mut MappedParam)) {
         for layer in &mut self.layers {
             layer.visit_mapped(visit);
+        }
+    }
+
+    fn visit_state(&mut self, prefix: &str, visitor: &mut dyn StateVisitor) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            layer.visit_state(&format!("{prefix}{i}."), visitor);
         }
     }
 }

@@ -50,6 +50,7 @@ mod loss;
 mod metrics;
 mod norm;
 mod param;
+pub mod persist;
 mod pool;
 mod residual;
 mod train;
@@ -59,7 +60,7 @@ pub use conv::{conv_mapped, Conv2d};
 pub use dense::{dense_mapped, dense_signed, Dense};
 pub use dropout::Dropout;
 pub use error::NnError;
-pub use layer::{Layer, Sequential};
+pub use layer::{Layer, Sequential, StateVisitor};
 pub use loss::SoftmaxCrossEntropy;
 pub use metrics::{accuracy, confusion_matrix};
 pub use norm::BatchNorm2d;

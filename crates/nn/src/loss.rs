@@ -123,8 +123,7 @@ mod tests {
 
     #[test]
     fn gradient_rows_sum_to_zero() {
-        let logits =
-            Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.5, 0.0], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.5, 0.0], &[2, 3]).unwrap();
         let (_, grad) = SoftmaxCrossEntropy::forward(&logits, &[2, 0]).unwrap();
         for b in 0..2 {
             let s: f32 = grad.data()[b * 3..(b + 1) * 3].iter().sum();
@@ -134,8 +133,7 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_differences() {
-        let logits =
-            Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1, 0.0, -0.4], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1, 0.0, -0.4], &[2, 3]).unwrap();
         let labels = [1usize, 2];
         let (loss0, grad) = SoftmaxCrossEntropy::forward(&logits, &labels).unwrap();
         let eps = 1e-3;
@@ -173,6 +171,7 @@ mod tests {
         let logits = Tensor::zeros(&[2, 3]);
         assert!(SoftmaxCrossEntropy::forward(&logits, &[0]).is_err()); // count
         assert!(SoftmaxCrossEntropy::forward(&logits, &[0, 3]).is_err()); // range
-        assert!(SoftmaxCrossEntropy::forward(&Tensor::zeros(&[6]), &[0]).is_err()); // ndim
+        assert!(SoftmaxCrossEntropy::forward(&Tensor::zeros(&[6]), &[0]).is_err());
+        // ndim
     }
 }

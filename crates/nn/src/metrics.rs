@@ -100,8 +100,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_matches() {
-        let logits =
-            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]).unwrap();
         assert_eq!(accuracy(&logits, &[0, 1, 0]).unwrap(), 1.0);
         assert_eq!(accuracy(&logits, &[1, 0, 1]).unwrap(), 0.0);
     }

@@ -63,11 +63,7 @@ impl BatchNorm2d {
         if x.ndim() != 4 || x.shape()[1] != self.channels {
             return Err(NnError::Shape(xbar_tensor::ShapeError::new(
                 "batchnorm",
-                format!(
-                    "expected (n, {}, h, w), got {:?}",
-                    self.channels,
-                    x.shape()
-                ),
+                format!("expected (n, {}, h, w), got {:?}", self.channels, x.shape()),
             )));
         }
         Ok((x.shape()[0], x.shape()[2], x.shape()[3]))
@@ -210,6 +206,13 @@ impl Layer for BatchNorm2d {
 
     fn num_params(&self) -> usize {
         2 * self.channels
+    }
+
+    fn visit_state(&mut self, prefix: &str, visitor: &mut dyn crate::StateVisitor) {
+        visitor.tensor(&format!("{prefix}gamma"), &mut self.gamma);
+        visitor.tensor(&format!("{prefix}beta"), &mut self.beta);
+        visitor.tensor(&format!("{prefix}running_mean"), &mut self.running_mean);
+        visitor.tensor(&format!("{prefix}running_var"), &mut self.running_var);
     }
 }
 

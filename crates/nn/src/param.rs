@@ -100,8 +100,7 @@ impl MappedParam {
         let (n_out, n_in) = (w_init.shape()[0], w_init.shape()[1]);
         // Deterministic per-parameter stream: derived from the init
         // contents so two layers with different inits decorrelate.
-        let seed = (w_init.len() as u64)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        let seed = (w_init.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ u64::from(w_init.data()[0].to_bits());
         let update_rng = XorShiftRng::new(seed | 1);
         match kind {
@@ -392,12 +391,7 @@ impl MappedParam {
                             let pulses =
                                 floor as i64 + i64::from(self.update_rng.next_f32() < frac);
                             if pulses != 0 {
-                                *g = update.apply_fractional(
-                                    *g,
-                                    pulses as f32,
-                                    total,
-                                    range,
-                                );
+                                *g = update.apply_fractional(*g, pulses as f32, total, range);
                             }
                         }
                     }
@@ -420,9 +414,7 @@ impl MappedParam {
             WeightKind::Signed => {
                 // Equivalent per-element noise in logical units.
                 let sigma = sigma_frac * range.span() * self.alpha;
-                let noise = Tensor::from_fn(self.shadow.shape(), |_| {
-                    rng.normal_with(0.0, sigma)
-                });
+                let noise = Tensor::from_fn(self.shadow.shape(), |_| rng.normal_with(0.0, sigma));
                 self.variation_override =
                     Some(self.shadow.add(&noise).expect("same-shape add cannot fail"));
             }
@@ -459,7 +451,13 @@ impl MappedParam {
         sigma_frac: f32,
         remap: bool,
         rng: &mut XorShiftRng,
-    ) -> Result<(xbar_device::ProgrammingReport, Option<xbar_core::RemapReport>), NnError> {
+    ) -> Result<
+        (
+            xbar_device::ProgrammingReport,
+            Option<xbar_core::RemapReport>,
+        ),
+        NnError,
+    > {
         let Some(periphery) = &self.periphery else {
             return Err(NnError::State(
                 "baseline signed weights have no crossbar cells to fail".into(),
@@ -474,21 +472,17 @@ impl MappedParam {
             // programming is an analog trim, not restricted to the state
             // ladder that governs training updates. Re-snapping here would
             // quantize away sub-step compensations.
-            let (shifted, report) =
-                xbar_core::remap_for_faults(&targets, periphery, &map, range)
-                    .map_err(NnError::Mapping)?;
+            let (shifted, report) = xbar_core::remap_for_faults(&targets, periphery, &map, range)
+                .map_err(NnError::Mapping)?;
             targets = shifted;
             Some(report)
         } else {
             None
         };
-        let (programmed, prog_report) = self.device.programming().program_tensor(
-            &targets,
-            &var,
-            range,
-            Some(&map),
-            rng,
-        );
+        let (programmed, prog_report) =
+            self.device
+                .programming()
+                .program_tensor(&targets, &var, range, Some(&map), rng);
         self.variation_override = Some(programmed);
         Ok((prog_report, remap_report))
     }
@@ -522,6 +516,15 @@ impl MappedParam {
     /// Whether a variation override is active.
     pub fn has_variation(&self) -> bool {
         self.variation_override.is_some()
+    }
+
+    /// Visits this parameter's persistent state: the trained master tensor
+    /// (`M` or `W`) and the stochastic pulse-rounding stream. The gradient
+    /// and any variation override are transient and excluded (see
+    /// [`crate::Layer::visit_state`]).
+    pub fn visit_state(&mut self, prefix: &str, visitor: &mut dyn crate::StateVisitor) {
+        visitor.tensor(&format!("{prefix}shadow"), &mut self.shadow);
+        visitor.rng(&format!("{prefix}update_rng"), &mut self.update_rng);
     }
 }
 
@@ -652,12 +655,9 @@ mod tests {
     fn mapped_init_approximates_signed_init() {
         let w = he_init(6, 8, 102);
         for mapping in Mapping::ALL {
-            let p = MappedParam::from_signed(
-                &w,
-                WeightKind::Mapped(mapping),
-                DeviceConfig::ideal(),
-            )
-            .unwrap();
+            let p =
+                MappedParam::from_signed(&w, WeightKind::Mapped(mapping), DeviceConfig::ideal())
+                    .unwrap();
             let eff = p.effective_weights();
             // DE/BC are exact within clamping; ACM is approximate where
             // cumulative sums clamp. All should correlate strongly.
@@ -671,12 +671,9 @@ mod tests {
     fn de_and_bc_init_is_exact() {
         let w = he_init(5, 5, 103);
         for mapping in [Mapping::DoubleElement, Mapping::BiasColumn] {
-            let p = MappedParam::from_signed(
-                &w,
-                WeightKind::Mapped(mapping),
-                DeviceConfig::ideal(),
-            )
-            .unwrap();
+            let p =
+                MappedParam::from_signed(&w, WeightKind::Mapped(mapping), DeviceConfig::ideal())
+                    .unwrap();
             assert!(
                 p.effective_weights().all_close(&w, 1e-4),
                 "{mapping} init should reconstruct exactly (4σ headroom)"
@@ -688,12 +685,9 @@ mod tests {
     fn shadow_is_nonnegative_and_in_range() {
         let w = he_init(8, 10, 104);
         for mapping in Mapping::ALL {
-            let p = MappedParam::from_signed(
-                &w,
-                WeightKind::Mapped(mapping),
-                DeviceConfig::ideal(),
-            )
-            .unwrap();
+            let p =
+                MappedParam::from_signed(&w, WeightKind::Mapped(mapping), DeviceConfig::ideal())
+                    .unwrap();
             assert!(p.shadow().min() >= 0.0, "{mapping}");
             assert!(p.shadow().max() <= 1.0, "{mapping}");
         }
@@ -722,12 +716,9 @@ mod tests {
         let w = he_init(4, 4, 106);
         let target = he_init(4, 4, 107);
         for mapping in Mapping::ALL {
-            let mut p = MappedParam::from_signed(
-                &w,
-                WeightKind::Mapped(mapping),
-                DeviceConfig::ideal(),
-            )
-            .unwrap();
+            let mut p =
+                MappedParam::from_signed(&w, WeightKind::Mapped(mapping), DeviceConfig::ideal())
+                    .unwrap();
             let err0 = p.effective_weights().sub(&target).unwrap().norm_sq();
             for _ in 0..200 {
                 let diff = p.effective_weights().sub(&target).unwrap();
@@ -744,8 +735,7 @@ mod tests {
     fn quantized_forward_snaps_conductances() {
         let w = he_init(4, 4, 108);
         let dev = DeviceConfig::quantized_linear(2);
-        let p =
-            MappedParam::from_signed(&w, WeightKind::Mapped(Mapping::Acm), dev).unwrap();
+        let p = MappedParam::from_signed(&w, WeightKind::Mapped(Mapping::Acm), dev).unwrap();
         let g = p.conductances().unwrap();
         let q = dev.quantizer();
         for &v in g.data() {
@@ -773,8 +763,7 @@ mod tests {
     fn nonlinear_updates_saturate_smoothly() {
         let w = he_init(4, 4, 110);
         let dev = DeviceConfig::quantized_nonlinear(4, 5.0);
-        let mut p =
-            MappedParam::from_signed(&w, WeightKind::Mapped(Mapping::Acm), dev).unwrap();
+        let mut p = MappedParam::from_signed(&w, WeightKind::Mapped(Mapping::Acm), dev).unwrap();
         let big = Tensor::full(&[4, 4], -10.0); // push all conductances up
         for _ in 0..50 {
             p.zero_grad();
@@ -790,8 +779,7 @@ mod tests {
     fn variation_override_applies_and_clears() {
         let w = he_init(4, 4, 111);
         let dev = DeviceConfig::quantized_linear(3);
-        let mut p =
-            MappedParam::from_signed(&w, WeightKind::Mapped(Mapping::Acm), dev).unwrap();
+        let mut p = MappedParam::from_signed(&w, WeightKind::Mapped(Mapping::Acm), dev).unwrap();
         let clean = p.effective_weights();
         let mut rng = XorShiftRng::new(112);
         p.apply_variation(0.2, &mut rng);
@@ -887,9 +875,7 @@ mod tests {
     #[test]
     fn rejects_non_2d_init() {
         let w = Tensor::zeros(&[2, 2, 2]);
-        assert!(
-            MappedParam::from_signed(&w, WeightKind::Signed, DeviceConfig::ideal()).is_err()
-        );
+        assert!(MappedParam::from_signed(&w, WeightKind::Signed, DeviceConfig::ideal()).is_err());
     }
 
     #[test]

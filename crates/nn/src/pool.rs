@@ -20,7 +20,10 @@ impl MaxPool2d {
     ///
     /// Panics if `kernel == 0` or `stride == 0`.
     pub fn new(kernel: usize, stride: usize) -> Self {
-        assert!(kernel > 0 && stride > 0, "pool kernel/stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "pool kernel/stride must be positive"
+        );
         Self {
             kernel,
             stride,
@@ -89,7 +92,10 @@ impl AvgPool2d {
     ///
     /// Panics if `kernel == 0` or `stride == 0`.
     pub fn new(kernel: usize, stride: usize) -> Self {
-        assert!(kernel > 0 && stride > 0, "pool kernel/stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "pool kernel/stride must be positive"
+        );
         Self {
             kernel,
             stride,
@@ -232,7 +238,9 @@ mod tests {
         let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]).unwrap();
         let y = p.forward(&x, true).unwrap();
         assert_eq!(y.data(), &[4.0]);
-        let g = p.backward(&Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]).unwrap()).unwrap();
+        let g = p
+            .backward(&Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]).unwrap())
+            .unwrap();
         assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
     }
 
@@ -251,15 +259,27 @@ mod tests {
 
     #[test]
     fn pools_reject_non_4d() {
-        assert!(MaxPool2d::halving().forward(&Tensor::zeros(&[4, 4]), true).is_err());
-        assert!(AvgPool2d::new(2, 2).forward(&Tensor::zeros(&[4, 4]), true).is_err());
-        assert!(GlobalAvgPool::new().forward(&Tensor::zeros(&[4, 4]), true).is_err());
+        assert!(MaxPool2d::halving()
+            .forward(&Tensor::zeros(&[4, 4]), true)
+            .is_err());
+        assert!(AvgPool2d::new(2, 2)
+            .forward(&Tensor::zeros(&[4, 4]), true)
+            .is_err());
+        assert!(GlobalAvgPool::new()
+            .forward(&Tensor::zeros(&[4, 4]), true)
+            .is_err());
     }
 
     #[test]
     fn backward_requires_forward() {
-        assert!(MaxPool2d::halving().backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
-        assert!(AvgPool2d::new(2, 2).backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
-        assert!(GlobalAvgPool::new().backward(&Tensor::zeros(&[1, 1])).is_err());
+        assert!(MaxPool2d::halving()
+            .backward(&Tensor::zeros(&[1, 1, 1, 1]))
+            .is_err());
+        assert!(AvgPool2d::new(2, 2)
+            .backward(&Tensor::zeros(&[1, 1, 1, 1]))
+            .is_err());
+        assert!(GlobalAvgPool::new()
+            .backward(&Tensor::zeros(&[1, 1]))
+            .is_err());
     }
 }

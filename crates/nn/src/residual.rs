@@ -109,6 +109,13 @@ impl Layer for ResidualBlock {
             s.visit_mapped(visit);
         }
     }
+
+    fn visit_state(&mut self, prefix: &str, visitor: &mut dyn crate::StateVisitor) {
+        self.body.visit_state(&format!("{prefix}body."), visitor);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_state(&format!("{prefix}shortcut."), visitor);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -120,9 +127,7 @@ mod tests {
 
     fn small_body(rng: &mut XorShiftRng) -> Sequential {
         let mut s = Sequential::new();
-        s.push(
-            Conv2d::same3x3(2, 2, WeightKind::Signed, DeviceConfig::ideal(), rng).unwrap(),
-        );
+        s.push(Conv2d::same3x3(2, 2, WeightKind::Signed, DeviceConfig::ideal(), rng).unwrap());
         s
     }
 
@@ -166,13 +171,31 @@ mod tests {
         let mut rng = XorShiftRng::new(153);
         let mut body = Sequential::new();
         body.push(
-            Conv2d::new(2, 4, 3, 2, 1, WeightKind::Signed, DeviceConfig::ideal(), &mut rng)
-                .unwrap(),
+            Conv2d::new(
+                2,
+                4,
+                3,
+                2,
+                1,
+                WeightKind::Signed,
+                DeviceConfig::ideal(),
+                &mut rng,
+            )
+            .unwrap(),
         );
         let mut proj = Sequential::new();
         proj.push(
-            Conv2d::new(2, 4, 1, 2, 0, WeightKind::Signed, DeviceConfig::ideal(), &mut rng)
-                .unwrap(),
+            Conv2d::new(
+                2,
+                4,
+                1,
+                2,
+                0,
+                WeightKind::Signed,
+                DeviceConfig::ideal(),
+                &mut rng,
+            )
+            .unwrap(),
         );
         let mut block = ResidualBlock::with_projection(body, proj);
         let x = Tensor::rand_normal(&[1, 2, 8, 8], 0.0, 1.0, &mut rng);

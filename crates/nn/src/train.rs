@@ -6,13 +6,16 @@
 //! train/test statistics — over any [`Layer`] (normally a
 //! [`crate::Sequential`]) with [`crate::SoftmaxCrossEntropy`] loss.
 
+use std::path::PathBuf;
+
 use xbar_tensor::rng::XorShiftRng;
 use xbar_tensor::Tensor;
 
+use crate::persist::{self, TrainCheckpoint};
 use crate::{accuracy, Layer, NnError, SoftmaxCrossEntropy};
 
 /// Hyper-parameters for [`train`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainConfig {
     /// Number of passes over the training set.
     pub epochs: usize,
@@ -27,6 +30,13 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Print one line per epoch to stdout.
     pub verbose: bool,
+    /// Write a crash-safe checkpoint every this many epochs (`0` = never).
+    /// Requires [`TrainConfig::checkpoint_dir`].
+    pub checkpoint_every: usize,
+    /// Directory for the training checkpoint (`train.ckpt`). When the file
+    /// already exists, [`train`] resumes from it and reproduces the
+    /// uninterrupted run bitwise.
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for TrainConfig {
@@ -38,6 +48,8 @@ impl Default for TrainConfig {
             lr_decay: 0.95,
             seed: 0x7EA1,
             verbose: false,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
         }
     }
 }
@@ -71,12 +83,18 @@ impl EpochStats {
 }
 
 /// Per-epoch history of a training run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct History {
     epochs: Vec<EpochStats>,
 }
 
 impl History {
+    /// Builds a history from pre-recorded epoch statistics (e.g. a resumed
+    /// checkpoint).
+    pub fn from_epochs(epochs: Vec<EpochStats>) -> Self {
+        Self { epochs }
+    }
+
     /// All epoch records, in order.
     pub fn epochs(&self) -> &[EpochStats] {
         &self.epochs
@@ -94,9 +112,10 @@ impl History {
 
     /// Best (maximum) test accuracy across epochs, if recorded.
     pub fn best_test_acc(&self) -> Option<f32> {
-        self.epochs.iter().filter_map(|e| e.test_acc).fold(None, |best, a| {
-            Some(best.map_or(a, |b: f32| b.max(a)))
-        })
+        self.epochs
+            .iter()
+            .filter_map(|e| e.test_acc)
+            .fold(None, |best, a| Some(best.map_or(a, |b: f32| b.max(a))))
     }
 }
 
@@ -160,10 +179,21 @@ pub(crate) fn gather_rows(x: &Tensor, idxs: &[usize]) -> Tensor {
 /// accuracy is evaluated after each epoch (inference mode — batch norm uses
 /// running statistics, caches are not retained).
 ///
+/// # Crash safety
+///
+/// With [`TrainConfig::checkpoint_every`] set and a
+/// [`TrainConfig::checkpoint_dir`], the full training state (model,
+/// shuffling RNG, sample order, learning rate, history) is written
+/// atomically to `<dir>/train.ckpt` every `checkpoint_every` epochs. When
+/// that file already exists at the next call, training *resumes* from it —
+/// a run killed at epoch *k* and restarted reproduces the uninterrupted
+/// run's [`History`] and final weights bitwise (given the same network
+/// construction, data, and config).
+///
 /// # Errors
 ///
-/// Returns an error on empty data, a zero batch size, or any layer
-/// shape/state failure.
+/// Returns an error on empty data, a zero batch size, any layer
+/// shape/state failure, or a corrupt/incompatible checkpoint.
 pub fn train(
     net: &mut dyn Layer,
     train_split: Split<'_>,
@@ -179,12 +209,59 @@ pub fn train(
     if cfg.lr <= 0.0 || !cfg.lr.is_finite() {
         return Err(NnError::Config(format!("bad learning rate {}", cfg.lr)));
     }
+    if cfg.checkpoint_every > 0 && cfg.checkpoint_dir.is_none() {
+        return Err(NnError::Config(
+            "checkpoint_every set without checkpoint_dir".into(),
+        ));
+    }
     let mut rng = XorShiftRng::new(cfg.seed);
     let n = train_split.len();
     let mut order: Vec<usize> = (0..n).collect();
     let mut lr = cfg.lr;
     let mut history = History::default();
-    for epoch in 0..cfg.epochs {
+    let mut start_epoch = 0usize;
+    let ckpt_path = cfg.checkpoint_dir.as_ref().map(|d| d.join("train.ckpt"));
+    if let Some(path) = &ckpt_path {
+        if cfg.checkpoint_every > 0 {
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir).map_err(|e| {
+                    NnError::Persist(crate::persist::PersistError::Io {
+                        path: dir.to_path_buf(),
+                        op: "mkdir",
+                        detail: e.to_string(),
+                    })
+                })?;
+            }
+        }
+        if path.exists() {
+            let ckpt = persist::load_checkpoint(path)?;
+            if ckpt.order.len() != n {
+                return Err(NnError::Persist(
+                    crate::persist::PersistError::StateMismatch(format!(
+                        "checkpoint was taken with {} training samples, run has {n}",
+                        ckpt.order.len()
+                    )),
+                ));
+            }
+            if ckpt.epochs_done > cfg.epochs {
+                return Err(NnError::Config(format!(
+                    "checkpoint already has {} epochs done, run asks for {}",
+                    ckpt.epochs_done, cfg.epochs
+                )));
+            }
+            persist::restore_state(net, &ckpt.model)?;
+            net.zero_grad();
+            rng.restore_state(ckpt.rng);
+            order = ckpt.order;
+            lr = ckpt.lr;
+            start_epoch = ckpt.epochs_done;
+            history = History::from_epochs(ckpt.history);
+            if cfg.verbose {
+                println!("resumed from {} at epoch {start_epoch}", path.display());
+            }
+        }
+    }
+    for epoch in start_epoch..cfg.epochs {
         rng.shuffle(&mut order);
         let mut loss_sum = 0.0f64;
         let mut acc_sum = 0.0f64;
@@ -226,6 +303,18 @@ pub fn train(
         }
         history.epochs.push(stats);
         lr *= cfg.lr_decay;
+        if cfg.checkpoint_every > 0 && (epoch + 1) % cfg.checkpoint_every == 0 {
+            let path = ckpt_path.as_ref().expect("validated above");
+            let ckpt = TrainCheckpoint {
+                epochs_done: epoch + 1,
+                lr,
+                rng: rng.save_state(),
+                order: order.clone(),
+                history: history.epochs.clone(),
+                model: persist::collect_state(net),
+            };
+            persist::save_checkpoint(path, &ckpt)?;
+        }
     }
     Ok(history)
 }

@@ -16,7 +16,12 @@ use xbar_tensor::{rng::XorShiftRng, Tensor};
 
 /// Checks d(sum∘weighted)/dx of `layer` against central differences at a
 /// few random coordinates.
-fn check_input_gradient(layer: &mut dyn Layer, x: &Tensor, tol: f32, seed: u64) -> Result<(), String> {
+fn check_input_gradient(
+    layer: &mut dyn Layer,
+    x: &Tensor,
+    tol: f32,
+    seed: u64,
+) -> Result<(), String> {
     let mut rng = XorShiftRng::new(seed);
     let wts = Tensor::rand_normal(&[1], 0.0, 1.0, &mut rng); // placeholder to consume rng
     let _ = wts;
@@ -27,7 +32,12 @@ fn check_input_gradient(layer: &mut dyn Layer, x: &Tensor, tol: f32, seed: u64) 
         &mut rng,
     );
     let y = layer.forward(x, true).map_err(|e| e.to_string())?;
-    let loss0: f32 = y.data().iter().zip(weights.data()).map(|(&a, &b)| a * b).sum();
+    let loss0: f32 = y
+        .data()
+        .iter()
+        .zip(weights.data())
+        .map(|(&a, &b)| a * b)
+        .sum();
     let gx = layer.backward(&weights).map_err(|e| e.to_string())?;
     let eps = 1e-2;
     for _ in 0..4 {
@@ -35,16 +45,28 @@ fn check_input_gradient(layer: &mut dyn Layer, x: &Tensor, tol: f32, seed: u64) 
         let mut xp = x.clone();
         xp.data_mut()[i] += eps;
         let yp = layer.forward(&xp, false).map_err(|e| e.to_string())?;
-        let lossp: f32 = yp.data().iter().zip(weights.data()).map(|(&a, &b)| a * b).sum();
+        let lossp: f32 = yp
+            .data()
+            .iter()
+            .zip(weights.data())
+            .map(|(&a, &b)| a * b)
+            .sum();
         let mut xm = x.clone();
         xm.data_mut()[i] -= eps;
         let ym = layer.forward(&xm, false).map_err(|e| e.to_string())?;
-        let lossm: f32 = ym.data().iter().zip(weights.data()).map(|(&a, &b)| a * b).sum();
+        let lossm: f32 = ym
+            .data()
+            .iter()
+            .zip(weights.data())
+            .map(|(&a, &b)| a * b)
+            .sum();
         let num = (lossp - lossm) / (2.0 * eps);
         let ana = gx.data()[i];
         let scale = gx.abs_max().max(1.0);
         if (num - ana).abs() > tol * scale {
-            return Err(format!("coord {i}: numeric {num} vs analytic {ana} (loss0 {loss0})"));
+            return Err(format!(
+                "coord {i}: numeric {num} vs analytic {ana} (loss0 {loss0})"
+            ));
         }
     }
     Ok(())

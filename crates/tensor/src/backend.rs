@@ -169,8 +169,7 @@ impl Pool {
                 // in the queue; this function blocks until the latch
                 // reports every job finished, so no borrow in `task`
                 // outlives its referent.
-                let task: Box<dyn FnOnce() + Send + 'static> =
-                    unsafe { std::mem::transmute(task) };
+                let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
                 let latch = Arc::clone(&latch);
                 q.push_back(Box::new(move || {
                     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
@@ -307,7 +306,10 @@ where
     if data.is_empty() {
         return;
     }
-    assert!(chunk_len > 0, "parallel_chunks_mut: chunk_len must be positive");
+    assert!(
+        chunk_len > 0,
+        "parallel_chunks_mut: chunk_len must be positive"
+    );
     let n_chunks = data.len().div_ceil(chunk_len);
     if n_chunks <= 1 || global().threads() <= 1 || serial_active() {
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
@@ -407,6 +409,86 @@ where
         .into_iter()
         .map(|r| r.expect("parallel_map task filled every slot"))
         .collect()
+}
+
+/// The captured payload of a panicking task — the per-task error type of
+/// [`try_parallel_map`] / [`try_parallel_map_with`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Human-readable panic message (the `&str`/`String` payload when the
+    /// task panicked with one, a placeholder otherwise).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Extracts a readable message from a `catch_unwind` payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Fault-isolating [`parallel_map`]: a panicking item yields
+/// `Err(TaskPanic)` in its slot instead of poisoning the whole map. Every
+/// other item still runs to completion, and output order matches input
+/// order exactly as in [`parallel_map`]. This is the primitive the
+/// resilient sweep runner builds on — one crashed Monte-Carlo cell must
+/// not discard the rest of the grid.
+pub fn try_parallel_map<I, R, F>(items: Vec<I>, f: F) -> Vec<Result<R, TaskPanic>>
+where
+    I: Send,
+    R: Send,
+    F: Fn(usize, I) -> R + Sync,
+{
+    try_parallel_map_with(|| (), items, |(), i, item| f(i, item))
+}
+
+/// Fault-isolating [`parallel_map_with`]. Like [`try_parallel_map`], but
+/// each task carries private scratch state built by `make_state`. A panic
+/// may leave that state inconsistent, so it is discarded and rebuilt
+/// before the task's next item — later items never observe a
+/// half-mutated scratch.
+pub fn try_parallel_map_with<S, I, R, MK, F>(
+    make_state: MK,
+    items: Vec<I>,
+    f: F,
+) -> Vec<Result<R, TaskPanic>>
+where
+    I: Send,
+    R: Send,
+    MK: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, I) -> R + Sync,
+{
+    let make_state = &make_state;
+    let f = &f;
+    parallel_map_with(
+        || None::<S>,
+        items,
+        move |slot, i, item| {
+            let state = slot.get_or_insert_with(make_state);
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(state, i, item)));
+            match result {
+                Ok(r) => Ok(r),
+                Err(payload) => {
+                    let message = panic_message(payload.as_ref());
+                    *slot = None; // scratch may be torn mid-panic: rebuild
+                    Err(TaskPanic { message })
+                }
+            }
+        },
+    )
 }
 
 #[cfg(test)]
@@ -550,6 +632,75 @@ mod tests {
         );
         assert_eq!(out, (1..=40).collect::<Vec<_>>());
         assert!(builds.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn try_parallel_map_isolates_panics() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        let out = try_parallel_map((0..64).collect::<Vec<usize>>(), |_, x| {
+            if x % 13 == 5 {
+                panic!("boom at {x}");
+            }
+            x * 2
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(out.len(), 64);
+        for (i, r) in out.iter().enumerate() {
+            if i % 13 == 5 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.message, format!("boom at {i}"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn try_parallel_map_with_rebuilds_state_after_panic() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        // Force a single task so items share (and re-share) scratch state:
+        // after the panic at item 1 the scratch must come back fresh.
+        force_serial(true);
+        let builds = AtomicUsize::new(0);
+        let out = try_parallel_map_with(
+            || {
+                builds.fetch_add(1, Ordering::SeqCst);
+                0usize
+            },
+            vec![10usize, 11, 12],
+            |scratch, _i, x| {
+                *scratch += 1;
+                if x == 11 {
+                    panic!("poisoned");
+                }
+                (*scratch, x)
+            },
+        );
+        force_serial(false);
+        std::panic::set_hook(hook);
+        assert_eq!(out[0], Ok((1, 10)));
+        assert!(out[1].is_err());
+        // Scratch was rebuilt: the post-panic item sees a fresh counter.
+        assert_eq!(out[2], Ok((1, 12)));
+        assert!(builds.load(Ordering::SeqCst) >= 2);
+    }
+
+    #[test]
+    fn try_parallel_map_non_string_payload_is_labelled() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = try_parallel_map(vec![0usize], |_, _| {
+            std::panic::panic_any(42usize);
+            #[allow(unreachable_code)]
+            ()
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(
+            out[0].as_ref().unwrap_err().message,
+            "non-string panic payload"
+        );
     }
 
     #[test]

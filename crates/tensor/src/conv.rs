@@ -49,7 +49,14 @@ impl ConvGeometry {
     ///
     /// Panics if `stride == 0` or the kernel (after padding) does not fit in
     /// the input.
-    pub fn new(in_h: usize, in_w: usize, k_h: usize, k_w: usize, stride: usize, pad: usize) -> Self {
+    pub fn new(
+        in_h: usize,
+        in_w: usize,
+        k_h: usize,
+        k_w: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
         assert!(stride > 0, "stride must be positive");
         assert!(
             in_h + 2 * pad >= k_h && in_w + 2 * pad >= k_w,
@@ -97,7 +104,10 @@ pub fn im2col(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor, ShapeError>
     if h != geom.in_h || w != geom.in_w {
         return Err(ShapeError::new(
             "im2col",
-            format!("input {h}x{w} but geometry expects {}x{}", geom.in_h, geom.in_w),
+            format!(
+                "input {h}x{w} but geometry expects {}x{}",
+                geom.in_h, geom.in_w
+            ),
         ));
     }
     let k = c * geom.k_h * geom.k_w;
@@ -145,13 +155,21 @@ pub fn im2col(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor, ShapeError>
 ///
 /// Returns [`ShapeError`] if `cols` does not have the shape [`im2col`] would
 /// produce for `(n, c)` and `geom`.
-pub fn col2im(cols: &Tensor, n: usize, c: usize, geom: &ConvGeometry) -> Result<Tensor, ShapeError> {
+pub fn col2im(
+    cols: &Tensor,
+    n: usize,
+    c: usize,
+    geom: &ConvGeometry,
+) -> Result<Tensor, ShapeError> {
     let k = c * geom.k_h * geom.k_w;
     let rows = n * geom.out_h * geom.out_w;
     if cols.ndim() != 2 || cols.shape() != [rows, k] {
         return Err(ShapeError::new(
             "col2im",
-            format!("expected cols of shape [{rows}, {k}], got {:?}", cols.shape()),
+            format!(
+                "expected cols of shape [{rows}, {k}], got {:?}",
+                cols.shape()
+            ),
         ));
     }
     let (h, w) = (geom.in_h, geom.in_w);
@@ -212,7 +230,10 @@ pub fn conv2d_forward(
     if weight.ndim() != 2 || weight.shape()[1] != k {
         return Err(ShapeError::new(
             "conv2d_forward",
-            format!("weight shape {:?} incompatible with patch width {k}", weight.shape()),
+            format!(
+                "weight shape {:?} incompatible with patch width {k}",
+                weight.shape()
+            ),
         ));
     }
     let out_c = weight.shape()[0];
@@ -276,7 +297,7 @@ pub fn conv2d_backward(
     geom: &ConvGeometry,
 ) -> Result<(Tensor, Tensor), ShapeError> {
     let g_mat = nchw_to_rows(grad_out)?; // (rows, out_c)
-    // dW = g_mat^T . cols -> (out_c, k)
+                                         // dW = g_mat^T . cols -> (out_c, k)
     let grad_weight = linalg::matmul_tn(&g_mat, cols)?;
     // dcols = g_mat . weight -> (rows, k)
     let d_cols = linalg::matmul(&g_mat, weight)?;
@@ -298,7 +319,10 @@ pub fn maxpool2d_forward(
     if h != geom.in_h || w != geom.in_w {
         return Err(ShapeError::new(
             "maxpool2d_forward",
-            format!("input {h}x{w} but geometry expects {}x{}", geom.in_h, geom.in_w),
+            format!(
+                "input {h}x{w} but geometry expects {}x{}",
+                geom.in_h, geom.in_w
+            ),
         ));
     }
     let mut out = Tensor::zeros(&[n, c, geom.out_h, geom.out_w]);
@@ -365,7 +389,11 @@ pub fn maxpool2d_backward(
     if grad_out.len() != indices.len() {
         return Err(ShapeError::new(
             "maxpool2d_backward",
-            format!("grad len {} vs indices len {}", grad_out.len(), indices.len()),
+            format!(
+                "grad len {} vs indices len {}",
+                grad_out.len(),
+                indices.len()
+            ),
         ));
     }
     let mut grad_in = Tensor::zeros(input_shape);
@@ -406,7 +434,10 @@ pub fn avgpool2d_forward(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor, 
     if h != geom.in_h || w != geom.in_w {
         return Err(ShapeError::new(
             "avgpool2d_forward",
-            format!("input {h}x{w} but geometry expects {}x{}", geom.in_h, geom.in_w),
+            format!(
+                "input {h}x{w} but geometry expects {}x{}",
+                geom.in_h, geom.in_w
+            ),
         ));
     }
     let mut out = Tensor::zeros(&[n, c, geom.out_h, geom.out_w]);
@@ -633,11 +664,7 @@ mod tests {
     #[test]
     fn maxpool_forward_and_backward() {
         let geom = ConvGeometry::new(4, 4, 2, 2, 2, 0);
-        let input = Tensor::from_vec(
-            (0..16).map(|x| x as f32).collect(),
-            &[1, 1, 4, 4],
-        )
-        .unwrap();
+        let input = Tensor::from_vec((0..16).map(|x| x as f32).collect(), &[1, 1, 4, 4]).unwrap();
         let (out, idx) = maxpool2d_forward(&input, &geom).unwrap();
         assert_eq!(out.shape(), &[1, 1, 2, 2]);
         assert_eq!(out.data(), &[5.0, 7.0, 13.0, 15.0]);

@@ -52,7 +52,8 @@ pub fn simd_active() -> bool {
         }
         #[cfg(target_arch = "x86_64")]
         {
-            std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
         }
         #[cfg(not(target_arch = "x86_64"))]
         {
@@ -378,15 +379,31 @@ mod tests {
     use crate::Tensor;
 
     /// f64-accumulated reference for accuracy checks.
-    fn reference(trans_a: bool, trans_b: bool, a: &Tensor, b: &Tensor, m: usize, k: usize, n: usize) -> Vec<f32> {
+    fn reference(
+        trans_a: bool,
+        trans_b: bool,
+        a: &Tensor,
+        b: &Tensor,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Vec<f32> {
         let (ad, bd) = (a.data(), b.data());
         let mut out = vec![0f32; m * n];
         for i in 0..m {
             for j in 0..n {
                 let mut acc = 0f64;
                 for p in 0..k {
-                    let av = if trans_a { ad[p * m + i] } else { ad[i * k + p] };
-                    let bv = if trans_b { bd[j * k + p] } else { bd[p * n + j] };
+                    let av = if trans_a {
+                        ad[p * m + i]
+                    } else {
+                        ad[i * k + p]
+                    };
+                    let bv = if trans_b {
+                        bd[j * k + p]
+                    } else {
+                        bd[p * n + j]
+                    };
                     acc += f64::from(av) * f64::from(bv);
                 }
                 out[i * n + j] = acc as f32;
@@ -417,12 +434,7 @@ mod tests {
     fn blocked_paths_match_f64_reference() {
         // Sizes chosen to exercise the blocked path with full tiles,
         // remainder rows, remainder columns and multiple KC blocks.
-        for &(m, k, n) in &[
-            (64, 64, 64),
-            (65, 300, 17),
-            (33, 257, 48),
-            (128, 512, 16),
-        ] {
+        for &(m, k, n) in &[(64, 64, 64), (65, 300, 17), (33, 257, 48), (128, 512, 16)] {
             check(false, false, m, k, n, 0xA0 + m as u64);
             check(true, false, m, k, n, 0xB0 + m as u64);
             check(false, true, m, k, n, 0xC0 + m as u64);

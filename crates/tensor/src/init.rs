@@ -66,7 +66,10 @@ mod tests {
         let t = Init::HeNormal.sample(&[100, 100], 100, 100, &mut rng);
         let std = (t.norm_sq() / t.len() as f32).sqrt();
         let expected = (2.0_f32 / 100.0).sqrt();
-        assert!((std - expected).abs() / expected < 0.1, "std {std} vs {expected}");
+        assert!(
+            (std - expected).abs() / expected < 0.1,
+            "std {std} vs {expected}"
+        );
     }
 
     #[test]

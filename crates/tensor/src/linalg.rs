@@ -108,7 +108,10 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor, ShapeError> {
     if x.ndim() != 1 || x.len() != k {
         return Err(ShapeError::new(
             "matvec",
-            format!("vector shape {:?} incompatible with matrix (m={m}, k={k})", x.shape()),
+            format!(
+                "vector shape {:?} incompatible with matrix (m={m}, k={k})",
+                x.shape()
+            ),
         ));
     }
     let mut out = Tensor::zeros(&[m]);
@@ -138,7 +141,11 @@ pub fn outer(x: &Tensor, y: &Tensor) -> Result<Tensor, ShapeError> {
     if x.ndim() != 1 || y.ndim() != 1 {
         return Err(ShapeError::new(
             "outer",
-            format!("expected 1-D operands, got {:?} and {:?}", x.shape(), y.shape()),
+            format!(
+                "expected 1-D operands, got {:?} and {:?}",
+                x.shape(),
+                y.shape()
+            ),
         ));
     }
     let (m, n) = (x.len(), y.len());
@@ -347,7 +354,10 @@ mod tests {
             let a = Tensor::rand_normal(&[3, k], 0.0, 1.0, &mut rng);
             let b = Tensor::rand_normal(&[5, k], 0.0, 1.0, &mut rng);
             let expected = matmul(&a, &b.transpose().unwrap()).unwrap();
-            assert!(matmul_nt(&a, &b).unwrap().all_close(&expected, 1e-4), "k={k}");
+            assert!(
+                matmul_nt(&a, &b).unwrap().all_close(&expected, 1e-4),
+                "k={k}"
+            );
         }
     }
 

@@ -6,6 +6,22 @@
 //! single `u64` seed. The generator is *not* cryptographically secure — it
 //! is a simulation PRNG.
 
+/// The complete serializable state of an [`XorShiftRng`] stream.
+///
+/// Capturing and restoring this snapshot lets a consumer (e.g. a training
+/// checkpoint) resume a stochastic computation mid-stream and reproduce the
+/// uninterrupted sequence bitwise. The Box–Muller spare is part of the
+/// state: [`XorShiftRng::normal`] produces samples in pairs, so dropping
+/// the cached half would desynchronize every draw after an odd number of
+/// normal samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RngState {
+    /// The raw xorshift64* register.
+    pub state: u64,
+    /// Cached second output of the Box–Muller transform, if any.
+    pub spare_normal: Option<f32>,
+}
+
 /// A deterministic xorshift64* pseudo-random number generator.
 ///
 /// # Example
@@ -28,11 +44,39 @@ impl XorShiftRng {
     /// Creates a generator from `seed`. A zero seed is remapped to a fixed
     /// non-zero constant because xorshift has an all-zero fixed point.
     pub fn new(seed: u64) -> Self {
-        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        let state = if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        };
         Self {
             state,
             spare_normal: None,
         }
+    }
+
+    /// Snapshots the complete generator state for persistence.
+    pub fn save_state(&self) -> RngState {
+        RngState {
+            state: self.state,
+            spare_normal: self.spare_normal,
+        }
+    }
+
+    /// Rebuilds a generator from a [`RngState`] snapshot. The restored
+    /// stream continues bitwise where the saved one left off.
+    pub fn from_state(s: RngState) -> Self {
+        Self {
+            state: s.state,
+            spare_normal: s.spare_normal,
+        }
+    }
+
+    /// Overwrites this generator's state with a snapshot (in-place
+    /// counterpart of [`XorShiftRng::from_state`]).
+    pub fn restore_state(&mut self, s: RngState) {
+        self.state = s.state;
+        self.spare_normal = s.spare_normal;
     }
 
     /// Derives an independent child generator. Useful for giving each
@@ -202,7 +246,36 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
+    }
+
+    #[test]
+    fn state_round_trip_resumes_bitwise() {
+        let mut a = XorShiftRng::new(77);
+        // Advance through an odd number of normal draws so the Box–Muller
+        // spare is populated — the snapshot must carry it.
+        for _ in 0..7 {
+            a.normal();
+        }
+        let snap = a.save_state();
+        assert!(snap.spare_normal.is_some());
+        let mut b = XorShiftRng::from_state(snap);
+        let expected: Vec<f32> = (0..32).map(|_| a.normal()).collect();
+        let resumed: Vec<f32> = (0..32).map(|_| b.normal()).collect();
+        assert_eq!(expected, resumed);
+    }
+
+    #[test]
+    fn restore_state_overwrites_in_place() {
+        let mut a = XorShiftRng::new(78);
+        let snap = a.save_state();
+        let first = a.next_u64();
+        a.restore_state(snap);
+        assert_eq!(a.next_u64(), first);
     }
 
     #[test]

@@ -50,16 +50,16 @@ fn matmul_variants_bitwise_parity_across_shapes() {
     // sizes crossing the small/blocked threshold and KC/NR/MC remainders.
     let shapes: &[(usize, usize, usize)] = &[
         (1, 1, 1),
-        (1, 300, 40),   // 1×N
-        (300, 40, 1),   // N×1
-        (0, 5, 7),      // empty m
-        (5, 0, 7),      // empty k
-        (5, 7, 0),      // empty n
+        (1, 300, 40), // 1×N
+        (300, 40, 1), // N×1
+        (0, 5, 7),    // empty m
+        (5, 0, 7),    // empty k
+        (5, 7, 0),    // empty n
         (3, 5, 7),
-        (65, 129, 17),  // non-divisible by MR/NR/MC
-        (64, 256, 16),  // exact tile multiples
-        (67, 300, 33),  // KC remainder + row/col remainders
-        (130, 64, 70),  // multiple MC chunks
+        (65, 129, 17), // non-divisible by MR/NR/MC
+        (64, 256, 16), // exact tile multiples
+        (67, 300, 33), // KC remainder + row/col remainders
+        (130, 64, 70), // multiple MC chunks
     ];
     for &(m, k, n) in shapes {
         let a = rand_t(&[m, k], 1000 + m as u64);

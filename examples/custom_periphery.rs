@@ -39,7 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = XorShiftRng::new(77);
     let w = Tensor::rand_uniform(&[n_out, 5], -0.1, 0.1, &mut rng);
     let m = decompose_with_periphery(&w, &periphery, ConductanceRange::normalized())?;
-    println!("\ndecomposed M: {}x{}, min = {:.4} (>= 0)", m.shape()[0], m.shape()[1], m.min());
+    println!(
+        "\ndecomposed M: {}x{}, min = {:.4} (>= 0)",
+        m.shape()[0],
+        m.shape()[1],
+        m.min()
+    );
     let back = linalg::matmul(periphery.matrix(), &m)?;
     println!("reconstruction max error: {:.2e}", back.sub(&w)?.abs_max());
 

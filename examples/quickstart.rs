@@ -29,13 +29,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. The periphery matrix S satisfies the paper's two sufficient
     //    conditions; the Eq. (4) telescoping identity holds.
     let s = Mapping::Acm.periphery(4);
-    println!("periphery S: {}x{}, x_h = 1 certificate: {:?}", s.n_out(), s.n_dev(), &s.null_vector()[..2]);
+    println!(
+        "periphery S: {}x{}, x_h = 1 certificate: {:?}",
+        s.n_out(),
+        s.n_dev(),
+        &s.null_vector()[..2]
+    );
     let (lhs, rhs) = analysis::acm_sum_identity(&m)?;
     println!("Eq.(4): sum(W) = {lhs:.4} vs M1 - M_nd = {rhs:.4}");
 
     // 3. Program a crossbar with a 4-bit device and 5% variation, then
     //    evaluate an MVM against the exact result.
-    let device = DeviceConfig::builder().bits(4).variation_sigma(0.05).build();
+    let device = DeviceConfig::builder()
+        .bits(4)
+        .variation_sigma(0.05)
+        .build();
     let xbar = CrossbarArray::program_signed(&w, Mapping::Acm, device, &mut rng)?;
     let x = Tensor::rand_uniform(&[6], -1.0, 1.0, &mut rng);
     let y_ideal = linalg::matvec(&w, &x)?;

@@ -13,7 +13,11 @@ use xbar_models::{lenet, ModelConfig, ModelScale};
 use xbar_nn::{train, TrainConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let data = SyntheticMnist::builder().train(1200).test(400).seed(7).build();
+    let data = SyntheticMnist::builder()
+        .train(1200)
+        .test(400)
+        .seed(7)
+        .build();
     println!(
         "dataset: {} ({} train / {} test, {:?} images)",
         data.train.name(),
@@ -33,9 +37,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             lr_decay: 0.93,
             seed: 99,
             verbose: false,
+            ..TrainConfig::default()
         };
-        let hist = train(&mut net, data.train.as_split(), Some(data.test.as_split()), &tc)?;
-        println!("\n--- {} (4-bit weights, same crossbar cost) ---", mapping.tag());
+        let hist = train(
+            &mut net,
+            data.train.as_split(),
+            Some(data.test.as_split()),
+            &tc,
+        )?;
+        println!(
+            "\n--- {} (4-bit weights, same crossbar cost) ---",
+            mapping.tag()
+        );
         for e in hist.epochs() {
             println!(
                 "epoch {:>2}: loss {:.4}  train err {:>5.2}%  test err {:>5.2}%",

@@ -13,10 +13,17 @@ use xbar_nn::{evaluate, train, Layer, TrainConfig};
 use xbar_tensor::rng::XorShiftRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let data = SyntheticMnist::builder().train(1000).test(300).seed(13).build();
+    let data = SyntheticMnist::builder()
+        .train(1000)
+        .test(300)
+        .seed(13)
+        .build();
     let bits = 3;
     let samples = 10;
-    println!("3-bit MLP 256-32-10, {} Monte-Carlo samples per point\n", samples);
+    println!(
+        "3-bit MLP 256-32-10, {} Monte-Carlo samples per point\n",
+        samples
+    );
     println!("sigma%   ACM-acc%   DE-acc%   BC-acc%");
 
     let mut nets = Vec::new();
@@ -30,8 +37,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             lr_decay: 0.93,
             seed: 14,
             verbose: false,
+            ..TrainConfig::default()
         };
-        train(&mut net, data.train.as_split(), Some(data.test.as_split()), &tc)?;
+        train(
+            &mut net,
+            data.train.as_split(),
+            Some(data.test.as_split()),
+            &tc,
+        )?;
         nets.push(net);
     }
 
@@ -43,8 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for s in 0..samples {
                 let mut sample_rng = rng.fork(s);
                 net.visit_mapped(&mut |p| p.apply_variation(sigma, &mut sample_rng));
-                let (_, acc) =
-                    evaluate(net, data.test.features(), data.test.labels(), 32)?;
+                let (_, acc) = evaluate(net, data.test.features(), data.test.labels(), 32)?;
                 net.visit_mapped(&mut |p| p.clear_variation());
                 total += acc;
             }

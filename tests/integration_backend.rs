@@ -47,8 +47,13 @@ fn training_run_is_bitwise_identical_serial_vs_parallel() {
     // variants, im2col/col2im, pooling) through the pool; loss and
     // accuracy must not depend on the thread count.
     let run = || {
-        let data = SyntheticMnist::builder().train(200).test(80).seed(91).build();
-        let cfg = ModelConfig::mapped(Mapping::Acm, DeviceConfig::quantized_linear(4)).with_seed(91);
+        let data = SyntheticMnist::builder()
+            .train(200)
+            .test(80)
+            .seed(91)
+            .build();
+        let cfg =
+            ModelConfig::mapped(Mapping::Acm, DeviceConfig::quantized_linear(4)).with_seed(91);
         let mut net = mlp2(256, 24, 10, &cfg).unwrap();
         let tc = TrainConfig {
             epochs: 3,
@@ -57,6 +62,7 @@ fn training_run_is_bitwise_identical_serial_vs_parallel() {
             lr_decay: 0.95,
             seed: 91,
             verbose: false,
+            ..TrainConfig::default()
         };
         let history = train(&mut net, data.train.as_split(), None, &tc).unwrap();
         let (loss, acc) = evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
@@ -64,7 +70,11 @@ fn training_run_is_bitwise_identical_serial_vs_parallel() {
         (history.epochs()[2].train_loss, loss, acc, probe)
     };
     let (s, p) = both(run);
-    assert_eq!(s.0.to_bits(), p.0.to_bits(), "train loss must match bitwise");
+    assert_eq!(
+        s.0.to_bits(),
+        p.0.to_bits(),
+        "train loss must match bitwise"
+    );
     assert_eq!(s.1.to_bits(), p.1.to_bits(), "eval loss must match bitwise");
     assert_eq!(s.2.to_bits(), p.2.to_bits(), "accuracy must match bitwise");
     assert_eq!(s.3.data(), p.3.data(), "forward logits must match bitwise");
@@ -99,7 +109,11 @@ fn clone_per_worker_evaluation_sweep_matches_serial_loop() {
     // The experiment harnesses fan Monte-Carlo variation samples across
     // the pool with one cloned network per worker task. That decomposition
     // must reproduce the documented serial loop bit for bit.
-    let data = SyntheticMnist::builder().train(150).test(60).seed(111).build();
+    let data = SyntheticMnist::builder()
+        .train(150)
+        .test(60)
+        .seed(111)
+        .build();
     let cfg = ModelConfig::mapped(Mapping::Acm, DeviceConfig::quantized_linear(4)).with_seed(111);
     let mut net = mlp2(256, 24, 10, &cfg).unwrap();
     let tc = TrainConfig {
@@ -109,6 +123,7 @@ fn clone_per_worker_evaluation_sweep_matches_serial_loop() {
         lr_decay: 0.95,
         seed: 111,
         verbose: false,
+        ..TrainConfig::default()
     };
     train(&mut net, data.train.as_split(), None, &tc).unwrap();
 
@@ -142,6 +157,10 @@ fn clone_per_worker_evaluation_sweep_matches_serial_loop() {
         net.visit_mapped(&mut |q| q.apply_variation(sigma, &mut sample_rng));
         let (_, acc) = evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
         net.visit_mapped(&mut |q| q.clear_variation());
-        assert_eq!(acc.to_bits(), acc_par.to_bits(), "sample {i} differs from serial loop");
+        assert_eq!(
+            acc.to_bits(),
+            acc_par.to_bits(),
+            "sample {i} differs from serial loop"
+        );
     }
 }

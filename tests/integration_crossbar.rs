@@ -84,8 +84,7 @@ fn variation_noise_statistics_scale_with_sigma() {
     let mut rng = XorShiftRng::new(97);
     let w = Tensor::rand_uniform(&[16, 64], -0.01, 0.01, &mut rng);
     let rms_at = |sigma: f32, rng: &mut XorShiftRng| {
-        let dev = DeviceConfig::quantized_linear(6)
-            .with_variation_sigma(sigma);
+        let dev = DeviceConfig::quantized_linear(6).with_variation_sigma(sigma);
         let xbar = CrossbarArray::program_signed(&w, Mapping::DoubleElement, dev, rng).unwrap();
         let diff = xbar
             .effective_weights()
@@ -121,15 +120,21 @@ fn clamp_mode_controls_out_of_range_conductances() {
     // must agree on the draw sequence (clamping is a post-step).
     let range = xbar_device::ConductanceRange::normalized();
     let t = Tensor::full(&[32, 32], 1.0);
-    let clamped = VariationModel::new(0.3)
-        .sample_tensor(&t, range, &mut XorShiftRng::new(100));
+    let clamped = VariationModel::new(0.3).sample_tensor(&t, range, &mut XorShiftRng::new(100));
     let free = VariationModel::new(0.3)
         .with_clamp(ClampMode::None)
         .sample_tensor(&t, range, &mut XorShiftRng::new(100));
     assert!(clamped.data().iter().all(|&g| (0.0..=1.0).contains(&g)));
-    assert!(free.data().iter().any(|&g| g > 1.0), "sigma 0.3 at g_max must overshoot");
+    assert!(
+        free.data().iter().any(|&g| g > 1.0),
+        "sigma 0.3 at g_max must overshoot"
+    );
     for (c, f) in clamped.data().iter().zip(free.data()) {
-        assert_eq!(*c, range.clamp(*f), "clamped draw must be the clamp of the free draw");
+        assert_eq!(
+            *c,
+            range.clamp(*f),
+            "clamped draw must be the clamp of the free draw"
+        );
     }
 }
 
@@ -155,17 +160,14 @@ fn bc_and_acm_arrays_use_identical_element_counts() {
     // Table I's "same hardware" claim at the simulator level.
     let mut rng = XorShiftRng::new(99);
     let w = Tensor::rand_uniform(&[8, 16], -0.02, 0.02, &mut rng);
-    let bc = CrossbarArray::program_signed(&w, Mapping::BiasColumn, DeviceConfig::ideal(), &mut rng)
-        .unwrap();
+    let bc =
+        CrossbarArray::program_signed(&w, Mapping::BiasColumn, DeviceConfig::ideal(), &mut rng)
+            .unwrap();
     let acm =
         CrossbarArray::program_signed(&w, Mapping::Acm, DeviceConfig::ideal(), &mut rng).unwrap();
-    let de = CrossbarArray::program_signed(
-        &w,
-        Mapping::DoubleElement,
-        DeviceConfig::ideal(),
-        &mut rng,
-    )
-    .unwrap();
+    let de =
+        CrossbarArray::program_signed(&w, Mapping::DoubleElement, DeviceConfig::ideal(), &mut rng)
+            .unwrap();
     assert_eq!(bc.num_elements(), acm.num_elements());
     assert!(de.num_elements() > acm.num_elements() * 17 / 10);
 }

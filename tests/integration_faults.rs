@@ -11,7 +11,11 @@ use xbar_nn::{evaluate, train, Layer, Sequential, TrainConfig};
 use xbar_tensor::{rng::XorShiftRng, Tensor};
 
 fn trained_net(mapping: Mapping, bits: u8, seed: u64) -> (Sequential, xbar_data::DatasetPair) {
-    let data = SyntheticMnist::builder().train(800).test(400).seed(seed).build();
+    let data = SyntheticMnist::builder()
+        .train(800)
+        .test(400)
+        .seed(seed)
+        .build();
     let cfg = ModelConfig::mapped(mapping, DeviceConfig::quantized_linear(bits)).with_seed(seed);
     let mut net = mlp2(256, 32, 10, &cfg).unwrap();
     let tc = TrainConfig {
@@ -21,8 +25,15 @@ fn trained_net(mapping: Mapping, bits: u8, seed: u64) -> (Sequential, xbar_data:
         lr_decay: 0.95,
         seed,
         verbose: false,
+        ..TrainConfig::default()
     };
-    train(&mut net, data.train.as_split(), Some(data.test.as_split()), &tc).unwrap();
+    train(
+        &mut net,
+        data.train.as_split(),
+        Some(data.test.as_split()),
+        &tc,
+    )
+    .unwrap();
     (net, data)
 }
 
@@ -40,7 +51,11 @@ fn programming_a_defective_array_reports_instead_of_failing() {
         .with_programming(ProgrammingModel::write_verify(3, 0.005));
     let xb = CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut rng).unwrap();
     let report = xb.programming_report();
-    assert!(report.num_stuck() > 0, "1% of {} cells should stick", report.total_cells());
+    assert!(
+        report.num_stuck() > 0,
+        "1% of {} cells should stick",
+        report.total_cells()
+    );
     assert_eq!(report.num_stuck(), xb.fault_map().num_stuck());
     assert!(
         report.num_unconverged() > 0,
@@ -84,7 +99,10 @@ fn network_fault_injection_degrades_gracefully_at_one_percent() {
     assert!((0.0..=1.0).contains(&faulty));
     net.visit_mapped(&mut |p| p.clear_variation());
     let (_, restored) = evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
-    assert_eq!(clean, restored, "clearing fault injection must restore exactly");
+    assert_eq!(
+        clean, restored,
+        "clearing fault injection must restore exactly"
+    );
 }
 
 #[test]
@@ -133,8 +151,10 @@ fn fault_patterns_and_programming_are_seed_deterministic() {
         .with_variation_sigma(0.05)
         .with_faults(FaultModel::uniform(0.05))
         .with_programming(ProgrammingModel::write_verify(4, 0.02));
-    let a = CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut XorShiftRng::new(67)).unwrap();
-    let b = CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut XorShiftRng::new(67)).unwrap();
+    let a =
+        CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut XorShiftRng::new(67)).unwrap();
+    let b =
+        CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut XorShiftRng::new(67)).unwrap();
     assert_eq!(a.fault_map(), b.fault_map());
     assert_eq!(a.conductances(), b.conductances());
     assert_eq!(
@@ -142,4 +162,3 @@ fn fault_patterns_and_programming_are_seed_deterministic() {
         b.programming_report().total_writes()
     );
 }
-

@@ -52,9 +52,18 @@ fn backward_round_trip_every_architecture_and_mapping() {
         let cfg = ModelConfig::mapped(mapping, DeviceConfig::quantized_linear(4));
         let x = Tensor::zeros(&[1, 3, 16, 16]);
         for (name, mut net) in [
-            ("vgg9", vgg9((3, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap()),
-            ("resnet20", resnet20((3, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap()),
-            ("lenet", lenet((3, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap()),
+            (
+                "vgg9",
+                vgg9((3, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap(),
+            ),
+            (
+                "resnet20",
+                resnet20((3, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap(),
+            ),
+            (
+                "lenet",
+                lenet((3, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap(),
+            ),
         ] {
             let y = net.forward(&x, true).unwrap();
             let g = net.backward(&Tensor::ones(y.shape())).unwrap();
@@ -87,12 +96,21 @@ fn de_models_use_about_twice_the_crossbar_elements() {
 #[test]
 fn scale_orders_parameter_counts() {
     let cfg = ModelConfig::baseline();
-    let tiny = resnet20((3, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap().num_params();
-    let small = resnet20((3, 16, 16), 10, ModelScale::Small, &cfg).unwrap().num_params();
-    let paper = resnet20((3, 32, 32), 10, ModelScale::Paper, &cfg).unwrap().num_params();
+    let tiny = resnet20((3, 16, 16), 10, ModelScale::Tiny, &cfg)
+        .unwrap()
+        .num_params();
+    let small = resnet20((3, 16, 16), 10, ModelScale::Small, &cfg)
+        .unwrap()
+        .num_params();
+    let paper = resnet20((3, 32, 32), 10, ModelScale::Paper, &cfg)
+        .unwrap()
+        .num_params();
     assert!(tiny < small && small < paper);
     // ResNet-20 at paper scale is ~0.27M params; sanity-band it.
-    assert!((200_000..400_000).contains(&paper), "paper-scale params {paper}");
+    assert!(
+        (200_000..400_000).contains(&paper),
+        "paper-scale params {paper}"
+    );
 }
 
 #[test]

@@ -17,15 +17,30 @@ fn table1_reproduces_paper_numbers() {
         (914.0, 157.0, 2.402, 0.240),
     ];
     for (r, (area, periph, energy, delay)) in rows.iter().zip(expect) {
-        assert!(close(r.xbar_area_um2, area), "{:?} area {}", r.mapping, r.xbar_area_um2);
+        assert!(
+            close(r.xbar_area_um2, area),
+            "{:?} area {}",
+            r.mapping,
+            r.xbar_area_um2
+        );
         assert!(
             close(r.periphery_area_um2, periph),
             "{:?} periphery {}",
             r.mapping,
             r.periphery_area_um2
         );
-        assert!(close(r.read_energy_uj, energy), "{:?} energy {}", r.mapping, r.read_energy_uj);
-        assert!(close(r.read_delay_ms, delay), "{:?} delay {}", r.mapping, r.read_delay_ms);
+        assert!(
+            close(r.read_energy_uj, energy),
+            "{:?} energy {}",
+            r.mapping,
+            r.read_energy_uj
+        );
+        assert!(
+            close(r.read_delay_ms, delay),
+            "{:?} delay {}",
+            r.mapping,
+            r.read_delay_ms
+        );
     }
 }
 
@@ -57,7 +72,10 @@ fn cost_model_is_consistent_with_element_counting() {
         .collect();
     by_elements.sort_by_key(|&(e, _)| e);
     for pair in by_elements.windows(2) {
-        assert!(pair[0].1 <= pair[1].1, "area not monotone in elements: {pair:?}");
+        assert!(
+            pair[0].1 <= pair[1].1,
+            "area not monotone in elements: {pair:?}"
+        );
     }
 }
 

@@ -16,17 +16,31 @@ fn quick_cfg(epochs: usize) -> TrainConfig {
         lr_decay: 0.95,
         seed: 0x7357,
         verbose: false,
+        ..TrainConfig::default()
     }
 }
 
 #[test]
 fn all_model_types_learn_fp32() {
-    let data = SyntheticMnist::builder().train(300).test(100).seed(41).build();
+    let data = SyntheticMnist::builder()
+        .train(300)
+        .test(100)
+        .seed(41)
+        .build();
     for (label, cfg) in [
         ("baseline", ModelConfig::baseline()),
-        ("acm", ModelConfig::mapped(Mapping::Acm, DeviceConfig::ideal())),
-        ("de", ModelConfig::mapped(Mapping::DoubleElement, DeviceConfig::ideal())),
-        ("bc", ModelConfig::mapped(Mapping::BiasColumn, DeviceConfig::ideal())),
+        (
+            "acm",
+            ModelConfig::mapped(Mapping::Acm, DeviceConfig::ideal()),
+        ),
+        (
+            "de",
+            ModelConfig::mapped(Mapping::DoubleElement, DeviceConfig::ideal()),
+        ),
+        (
+            "bc",
+            ModelConfig::mapped(Mapping::BiasColumn, DeviceConfig::ideal()),
+        ),
     ] {
         let mut net = lenet((1, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap();
         let hist = train(
@@ -45,7 +59,11 @@ fn all_model_types_learn_fp32() {
 
 #[test]
 fn quantized_training_learns_at_4_bits() {
-    let data = SyntheticMnist::builder().train(300).test(100).seed(42).build();
+    let data = SyntheticMnist::builder()
+        .train(300)
+        .test(100)
+        .seed(42)
+        .build();
     for mapping in Mapping::ALL {
         let cfg = ModelConfig::mapped(mapping, DeviceConfig::quantized_linear(4));
         let mut net = lenet((1, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap();
@@ -63,7 +81,11 @@ fn quantized_training_learns_at_4_bits() {
 
 #[test]
 fn nonlinear_device_training_still_learns_at_high_bits() {
-    let data = SyntheticMnist::builder().train(300).test(100).seed(43).build();
+    let data = SyntheticMnist::builder()
+        .train(300)
+        .test(100)
+        .seed(43)
+        .build();
     let cfg = ModelConfig::mapped(Mapping::Acm, DeviceConfig::quantized_nonlinear(6, 5.0));
     let mut net = lenet((1, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap();
     let hist = train(
@@ -82,7 +104,11 @@ fn conductances_stay_physical_throughout_training() {
     // After arbitrary amounts of SGD, every crossbar element must remain
     // inside the device range — the non-negativity constraint the whole
     // paper is built on.
-    let data = SyntheticMnist::builder().train(200).test(50).seed(44).build();
+    let data = SyntheticMnist::builder()
+        .train(200)
+        .test(50)
+        .seed(44)
+        .build();
     for device in [
         DeviceConfig::ideal(),
         DeviceConfig::quantized_linear(3),
@@ -92,15 +118,25 @@ fn conductances_stay_physical_throughout_training() {
         let mut net = lenet((1, 16, 16), 10, ModelScale::Tiny, &cfg).unwrap();
         train(&mut net, data.train.as_split(), None, &quick_cfg(3)).unwrap();
         net.visit_mapped(&mut |p| {
-            assert!(p.shadow().min() >= 0.0, "negative conductance after training");
-            assert!(p.shadow().max() <= 1.0, "conductance above g_max after training");
+            assert!(
+                p.shadow().min() >= 0.0,
+                "negative conductance after training"
+            );
+            assert!(
+                p.shadow().max() <= 1.0,
+                "conductance above g_max after training"
+            );
         });
     }
 }
 
 #[test]
 fn training_is_deterministic_given_seeds() {
-    let data = SyntheticMnist::builder().train(150).test(50).seed(45).build();
+    let data = SyntheticMnist::builder()
+        .train(150)
+        .test(50)
+        .seed(45)
+        .build();
     let run = || {
         let cfg = ModelConfig::mapped(Mapping::Acm, DeviceConfig::quantized_linear(4));
         let mut net = mlp2(256, 16, 10, &cfg).unwrap();
@@ -120,7 +156,11 @@ fn training_is_deterministic_given_seeds() {
 
 #[test]
 fn evaluate_matches_history_test_accuracy() {
-    let data = SyntheticMnist::builder().train(200).test(80).seed(46).build();
+    let data = SyntheticMnist::builder()
+        .train(200)
+        .test(80)
+        .seed(46)
+        .build();
     let cfg = ModelConfig::mapped(Mapping::DoubleElement, DeviceConfig::ideal());
     let mut net = mlp2(256, 24, 10, &cfg).unwrap();
     let hist = train(
@@ -137,7 +177,11 @@ fn evaluate_matches_history_test_accuracy() {
 
 #[test]
 fn baseline_weights_are_unconstrained_but_mapped_are_clipped() {
-    let data = SyntheticMnist::builder().train(200).test(50).seed(47).build();
+    let data = SyntheticMnist::builder()
+        .train(200)
+        .test(50)
+        .seed(47)
+        .build();
     // Train hard with a large lr to push weights around.
     let mut cfg = quick_cfg(4);
     cfg.lr = 0.3;

@@ -9,7 +9,11 @@ use xbar_nn::{evaluate, train, Layer, Sequential, TrainConfig};
 use xbar_tensor::rng::XorShiftRng;
 
 fn trained_net(mapping: Mapping, bits: u8, seed: u64) -> (Sequential, xbar_data::DatasetPair) {
-    let data = SyntheticMnist::builder().train(400).test(150).seed(seed).build();
+    let data = SyntheticMnist::builder()
+        .train(400)
+        .test(150)
+        .seed(seed)
+        .build();
     let cfg = ModelConfig::mapped(mapping, DeviceConfig::quantized_linear(bits)).with_seed(seed);
     let mut net = mlp2(256, 32, 10, &cfg).unwrap();
     let tc = TrainConfig {
@@ -19,8 +23,15 @@ fn trained_net(mapping: Mapping, bits: u8, seed: u64) -> (Sequential, xbar_data:
         lr_decay: 0.95,
         seed,
         verbose: false,
+        ..TrainConfig::default()
     };
-    train(&mut net, data.train.as_split(), Some(data.test.as_split()), &tc).unwrap();
+    train(
+        &mut net,
+        data.train.as_split(),
+        Some(data.test.as_split()),
+        &tc,
+    )
+    .unwrap();
     (net, data)
 }
 
@@ -61,9 +72,18 @@ fn accuracy_degrades_monotonically_with_sigma_on_average() {
     let a0 = mean_acc(0.0, &mut rng);
     let a10 = mean_acc(0.10, &mut rng);
     let a25 = mean_acc(0.25, &mut rng);
-    assert!(a0 >= a10 - 0.02, "sigma 0 ({a0}) should beat sigma 10% ({a10})");
-    assert!(a10 > a25 - 0.02, "sigma 10% ({a10}) should beat sigma 25% ({a25})");
-    assert!(a0 - a25 > 0.05, "25% variation should visibly hurt ({a0} -> {a25})");
+    assert!(
+        a0 >= a10 - 0.02,
+        "sigma 0 ({a0}) should beat sigma 10% ({a10})"
+    );
+    assert!(
+        a10 > a25 - 0.02,
+        "sigma 10% ({a10}) should beat sigma 25% ({a25})"
+    );
+    assert!(
+        a0 - a25 > 0.05,
+        "25% variation should visibly hurt ({a0} -> {a25})"
+    );
 }
 
 #[test]
@@ -76,8 +96,7 @@ fn bc_degrades_faster_than_acm_under_variation() {
     let mut drops = Vec::new();
     for mapping in [Mapping::Acm, Mapping::BiasColumn] {
         let (mut net, data) = trained_net(mapping, 4, 55);
-        let (_, clean) =
-            evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
+        let (_, clean) = evaluate(&mut net, data.test.features(), data.test.labels(), 32).unwrap();
         let mut rng = XorShiftRng::new(56);
         let mut total = 0.0;
         for s in 0..samples {
