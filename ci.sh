@@ -24,6 +24,12 @@ echo "==> bench_kernels --smoke (parity + BENCH_kernels.json)"
 # BENCH_kernels.json (the 256^3 headline square is measured in smoke too).
 cargo run --release -p xbar-bench --bin bench_kernels -- --smoke
 
+echo "==> tile-parity smoke (tiled == monolithic through the full stack)"
+# Release-mode re-run of the tiling integration suite (the debug test phase
+# above already ran it once) plus the tiled cost table as an e2e smoke.
+cargo test -q --release -p xbar --test integration_tiling
+cargo run --release -p xbar-bench --bin table1_system -- --tile 64x64 > /dev/null
+
 echo "==> sweep kill/resume smoke (byte-identical resumed output)"
 # A tiny sweep run straight through, then again but aborted (simulated
 # kill -9) after the first journaled cell and resumed from the journal.

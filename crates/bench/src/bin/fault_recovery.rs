@@ -23,16 +23,7 @@ fn main() {
 
 fn run(args: Args) -> Result<(), BenchError> {
     let setup = setup_from_args(&args, "lenet")?;
-    let mapping = match args.get_str("mapping", "acm").to_ascii_lowercase().as_str() {
-        "acm" => Mapping::Acm,
-        "bc" => Mapping::BiasColumn,
-        "de" => Mapping::DoubleElement,
-        other => {
-            return Err(BenchError::Usage(format!(
-                "--mapping must be acm | bc | de, got {other:?}"
-            )))
-        }
-    };
+    let mapping: Mapping = args.try_get("mapping", Mapping::Acm)?;
     let bits: u8 = args.try_get::<i64>("bits", 4)? as u8;
     let samples: usize = args.try_get("samples", 10)?;
     let rates = args.try_get_list("rates", &[0.0, 0.002, 0.005, 0.01, 0.02, 0.05])?;

@@ -22,6 +22,7 @@ use xbar_bench::error::{exit_on_error, BenchError};
 use xbar_bench::experiments::{run_variation_cell, setup_from_args, train_mapped_nets};
 use xbar_bench::json::Json;
 use xbar_bench::sweep::{run_sweep, CellOutcome, SweepConfig};
+use xbar_core::Mapping;
 use xbar_nn::Sequential;
 
 fn main() {
@@ -84,13 +85,19 @@ fn run(args: Args) -> Result<(), BenchError> {
             }
         };
         let p = run_variation_cell(&setup, &nets, b, sigma, samples, &data)?;
-        Ok(Json::Obj(vec![
+        let mut fields = vec![
             ("bits".into(), Json::Num(f64::from(p.bits))),
             ("sigma".into(), Json::Num(f64::from(p.sigma))),
-            ("acm".into(), Json::Num(f64::from(p.acm))),
-            ("de".into(), Json::Num(f64::from(p.de))),
-            ("bc".into(), Json::Num(f64::from(p.bc))),
-        ]))
+        ];
+        // Per-mapping keys come from Mapping's canonical tags, so the JSON
+        // schema tracks the enum instead of a hand-maintained string list.
+        fields.extend(Mapping::ALL.iter().map(|&m| {
+            (
+                m.tag().to_ascii_lowercase(),
+                Json::Num(f64::from(p.accuracy(m))),
+            )
+        }));
+        Ok(Json::Obj(fields))
     })?;
 
     let mut cell_values = Vec::new();

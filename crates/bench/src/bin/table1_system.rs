@@ -5,12 +5,18 @@
 //! ```text
 //! cargo run -p xbar-bench --release --bin table1_system
 //! cargo run -p xbar-bench --release --bin table1_system -- --inputs 784 --hidden 300
+//! cargo run -p xbar-bench --release --bin table1_system -- --tile 128x128
 //! ```
+//!
+//! With `--tile ROWSxCOLS` a second table prices the workload split
+//! across physical tiles of that size: fabricated (whole-tile) area, a
+//! periphery instance per tile, per-tile `N_D` accounting, and the
+//! reference columns replicated per extra column group.
 
 use xbar_bench::cli::Args;
 use xbar_bench::output::{num3, ResultsTable};
-use xbar_core::Mapping;
-use xbar_neurosim::{evaluate, LayerDims, TechParams, Workload};
+use xbar_core::{Mapping, TileShape};
+use xbar_neurosim::{evaluate, evaluate_tiled, LayerDims, TechParams, Workload};
 
 fn main() {
     let args = Args::from_env();
@@ -72,4 +78,72 @@ fn main() {
         de.read_energy_uj / acm.read_energy_uj,
         de.read_delay_ms / acm.read_delay_ms,
     );
+
+    let tile_str = args.get_str("tile", "");
+    if !tile_str.is_empty() {
+        let tile: TileShape = tile_str.parse().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        let tiled: Vec<_> = Mapping::ALL
+            .iter()
+            .map(|&m| {
+                evaluate_tiled(&workload, m, tile, &params).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+        eprintln!("tile-granular evaluation: {tile} physical arrays");
+        let mut table = ResultsTable::new(&["Metric", "BC", "DE", "ACM"]);
+        table.push(vec![
+            "Tiles".into(),
+            tiled[0].num_tiles.to_string(),
+            tiled[1].num_tiles.to_string(),
+            tiled[2].num_tiles.to_string(),
+        ]);
+        table.push(vec![
+            "Device Columns (ND)".into(),
+            tiled[0].nd_total.to_string(),
+            tiled[1].nd_total.to_string(),
+            tiled[2].nd_total.to_string(),
+        ]);
+        table.push(vec![
+            "Replicated Ref Columns".into(),
+            tiled[0].replicated_reference_columns.to_string(),
+            tiled[1].replicated_reference_columns.to_string(),
+            tiled[2].replicated_reference_columns.to_string(),
+        ]);
+        table.push(vec![
+            "Fabricated XBar Area (um^2)".into(),
+            format!("{:.0}", tiled[0].xbar_area_um2),
+            format!("{:.0}", tiled[1].xbar_area_um2),
+            format!("{:.0}", tiled[2].xbar_area_um2),
+        ]);
+        table.push(vec![
+            "Periphery Area (um^2)".into(),
+            format!("{:.0}", tiled[0].periphery_area_um2),
+            format!("{:.0}", tiled[1].periphery_area_um2),
+            format!("{:.0}", tiled[2].periphery_area_um2),
+        ]);
+        table.push(vec![
+            "Read Energy (uJ)".into(),
+            num3(tiled[0].read_energy_uj),
+            num3(tiled[1].read_energy_uj),
+            num3(tiled[2].read_energy_uj),
+        ]);
+        table.push(vec![
+            "Read Delay (ms)".into(),
+            num3(tiled[0].read_delay_ms),
+            num3(tiled[1].read_delay_ms),
+            num3(tiled[2].read_delay_ms),
+        ]);
+        table.print(args.has("csv"));
+        eprintln!(
+            "periphery replication cost vs monolithic: BC +{:.0} um^2, DE +{:.0} um^2, ACM +{:.0} um^2",
+            tiled[0].periphery_area_um2 - reports[0].periphery_area_um2,
+            tiled[1].periphery_area_um2 - reports[1].periphery_area_um2,
+            tiled[2].periphery_area_um2 - reports[2].periphery_area_um2,
+        );
+    }
 }

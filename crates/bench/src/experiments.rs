@@ -317,6 +317,18 @@ pub struct VariationPoint {
     pub bc: f32,
 }
 
+impl VariationPoint {
+    /// Mean inference accuracy (%) for `mapping` — lets consumers iterate
+    /// [`Mapping::ALL`] instead of naming the per-mapping fields.
+    pub fn accuracy(&self, mapping: Mapping) -> f32 {
+        match mapping {
+            Mapping::Acm => self.acm,
+            Mapping::DoubleElement => self.de,
+            Mapping::BiasColumn => self.bc,
+        }
+    }
+}
+
 /// Trains the three mapped model types (ACM, DE, BC) at `bits` precision
 /// on `data`, returning the trained networks in [`ModelType::MAPPED`]
 /// order — the per-bit-width setup stage of the Fig. 6 sweep.

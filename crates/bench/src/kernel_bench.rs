@@ -49,7 +49,7 @@ pub struct Entry {
     /// Entry name, e.g. `matmul_square_256`.
     pub name: String,
     /// Kernel kind (`matmul`, `matmul_tn`, `matmul_nt`, `conv2d`,
-    /// `crossbar_forward`, `crossbar_trials`).
+    /// `crossbar_forward`, `crossbar_trials`, `tiled_mvm`).
     pub kind: &'static str,
     /// Human-readable problem dimensions.
     pub dims: String,
@@ -512,6 +512,42 @@ pub fn run(mode: Mode) -> Report {
         ));
     }
 
+    // E2E: tile-granular crossbar inference. The same weights programmed
+    // monolithically and across a grid of physical tiles must agree (the
+    // per-group decomposition is exact on an ideal device); the timed arm
+    // is the tiled forward, whose per-tile MVMs fan out on the pool.
+    {
+        use xbar_core::{TileShape, TiledCrossbar};
+        let (n_out, n_in, batch, tile) = match mode {
+            Mode::Smoke => (16, 32, 8, TileShape::new(8, 8)),
+            Mode::Full => (128, 256, 64, TileShape::new(64, 64)),
+        };
+        let mut rng = XorShiftRng::new(43);
+        let w = Tensor::rand_uniform(&[n_out, n_in], -0.02, 0.02, &mut rng);
+        let x = Tensor::rand_uniform(&[batch, n_in], -1.0, 1.0, &mut rng);
+        let dev = DeviceConfig::ideal();
+        let mono = CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut rng).unwrap();
+        let tiled = TiledCrossbar::program_signed(&w, Mapping::Acm, dev, tile, &mut rng).unwrap();
+        let mono_out = mono.forward(&x).unwrap();
+        let tiled_out = tiled.forward(&x).unwrap();
+        assert!(
+            tiled_out.all_close(&mono_out, 1e-4),
+            "tiled_mvm: tiled forward diverged from monolithic"
+        );
+        let flops = 2.0 * (batch * tiled.n_dev() * n_in) as f64;
+        entries.push(e2e_entry(
+            "tiled_mvm",
+            "tiled_mvm",
+            format!(
+                "{batch}x{n_in}->{n_out} @{tile} ({} tiles)",
+                tiled.num_tiles()
+            ),
+            flops,
+            reps,
+            || tiled.forward(&x).unwrap(),
+        ));
+    }
+
     Report {
         mode,
         threads: backend::threads(),
@@ -530,6 +566,7 @@ mod tests {
         assert!(report.entries.len() >= 5);
         assert!(report.entries.iter().all(|e| e.parity));
         assert!(report.entries.iter().any(|e| e.name == "matmul_square_256"));
+        assert!(report.entries.iter().any(|e| e.name == "tiled_mvm"));
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"kernels\""));
         assert!(json.contains("matmul_square_256"));

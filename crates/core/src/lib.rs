@@ -73,7 +73,10 @@ pub use balance::{balance_profile, BalanceProfile};
 pub use crossbar::CrossbarArray;
 pub use decompose::{compose, decompose, decompose_with_periphery, max_representable_scale};
 pub use error::MappingError;
-pub use mapping::Mapping;
+pub use mapping::{Mapping, ParseMappingError};
 pub use periphery::PeripheryMatrix;
 pub use remap::{remap_for_faults, RemapReport};
-pub use tiling::{TileShape, TiledCrossbar};
+pub use tiling::{ColGroup, TileGrid, TiledCrossbar};
+// Re-exported from `xbar_device` (where the physical array bound lives)
+// so existing `xbar_core::TileShape` callers keep compiling.
+pub use xbar_device::TileShape;

@@ -115,6 +115,37 @@ impl fmt::Display for Mapping {
     }
 }
 
+/// Error parsing a [`Mapping`] from a string tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMappingError(String);
+
+impl fmt::Display for ParseMappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown mapping '{}': expected one of DE, BC, ACM",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseMappingError {}
+
+impl std::str::FromStr for Mapping {
+    type Err = ParseMappingError;
+
+    /// Parses the [`Mapping::tag`] form, case-insensitively — the
+    /// round-trip inverse of [`Mapping`]'s `Display`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "DE" => Ok(Self::DoubleElement),
+            "BC" => Ok(Self::BiasColumn),
+            "ACM" => Ok(Self::Acm),
+            _ => Err(ParseMappingError(s.to_string())),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +196,17 @@ mod tests {
         assert_eq!(Mapping::DoubleElement.to_string(), "DE");
         assert_eq!(Mapping::BiasColumn.to_string(), "BC");
         assert_eq!(Mapping::Acm.to_string(), "ACM");
+    }
+
+    #[test]
+    fn from_str_round_trips_display() {
+        for m in Mapping::ALL {
+            assert_eq!(m.to_string().parse::<Mapping>().unwrap(), m);
+            assert_eq!(m.tag().parse::<Mapping>().unwrap(), m);
+            // Case-insensitive: experiment CLIs pass lowercase tags.
+            assert_eq!(m.tag().to_ascii_lowercase().parse::<Mapping>().unwrap(), m);
+        }
+        let err = "adjacent".parse::<Mapping>().unwrap_err();
+        assert!(err.to_string().contains("adjacent"));
     }
 }

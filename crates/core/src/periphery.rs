@@ -100,6 +100,43 @@ impl PeripheryMatrix {
         }
     }
 
+    /// Builds the block-diagonal composition of `blocks` — the periphery
+    /// of a *tiled* layer, where each physical column-group of crossbar
+    /// tiles carries its own local stencil (and, for BC/ACM, its own
+    /// reference column).
+    ///
+    /// The composition inherits validity from its blocks without
+    /// re-running the expensive rank check: the rank of a block-diagonal
+    /// matrix is the sum of the block ranks, and the concatenation of the
+    /// blocks' strictly positive null vectors is a strictly positive null
+    /// vector of the whole.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty.
+    pub fn block_diagonal(blocks: &[PeripheryMatrix]) -> Self {
+        assert!(!blocks.is_empty(), "block-diagonal periphery needs blocks");
+        if blocks.len() == 1 {
+            return blocks[0].clone();
+        }
+        let n_out: usize = blocks.iter().map(PeripheryMatrix::n_out).sum();
+        let nd: usize = blocks.iter().map(PeripheryMatrix::n_dev).sum();
+        let mut s = Tensor::zeros(&[n_out, nd]);
+        let mut null_vector = Vec::with_capacity(nd);
+        let (mut r0, mut c0) = (0, 0);
+        for b in blocks {
+            for i in 0..b.n_out() {
+                for j in 0..b.n_dev() {
+                    *s.at_mut(&[r0 + i, c0 + j]) = b.matrix().at(&[i, j]);
+                }
+            }
+            null_vector.extend_from_slice(b.null_vector());
+            r0 += b.n_out();
+            c0 += b.n_dev();
+        }
+        Self { s, null_vector }
+    }
+
     /// Validates an arbitrary candidate periphery matrix against the
     /// paper's conditions.
     ///
@@ -447,6 +484,29 @@ mod tests {
         assert_eq!(PeripheryMatrix::acm(4).num_ops(), 8);
         assert_eq!(PeripheryMatrix::double_element(4).num_ops(), 8);
         assert_eq!(PeripheryMatrix::bias_column(4).num_ops(), 8);
+    }
+
+    #[test]
+    fn block_diagonal_composes_and_revalidates() {
+        let blocks = [PeripheryMatrix::acm(3), PeripheryMatrix::acm(2)];
+        let s = PeripheryMatrix::block_diagonal(&blocks);
+        assert_eq!(s.n_out(), 5);
+        assert_eq!(s.n_dev(), 7);
+        // Off-diagonal blocks are zero: row 0 never touches group 1.
+        for j in 4..7 {
+            assert_eq!(s.matrix().at(&[0, j]), 0.0);
+        }
+        // Still a valid periphery by the expensive check.
+        let revalidated = PeripheryMatrix::try_new(s.matrix().clone()).unwrap();
+        assert_eq!(revalidated.n_out(), 5);
+        assert!(s.null_vector().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn block_diagonal_of_one_is_identityish() {
+        let b = PeripheryMatrix::bias_column(4);
+        let s = PeripheryMatrix::block_diagonal(std::slice::from_ref(&b));
+        assert_eq!(s, b);
     }
 
     #[test]

@@ -85,6 +85,20 @@ impl RemapReport {
         }
         (1.0 - self.residual_after / self.residual_before).max(0.0)
     }
+
+    /// Combines this report with another covering a *disjoint* region of
+    /// the same array — used by tiled crossbars that remap each physical
+    /// tile independently. Counts add; the Frobenius residuals combine in
+    /// quadrature.
+    pub fn merge(&self, other: &RemapReport) -> RemapReport {
+        RemapReport {
+            stuck_cells: self.stuck_cells + other.stuck_cells,
+            columns_affected: self.columns_affected + other.columns_affected,
+            columns_shifted: self.columns_shifted + other.columns_shifted,
+            residual_before: self.residual_before.hypot(other.residual_before),
+            residual_after: self.residual_after.hypot(other.residual_after),
+        }
+    }
 }
 
 /// Rewrites each faulty column of `m` so the healthy cells compensate, as

@@ -1,5 +1,6 @@
 use crate::{
-    ConductanceRange, FaultModel, ProgrammingModel, Quantizer, UpdateModel, VariationModel,
+    ConductanceRange, FaultModel, ProgrammingModel, Quantizer, TileShape, UpdateModel,
+    VariationModel,
 };
 
 /// Complete non-ideality description of a synapse device, consumed by the
@@ -31,6 +32,9 @@ pub struct DeviceConfig {
     variation: VariationModel,
     faults: FaultModel,
     programming: ProgrammingModel,
+    /// Physical array bound, when mapped execution should be split across
+    /// a grid of tiles. `None` models one arbitrarily large array.
+    tile: Option<TileShape>,
 }
 
 impl DeviceConfig {
@@ -112,6 +116,11 @@ impl DeviceConfig {
         self.programming
     }
 
+    /// The physical tile bound, or `None` for one unbounded array.
+    pub fn tile_shape(&self) -> Option<TileShape> {
+        self.tile
+    }
+
     /// Number of programming pulses needed to traverse the full range —
     /// one pulse per state transition, `2^B − 1` for a `B`-bit device, or a
     /// fine default of 256 for full-precision simulation.
@@ -141,6 +150,13 @@ impl DeviceConfig {
     /// everything else).
     pub fn with_programming(mut self, programming: ProgrammingModel) -> Self {
         self.programming = programming;
+        self
+    }
+
+    /// Returns a copy with a different physical tile bound (keeps
+    /// everything else). `None` restores the unbounded-array model.
+    pub fn with_tile_shape(mut self, tile: Option<TileShape>) -> Self {
+        self.tile = tile;
         self
     }
 
@@ -175,6 +191,7 @@ pub struct DeviceConfigBuilder {
     variation: VariationModel,
     faults: FaultModel,
     programming: ProgrammingModel,
+    tile: Option<TileShape>,
 }
 
 impl DeviceConfigBuilder {
@@ -186,6 +203,7 @@ impl DeviceConfigBuilder {
             variation: VariationModel::none(),
             faults: FaultModel::none(),
             programming: ProgrammingModel::one_shot(),
+            tile: None,
         }
     }
 
@@ -241,6 +259,12 @@ impl DeviceConfigBuilder {
         self
     }
 
+    /// Bounds mapped execution to `tile`-sized physical arrays.
+    pub fn tile(mut self, tile: TileShape) -> Self {
+        self.tile = Some(tile);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -259,6 +283,7 @@ impl DeviceConfigBuilder {
             variation: self.variation,
             faults: self.faults,
             programming: self.programming,
+            tile: self.tile,
         }
     }
 }
@@ -338,6 +363,20 @@ mod tests {
         let d = DeviceConfig::ideal();
         assert!(d.faults().is_none());
         assert!(d.programming().is_one_shot());
+    }
+
+    #[test]
+    fn tile_shape_defaults_off_and_threads_through() {
+        assert_eq!(DeviceConfig::ideal().tile_shape(), None);
+        let t = TileShape::new(64, 64);
+        let d = DeviceConfig::builder().bits(4).tile(t).build();
+        assert_eq!(d.tile_shape(), Some(t));
+        assert_eq!(d.bits(), Some(4));
+        // with_tile_shape sets and clears without touching anything else.
+        let e = DeviceConfig::quantized_linear(3).with_tile_shape(Some(t));
+        assert_eq!(e.tile_shape(), Some(t));
+        assert_eq!(e.with_tile_shape(None).tile_shape(), None);
+        assert_eq!(e.with_tile_shape(None), DeviceConfig::quantized_linear(3));
     }
 
     #[test]

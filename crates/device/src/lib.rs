@@ -46,6 +46,7 @@ mod faults;
 mod programming;
 mod quantizer;
 mod range;
+mod tile;
 mod update;
 mod variation;
 
@@ -54,5 +55,6 @@ pub use faults::{FaultKind, FaultMap, FaultModel};
 pub use programming::{ProgrammingModel, ProgrammingReport, UnconvergedCell};
 pub use quantizer::{quantize_signed, Quantizer};
 pub use range::ConductanceRange;
+pub use tile::{ParseTileShapeError, TileShape};
 pub use update::UpdateModel;
 pub use variation::{ClampMode, VariationModel};

@@ -1,0 +1,133 @@
+//! Physical crossbar tile dimensions.
+//!
+//! A fabricated crossbar macro is bounded (128×128 is typical for RRAM);
+//! anything larger must be split across a grid of tiles. The shape lives
+//! here, next to the rest of the device description, so that a single
+//! [`crate::DeviceConfig`] carries everything the mapped layers need to
+//! know about the hardware — including how big one physical array is.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Physical dimensions of one crossbar tile.
+///
+/// Parses from and renders to the conventional `ROWSxCOLS` form:
+///
+/// ```
+/// use xbar_device::TileShape;
+///
+/// let t: TileShape = "64x128".parse().unwrap();
+/// assert_eq!((t.rows, t.cols), (64, 128));
+/// assert_eq!(t.to_string(), "64x128");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileShape {
+    /// Rows (inputs) per tile.
+    pub rows: usize,
+    /// Columns (device columns) per tile.
+    pub cols: usize,
+}
+
+impl TileShape {
+    /// Creates a tile shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "tile dimensions must be positive");
+        Self { rows, cols }
+    }
+
+    /// The 128×128 tile size common in fabricated RRAM macros.
+    pub fn standard() -> Self {
+        Self::new(128, 128)
+    }
+
+    /// Total cells in one tile.
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+impl fmt::Display for TileShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// Error parsing a [`TileShape`] from its `ROWSxCOLS` string form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTileShapeError(String);
+
+impl fmt::Display for ParseTileShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid tile shape '{}': expected ROWSxCOLS", self.0)
+    }
+}
+
+impl std::error::Error for ParseTileShapeError {}
+
+impl FromStr for TileShape {
+    type Err = ParseTileShapeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseTileShapeError(s.to_string());
+        let (r, c) = s.split_once(['x', 'X']).ok_or_else(err)?;
+        let rows: usize = r.trim().parse().map_err(|_| err())?;
+        let cols: usize = c.trim().parse().map_err(|_| err())?;
+        if rows == 0 || cols == 0 {
+            return Err(err());
+        }
+        Ok(Self { rows, cols })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_is_128_squared() {
+        let t = TileShape::standard();
+        assert_eq!((t.rows, t.cols), (128, 128));
+        assert_eq!(t.cells(), 128 * 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_dimension() {
+        let _ = TileShape::new(0, 4);
+    }
+
+    #[test]
+    fn display_from_str_round_trip() {
+        for t in [
+            TileShape::standard(),
+            TileShape::new(64, 128),
+            TileShape::new(1, 2),
+        ] {
+            let parsed: TileShape = t.to_string().parse().unwrap();
+            assert_eq!(parsed, t);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_uppercase_x_and_spaces() {
+        assert_eq!(
+            "32X16".parse::<TileShape>().unwrap(),
+            TileShape::new(32, 16)
+        );
+        assert_eq!(
+            " 8 x 8 ".trim().parse::<TileShape>().unwrap(),
+            TileShape::new(8, 8)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "128", "0x4", "4x0", "axb", "4x4x4"] {
+            assert!(bad.parse::<TileShape>().is_err(), "{bad}");
+        }
+    }
+}

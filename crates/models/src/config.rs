@@ -79,6 +79,15 @@ impl ModelConfig {
         self.act_bits = bits;
         self
     }
+
+    /// Returns a copy with a physical crossbar tile bound: every mapped
+    /// layer is laid out on a grid of `tile`-sized arrays, with per-tile
+    /// periphery and reference columns (`None` models one arbitrarily
+    /// large array per layer).
+    pub fn with_tile_shape(mut self, tile: Option<xbar_device::TileShape>) -> Self {
+        self.device = self.device.with_tile_shape(tile);
+        self
+    }
 }
 
 impl Default for ModelConfig {
@@ -118,5 +127,14 @@ mod tests {
         let c = ModelConfig::baseline().with_seed(42).with_act_bits(Some(6));
         assert_eq!(c.seed, 42);
         assert_eq!(c.act_bits, Some(6));
+    }
+
+    #[test]
+    fn tile_shape_threads_into_device() {
+        use xbar_device::{DeviceConfig, TileShape};
+        let c = ModelConfig::mapped(Mapping::Acm, DeviceConfig::quantized_linear(4))
+            .with_tile_shape(Some(TileShape::new(64, 64)));
+        assert_eq!(c.device.tile_shape(), Some(TileShape::new(64, 64)));
+        assert_eq!(c.with_tile_shape(None).device.tile_shape(), None);
     }
 }

@@ -1,4 +1,4 @@
-use xbar_core::Mapping;
+use xbar_core::{Mapping, MappingError, TileGrid, TileShape};
 
 use crate::{TechParams, Workload};
 
@@ -57,6 +57,102 @@ pub fn table1(params: &TechParams) -> Vec<CostReport> {
         .iter()
         .map(|&m| evaluate(&workload, m, params))
         .collect()
+}
+
+/// System-level cost of a workload split across a grid of physical
+/// crossbar tiles — the tile-granular refinement of [`CostReport`].
+///
+/// Where [`evaluate`] prices one arbitrarily large array per layer, this
+/// prices what actually gets fabricated: whole tiles (area is paid for
+/// every cell of every tile, occupied or not), a periphery instance per
+/// tile, and one replicated reference column per extra column group for
+/// BC/ACM — the tiling overhead the monolithic model cannot see.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TiledCostReport {
+    /// The mapping priced.
+    pub mapping: Mapping,
+    /// The physical tile shape.
+    pub tile: TileShape,
+    /// Total physical arrays across all layers.
+    pub num_tiles: usize,
+    /// Total device columns across all layers (per-group `N_D`
+    /// accounting: `outputs + 1` per column group for BC/ACM).
+    pub nd_total: usize,
+    /// Reference columns that exist only because of tiling (zero for DE
+    /// and for layers that fit one tile).
+    pub replicated_reference_columns: usize,
+    /// Fabricated crossbar area: every cell of every tile (µm²).
+    pub xbar_area_um2: f64,
+    /// Periphery area, one instance per tile (µm²).
+    pub periphery_area_um2: f64,
+    /// Read energy for one training epoch, on occupied cells (µJ).
+    pub read_energy_uj: f64,
+    /// Read delay for one training epoch: tiles convert in parallel, so
+    /// each layer pays its widest column group (ms).
+    pub read_delay_ms: f64,
+}
+
+impl TiledCostReport {
+    /// Total (crossbar + periphery) area.
+    pub fn total_area_um2(&self) -> f64 {
+        self.xbar_area_um2 + self.periphery_area_um2
+    }
+}
+
+/// Prices `workload` under `mapping` split across `tile`-sized physical
+/// arrays.
+///
+/// # Errors
+///
+/// Returns an error if the tile is too narrow to hold one output under
+/// `mapping` (fewer than two device columns).
+pub fn evaluate_tiled(
+    workload: &Workload,
+    mapping: Mapping,
+    tile: TileShape,
+    params: &TechParams,
+) -> Result<TiledCostReport, MappingError> {
+    let tile_cols = tile.cols as f64;
+    let mut report = TiledCostReport {
+        mapping,
+        tile,
+        num_tiles: 0,
+        nd_total: 0,
+        replicated_reference_columns: 0,
+        xbar_area_um2: 0.0,
+        periphery_area_um2: 0.0,
+        read_energy_uj: 0.0,
+        read_delay_ms: 0.0,
+    };
+    for layer in workload.layers() {
+        let grid = TileGrid::new(layer.outputs, layer.inputs, mapping, Some(tile))?;
+        report.num_tiles += grid.num_tiles();
+        report.nd_total += grid.nd_total();
+        report.replicated_reference_columns += grid.replicated_reference_columns();
+        // Area is fabricated, not occupied: a ragged edge tile costs as
+        // much silicon as a full one.
+        report.xbar_area_um2 += grid.num_tiles() as f64
+            * params.area_coeff_um2
+            * tile.rows as f64
+            * tile_cols.powf(params.area_exp);
+        let (row_blocks, _) = grid.grid();
+        let mut widest = 0.0f64;
+        for g in grid.col_groups() {
+            let cols = g.dev_len as f64;
+            // One periphery instance (MUX/ADC/decoder/adders) per tile in
+            // this group's column strip.
+            report.periphery_area_um2 +=
+                row_blocks as f64 * params.periph_coeff_um2 * cols.powf(params.periph_exp);
+            // Energy scales with the cells actually driven.
+            report.read_energy_uj +=
+                params.energy_coeff_uj * layer.inputs as f64 * cols.powf(params.energy_exp);
+            widest = widest.max(cols);
+        }
+        // Tiles convert in parallel; the layer's read waits for its
+        // widest column group.
+        report.read_delay_ms += params.delay_coeff_ms * widest.powf(params.delay_exp);
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -171,5 +267,79 @@ mod tests {
         assert!(
             (r[0].total_area_um2() - (r[0].xbar_area_um2 + r[0].periphery_area_um2)).abs() < 1e-9
         );
+    }
+
+    #[test]
+    fn tiled_bc_and_acm_costs_are_identical() {
+        // BC and ACM fit the same outputs per tile (cols − 1), so their
+        // grids — and therefore every tiled cost — coincide exactly, the
+        // tile-granular form of the paper's BC ≡ ACM cost identity.
+        let p = TechParams::nm14();
+        let w = Workload::table1_mlp();
+        for tile in [TileShape::standard(), TileShape::new(64, 32)] {
+            let bc = evaluate_tiled(&w, Mapping::BiasColumn, tile, &p).unwrap();
+            let acm = evaluate_tiled(&w, Mapping::Acm, tile, &p).unwrap();
+            assert_eq!(bc.num_tiles, acm.num_tiles);
+            assert_eq!(bc.nd_total, acm.nd_total);
+            assert_eq!(
+                bc.replicated_reference_columns,
+                acm.replicated_reference_columns
+            );
+            assert_eq!(bc.xbar_area_um2, acm.xbar_area_um2);
+            assert_eq!(bc.periphery_area_um2, acm.periphery_area_um2);
+            assert_eq!(bc.read_energy_uj, acm.read_energy_uj);
+            assert_eq!(bc.read_delay_ms, acm.read_delay_ms);
+        }
+    }
+
+    #[test]
+    fn tiled_de_needs_about_double_the_tiles_of_acm() {
+        let p = TechParams::nm14();
+        let w = Workload::table1_mlp();
+        let tile = TileShape::standard();
+        let de = evaluate_tiled(&w, Mapping::DoubleElement, tile, &p).unwrap();
+        let acm = evaluate_tiled(&w, Mapping::Acm, tile, &p).unwrap();
+        assert!(de.num_tiles >= acm.num_tiles);
+        assert!(de.nd_total > acm.nd_total);
+        assert!(de.xbar_area_um2 > acm.xbar_area_um2);
+        // DE has no shared reference to replicate.
+        assert_eq!(de.replicated_reference_columns, 0);
+    }
+
+    #[test]
+    fn tiling_wide_layers_replicates_references() {
+        let p = TechParams::nm14();
+        // 400-output layer on 128-wide tiles: ceil(400/127) = 4 column
+        // groups for ACM → 3 extra reference columns.
+        let w = Workload::new(vec![crate::LayerDims::new(256, 400)], "wide");
+        let acm = evaluate_tiled(&w, Mapping::Acm, TileShape::standard(), &p).unwrap();
+        assert_eq!(acm.replicated_reference_columns, 3);
+        assert_eq!(acm.nd_total, 404);
+        // Smaller tiles → more groups → more replicated references and
+        // more fabricated area.
+        let small = evaluate_tiled(&w, Mapping::Acm, TileShape::new(64, 64), &p).unwrap();
+        assert!(small.replicated_reference_columns > acm.replicated_reference_columns);
+        assert!(small.num_tiles > acm.num_tiles);
+    }
+
+    #[test]
+    fn tiled_area_covers_fabricated_cells_not_just_occupied() {
+        let p = TechParams::nm14();
+        // A layer occupying a sliver of one tile still pays the full tile.
+        let w = Workload::new(vec![crate::LayerDims::new(4, 4)], "sliver");
+        let tiled = evaluate_tiled(&w, Mapping::Acm, TileShape::standard(), &p).unwrap();
+        let mono = evaluate(&w, Mapping::Acm, &p);
+        assert_eq!(tiled.num_tiles, 1);
+        assert!(tiled.xbar_area_um2 > mono.xbar_area_um2 * 100.0);
+        // Energy is on occupied cells, so it matches the monolithic model.
+        assert!((tiled.read_energy_uj - mono.read_energy_uj).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiled_rejects_too_narrow_tiles() {
+        let p = TechParams::nm14();
+        let w = Workload::table1_mlp();
+        assert!(evaluate_tiled(&w, Mapping::Acm, TileShape::new(128, 1), &p).is_err());
+        assert!(evaluate_tiled(&w, Mapping::DoubleElement, TileShape::new(128, 1), &p).is_err());
     }
 }

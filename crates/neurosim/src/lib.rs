@@ -49,6 +49,6 @@ mod cost;
 mod params;
 mod workload;
 
-pub use cost::{evaluate, table1, CostReport};
+pub use cost::{evaluate, evaluate_tiled, table1, CostReport, TiledCostReport};
 pub use params::TechParams;
 pub use workload::{LayerDims, Workload};

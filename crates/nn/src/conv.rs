@@ -120,8 +120,15 @@ impl Layer for Conv2d {
             Some(m) => m.tag().to_string(),
             None => "signed".to_string(),
         };
+        let tiles = match self.weights.tile_grid() {
+            Some(g) if !g.is_monolithic() => {
+                let (rows, cols) = g.grid();
+                format!(" tiles={rows}x{cols}")
+            }
+            _ => String::new(),
+        };
         format!(
-            "conv {}x{}x{}->{} s{} p{} [{kind}]",
+            "conv {}x{}x{}->{} s{} p{} [{kind}]{tiles}",
             self.kernel, self.kernel, self.in_c, self.out_c, self.stride, self.pad
         )
     }

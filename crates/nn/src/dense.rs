@@ -99,7 +99,14 @@ impl Layer for Dense {
             Some(m) => m.tag().to_string(),
             None => "signed".to_string(),
         };
-        format!("dense {}->{} [{kind}]", self.n_in(), self.n_out())
+        let tiles = match self.weights.tile_grid() {
+            Some(g) if !g.is_monolithic() => {
+                let (rows, cols) = g.grid();
+                format!(" tiles={rows}x{cols}")
+            }
+            _ => String::new(),
+        };
+        format!("dense {}->{} [{kind}]{tiles}", self.n_in(), self.n_out())
     }
 
     fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, NnError> {

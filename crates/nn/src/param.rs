@@ -1,7 +1,7 @@
 //! The crossbar-mapped weight parameter — the training-side embodiment of
 //! the paper's `W = S · M` factorization.
 
-use xbar_core::{Mapping, PeripheryMatrix};
+use xbar_core::{Mapping, PeripheryMatrix, TileGrid};
 use xbar_device::DeviceConfig;
 use xbar_tensor::rng::XorShiftRng;
 use xbar_tensor::{linalg, Tensor};
@@ -29,6 +29,16 @@ pub enum WeightKind {
 /// is constrained to be non-negative and is followed by a periphery matrix
 /// defined as a fixed layer with values in `{−1, +1, 0}`" (Sec. IV).
 ///
+/// When the device carries a physical tile bound
+/// ([`DeviceConfig::tile_shape`]), the parameter is laid out on a
+/// [`TileGrid`]: outputs split into column groups that each fit one tile
+/// width, each group carries its own local periphery (and, for BC/ACM,
+/// its own reference column — the per-group `N_D = outputs + 1`
+/// accounting), and `S` is block-diagonal over the groups. The stored `M`
+/// stacks the per-group conductance rows; with no tile bound the grid is
+/// the degenerate 1×1 monolithic case and everything reduces to the
+/// classic single-array layout.
+///
 /// Three training-time behaviours are owned here:
 ///
 /// * **Quantization-aware forward** — `q(M)` in the forward pass, straight-
@@ -47,6 +57,10 @@ pub enum WeightKind {
 #[derive(Debug, Clone)]
 pub struct MappedParam {
     kind: WeightKind,
+    /// Tile layout of the conductance matrix (mapped weights only);
+    /// monolithic 1×1 when the device has no tile bound.
+    grid: Option<TileGrid>,
+    /// Block-diagonal over the grid's per-group stencils.
     periphery: Option<PeripheryMatrix>,
     device: DeviceConfig,
     /// Master copy: `M (N_D × n_in)` for mapped weights (conductance
@@ -109,6 +123,7 @@ impl MappedParam {
                 let grad = Tensor::zeros(shadow.shape());
                 Ok(Self {
                     kind,
+                    grid: None,
                     periphery: None,
                     device,
                     shadow,
@@ -144,11 +159,25 @@ impl MappedParam {
                     Mapping::DoubleElement | Mapping::Acm => w_lim / span,
                 };
                 let wc = w_init.scale(1.0 / alpha); // conductance units
-                let periphery = mapping.periphery(n_out);
-                let shadow = init_conductances(&wc, mapping, &device);
+                                                    // Lay the conductances out on the device's tile grid: each
+                                                    // column group is an independent physical sub-array with
+                                                    // its own stencil (and reference column), initialised from
+                                                    // its own row-slice of the scaled weights.
+                let grid = TileGrid::new(n_out, n_in, mapping, device.tile_shape())
+                    .map_err(NnError::Mapping)?;
+                let periphery = grid.periphery();
+                let mut shadow = Tensor::zeros(&[grid.nd_total(), n_in]);
+                for g in grid.col_groups() {
+                    let wc_group = rows_slice(&wc, g.out_start, g.out_len);
+                    let m_group = init_conductances(&wc_group, mapping, &device);
+                    let cols = n_in;
+                    shadow.data_mut()[g.dev_start * cols..(g.dev_start + g.dev_len) * cols]
+                        .copy_from_slice(m_group.data());
+                }
                 let grad = Tensor::zeros(shadow.shape());
                 Ok(Self {
                     kind,
+                    grid: Some(grid),
                     periphery: Some(periphery),
                     device,
                     shadow,
@@ -196,6 +225,27 @@ impl MappedParam {
         self.alpha
     }
 
+    /// The tile layout of the conductance matrix, if the parameter is
+    /// crossbar-mapped (monolithic 1×1 when the device has no tile
+    /// bound).
+    pub fn tile_grid(&self) -> Option<&TileGrid> {
+        self.grid.as_ref()
+    }
+
+    /// Device rows holding a fixed reference column: the last device row
+    /// of each column group (BC/ACM layouts; callers only use this for
+    /// BC, whose references are frozen at mid-range).
+    fn reference_rows(&self) -> Vec<usize> {
+        match &self.grid {
+            Some(grid) if !matches!(grid.mapping(), Mapping::DoubleElement) => grid
+                .col_groups()
+                .iter()
+                .map(|g| g.dev_start + g.dev_len - 1)
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
     /// Number of stored scalar parameters (crossbar elements for mapped
     /// weights — `N_D · n_in` — or `n_out · n_in` for the baseline).
     pub fn num_params(&self) -> usize {
@@ -229,16 +279,19 @@ impl MappedParam {
                 // ref [17]): write-verify programming reaches any of the
                 // 2^B uniform target levels regardless of the pulse curve.
                 let mut out = self.shadow.map(|g| q.quantize(g));
-                // The BC reference column is a fixed, one-time-calibrated
+                // Each BC reference column is a fixed, one-time-calibrated
                 // analog reference at exactly mid-range (paper Fig. 1b) —
                 // it is not re-programmed during training and is not
-                // constrained to the weight-update state ladder.
+                // constrained to the weight-update state ladder. On a tile
+                // grid every column group carries its own reference (the
+                // last device row of the group).
                 if matches!(self.kind, WeightKind::Mapped(Mapping::BiasColumn)) {
-                    let nd = out.shape()[0];
                     let n_in = out.shape()[1];
                     let mid = self.device.range().midpoint();
-                    for v in &mut out.data_mut()[(nd - 1) * n_in..] {
-                        *v = mid;
+                    for row in self.reference_rows() {
+                        for v in &mut out.data_mut()[row * n_in..(row + 1) * n_in] {
+                            *v = mid;
+                        }
                     }
                 }
                 out
@@ -305,28 +358,43 @@ impl MappedParam {
                 // Preconditioning isolates the representation effects
                 // (range, quantization, update nonlinearity) that the
                 // paper actually compares.
+                // The Gram S·Sᵀ is block-diagonal over the grid's column
+                // groups, so preconditioning happens group-locally.
+                let grid = self.grid.as_ref().expect("mapped parameters carry a grid");
                 let pre = match mapping {
-                    // DE: S·Sᵀ = 2·I.
+                    // DE: S·Sᵀ = 2·I (per group, hence globally).
                     Mapping::DoubleElement => grad_w.scale(0.5),
-                    // BC with frozen reference: identity.
+                    // BC with frozen references: identity.
                     Mapping::BiasColumn => grad_w.clone(),
-                    // ACM: S·Sᵀ is the tridiagonal path Laplacian
-                    // tridiag(−1, 2, −1); solve per input column.
-                    Mapping::Acm => solve_acm_gram(grad_w),
+                    // ACM: each group's Gram is the tridiagonal path
+                    // Laplacian tridiag(−1, 2, −1) of size out_len; solve
+                    // per group per input column.
+                    Mapping::Acm => {
+                        let mut pre = Tensor::zeros(&[self.n_out, self.n_in]);
+                        for g in grid.col_groups() {
+                            let g_slice = rows_slice(grad_w, g.out_start, g.out_len);
+                            let solved = solve_acm_gram(&g_slice);
+                            pre.data_mut()
+                                [g.out_start * self.n_in..(g.out_start + g.out_len) * self.n_in]
+                                .copy_from_slice(solved.data());
+                        }
+                        pre
+                    }
                 };
                 let mut routed = linalg::matmul_tn(s.matrix(), &pre)?.scale(self.alpha);
-                // The BC reference column is *fixed* at mid-range (paper
+                // Every BC reference column is *fixed* at mid-range (paper
                 // Sec. II: "the conductance of each element in this column
                 // is fixed to the middle of the conductance range") — it
                 // receives no training updates. Without this freeze the
-                // reference accumulates the negated sum of all output
-                // gradients and saturates, collapsing the sign range.
+                // reference accumulates the negated sum of its group's
+                // output gradients and saturates, collapsing the sign
+                // range.
                 if matches!(mapping, Mapping::BiasColumn) {
-                    let nd = routed.shape()[0];
-                    let n_in = routed.shape()[1];
-                    let data = routed.data_mut();
-                    for v in &mut data[(nd - 1) * n_in..] {
-                        *v = 0.0;
+                    let n_in = self.n_in;
+                    for row in self.reference_rows() {
+                        for v in &mut routed.data_mut()[row * n_in..(row + 1) * n_in] {
+                            *v = 0.0;
+                        }
                     }
                 }
                 self.grad.add_scaled(&routed, 1.0)?;
@@ -458,7 +526,7 @@ impl MappedParam {
         ),
         NnError,
     > {
-        let Some(periphery) = &self.periphery else {
+        let Some(grid) = &self.grid else {
             return Err(NnError::State(
                 "baseline signed weights have no crossbar cells to fail".into(),
             ));
@@ -466,16 +534,41 @@ impl MappedParam {
         let range = self.device.range();
         let var = xbar_device::VariationModel::new(sigma_frac);
         let mut targets = self.quantized_shadow();
-        let map = faults.sample_map(targets.shape()[0], targets.shape()[1], rng);
+        let n_in = targets.shape()[1];
+        let map = faults.sample_map(targets.shape()[0], n_in, rng);
         let remap_report = if remap {
-            // The compensated targets are programmed as-is: write-verify
-            // programming is an analog trim, not restricted to the state
-            // ladder that governs training updates. Re-snapping here would
-            // quantize away sub-step compensations.
-            let (shifted, report) = xbar_core::remap_for_faults(&targets, periphery, &map, range)
+            // Remap each column group against its own local stencil, as
+            // separate physical tiles would: compensation for a fault in
+            // one group never moves another group's cells. The compensated
+            // targets are programmed as-is: write-verify programming is an
+            // analog trim, not restricted to the state ladder that governs
+            // training updates. Re-snapping here would quantize away
+            // sub-step compensations.
+            let mut merged: Option<xbar_core::RemapReport> = None;
+            for g in grid.col_groups() {
+                let mut group_map = xbar_device::FaultMap::pristine(g.dev_len, n_in);
+                for (row, col, kind) in map.iter_stuck() {
+                    if (g.dev_start..g.dev_start + g.dev_len).contains(&row) {
+                        group_map.set(row - g.dev_start, col, kind);
+                    }
+                }
+                let group_targets = rows_slice(&targets, g.dev_start, g.dev_len);
+                let group_periphery = grid.mapping().periphery(g.out_len);
+                let (shifted, report) = xbar_core::remap_for_faults(
+                    &group_targets,
+                    &group_periphery,
+                    &group_map,
+                    range,
+                )
                 .map_err(NnError::Mapping)?;
-            targets = shifted;
-            Some(report)
+                targets.data_mut()[g.dev_start * n_in..(g.dev_start + g.dev_len) * n_in]
+                    .copy_from_slice(shifted.data());
+                merged = Some(match merged {
+                    Some(acc) => acc.merge(&report),
+                    None => report,
+                });
+            }
+            merged
         } else {
             None
         };
@@ -526,6 +619,16 @@ impl MappedParam {
         visitor.tensor(&format!("{prefix}shadow"), &mut self.shadow);
         visitor.rng(&format!("{prefix}update_rng"), &mut self.update_rng);
     }
+}
+
+/// Copies rows `[start, start + len)` of a 2-D tensor into a new tensor.
+fn rows_slice(t: &Tensor, start: usize, len: usize) -> Tensor {
+    let cols = t.shape()[1];
+    Tensor::from_vec(
+        t.data()[start * cols..(start + len) * cols].to_vec(),
+        &[len, cols],
+    )
+    .expect("slice length matches shape")
 }
 
 /// Solves `(S·Sᵀ)·X = G` for the ACM Gram matrix — the symmetric positive
@@ -883,5 +986,173 @@ mod tests {
         let w = he_init(2, 2, 116);
         let p = MappedParam::from_signed(&w, WeightKind::Signed, DeviceConfig::ideal()).unwrap();
         assert!(p.conductances().is_err());
+    }
+
+    #[test]
+    fn untiled_device_gives_monolithic_grid() {
+        let w = he_init(6, 8, 130);
+        let p =
+            MappedParam::from_signed(&w, WeightKind::Mapped(Mapping::Acm), DeviceConfig::ideal())
+                .unwrap();
+        let grid = p.tile_grid().unwrap();
+        assert!(grid.is_monolithic());
+        assert_eq!(grid.nd_total(), 7);
+    }
+
+    #[test]
+    fn tiled_init_matches_monolithic_effective_weights() {
+        use xbar_device::TileShape;
+        let w = he_init(10, 12, 131);
+        for mapping in Mapping::ALL {
+            let mono =
+                MappedParam::from_signed(&w, WeightKind::Mapped(mapping), DeviceConfig::ideal())
+                    .unwrap();
+            let dev = DeviceConfig::ideal().with_tile_shape(Some(TileShape::new(4, 4)));
+            let tiled = MappedParam::from_signed(&w, WeightKind::Mapped(mapping), dev).unwrap();
+            assert!(tiled.tile_grid().unwrap().num_tiles() > 1, "{mapping}");
+            assert_eq!(tiled.alpha(), mono.alpha(), "{mapping}");
+            match mapping {
+                // DE/BC initialise element-locally: identical layouts.
+                Mapping::DoubleElement | Mapping::BiasColumn => assert!(
+                    tiled
+                        .effective_weights()
+                        .all_close(&mono.effective_weights(), 1e-5),
+                    "{mapping}"
+                ),
+                // ACM's neighbour-difference init sees different adjacency
+                // at group boundaries; both layouts approximate w, so
+                // check correlation rather than equality.
+                Mapping::Acm => {
+                    let eff = tiled.effective_weights();
+                    let dot: f32 = eff.data().iter().zip(w.data()).map(|(&a, &b)| a * b).sum();
+                    let corr = dot / (eff.norm_sq().sqrt() * w.norm_sq().sqrt()).max(1e-9);
+                    assert!(corr > 0.7, "ACM tiled init corr {corr}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_training_matches_monolithic_for_de_and_bc() {
+        use xbar_device::TileShape;
+        // DE and BC decompose exactly per group, and their gradient
+        // routing is purely element-local, so tiled and monolithic
+        // training trajectories coincide.
+        let w = he_init(9, 6, 132);
+        let target = he_init(9, 6, 133);
+        for mapping in [Mapping::DoubleElement, Mapping::BiasColumn] {
+            let mut mono =
+                MappedParam::from_signed(&w, WeightKind::Mapped(mapping), DeviceConfig::ideal())
+                    .unwrap();
+            let dev = DeviceConfig::ideal().with_tile_shape(Some(TileShape::new(4, 4)));
+            let mut tiled = MappedParam::from_signed(&w, WeightKind::Mapped(mapping), dev).unwrap();
+            for _ in 0..20 {
+                for p in [&mut mono, &mut tiled] {
+                    let diff = p.effective_weights().sub(&target).unwrap();
+                    p.zero_grad();
+                    p.accumulate_grad(&diff).unwrap();
+                    p.apply_update(0.05);
+                }
+                assert!(
+                    tiled
+                        .effective_weights()
+                        .all_close(&mono.effective_weights(), 1e-4),
+                    "{mapping}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_gradient_descent_converges_for_all_mappings() {
+        use xbar_device::TileShape;
+        let w = he_init(10, 8, 134);
+        let target = he_init(10, 8, 135);
+        let dev = DeviceConfig::ideal().with_tile_shape(Some(TileShape::new(4, 4)));
+        for mapping in Mapping::ALL {
+            let mut p = MappedParam::from_signed(&w, WeightKind::Mapped(mapping), dev).unwrap();
+            let err0 = p.effective_weights().sub(&target).unwrap().norm_sq();
+            for _ in 0..200 {
+                let diff = p.effective_weights().sub(&target).unwrap();
+                p.zero_grad();
+                p.accumulate_grad(&diff).unwrap();
+                p.apply_update(0.05);
+            }
+            let err1 = p.effective_weights().sub(&target).unwrap().norm_sq();
+            assert!(err1 < err0 * 0.2, "{mapping}: {err0} -> {err1}");
+        }
+    }
+
+    #[test]
+    fn tiled_bc_freezes_every_group_reference() {
+        use xbar_device::TileShape;
+        let w = he_init(10, 4, 136);
+        let dev = DeviceConfig::quantized_linear(4).with_tile_shape(Some(TileShape::new(8, 4)));
+        let mut p =
+            MappedParam::from_signed(&w, WeightKind::Mapped(Mapping::BiasColumn), dev).unwrap();
+        let grid = p.tile_grid().unwrap().clone();
+        assert!(grid.col_groups().len() > 1);
+        let mid = dev.range().midpoint();
+        let check_refs = |p: &MappedParam| {
+            let g = p.conductances().unwrap();
+            for group in grid.col_groups() {
+                let row = group.dev_start + group.dev_len - 1;
+                for i in 0..p.n_in() {
+                    assert_eq!(g.at(&[row, i]), mid, "reference row {row} moved");
+                }
+            }
+        };
+        check_refs(&p);
+        let big = Tensor::full(&[10, 4], 5.0);
+        p.accumulate_grad(&big).unwrap();
+        p.apply_update(0.1);
+        check_refs(&p);
+    }
+
+    #[test]
+    fn tiled_fault_remap_stays_group_local() {
+        use xbar_device::{FaultModel, TileShape};
+        let w = he_init(12, 16, 137);
+        let dev = DeviceConfig::ideal().with_tile_shape(Some(TileShape::new(16, 4)));
+        let mut p = MappedParam::from_signed(&w, WeightKind::Mapped(Mapping::Acm), dev).unwrap();
+        let grid = p.tile_grid().unwrap().clone();
+        let clean = p.conductances().unwrap();
+        let mut rng = XorShiftRng::new(138);
+        let (_, remap) = p
+            .apply_faults(FaultModel::uniform(0.02), 0.0, true, &mut rng)
+            .unwrap();
+        let remap = remap.unwrap();
+        assert!(remap.stuck_cells() > 0);
+        // Re-derive the sampled fault pattern: same seed, same draw order.
+        let mut rng2 = XorShiftRng::new(138);
+        let map = FaultModel::uniform(0.02).sample_map(grid.nd_total(), 16, &mut rng2);
+        assert!(map.num_stuck() > 0);
+        // The periphery is block-diagonal, so compensation for a fault in
+        // one column group never touches another group's rows: any
+        // (group, input-column) region with no fault must be unchanged.
+        let programmed = p.effective_weights(); // forces the override path
+        assert_eq!(programmed.shape(), [12, 16]);
+        let faulty = match &p.variation_override {
+            Some(t) => t.clone(),
+            None => unreachable!("apply_faults installs an override"),
+        };
+        for g in grid.col_groups() {
+            for col in 0..16 {
+                let group_rows = g.dev_start..g.dev_start + g.dev_len;
+                let has_fault = map
+                    .iter_stuck()
+                    .any(|(row, c, _)| c == col && group_rows.contains(&row));
+                if has_fault {
+                    continue;
+                }
+                for row in group_rows {
+                    assert_eq!(
+                        faulty.at(&[row, col]),
+                        clean.at(&[row, col]),
+                        "remap leaked into fault-free group region ({row}, {col})"
+                    );
+                }
+            }
+        }
     }
 }
