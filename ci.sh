@@ -19,10 +19,23 @@ cargo test -q --workspace ${CI_FEATURES:-}
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> bench_kernels --smoke (parity + BENCH_kernels.json)"
-# Tiny sizes; asserts serial==parallel bitwise on every entry and refreshes
-# BENCH_kernels.json (the 256^3 headline square is measured in smoke too).
-cargo run --release -p xbar-bench --bin bench_kernels -- --smoke
+echo "==> bench_kernels --smoke (parity + train throughput + BENCH_kernels.json)"
+# Tiny sizes; asserts serial==parallel bitwise on every entry — including
+# the train_step arm, which trains the smoke MLP data-parallel (shards=4)
+# and aborts unless the final weights match guaranteed-serial execution
+# bit for bit — and refreshes BENCH_kernels.json (the 256^3 headline
+# square is measured in smoke too). Pinned thread count so the recorded
+# numbers are the 4-lane configuration regardless of the host.
+XBAR_THREADS=4 cargo run --release -p xbar-bench --bin bench_kernels -- --smoke
+grep -q '"name": "train_step"' BENCH_kernels.json
+grep -q '"parity": true' BENCH_kernels.json
+echo "    train_step recorded with serial/parallel parity"
+
+echo "==> training parity gate (serial == data-parallel, dropout + mappings)"
+# Release-mode re-run of the sharded-trainer determinism suite: pooled vs
+# forced-serial execution, shard-count reduction-order pinning, and
+# mid-run checkpoint kill/resume, all bitwise.
+cargo test -q --release -p xbar --test integration_training shard
 
 echo "==> tile-parity smoke (tiled == monolithic through the full stack)"
 # Release-mode re-run of the tiling integration suite (the debug test phase

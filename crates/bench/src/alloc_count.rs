@@ -1,0 +1,65 @@
+//! Heap-allocation counting for the benchmark binaries.
+//!
+//! [`CountingAlloc`] wraps the system allocator and counts every
+//! allocation (and its size) in process-wide atomics. The `bench_kernels`
+//! binary registers it as `#[global_allocator]` and calls
+//! [`mark_installed`]; the harness then reports per-arm allocation counts
+//! alongside wall times, which is how the zero-allocation claim of the
+//! scratch-pool hot path is audited rather than asserted. Library tests
+//! run without the counting allocator, so [`installed`] gates the
+//! measurement and the JSON fields simply drop out there.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// System-allocator wrapper that counts allocations and allocated bytes.
+///
+/// Deallocations are deliberately not tracked: the interesting number for
+/// a hot-path audit is how many times the allocator was *entered*, not
+/// the live-set size.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Records that [`CountingAlloc`] is registered as the global allocator
+/// in this process. Call once at the top of `main`.
+pub fn mark_installed() {
+    INSTALLED.store(true, Ordering::SeqCst);
+}
+
+/// Whether allocation counting is live (i.e. [`mark_installed`] ran).
+pub fn installed() -> bool {
+    INSTALLED.load(Ordering::SeqCst)
+}
+
+/// Cumulative `(allocations, bytes)` since process start, across all
+/// threads. Meaningful deltas require [`installed`] to be `true`.
+pub fn snapshot() -> (u64, u64) {
+    (ALLOCS.load(Ordering::SeqCst), BYTES.load(Ordering::SeqCst))
+}

@@ -17,7 +17,14 @@ use xbar_bench::cli::Args;
 use xbar_bench::error::{exit_on_error, BenchError};
 use xbar_bench::kernel_bench::{self, Mode};
 
+/// Count heap traffic so the report can carry per-arm allocation numbers
+/// (the zero-allocation hot-path audit). Binary-only: library tests run
+/// on the plain system allocator.
+#[global_allocator]
+static GLOBAL: xbar_bench::alloc_count::CountingAlloc = xbar_bench::alloc_count::CountingAlloc;
+
 fn main() {
+    xbar_bench::alloc_count::mark_installed();
     exit_on_error(run(Args::from_env()));
 }
 

@@ -15,6 +15,12 @@
 //! and `speedup_vs_serial` (threading only). GEMM sizes are drawn from
 //! the LeNet/VGG/ResNet layer shapes the trainer actually hits, plus the
 //! canonical 256×256×256 square.
+//!
+//! The `train_step` entry covers the data-parallel trainer end to end: a
+//! full sharded epoch (dropout included) against a hand-rolled seed-style
+//! epoch, with bitwise serial↔parallel state parity asserted. When run
+//! through the `bench_kernels` binary the report also carries per-arm
+//! heap-allocation counts (see [`crate::alloc_count`]).
 
 use std::time::Instant;
 
@@ -61,8 +67,20 @@ pub struct Entry {
     pub serial_ms: f64,
     /// Best-of-reps wall time of the new kernels with the pool enabled.
     pub parallel_ms: f64,
+    /// Paired serial/parallel ratio: the median of per-rep
+    /// `serial/parallel` quotients from interleaved arm sampling (see
+    /// [`time_arms_ms`]). More drift-robust than the quotient of the two
+    /// best-of times, whose minima may come from different noise windows.
+    pub vs_serial: Option<f64>,
     /// Whether the parallel result was bitwise identical to serial.
     pub parity: bool,
+    /// Heap `(allocations, bytes)` of one naive evaluation, when the
+    /// counting allocator is installed (see [`crate::alloc_count`]).
+    pub naive_allocs: Option<(u64, u64)>,
+    /// Heap `(allocations, bytes)` of one steady-state serial evaluation.
+    pub serial_allocs: Option<(u64, u64)>,
+    /// Heap `(allocations, bytes)` of one steady-state parallel evaluation.
+    pub parallel_allocs: Option<(u64, u64)>,
 }
 
 impl Entry {
@@ -76,9 +94,11 @@ impl Entry {
         self.naive_ms.map(|n| n / self.parallel_ms)
     }
 
-    /// Threading-only speedup: new kernel serial → parallel.
+    /// Threading-only speedup: new kernel serial → parallel. Prefers the
+    /// paired-median estimate when the entry was measured with
+    /// interleaved arms; falls back to the best-of quotient.
     pub fn speedup_vs_serial(&self) -> f64 {
-        self.serial_ms / self.parallel_ms
+        self.vs_serial.unwrap_or(self.serial_ms / self.parallel_ms)
     }
 }
 
@@ -119,8 +139,23 @@ impl Report {
             if let Some(sp) = e.speedup() {
                 s.push_str(&format!("\"speedup\": {sp:.3}, "));
             }
+            for (arm, counts) in [
+                ("naive", e.naive_allocs),
+                ("serial", e.serial_allocs),
+                ("parallel", e.parallel_allocs),
+            ] {
+                if let Some((allocs, bytes)) = counts {
+                    s.push_str(&format!(
+                        "\"{arm}_allocs\": {allocs}, \"{arm}_alloc_bytes\": {bytes}, "
+                    ));
+                }
+            }
+            // Two decimals, like the summary table: the serial and
+            // parallel arms run identical kernels when the pool cannot
+            // dispatch, so this ratio carries at most ~1% of real signal
+            // and extra digits would only serialize sampling noise.
             s.push_str(&format!(
-                "\"speedup_vs_serial\": {:.3}, ",
+                "\"speedup_vs_serial\": {:.2}, ",
                 e.speedup_vs_serial()
             ));
             s.push_str(&format!("\"parity\": {}", e.parity));
@@ -146,15 +181,19 @@ impl Report {
             let speedup = e
                 .speedup()
                 .map_or_else(|| "    -".into(), |v| format!("{v:5.2}"));
+            let allocs = e
+                .parallel_allocs
+                .map_or_else(String::new, |(a, b)| format!("  {a} allocs/{b} B"));
             s.push_str(&format!(
-                "  {:<24} {:>18}  {:8.3} ms  {:7.2} GF/s  x{} vs naive  x{:.2} vs serial  parity={}\n",
+                "  {:<24} {:>18}  {:8.3} ms  {:7.2} GF/s  x{} vs naive  x{:.2} vs serial  parity={}{}\n",
                 e.name,
                 e.dims,
                 e.parallel_ms,
                 e.gflops(),
                 speedup,
                 e.speedup_vs_serial(),
-                e.parity
+                e.parity,
+                allocs
             ));
         }
         s
@@ -174,6 +213,68 @@ fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
         }
     }
     best
+}
+
+/// Best-of-`reps` wall times of the serial and parallel arms of `f`,
+/// plus a paired estimate of the serial/parallel ratio.
+///
+/// Arms are sampled in adjacent pairs, the order alternating every rep
+/// (serial first on even reps, parallel first on odd). Block timing —
+/// all serial reps, then all parallel reps later — biases the ratio on
+/// hosts whose effective clock drifts over the suite (thermal
+/// throttling, frequency governors, noisy neighbours); adjacent pairs
+/// share one drift envelope, and the alternation cancels within-pair
+/// position effects (cache warmth favouring whichever arm runs second).
+/// The returned ratio is the median of the per-pair quotients — a paired
+/// estimator that stays centred even when the best-of floors land in
+/// different noise windows — while the per-arm times remain classic
+/// best-of. Leaves the process in pooled (parallel) mode.
+fn time_arms_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, f64, f64) {
+    let mut serial = f64::MAX;
+    let mut parallel = f64::MAX;
+    let mut ratios = Vec::with_capacity(reps.max(1));
+    let mut one_arm = |serial_mode: bool| {
+        backend::force_serial(serial_mode);
+        let t = Instant::now();
+        let out = f();
+        let dt = t.elapsed().as_secs_f64() * 1e3;
+        drop(out);
+        dt
+    };
+    for rep in 0..reps.max(1) {
+        let (s, p) = if rep % 2 == 0 {
+            let s = one_arm(true);
+            let p = one_arm(false);
+            (s, p)
+        } else {
+            let p = one_arm(false);
+            let s = one_arm(true);
+            (s, p)
+        };
+        serial = serial.min(s);
+        parallel = parallel.min(p);
+        ratios.push(s / p);
+    }
+    backend::force_serial(false);
+    ratios.sort_by(f64::total_cmp);
+    let vs_serial = ratios[ratios.len() / 2];
+    (serial, parallel, vs_serial)
+}
+
+/// Heap `(allocations, bytes)` of one evaluation of `f`, or `None` when
+/// the counting allocator is not installed (library tests).
+///
+/// Call *after* the timed reps so the scratch pool is warm — the number
+/// reported is the steady-state hot-path cost, not first-touch growth.
+fn arm_allocs<T>(mut f: impl FnMut() -> T) -> Option<(u64, u64)> {
+    if !crate::alloc_count::installed() {
+        return None;
+    }
+    let (a0, b0) = crate::alloc_count::snapshot();
+    let out = f();
+    let (a1, b1) = crate::alloc_count::snapshot();
+    drop(out);
+    Some((a1 - a0, b1 - b0))
 }
 
 /// The seed repository's original `matmul` kernel (`ikj`, zero-skip),
@@ -255,6 +356,20 @@ fn gemm_entry(
     reps: usize,
     seed: u64,
 ) -> Entry {
+    // Small problems finish in micro- to sub-milliseconds, where scheduler
+    // noise swamps the signal (the 0.90x matmul_tn_smoke artefact of an
+    // earlier report was exactly this); give them proportionally more reps
+    // so best-of converges. Tiered so the cheaper the rep, the more
+    // samples it gets: every boosted entry still costs the suite well
+    // under a second.
+    let macs = m * k * n;
+    let reps = if macs < (1 << 21) {
+        reps * 30
+    } else if macs < (1 << 25) {
+        reps * 10
+    } else {
+        reps
+    };
     let mut rng = XorShiftRng::new(seed);
     let (a_shape, b_shape): ([usize; 2], [usize; 2]) = match kind {
         "matmul" => ([m, k], [k, n]),
@@ -279,14 +394,18 @@ fn gemm_entry(
 
     backend::force_serial(true);
     let serial_out = run(&a, &b);
-    let serial_ms = time_ms(reps, || run(&a, &b));
-    let naive_ms = time_ms(reps, || naive(&a, &b));
     backend::force_serial(false);
     let parallel_out = run(&a, &b);
-    let parallel_ms = time_ms(reps, || run(&a, &b));
-
     let parity = serial_out.data() == parallel_out.data();
     assert!(parity, "{name}: parallel result diverged from serial");
+
+    let (serial_ms, parallel_ms, vs_serial) = time_arms_ms(reps, || run(&a, &b));
+    backend::force_serial(true);
+    let serial_allocs = arm_allocs(|| run(&a, &b));
+    let naive_ms = time_ms(reps, || naive(&a, &b));
+    let naive_allocs = arm_allocs(|| naive(&a, &b));
+    backend::force_serial(false);
+    let parallel_allocs = arm_allocs(|| run(&a, &b));
     Entry {
         name: name.to_string(),
         kind,
@@ -295,7 +414,11 @@ fn gemm_entry(
         naive_ms: Some(naive_ms),
         serial_ms,
         parallel_ms,
+        vs_serial: Some(vs_serial),
         parity,
+        naive_allocs,
+        serial_allocs,
+        parallel_allocs,
     }
 }
 
@@ -310,12 +433,16 @@ fn e2e_entry<T: PartialEq>(
 ) -> Entry {
     backend::force_serial(true);
     let serial_out = run();
-    let serial_ms = time_ms(reps, &run);
     backend::force_serial(false);
     let parallel_out = run();
-    let parallel_ms = time_ms(reps, &run);
     let parity = serial_out == parallel_out;
     assert!(parity, "{name}: parallel result diverged from serial");
+
+    let (serial_ms, parallel_ms, vs_serial) = time_arms_ms(reps, &run);
+    backend::force_serial(true);
+    let serial_allocs = arm_allocs(&run);
+    backend::force_serial(false);
+    let parallel_allocs = arm_allocs(&run);
     Entry {
         name: name.to_string(),
         kind,
@@ -324,7 +451,287 @@ fn e2e_entry<T: PartialEq>(
         naive_ms: None,
         serial_ms,
         parallel_ms,
+        vs_serial: Some(vs_serial),
         parity,
+        naive_allocs: None,
+        serial_allocs,
+        parallel_allocs,
+    }
+}
+
+/// Pre-initialized weights for [`naive_train_epoch`], built once so the
+/// timed region covers training only (mirroring how the optimized arm
+/// restores a snapshot instead of re-initializing).
+struct NaiveMlp {
+    w1: Tensor,
+    b1: Vec<f32>,
+    w2: Tensor,
+    b2: Vec<f32>,
+}
+
+impl NaiveMlp {
+    fn new(d_in: usize, d_h: usize, classes: usize) -> Self {
+        let mut rng = XorShiftRng::new(97);
+        Self {
+            w1: Tensor::rand_normal(&[d_h, d_in], 0.0, (2.0 / d_in as f32).sqrt(), &mut rng),
+            b1: vec![0.0f32; d_h],
+            w2: Tensor::rand_normal(&[classes, d_h], 0.0, (2.0 / d_h as f32).sqrt(), &mut rng),
+            b2: vec![0.0f32; classes],
+        }
+    }
+}
+
+/// One seed-style training epoch over an MLP, re-creating what the
+/// pre-rewrite trainer did per step: gather into a fresh batch tensor,
+/// forward with modulo-indexed bias adds, dropout mask drawn per
+/// activation, full backward *including* the first layer's input gradient
+/// (`Sequential::backward` always produced it), batch accuracy, and SGD
+/// with freshly allocated buffers throughout — all on the naive GEMM
+/// kernels above. The baseline the data-parallel trainer is measured
+/// against.
+///
+/// Returns `(last loss, accuracy sum)` so the work cannot be optimized
+/// away.
+fn naive_train_epoch(x: &Tensor, labels: &[usize], init: &NaiveMlp, batch: usize, lr: f32) -> f32 {
+    let n = x.shape()[0];
+    let (d_h, d_in) = (init.w1.shape()[0], init.w1.shape()[1]);
+    let classes = init.w2.shape()[0];
+    let mut w1 = init.w1.clone();
+    let mut b1 = init.b1.clone();
+    let mut w2 = init.w2.clone();
+    let mut b2 = init.b2.clone();
+    let mut dropout_rng = XorShiftRng::new(64);
+    let (keep, scale) = (0.9f32, 1.0 / 0.9f32);
+    let mut last_loss = 0.0f32;
+    let mut acc_hits = 0usize;
+    let order: Vec<usize> = (0..n).collect();
+    for chunk in order.chunks(batch) {
+        let bsz = chunk.len();
+        let mut xb = Tensor::zeros(&[bsz, d_in]);
+        for (r, &i) in chunk.iter().enumerate() {
+            xb.data_mut()[r * d_in..(r + 1) * d_in]
+                .copy_from_slice(&x.data()[i * d_in..(i + 1) * d_in]);
+        }
+        // Forward: h = dropout(relu(x·W1ᵀ + b1)), logits = h·W2ᵀ + b2.
+        let mut h = naive_matmul_nt(&xb, &w1);
+        for (i, v) in h.data_mut().iter_mut().enumerate() {
+            *v = (*v + b1[i % d_h]).max(0.0);
+        }
+        let mask: Vec<f32> = (0..h.len())
+            .map(|_| {
+                if dropout_rng.next_f32() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        for (v, &m) in h.data_mut().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        let mut logits = naive_matmul_nt(&h, &w2);
+        for (i, v) in logits.data_mut().iter_mut().enumerate() {
+            *v += b2[i % classes];
+        }
+        // Softmax cross-entropy loss/grad and batch accuracy.
+        let mut g = Tensor::zeros(&[bsz, classes]);
+        let mut loss = 0.0f32;
+        for r in 0..bsz {
+            let label = labels[chunk[r]];
+            let row = &logits.data()[r * classes..(r + 1) * classes];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let argmax = (0..classes)
+                .max_by(|&a, &b| row[a].total_cmp(&row[b]))
+                .unwrap();
+            acc_hits += usize::from(argmax == label);
+            let exp_sum: f32 = row.iter().map(|&v| (v - max).exp()).sum();
+            loss += exp_sum.ln() + max - row[label];
+            let gr = &mut g.data_mut()[r * classes..(r + 1) * classes];
+            for (j, gv) in gr.iter_mut().enumerate() {
+                let p = (row[j] - max).exp() / exp_sum;
+                *gv = (p - if j == label { 1.0 } else { 0.0 }) / bsz as f32;
+            }
+        }
+        last_loss = loss / bsz as f32;
+        // Backward + SGD.
+        let gw2 = naive_matmul_tn(&g, &h);
+        for (j, bv) in b2.iter_mut().enumerate() {
+            let gb: f32 = (0..bsz).map(|r| g.data()[r * classes + j]).sum();
+            *bv -= lr * gb;
+        }
+        let mut gh = naive_matmul(&g, &w2);
+        for (gv, &m) in gh.data_mut().iter_mut().zip(&mask) {
+            *gv *= m;
+        }
+        for (gv, &hv) in gh.data_mut().iter_mut().zip(h.data()) {
+            // relu mask; dropped units already zeroed by the mask multiply.
+            if hv <= 0.0 {
+                *gv = 0.0;
+            }
+        }
+        let gw1 = naive_matmul_tn(&gh, &xb);
+        for (j, bv) in b1.iter_mut().enumerate() {
+            let gb: f32 = (0..bsz).map(|r| gh.data()[r * d_h + j]).sum();
+            *bv -= lr * gb;
+        }
+        // dx through the first layer — the seed's Sequential::backward
+        // always computed it, so the baseline pays for it too.
+        let dx = naive_matmul(&gh, &w1);
+        std::hint::black_box(dx.data().len());
+        for (w, &gv) in w2.data_mut().iter_mut().zip(gw2.data()) {
+            *w -= lr * gv;
+        }
+        for (w, &gv) in w1.data_mut().iter_mut().zip(gw1.data()) {
+            *w -= lr * gv;
+        }
+    }
+    last_loss + acc_hits as f32
+}
+
+/// Bitwise equality of two collected network states (tensor payloads
+/// compared via `f32::to_bits`, RNG registers exactly).
+fn state_eq(a: &[xbar_nn::persist::StateItem], b: &[xbar_nn::persist::StateItem]) -> bool {
+    use xbar_nn::persist::StateItem;
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| match (x, y) {
+            (
+                StateItem::Tensor {
+                    name: na,
+                    value: va,
+                },
+                StateItem::Tensor {
+                    name: nb,
+                    value: vb,
+                },
+            ) => {
+                na == nb
+                    && va.shape() == vb.shape()
+                    && va
+                        .data()
+                        .iter()
+                        .zip(vb.data())
+                        .all(|(p, q)| p.to_bits() == q.to_bits())
+            }
+            (
+                StateItem::Rng {
+                    name: na,
+                    value: va,
+                },
+                StateItem::Rng {
+                    name: nb,
+                    value: vb,
+                },
+            ) => na == nb && va == vb,
+            _ => false,
+        })
+}
+
+/// Times one epoch of data-parallel training (`shards = 4`, dropout in
+/// the net so RNG forking is on the measured path) against the naive
+/// seed-style epoch, asserting that serial and parallel execution of the
+/// sharded trainer leave bitwise-identical state behind.
+fn train_step_entry(mode: Mode, reps: usize) -> Entry {
+    use std::cell::RefCell;
+    use xbar_nn::{
+        persist, train, Dense, Dropout, Relu, Sequential, Split, TrainConfig, WeightKind,
+    };
+
+    // One epoch churns ~15 MB of tensor buffers; the first few reps run
+    // against a cold allocator (glibc serves the large blocks via mmap
+    // until its dynamic threshold adapts) and measure page faults, not
+    // training. Enough reps push every arm past that into the warm steady
+    // state, and give best-of a clean sample on oversubscribed hosts
+    // where the parallel arm's wall time is scheduler-noisy.
+    let reps = reps.max(16);
+
+    // Sized so the per-step GEMMs dominate the epoch (at toy widths the
+    // fixed trainer bookkeeping hides the kernel difference entirely);
+    // batch 64 keeps the 16-row shard GEMMs out of the overhead-bound
+    // regime.
+    let (samples, d_in, d_h, classes, batch) = match mode {
+        Mode::Smoke => (128, 256, 512, 10, 128),
+        Mode::Full => (256, 256, 512, 10, 128),
+    };
+    let mut rng = XorShiftRng::new(61);
+    let x = Tensor::rand_normal(&[samples, d_in], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..samples).map(|_| rng.below(classes)).collect();
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: batch,
+        lr: 0.05,
+        lr_decay: 1.0,
+        seed: 62,
+        shards: 4,
+        ..TrainConfig::default()
+    };
+    // Build the net once and snapshot its initial state; every timed rep
+    // restores the snapshot instead of re-running He init, so the arms
+    // time *training*, not weight initialization.
+    let mut init_rng = XorShiftRng::new(63);
+    let mut built = Sequential::new();
+    built.push(
+        Dense::new(
+            d_in,
+            d_h,
+            WeightKind::Signed,
+            DeviceConfig::ideal(),
+            &mut init_rng,
+        )
+        .unwrap(),
+    );
+    built.push(Relu::new());
+    built.push(Dropout::new(0.1, 64));
+    built.push(
+        Dense::new(
+            d_h,
+            classes,
+            WeightKind::Signed,
+            DeviceConfig::ideal(),
+            &mut init_rng,
+        )
+        .unwrap(),
+    );
+    let init_state = persist::collect_state(&mut built);
+    let net = RefCell::new(built);
+    let run = || {
+        let mut net = net.borrow_mut();
+        persist::restore_state(&mut *net, &init_state).unwrap();
+        train(&mut *net, Split::new(&x, &labels).unwrap(), None, &cfg).unwrap();
+        persist::collect_state(&mut *net)
+    };
+    let naive_init = NaiveMlp::new(d_in, d_h, classes);
+    let naive = || naive_train_epoch(&x, &labels, &naive_init, batch, cfg.lr);
+
+    backend::force_serial(true);
+    let serial_out = run();
+    backend::force_serial(false);
+    let parallel_out = run();
+    let parity = state_eq(&serial_out, &parallel_out);
+    assert!(parity, "train_step: parallel training diverged from serial");
+
+    let (serial_ms, parallel_ms, vs_serial) = time_arms_ms(reps, &run);
+    backend::force_serial(true);
+    let serial_allocs = arm_allocs(&run);
+    let naive_ms = time_ms(reps, &naive);
+    let naive_allocs = arm_allocs(&naive);
+    backend::force_serial(false);
+    let parallel_allocs = arm_allocs(&run);
+
+    let steps = samples.div_ceil(batch);
+    Entry {
+        name: "train_step".to_string(),
+        kind: "train_step",
+        dims: format!("mlp {d_in}-{d_h}-{classes} x{steps}@{batch}"),
+        // 3 GEMM passes (fwd, dW, dx) per layer per epoch.
+        flops: 6.0 * (samples * (d_in * d_h + d_h * classes)) as f64,
+        naive_ms: Some(naive_ms),
+        serial_ms,
+        parallel_ms,
+        vs_serial: Some(vs_serial),
+        parity,
+        naive_allocs,
+        serial_allocs,
+        parallel_allocs,
     }
 }
 
@@ -548,6 +955,9 @@ pub fn run(mode: Mode) -> Report {
         ));
     }
 
+    // E2E: one data-parallel training epoch (the ISSUE-5 headline arm).
+    entries.push(train_step_entry(mode, reps));
+
     Report {
         mode,
         threads: backend::threads(),
@@ -567,6 +977,14 @@ mod tests {
         assert!(report.entries.iter().all(|e| e.parity));
         assert!(report.entries.iter().any(|e| e.name == "matmul_square_256"));
         assert!(report.entries.iter().any(|e| e.name == "tiled_mvm"));
+        let train = report
+            .entries
+            .iter()
+            .find(|e| e.name == "train_step")
+            .expect("train_step entry present");
+        assert!(train.speedup().is_some());
+        // No counting allocator in library tests.
+        assert!(train.parallel_allocs.is_none());
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"kernels\""));
         assert!(json.contains("matmul_square_256"));

@@ -21,6 +21,7 @@
 
 #![deny(missing_docs)]
 
+pub mod alloc_count;
 pub mod cli;
 pub mod error;
 pub mod experiments;

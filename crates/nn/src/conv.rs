@@ -223,6 +223,11 @@ impl Layer for Conv2d {
         visit(&mut self.weights);
     }
 
+    fn visit_grads(&mut self, visit: &mut dyn FnMut(&mut Tensor)) {
+        self.weights.visit_grads(visit);
+        visit(&mut self.bias_grad);
+    }
+
     fn visit_state(&mut self, prefix: &str, visitor: &mut dyn crate::StateVisitor) {
         self.weights.visit_state(&format!("{prefix}w."), visitor);
         visitor.tensor(&format!("{prefix}bias"), &mut self.bias);

@@ -35,8 +35,13 @@ pub struct Dense {
     weights: MappedParam,
     bias: Tensor,
     bias_grad: Tensor,
-    /// Cached (input, effective weights) from the last training forward.
-    cache: Option<(Tensor, Tensor)>,
+    /// Cached state from the last training forward: the input, plus the
+    /// materialized effective weights for mapped parameters. `None`
+    /// weights mean the parameter exposes a borrowable effective matrix
+    /// ([`MappedParam::effective_weights_ref`]) which backward re-reads
+    /// in place — sound because weights only change in `update`, after
+    /// the backward pass.
+    cache: Option<(Tensor, Option<Tensor>)>,
 }
 
 impl Dense {
@@ -116,20 +121,29 @@ impl Layer for Dense {
                 format!("expected (batch, {}), got {:?}", self.n_in(), x.shape()),
             )));
         }
-        let w_eff = self.weights.effective_weights();
-        let mut y = linalg::matmul_nt(x, &w_eff)?;
+        // Borrow the effective weights when the parameter allows it (the
+        // zero-copy hot path); otherwise materialize once and keep the
+        // tensor for backward.
+        let (mut y, w_cached) = match self.weights.effective_weights_ref() {
+            Some(w) => (linalg::matmul_nt(x, w)?, None),
+            None => {
+                let w_eff = self.weights.effective_weights();
+                let y = linalg::matmul_nt(x, &w_eff)?;
+                (y, Some(w_eff))
+            }
+        };
         let n_out = self.n_out();
         for (i, v) in y.data_mut().iter_mut().enumerate() {
             *v += self.bias.data()[i % n_out];
         }
         if train {
-            self.cache = Some((x.clone(), w_eff));
+            self.cache = Some((x.clone(), w_cached));
         }
         Ok(y)
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
-        let (x, w_eff) = self
+        let (x, w_cached) = self
             .cache
             .take()
             .ok_or_else(|| NnError::State("dense backward without forward".into()))?;
@@ -152,8 +166,18 @@ impl Layer for Dense {
         for (i, &g) in grad.data().iter().enumerate() {
             self.bias_grad.data_mut()[i % n_out] += g;
         }
-        // dx = grad · W.
-        Ok(linalg::matmul(grad, &w_eff)?)
+        // dx = grad · W, against the forward-time effective weights:
+        // either the cached materialization, or the still-unchanged
+        // borrowable matrix (nothing mutates weights between forward and
+        // backward; `update` runs after).
+        let dx = match &w_cached {
+            Some(w_eff) => linalg::matmul(grad, w_eff)?,
+            None => match self.weights.effective_weights_ref() {
+                Some(w) => linalg::matmul(grad, w)?,
+                None => linalg::matmul(grad, &self.weights.effective_weights())?,
+            },
+        };
+        Ok(dx)
     }
 
     fn update(&mut self, lr: f32) {
@@ -175,6 +199,11 @@ impl Layer for Dense {
 
     fn visit_mapped(&mut self, visit: &mut dyn FnMut(&mut MappedParam)) {
         visit(&mut self.weights);
+    }
+
+    fn visit_grads(&mut self, visit: &mut dyn FnMut(&mut Tensor)) {
+        self.weights.visit_grads(visit);
+        visit(&mut self.bias_grad);
     }
 
     fn visit_state(&mut self, prefix: &str, visitor: &mut dyn crate::StateVisitor) {

@@ -97,6 +97,10 @@ impl Layer for Dropout {
         Ok(out)
     }
 
+    fn visit_forward_rngs(&mut self, visit: &mut dyn FnMut(&mut XorShiftRng)) {
+        visit(&mut self.rng);
+    }
+
     fn visit_state(&mut self, prefix: &str, visitor: &mut dyn crate::StateVisitor) {
         visitor.rng(&format!("{prefix}rng"), &mut self.rng);
     }

@@ -89,6 +89,34 @@ pub trait Layer: Send + Sync {
         let _ = visit;
     }
 
+    /// Visits every accumulated-gradient tensor of this layer (and
+    /// sub-layers) in a fixed deterministic order — the flatten/scatter
+    /// hook behind the data-parallel trainer's gradient reduction
+    /// ([`crate::train::TrainConfig::shards`]). The visit order must match
+    /// across clones of the same network (it always does: clones share
+    /// structure). Parameter-free layers keep the default no-op.
+    fn visit_grads(&mut self, visit: &mut dyn FnMut(&mut Tensor)) {
+        let _ = visit;
+    }
+
+    /// Visits every RNG stream consumed by the *forward* pass (dropout
+    /// masks) in a fixed deterministic order. The data-parallel trainer
+    /// re-seeds these per shard from the primary network's streams so that
+    /// sharded training stays deterministic and resumable. Layers without
+    /// forward-pass randomness keep the default no-op.
+    fn visit_forward_rngs(&mut self, visit: &mut dyn FnMut(&mut XorShiftRng)) {
+        let _ = visit;
+    }
+
+    /// Visits every batch-statistics tensor updated by a training forward
+    /// pass (batch-norm running mean/variance) in a fixed deterministic
+    /// order — the data-parallel trainer combines per-shard statistics
+    /// into the primary network through this hook. Layers without batch
+    /// statistics keep the default no-op.
+    fn visit_batch_stats(&mut self, visit: &mut dyn FnMut(&mut Tensor)) {
+        let _ = visit;
+    }
+
     /// Visits every *persistent* state component of this layer (and
     /// sub-layers) under `prefix`-qualified names: trained parameters,
     /// running statistics, and RNG streams — everything a checkpoint must
@@ -217,6 +245,24 @@ impl Layer for Sequential {
     fn visit_mapped(&mut self, visit: &mut dyn FnMut(&mut MappedParam)) {
         for layer in &mut self.layers {
             layer.visit_mapped(visit);
+        }
+    }
+
+    fn visit_grads(&mut self, visit: &mut dyn FnMut(&mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_grads(visit);
+        }
+    }
+
+    fn visit_forward_rngs(&mut self, visit: &mut dyn FnMut(&mut XorShiftRng)) {
+        for layer in &mut self.layers {
+            layer.visit_forward_rngs(visit);
+        }
+    }
+
+    fn visit_batch_stats(&mut self, visit: &mut dyn FnMut(&mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_batch_stats(visit);
         }
     }
 

@@ -1,4 +1,4 @@
-use xbar_tensor::Tensor;
+use xbar_tensor::{elementwise, Tensor};
 
 use crate::NnError;
 
@@ -35,6 +35,37 @@ impl SoftmaxCrossEntropy {
     /// Returns a shape error if `logits` is not 2-D, the label count does
     /// not match the batch, or any label is out of class range.
     pub fn forward(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor), NnError> {
+        let batch = if logits.ndim() == 2 {
+            logits.shape()[0]
+        } else {
+            1
+        };
+        let (total_loss, grad) = Self::forward_scaled(logits, labels, batch)?;
+        Ok(((total_loss / batch as f64) as f32, grad))
+    }
+
+    /// Shard-aware cross-entropy: computes the *summed* loss (in `f64`)
+    /// over the rows of `logits` and per-row gradients divided by
+    /// `divisor` instead of the local row count.
+    ///
+    /// This is the primitive behind data-parallel training
+    /// ([`crate::train::TrainConfig::shards`]): each shard evaluates its
+    /// own rows with `divisor` set to the *total* batch size, so the
+    /// per-row gradients are bitwise identical to what a single
+    /// whole-batch [`SoftmaxCrossEntropy::forward`] call would produce —
+    /// the grad of a row does not depend on how the batch is split.
+    /// Summed shard losses combine exactly in `f64` fixed shard order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `logits` is not 2-D, the label count does
+    /// not match the rows, any label is out of class range, or `divisor`
+    /// is zero.
+    pub fn forward_scaled(
+        logits: &Tensor,
+        labels: &[usize],
+        divisor: usize,
+    ) -> Result<(f64, Tensor), NnError> {
         if logits.ndim() != 2 {
             return Err(NnError::Shape(xbar_tensor::ShapeError::new(
                 "cross-entropy",
@@ -53,21 +84,24 @@ impl SoftmaxCrossEntropy {
                 "label {bad} out of range for {classes} classes"
             )));
         }
+        if divisor == 0 {
+            return Err(NnError::Config("cross-entropy divisor must be > 0".into()));
+        }
         let mut grad = Tensor::zeros(&[batch, classes]);
         let mut total_loss = 0.0f64;
         for b in 0..batch {
             let row = &logits.data()[b * classes..(b + 1) * classes];
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let max = elementwise::row_max(row);
             let exp_sum: f32 = row.iter().map(|&v| (v - max).exp()).sum();
             let log_sum = exp_sum.ln() + max;
             total_loss += f64::from(log_sum - row[labels[b]]);
             let g = &mut grad.data_mut()[b * classes..(b + 1) * classes];
             for (j, gv) in g.iter_mut().enumerate() {
                 let p = (row[j] - max).exp() / exp_sum;
-                *gv = (p - if j == labels[b] { 1.0 } else { 0.0 }) / batch as f32;
+                *gv = (p - if j == labels[b] { 1.0 } else { 0.0 }) / divisor as f32;
             }
         }
-        Ok(((total_loss / batch as f64) as f32, grad))
+        Ok((total_loss, grad))
     }
 
     /// Softmax probabilities for a batch of logits (no loss/grad) —
@@ -87,7 +121,7 @@ impl SoftmaxCrossEntropy {
         let mut out = logits.clone();
         for b in 0..batch {
             let row = &mut out.data_mut()[b * classes..(b + 1) * classes];
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let max = elementwise::row_max(row);
             let mut sum = 0.0;
             for v in row.iter_mut() {
                 *v = (*v - max).exp();

@@ -1,4 +1,4 @@
-use xbar_tensor::Tensor;
+use xbar_tensor::{elementwise, Tensor};
 
 use crate::{Layer, NnError};
 
@@ -110,11 +110,15 @@ impl Layer for BatchNorm2d {
                 let (g, b) = (self.gamma.data()[ci], self.beta.data()[ci]);
                 for ni in 0..n {
                     let base = (ni * c + ci) * spatial;
-                    for k in base..base + spatial {
-                        let xh = (x.data()[k] - mean) * inv_std;
-                        xhat.data_mut()[k] = xh;
-                        y.data_mut()[k] = g * xh + b;
-                    }
+                    elementwise::bn_normalize_train(
+                        &x.data()[base..base + spatial],
+                        &mut xhat.data_mut()[base..base + spatial],
+                        &mut y.data_mut()[base..base + spatial],
+                        mean,
+                        inv_std,
+                        g,
+                        b,
+                    );
                 }
                 // Running estimates.
                 let rm = self.running_mean.data_mut();
@@ -134,9 +138,14 @@ impl Layer for BatchNorm2d {
                 let (g, b) = (self.gamma.data()[ci], self.beta.data()[ci]);
                 for ni in 0..n {
                     let base = (ni * c + ci) * spatial;
-                    for k in base..base + spatial {
-                        y.data_mut()[k] = g * (x.data()[k] - mean) * inv_std + b;
-                    }
+                    elementwise::bn_normalize_eval(
+                        &x.data()[base..base + spatial],
+                        &mut y.data_mut()[base..base + spatial],
+                        mean,
+                        inv_std,
+                        g,
+                        b,
+                    );
                 }
             }
         }
@@ -206,6 +215,16 @@ impl Layer for BatchNorm2d {
 
     fn num_params(&self) -> usize {
         2 * self.channels
+    }
+
+    fn visit_grads(&mut self, visit: &mut dyn FnMut(&mut Tensor)) {
+        visit(&mut self.gamma_grad);
+        visit(&mut self.beta_grad);
+    }
+
+    fn visit_batch_stats(&mut self, visit: &mut dyn FnMut(&mut Tensor)) {
+        visit(&mut self.running_mean);
+        visit(&mut self.running_var);
     }
 
     fn visit_state(&mut self, prefix: &str, visitor: &mut dyn crate::StateVisitor) {

@@ -300,6 +300,22 @@ impl MappedParam {
         }
     }
 
+    /// The effective weights as a borrow, when no transformation
+    /// separates them from stored state: the baseline (`Signed`)
+    /// parameter's shadow, or its variation override while one is
+    /// active. Mapped parameters — whose effective matrix `α·S·q(M)`
+    /// must be computed — return `None`; materialize those with
+    /// [`Self::effective_weights`]. Hot paths (the dense forward/backward
+    /// pair) prefer this accessor to avoid copying the full weight
+    /// matrix every step.
+    pub fn effective_weights_ref(&self) -> Option<&Tensor> {
+        match (&self.kind, &self.variation_override) {
+            (WeightKind::Signed, Some(noisy)) => Some(noisy),
+            (WeightKind::Signed, None) => Some(&self.shadow),
+            _ => None,
+        }
+    }
+
     /// The effective signed logical weight matrix `W (n_out × n_in)` seen
     /// by the forward pass: `α·S·q(M)` for mapped weights (or the varied
     /// conductances while a variation override is active), `W` itself for
@@ -609,6 +625,14 @@ impl MappedParam {
     /// Whether a variation override is active.
     pub fn has_variation(&self) -> bool {
         self.variation_override.is_some()
+    }
+
+    /// Visits the accumulated shadow-gradient tensor — the flatten/scatter
+    /// hook behind [`crate::Layer::visit_grads`]. Gradient routing
+    /// ([`MappedParam::accumulate_grad`]) is linear, so per-shard shadow
+    /// gradients sum exactly like logical-weight gradients would.
+    pub fn visit_grads(&mut self, visit: &mut dyn FnMut(&mut Tensor)) {
+        visit(&mut self.grad);
     }
 
     /// Visits this parameter's persistent state: the trained master tensor

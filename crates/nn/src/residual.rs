@@ -110,6 +110,27 @@ impl Layer for ResidualBlock {
         }
     }
 
+    fn visit_grads(&mut self, visit: &mut dyn FnMut(&mut Tensor)) {
+        self.body.visit_grads(visit);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_grads(visit);
+        }
+    }
+
+    fn visit_forward_rngs(&mut self, visit: &mut dyn FnMut(&mut xbar_tensor::rng::XorShiftRng)) {
+        self.body.visit_forward_rngs(visit);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_forward_rngs(visit);
+        }
+    }
+
+    fn visit_batch_stats(&mut self, visit: &mut dyn FnMut(&mut Tensor)) {
+        self.body.visit_batch_stats(visit);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_batch_stats(visit);
+        }
+    }
+
     fn visit_state(&mut self, prefix: &str, visitor: &mut dyn crate::StateVisitor) {
         self.body.visit_state(&format!("{prefix}body."), visitor);
         if let Some(s) = &mut self.shortcut {

@@ -5,11 +5,25 @@
 //! mini-batches, a constant or step-decayed learning rate, per-epoch
 //! train/test statistics — over any [`Layer`] (normally a
 //! [`crate::Sequential`]) with [`crate::SoftmaxCrossEntropy`] loss.
+//!
+//! # Data-parallel training
+//!
+//! With [`TrainConfig::shards`] > 1 every mini-batch is split into that
+//! many fixed, contiguous row shards; each shard runs forward/backward on
+//! its own model replica (fanned out over the [`xbar_tensor::backend`]
+//! worker pool) and the per-shard gradients are combined by a fixed-order
+//! tree reduction before a single update on the primary network. Shard
+//! boundaries, dropout streams (forked per shard from the primary's
+//! persisted streams), and the reduction order depend only on the shard
+//! count — never on the thread count — so an `XBAR_THREADS=N` sharded run
+//! is bitwise identical to the same run executed serially, and
+//! checkpoint/resume keeps working unchanged (all state lives in the
+//! primary network).
 
 use std::path::PathBuf;
 
 use xbar_tensor::rng::XorShiftRng;
-use xbar_tensor::Tensor;
+use xbar_tensor::{backend, elementwise, Tensor};
 
 use crate::persist::{self, TrainCheckpoint};
 use crate::{accuracy, Layer, NnError, SoftmaxCrossEntropy};
@@ -37,6 +51,12 @@ pub struct TrainConfig {
     /// already exists, [`train`] resumes from it and reproduces the
     /// uninterrupted run bitwise.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Number of data-parallel shards per mini-batch (`1` = classic
+    /// single-replica training). The *sharding* changes the floating-point
+    /// reduction order relative to `shards = 1`, but for a fixed shard
+    /// count the run is bitwise independent of the thread count
+    /// (`XBAR_THREADS`) and fully checkpoint/resumable.
+    pub shards: usize,
 }
 
 impl Default for TrainConfig {
@@ -50,6 +70,7 @@ impl Default for TrainConfig {
             verbose: false,
             checkpoint_every: 0,
             checkpoint_dir: None,
+            shards: 1,
         }
     }
 }
@@ -214,6 +235,22 @@ pub fn train(
             "checkpoint_every set without checkpoint_dir".into(),
         ));
     }
+    if cfg.shards == 0 {
+        return Err(NnError::Config("shard count must be positive".into()));
+    }
+    // Data-parallel state: one replica + one flat gradient buffer per
+    // shard, allocated once and reused across every step of the run.
+    let mut replicas: Vec<Box<dyn Layer>> = if cfg.shards > 1 {
+        (0..cfg.shards).map(|_| net.clone_box()).collect()
+    } else {
+        Vec::new()
+    };
+    let grad_len = {
+        let mut n = 0usize;
+        net.visit_grads(&mut |g| n += g.len());
+        n
+    };
+    let mut grad_bufs: Vec<Vec<f32>> = (0..replicas.len()).map(|_| vec![0.0; grad_len]).collect();
     let mut rng = XorShiftRng::new(cfg.seed);
     let n = train_split.len();
     let mut order: Vec<usize> = (0..n).collect();
@@ -267,6 +304,21 @@ pub fn train(
         let mut acc_sum = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
+            if cfg.shards > 1 {
+                let (loss, acc) = sharded_step(
+                    net,
+                    &mut replicas,
+                    &mut grad_bufs,
+                    train_split.x,
+                    train_split.labels,
+                    chunk,
+                    lr,
+                )?;
+                loss_sum += loss;
+                acc_sum += acc;
+                batches += 1;
+                continue;
+            }
             let xb = gather_rows(train_split.x, chunk);
             let yb: Vec<usize> = chunk.iter().map(|&i| train_split.labels[i]).collect();
             let logits = net.forward(&xb, true)?;
@@ -317,6 +369,164 @@ pub fn train(
         }
     }
     Ok(history)
+}
+
+/// One shard's slice of a data-parallel step: its model replica, its flat
+/// gradient buffer, its forked forward-RNG streams, and its batch rows.
+struct ShardRun<'a> {
+    replica: &'a mut Box<dyn Layer>,
+    grad_buf: &'a mut Vec<f32>,
+    rngs: Vec<XorShiftRng>,
+    rows: Vec<usize>,
+}
+
+/// Runs one data-parallel training step over `chunk` (the shuffled row
+/// indices of one mini-batch), returning `(mean_loss, mean_accuracy)` for
+/// the step.
+///
+/// Determinism: shard boundaries are a fixed contiguous row split by
+/// shard count only; each shard's dropout streams are forked from the
+/// primary's persisted streams (`fork(r)` in shard order, advancing the
+/// primary so resume replays the same forks); per-row CE gradients are
+/// divided by the *total* batch size inside each shard
+/// ([`SoftmaxCrossEntropy::forward_scaled`]), making them independent of
+/// the split; and the per-shard gradients are combined by a fixed-order
+/// stride-doubling tree reduction on the calling thread. Nothing above
+/// depends on how many worker threads execute the fan-out.
+fn sharded_step(
+    net: &mut dyn Layer,
+    replicas: &mut [Box<dyn Layer>],
+    grad_bufs: &mut [Vec<f32>],
+    x: &Tensor,
+    labels: &[usize],
+    chunk: &[usize],
+    lr: f32,
+) -> Result<(f64, f64), NnError> {
+    let shards = replicas.len();
+    let b_total = chunk.len();
+    // Broadcast: every replica starts the step as an exact copy of the
+    // primary (weights, biases, BN parameters and running statistics).
+    let state = persist::collect_state(net);
+    for rep in replicas.iter_mut() {
+        persist::restore_state(rep.as_mut(), &state)?;
+    }
+    // Pre-fork one dropout stream per (layer stream, shard). Forking
+    // advances the primary stream, so the draws are part of the persisted
+    // trajectory and a resumed run replays them identically.
+    let mut forked: Vec<Vec<XorShiftRng>> = (0..shards).map(|_| Vec::new()).collect();
+    net.visit_forward_rngs(&mut |rng| {
+        for (r, shard_streams) in forked.iter_mut().enumerate() {
+            shard_streams.push(rng.fork(r as u64));
+        }
+    });
+    // Fixed contiguous row split: shard r takes base + (r < rem) rows.
+    let base = b_total / shards;
+    let rem = b_total % shards;
+    let mut offset = 0usize;
+    let mut tasks: Vec<ShardRun<'_>> = Vec::with_capacity(shards);
+    for ((r, replica), grad_buf) in replicas.iter_mut().enumerate().zip(grad_bufs.iter_mut()) {
+        let cnt = base + usize::from(r < rem);
+        let rows = chunk[offset..offset + cnt].to_vec();
+        offset += cnt;
+        tasks.push(ShardRun {
+            replica,
+            grad_buf,
+            rngs: std::mem::take(&mut forked[r]),
+            rows,
+        });
+    }
+    let shard_counts: Vec<usize> = tasks.iter().map(|t| t.rows.len()).collect();
+    // Fan out: forward + scaled loss + backward + gradient flatten, one
+    // task per shard. Workers run nested kernels inline; results are
+    // shard-indexed, so completion order is irrelevant.
+    let results = backend::parallel_map(tasks, |_, task| -> Result<(f64, f64), NnError> {
+        let ShardRun {
+            replica,
+            grad_buf,
+            rngs,
+            rows,
+        } = task;
+        let mut streams = rngs.into_iter();
+        replica.visit_forward_rngs(&mut |rng| {
+            if let Some(s) = streams.next() {
+                *rng = s;
+            }
+        });
+        if rows.is_empty() {
+            grad_buf.fill(0.0);
+            return Ok((0.0, 0.0));
+        }
+        let xb = gather_rows(x, &rows);
+        let yb: Vec<usize> = rows.iter().map(|&i| labels[i]).collect();
+        let logits = replica.forward(&xb, true)?;
+        let (sum_loss, grad) = SoftmaxCrossEntropy::forward_scaled(&logits, &yb, b_total)?;
+        let weighted_acc = f64::from(accuracy(&logits, &yb)?) * rows.len() as f64;
+        replica.zero_grad();
+        replica.backward(&grad)?;
+        let mut off = 0usize;
+        replica.visit_grads(&mut |g| {
+            grad_buf[off..off + g.len()].copy_from_slice(g.data());
+            off += g.len();
+        });
+        Ok((sum_loss, weighted_acc))
+    });
+    let mut loss_sum = 0.0f64;
+    let mut acc_sum = 0.0f64;
+    for res in results {
+        let (l, a) = res?;
+        loss_sum += l;
+        acc_sum += a;
+    }
+    // Fixed-order tree reduction (stride doubling) of the shard gradient
+    // buffers into buffer 0. `axpy(…, 1.0)` adds exactly, and the
+    // combination tree depends only on the shard count.
+    let mut stride = 1usize;
+    while stride < shards {
+        let mut i = 0usize;
+        while i + stride < shards {
+            let (head, tail) = grad_bufs.split_at_mut(i + stride);
+            elementwise::axpy(&mut head[i], &tail[0], 1.0);
+            i += 2 * stride;
+        }
+        stride *= 2;
+    }
+    // Scatter the reduced gradient into the primary and take the single
+    // SGD step there (the update RNG for nonlinear devices is consumed by
+    // the primary only).
+    let mut off = 0usize;
+    net.visit_grads(&mut |g| {
+        let n = g.len();
+        g.data_mut().copy_from_slice(&grad_bufs[0][off..off + n]);
+        off += n;
+    });
+    net.update(lr);
+    // Combine batch statistics (BN running mean/var): shard-weighted sum
+    // in fixed shard order, written back into the primary.
+    let mut stat_len = 0usize;
+    net.visit_batch_stats(&mut |t| stat_len += t.len());
+    if stat_len > 0 {
+        let mut combined = vec![0.0f32; stat_len];
+        for (rep, &cnt) in replicas.iter_mut().zip(&shard_counts) {
+            if cnt == 0 {
+                continue;
+            }
+            let w = cnt as f32 / b_total as f32;
+            let mut off = 0usize;
+            rep.visit_batch_stats(&mut |t| {
+                for (c, &v) in combined[off..off + t.len()].iter_mut().zip(t.data()) {
+                    *c += w * v;
+                }
+                off += t.len();
+            });
+        }
+        let mut off = 0usize;
+        net.visit_batch_stats(&mut |t| {
+            let n = t.len();
+            t.data_mut().copy_from_slice(&combined[off..off + n]);
+            off += n;
+        });
+    }
+    Ok((loss_sum / b_total as f64, acc_sum / b_total as f64))
 }
 
 /// Evaluates `net` in inference mode, returning `(mean_loss, accuracy)`.
@@ -499,6 +709,134 @@ mod tests {
         let g = gather_rows(&x, &[2, 0]);
         assert_eq!(g.shape(), &[2, 3]);
         assert_eq!(g.data(), &[6.0, 7.0, 8.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn sharded_training_learns_blobs() {
+        let (x, labels) = blobs(200, 180);
+        let (tx, tlabels) = blobs(100, 181);
+        let mut net = mlp(WeightKind::Signed, 182);
+        let cfg = TrainConfig {
+            epochs: 15,
+            batch_size: 16,
+            lr: 0.1,
+            shards: 4,
+            ..TrainConfig::default()
+        };
+        let hist = train(
+            &mut net,
+            Split::new(&x, &labels).unwrap(),
+            Some(Split::new(&tx, &tlabels).unwrap()),
+            &cfg,
+        )
+        .unwrap();
+        assert!(hist.final_test_acc().unwrap() > 0.95, "{:?}", hist.last());
+    }
+
+    #[test]
+    fn sharded_training_is_serial_parallel_bitwise() {
+        // The determinism contract: for a fixed shard count, training is
+        // bitwise identical whether the fan-out runs serially or on the
+        // pool. (Forced-serial vs pooled toggling is safe here because the
+        // contract says results never change — only wall-clock.)
+        let (x, labels) = blobs(64, 183);
+        let run = |serial: bool| {
+            xbar_tensor::backend::force_serial(serial);
+            let mut net = mlp(WeightKind::Mapped(Mapping::Acm), 184);
+            let cfg = TrainConfig {
+                epochs: 3,
+                batch_size: 16,
+                shards: 4,
+                ..TrainConfig::default()
+            };
+            let hist = train(&mut net, Split::new(&x, &labels).unwrap(), None, &cfg).unwrap();
+            xbar_tensor::backend::force_serial(false);
+            (hist, persist::collect_state(&mut net))
+        };
+        let (h1, s1) = run(true);
+        let (h2, s2) = run(false);
+        assert_eq!(h1, h2);
+        assert_eq!(s1.len(), s2.len());
+        for (a, b) in s1.iter().zip(&s2) {
+            match (a, b) {
+                (
+                    persist::StateItem::Tensor {
+                        name: na,
+                        value: va,
+                    },
+                    persist::StateItem::Tensor {
+                        name: nb,
+                        value: vb,
+                    },
+                ) => {
+                    assert_eq!(na, nb);
+                    for (x, y) in va.data().iter().zip(vb.data()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "{na}");
+                    }
+                }
+                (
+                    persist::StateItem::Rng {
+                        name: na,
+                        value: va,
+                    },
+                    persist::StateItem::Rng {
+                        name: nb,
+                        value: vb,
+                    },
+                ) => {
+                    assert_eq!(na, nb);
+                    assert_eq!(va, vb);
+                }
+                _ => panic!("state item kind mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_repeatable() {
+        let (x, labels) = blobs(60, 185);
+        let run = || {
+            let mut net = mlp(WeightKind::Mapped(Mapping::DoubleElement), 186);
+            let cfg = TrainConfig {
+                epochs: 2,
+                batch_size: 10,
+                shards: 3,
+                ..TrainConfig::default()
+            };
+            train(&mut net, Split::new(&x, &labels).unwrap(), None, &cfg)
+                .unwrap()
+                .last()
+                .unwrap()
+                .train_loss
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn more_shards_than_batch_rows_is_ok() {
+        // batch_size 2 with 4 shards leaves two shards empty each step.
+        let (x, labels) = blobs(6, 187);
+        let mut net = mlp(WeightKind::Signed, 188);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 2,
+            shards: 4,
+            ..TrainConfig::default()
+        };
+        let hist = train(&mut net, Split::new(&x, &labels).unwrap(), None, &cfg).unwrap();
+        assert_eq!(hist.epochs().len(), 2);
+        assert!(hist.last().unwrap().train_loss.is_finite());
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let (x, labels) = blobs(10, 189);
+        let mut net = mlp(WeightKind::Signed, 190);
+        let cfg = TrainConfig {
+            shards: 0,
+            ..TrainConfig::default()
+        };
+        assert!(train(&mut net, Split::new(&x, &labels).unwrap(), None, &cfg).is_err());
     }
 
     #[test]

@@ -11,9 +11,12 @@
 //!    always performed in chunk order on the calling thread.
 //! 2. **Zero dependencies** — `std::thread` + `Mutex`/`Condvar` only, so
 //!    the workspace keeps building fully offline.
-//! 3. **Graceful degradation** — on a single-core host (or with
-//!    `XBAR_THREADS=1`) everything runs inline on the caller with no
-//!    queueing overhead.
+//! 3. **Graceful degradation** — on a single-core host (whatever
+//!    `XBAR_THREADS` says) and with `XBAR_THREADS=1` everything runs
+//!    inline on the caller with no queueing overhead: requested lanes
+//!    beyond [`std::thread::available_parallelism`] are never spawned,
+//!    because a worker the hardware cannot run concurrently only adds
+//!    context-switch cost to work the caller would finish sooner itself.
 //!
 //! # Configuration
 //!
@@ -26,9 +29,11 @@
 //!
 //! # Nested parallelism
 //!
-//! A task already running on a pool worker that calls back into a
-//! `parallel_*` helper executes its sub-work inline — workers never block
-//! on other workers, so pool-in-pool usage cannot deadlock.
+//! A task already running on a pool lane — a spawned worker, or the
+//! calling thread while it drains scoped jobs — that calls back into a
+//! `parallel_*` helper executes its sub-work inline. Lanes never block
+//! on other lanes, so pool-in-pool usage cannot deadlock, and a nested
+//! kernel call costs nothing beyond the serial loop it runs.
 
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -94,25 +99,37 @@ static FORCE_SERIAL: AtomicBool = AtomicBool::new(false);
 pub struct Pool {
     shared: Arc<Shared>,
     threads: usize,
+    /// Spawned worker threads — `min(threads, available_parallelism) - 1`.
+    /// Zero means every scope runs inline on the caller.
+    workers: usize,
 }
 
 impl std::fmt::Debug for Pool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Pool({} threads)", self.threads)
+        write!(
+            f,
+            "Pool({} threads, {} workers)",
+            self.threads, self.workers
+        )
     }
 }
 
 impl Pool {
-    /// Creates a pool with `threads` total lanes (`threads - 1` spawned
-    /// workers; the caller is the last lane). `threads <= 1` creates a
-    /// serial pool that never spawns and always runs inline.
+    /// Creates a pool with `threads` total lanes; the caller is always
+    /// one lane. Worker spawn count is clamped to the host's available
+    /// parallelism: lanes the hardware cannot run concurrently are
+    /// virtual (the caller drains their share inline), so an oversized
+    /// `threads` never adds queueing or context-switch overhead.
+    /// `threads <= 1` creates a serial pool that never spawns and always
+    /// runs inline.
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
+        let workers = threads.min(hardware_threads()).saturating_sub(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
         });
-        for w in 1..threads {
+        for w in 1..=workers {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("xbar-worker-{w}"))
@@ -123,6 +140,15 @@ impl Pool {
                             let mut q = shared.queue.lock().unwrap();
                             loop {
                                 if let Some(job) = q.pop_front() {
+                                    // Chained wakeup: each lane that takes
+                                    // a job wakes the next sleeper while
+                                    // work remains, so a scope costs one
+                                    // futex wake per lane actually needed
+                                    // instead of a notify_all thundering
+                                    // herd per enqueue.
+                                    if !q.is_empty() {
+                                        shared.available.notify_one();
+                                    }
                                     break job;
                                 }
                                 q = shared.available.wait(q).unwrap();
@@ -133,7 +159,11 @@ impl Pool {
                 })
                 .expect("spawning pool worker");
         }
-        Self { shared, threads }
+        Self {
+            shared,
+            threads,
+            workers,
+        }
     }
 
     /// Total concurrent lanes (including the calling thread). Always >= 1.
@@ -141,23 +171,40 @@ impl Pool {
         self.threads
     }
 
+    /// True when the pool has spawned workers to dispatch to. False for
+    /// serial pools and for pools whose lanes were clamped away by the
+    /// host's available parallelism — the `parallel_*` helpers use this
+    /// to skip task construction entirely when every task would run on
+    /// the caller anyway.
+    pub fn has_workers(&self) -> bool {
+        self.workers > 0
+    }
+
     /// Runs every task to completion, using the pool workers plus the
     /// calling thread, and returns once all have finished. Tasks may
     /// borrow from the caller's stack (the `'scope` lifetime): none of
     /// them outlives this call.
     ///
-    /// Runs inline, in order, when the pool is serial, [`force_serial`] is
-    /// active, the caller is itself a pool worker (nested parallelism), or
-    /// there is at most one task.
+    /// Runs inline, in order, when the pool has no spawned workers (serial
+    /// pool, or lanes clamped by the host's available parallelism),
+    /// [`force_serial`] is active, the caller is itself a pool worker
+    /// (nested parallelism), or there is at most one task.
     ///
     /// # Panics
     ///
     /// If a task panics, the panic is captured and re-thrown on the
-    /// calling thread after the remaining tasks have completed.
+    /// calling thread after the remaining tasks have completed — the same
+    /// contract on the inline and queued paths.
     pub fn run_scoped<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
-        if tasks.len() <= 1 || self.threads <= 1 || serial_active() {
+        if tasks.len() <= 1 || self.workers == 0 || serial_active() {
+            let mut first_panic = None;
             for task in tasks {
-                task();
+                if let Err(p) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
+                    first_panic.get_or_insert(p);
+                }
+            }
+            if let Some(p) = first_panic {
+                std::panic::resume_unwind(p);
             }
             return;
         }
@@ -176,16 +223,36 @@ impl Pool {
                     latch.complete(result.err());
                 }));
             }
-            self.shared.available.notify_all();
+            // Wake one worker; it chains the next while jobs remain (see
+            // the worker loop). Lost wakes cannot strand work: the caller
+            // lane below drains the queue until it is empty regardless.
+            self.shared.available.notify_one();
         }
         // The caller is a lane too: drain jobs (from any in-flight scope —
         // helping a sibling scope is sound because *its* caller waits on
         // its own latch) until the queue is empty, then sleep on the latch.
-        loop {
-            let job = self.shared.queue.lock().unwrap().pop_front();
-            match job {
-                Some(job) => job(),
-                None => break,
+        //
+        // While draining, the caller is marked as a worker lane so nested
+        // parallel helpers inside a job run inline, exactly as they do on
+        // spawned workers. Without this, a caller-lane task opens a
+        // sub-scope per nested kernel call; on an oversubscribed host each
+        // sub-scope costs condvar wake/sleep churn for work the lane could
+        // just do itself.
+        {
+            struct ResetLane;
+            impl Drop for ResetLane {
+                fn drop(&mut self) {
+                    IN_WORKER.with(|f| f.set(false));
+                }
+            }
+            IN_WORKER.with(|f| f.set(true));
+            let _reset = ResetLane;
+            loop {
+                let job = self.shared.queue.lock().unwrap().pop_front();
+                match job {
+                    Some(job) => job(),
+                    None => break,
+                }
             }
         }
         let mut st = latch.state.lock().unwrap();
@@ -271,7 +338,7 @@ where
     if n == 0 {
         return;
     }
-    if n_chunks <= 1 || global().threads() <= 1 || serial_active() {
+    if n_chunks <= 1 || !global().has_workers() || serial_active() {
         f(0..n);
         return;
     }
@@ -311,7 +378,7 @@ where
         "parallel_chunks_mut: chunk_len must be positive"
     );
     let n_chunks = data.len().div_ceil(chunk_len);
-    if n_chunks <= 1 || global().threads() <= 1 || serial_active() {
+    if n_chunks <= 1 || !global().has_workers() || serial_active() {
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(i, chunk);
         }
@@ -369,7 +436,7 @@ where
     if n == 0 {
         return Vec::new();
     }
-    if n == 1 || global().threads() <= 1 || serial_active() {
+    if n == 1 || !global().has_workers() || serial_active() {
         let mut state = make_state();
         return items
             .into_iter()

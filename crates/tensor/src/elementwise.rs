@@ -1,0 +1,263 @@
+//! SIMD elementwise kernels for the training hot path.
+//!
+//! These cover the per-element loops that remain after GEMM is blocked:
+//! the axpy-style SGD update ([`axpy`]), batch-norm normalization
+//! ([`bn_normalize_train`] / [`bn_normalize_eval`]), and the softmax row
+//! maximum ([`row_max`]).
+//!
+//! Unlike the GEMM micro-kernel, these kernels are **bit-exact** with
+//! their scalar counterparts: each output element is produced by the same
+//! sequence of individually rounded operations (multiply then add — no
+//! FMA contraction, no reassociation of sums), so enabling them changes
+//! wall-clock only, never a result. `XBAR_SIMD=0` still routes everything
+//! through the scalar loops for A/B debugging.
+
+use crate::simd_active;
+
+/// `y[i] += a * x[i]` for all `i` — the SGD update primitive.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn axpy(y: &mut [f32], x: &[f32], a: f32) {
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: simd_active() implies AVX2 support was detected.
+        unsafe { axpy_avx2(y, x, a) };
+        return;
+    }
+    axpy_scalar(y, x, a);
+}
+
+fn axpy_scalar(y: &mut [f32], x: &[f32], a: f32) {
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += a * xv;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2(y: &mut [f32], x: &[f32], a: f32) {
+    use std::arch::x86_64::*;
+    let n = y.len();
+    let av = _mm256_set1_ps(a);
+    let mut i = 0;
+    while i + 8 <= n {
+        let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+        let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+        // mul then add (not fmadd): identical rounding to the scalar loop.
+        let r = _mm256_add_ps(yv, _mm256_mul_ps(av, xv));
+        _mm256_storeu_ps(y.as_mut_ptr().add(i), r);
+        i += 8;
+    }
+    axpy_scalar(&mut y[i..], &x[i..], a);
+}
+
+/// Maximum element of `row` (`-inf` for an empty row) — the softmax
+/// stabilizer. Order-independent for finite inputs, so the SIMD lane
+/// split cannot change the result.
+pub fn row_max(row: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() && row.len() >= 8 {
+        // SAFETY: simd_active() implies AVX2 support was detected.
+        return unsafe { row_max_avx2(row) };
+    }
+    row.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn row_max_avx2(row: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = row.len();
+    let mut mv = _mm256_loadu_ps(row.as_ptr());
+    let mut i = 8;
+    while i + 8 <= n {
+        mv = _mm256_max_ps(mv, _mm256_loadu_ps(row.as_ptr().add(i)));
+        i += 8;
+    }
+    let mut lanes = [0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), mv);
+    let mut m = lanes.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    for &v in &row[i..] {
+        m = m.max(v);
+    }
+    m
+}
+
+/// Batch-norm training normalization over one contiguous channel slab:
+/// `xhat[i] = (x[i] - mean) * inv_std`, `y[i] = g * xhat[i] + b`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn bn_normalize_train(
+    x: &[f32],
+    xhat: &mut [f32],
+    y: &mut [f32],
+    mean: f32,
+    inv_std: f32,
+    g: f32,
+    b: f32,
+) {
+    assert_eq!(x.len(), xhat.len(), "bn_normalize_train length mismatch");
+    assert_eq!(x.len(), y.len(), "bn_normalize_train length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: simd_active() implies AVX2 support was detected.
+        unsafe { bn_train_avx2(x, xhat, y, mean, inv_std, g, b) };
+        return;
+    }
+    bn_train_scalar(x, xhat, y, mean, inv_std, g, b);
+}
+
+fn bn_train_scalar(
+    x: &[f32],
+    xhat: &mut [f32],
+    y: &mut [f32],
+    mean: f32,
+    inv_std: f32,
+    g: f32,
+    b: f32,
+) {
+    for ((&xv, xh), yv) in x.iter().zip(xhat.iter_mut()).zip(y.iter_mut()) {
+        let h = (xv - mean) * inv_std;
+        *xh = h;
+        *yv = g * h + b;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn bn_train_avx2(
+    x: &[f32],
+    xhat: &mut [f32],
+    y: &mut [f32],
+    mean: f32,
+    inv_std: f32,
+    g: f32,
+    b: f32,
+) {
+    use std::arch::x86_64::*;
+    let n = x.len();
+    let mv = _mm256_set1_ps(mean);
+    let sv = _mm256_set1_ps(inv_std);
+    let gv = _mm256_set1_ps(g);
+    let bv = _mm256_set1_ps(b);
+    let mut i = 0;
+    while i + 8 <= n {
+        let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+        let h = _mm256_mul_ps(_mm256_sub_ps(xv, mv), sv);
+        _mm256_storeu_ps(xhat.as_mut_ptr().add(i), h);
+        let yv = _mm256_add_ps(_mm256_mul_ps(gv, h), bv);
+        _mm256_storeu_ps(y.as_mut_ptr().add(i), yv);
+        i += 8;
+    }
+    bn_train_scalar(&x[i..], &mut xhat[i..], &mut y[i..], mean, inv_std, g, b);
+}
+
+/// Batch-norm inference normalization over one contiguous channel slab:
+/// `y[i] = g * (x[i] - mean) * inv_std + b` (evaluated in exactly that
+/// association order, matching the historical scalar loop).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn bn_normalize_eval(x: &[f32], y: &mut [f32], mean: f32, inv_std: f32, g: f32, b: f32) {
+    assert_eq!(x.len(), y.len(), "bn_normalize_eval length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: simd_active() implies AVX2 support was detected.
+        unsafe { bn_eval_avx2(x, y, mean, inv_std, g, b) };
+        return;
+    }
+    bn_eval_scalar(x, y, mean, inv_std, g, b);
+}
+
+fn bn_eval_scalar(x: &[f32], y: &mut [f32], mean: f32, inv_std: f32, g: f32, b: f32) {
+    for (&xv, yv) in x.iter().zip(y.iter_mut()) {
+        *yv = g * (xv - mean) * inv_std + b;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn bn_eval_avx2(x: &[f32], y: &mut [f32], mean: f32, inv_std: f32, g: f32, b: f32) {
+    use std::arch::x86_64::*;
+    let n = x.len();
+    let mv = _mm256_set1_ps(mean);
+    let sv = _mm256_set1_ps(inv_std);
+    let gv = _mm256_set1_ps(g);
+    let bv = _mm256_set1_ps(b);
+    let mut i = 0;
+    while i + 8 <= n {
+        let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+        let t = _mm256_mul_ps(_mm256_mul_ps(gv, _mm256_sub_ps(xv, mv)), sv);
+        _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_add_ps(t, bv));
+        i += 8;
+    }
+    bn_eval_scalar(&x[i..], &mut y[i..], mean, inv_std, g, b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::XorShiftRng;
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+        let mut r = XorShiftRng::new(seed);
+        (0..n).map(|_| r.normal_with(0.0, 2.0)).collect()
+    }
+
+    #[test]
+    fn axpy_matches_scalar_bitwise() {
+        for n in [0usize, 1, 7, 8, 9, 64, 100] {
+            let x = rand_vec(n, 1 + n as u64);
+            let mut y = rand_vec(n, 100 + n as u64);
+            let mut y_ref = y.clone();
+            axpy(&mut y, &x, -0.37);
+            axpy_scalar(&mut y_ref, &x, -0.37);
+            for (a, b) in y.iter().zip(&y_ref) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn row_max_matches_fold() {
+        for n in [0usize, 1, 7, 8, 9, 33, 100] {
+            let x = rand_vec(n, 7 + n as u64);
+            let expected = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            assert_eq!(row_max(&x).to_bits(), expected.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn bn_train_matches_scalar_bitwise() {
+        for n in [1usize, 8, 13, 64, 99] {
+            let x = rand_vec(n, 21 + n as u64);
+            let (mut xh, mut y) = (vec![0.0; n], vec![0.0; n]);
+            let (mut xh_ref, mut y_ref) = (vec![0.0; n], vec![0.0; n]);
+            bn_normalize_train(&x, &mut xh, &mut y, 0.31, 1.7, 0.9, -0.2);
+            bn_train_scalar(&x, &mut xh_ref, &mut y_ref, 0.31, 1.7, 0.9, -0.2);
+            for (a, b) in xh.iter().chain(&y).zip(xh_ref.iter().chain(&y_ref)) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bn_eval_matches_scalar_bitwise() {
+        for n in [1usize, 8, 13, 64, 99] {
+            let x = rand_vec(n, 42 + n as u64);
+            let mut y = vec![0.0; n];
+            let mut y_ref = vec![0.0; n];
+            bn_normalize_eval(&x, &mut y, -0.11, 0.8, 1.3, 0.05);
+            bn_eval_scalar(&x, &mut y_ref, -0.11, 0.8, 1.3, 0.05);
+            for (a, b) in y.iter().zip(&y_ref) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}

@@ -14,19 +14,24 @@
 //!   AVX2+FMA variant selected at runtime (scalar fallback elsewhere,
 //!   `XBAR_SIMD=0` forces the fallback).
 //!
-//! Row-range parallelism: output rows are split into fixed `MC`-row
-//! chunks handed to [`backend::parallel_chunks_mut`]. Each output element
-//! lives in exactly one chunk and every chunk runs the identical
-//! depth-block loop in increasing order, so per-element accumulation
-//! order — and therefore the bitwise result — is independent of the
-//! thread count.
+//! Row-range parallelism: output rows are split into fixed-size row
+//! chunks handed to [`backend::parallel_chunks_mut`] — `MC` rows for
+//! NN/NT, and a finer work-balanced granularity for TN (whose packing
+//! step is a strided column gather; see [`chunk_rows`]). Sub-threshold TN
+//! problems run the blocked loop as a single chunk, bypassing pool
+//! dispatch entirely. Chunk boundaries depend only on the problem size,
+//! each output element lives in exactly one chunk, and every chunk runs
+//! the identical depth-block loop in increasing order, so per-element
+//! accumulation order — and therefore the bitwise result — is independent
+//! of both the thread count and the chunk granularity (each output row's
+//! dot products accumulate row-locally).
 //!
 //! Sub-threshold problems use simple serial kernels (`ikj` streaming
 //! loops; four-way unrolled dot products for NT) where packing overhead
 //! would dominate. The path choice depends only on the problem size,
 //! never on thread count, preserving the determinism contract.
 
-use crate::backend;
+use crate::{backend, scratch};
 use std::sync::OnceLock;
 
 /// Depth of a packed panel: one panel is `KC × NR` floats (16 KiB).
@@ -93,9 +98,48 @@ pub(crate) fn gemm(
         return;
     }
     let simd = simd_active();
-    backend::parallel_chunks_mut(od, MC * n, |ci, oc| {
-        gemm_chunk(trans_a, trans_b, ad, bd, oc, ci * MC, k, m, n, simd);
+    let rows_per_chunk = chunk_rows(trans_a, m, k, n);
+    backend::parallel_chunks_mut(od, rows_per_chunk * n, |ci, oc| {
+        gemm_chunk(
+            trans_a,
+            trans_b,
+            ad,
+            bd,
+            oc,
+            ci * rows_per_chunk,
+            k,
+            m,
+            n,
+            simd,
+        );
     });
+}
+
+/// Rows per parallel chunk, a function of the problem size only (never
+/// the thread count — determinism contract rule 1).
+///
+/// NN/NT split at `MC` rows. TN packing is a strided column gather whose
+/// cost scales with the chunk's row count, so `MC`-row chunks leave
+/// mid-size TN shapes (e.g. the `(hidden, batch)ᵀ · (batch, in)` weight
+/// gradients) with a single chunk and zero parallelism; TN instead aims
+/// for ~`2^20` multiply-adds per chunk — coarse enough that per-job queue
+/// traffic stays below 1% of a chunk's compute, fine enough to keep every
+/// lane busy on the shapes that clear the threshold. Below `2^21` total
+/// multiply-adds a TN problem stays a single chunk —
+/// [`backend::parallel_chunks_mut`] then runs it inline, so pool dispatch
+/// can never make a small TN product slower than serial.
+fn chunk_rows(trans_a: bool, m: usize, k: usize, n: usize) -> usize {
+    if !trans_a {
+        return MC;
+    }
+    const TN_PARALLEL_MIN_MACS: usize = 1 << 21;
+    if m * k * n < TN_PARALLEL_MIN_MACS {
+        return m.max(1);
+    }
+    const TN_CHUNK_MACS: usize = 1 << 20;
+    let per_row = (k * n).max(1);
+    let rows = (TN_CHUNK_MACS / per_row).max(1).div_ceil(MR) * MR;
+    rows.clamp(MR, MC)
 }
 
 /// Blocked GEMM over one chunk of `oc.len() / n` consecutive output rows
@@ -114,7 +158,10 @@ fn gemm_chunk(
     simd: bool,
 ) {
     let rows = oc.len() / n;
-    let mut pa = vec![0f32; rows * KC];
+    // Pack buffer comes from the thread-local scratch pool: steady-state
+    // training steps repeat the same shapes, so after warmup this is
+    // allocation-free.
+    let mut pa = scratch::take_filled(rows * KC, 0.0);
     let mut panel = [0f32; KC * NR];
     let mut p0 = 0;
     while p0 < k {
@@ -137,6 +184,7 @@ fn gemm_chunk(
         }
         p0 += KC;
     }
+    scratch::give(pa);
 }
 
 /// Packs A rows `i0..i0 + rows`, depth `p0..p0 + kc`, into row-major
@@ -459,6 +507,49 @@ mod tests {
         assert!(out.iter().all(|&v| v == 0.0));
         gemm(false, false, &[], &b, &mut out[..0], 0, 3, 4);
         gemm(false, false, &a, &[], &mut out[..0], 4, 3, 0);
+    }
+
+    #[test]
+    fn tn_chunk_rows_depend_only_on_problem_size() {
+        // Below the parallel threshold: one chunk covering every row.
+        assert_eq!(chunk_rows(true, 64, 64, 64), 64);
+        // Above it: work-balanced, MR-aligned, clamped to [MR, MC].
+        let r = chunk_rows(true, 256, 256, 256);
+        assert!(r.is_multiple_of(MR) && (MR..=MC).contains(&r));
+        assert!(r < 256, "large TN must split into multiple chunks");
+        // NN/NT keep the MC granularity.
+        assert_eq!(chunk_rows(false, 256, 256, 256), MC);
+    }
+
+    #[test]
+    fn tn_multi_chunk_split_is_bitwise_identical_to_one_chunk() {
+        // 160x160x160 = 4.1M MACs crosses the TN parallel threshold, so
+        // gemm() runs multiple row chunks; the single-chunk execution of
+        // the same blocked loop must agree bit for bit (per-row
+        // accumulation is chunk-grouping independent).
+        let (m, k, n) = (160, 160, 160);
+        let mut rng = XorShiftRng::new(0x7171);
+        let a = Tensor::rand_normal(&[k, m], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
+        assert!(chunk_rows(true, m, k, n) < m, "test must exercise a split");
+        let mut got = vec![0f32; m * n];
+        gemm(true, false, a.data(), b.data(), &mut got, m, k, n);
+        let mut want = vec![0f32; m * n];
+        gemm_chunk(
+            true,
+            false,
+            a.data(),
+            b.data(),
+            &mut want,
+            0,
+            k,
+            m,
+            n,
+            simd_active(),
+        );
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //!   forward/backward kernels;
 //! * [`rng`] — a small deterministic xorshift PRNG so every experiment in
 //!   the workspace is reproducible from a single seed;
-//! * [`init`] — common weight initializers (He, Xavier, uniform).
+//! * [`init`] — common weight initializers (He, Xavier, uniform);
+//! * [`scratch`] — thread-local buffer recycling behind
+//!   `Tensor::zeros`/`Tensor::full`, making steady-state training loops
+//!   (nearly) allocation-free;
+//! * [`elementwise`] — bit-exact SIMD elementwise kernels (axpy update,
+//!   batch-norm normalize, softmax row max).
 //!
 //! # Example
 //!
@@ -40,9 +45,11 @@ mod tensor;
 
 pub mod backend;
 pub mod conv;
+pub mod elementwise;
 pub mod init;
 pub mod linalg;
 pub mod rng;
+pub mod scratch;
 
 pub use error::ShapeError;
 pub use gemm::simd_active;

@@ -1,0 +1,216 @@
+//! Thread-local scratch-buffer recycling for the training hot path.
+//!
+//! A training step allocates the same tensor shapes over and over —
+//! im2col workspaces, GEMM pack buffers, per-layer activations and
+//! gradients. Instead of threading an explicit workspace object through
+//! every kernel signature, the pool intercepts the buffers at the
+//! [`crate::Tensor`] boundary: when a tensor is dropped its `Vec<f32>` is
+//! parked in a thread-local free list keyed by exact capacity, and
+//! `Tensor::zeros`/`Tensor::full` reuse a parked buffer of the right size
+//! instead of calling the allocator. After the first step of a training
+//! loop the hot path therefore performs (almost) no heap allocation.
+//!
+//! Semantics are unchanged: a reused buffer is `clear()`ed and
+//! `resize()`d to the requested fill value, which is bit-identical to a
+//! fresh `vec![value; n]`. The pool is purely a cache.
+//!
+//! Each thread's pool is capped at [`MAX_POOL_BYTES`]; buffers past the
+//! cap, and buffers smaller than [`MIN_RECYCLE_LEN`] (where the free-list
+//! bookkeeping would cost as much as the allocation), fall through to the
+//! normal allocator. Worker threads in [`crate::backend`] live for the
+//! process lifetime, so their pools persist across steps exactly like the
+//! caller's.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Per-thread cap on parked bytes (64 MiB).
+pub const MAX_POOL_BYTES: usize = 64 * 1024 * 1024;
+
+/// Buffers shorter than this are not worth recycling.
+pub const MIN_RECYCLE_LEN: usize = 64;
+
+#[derive(Default)]
+struct BufferPool {
+    /// Free buffers keyed by exact capacity.
+    free: HashMap<usize, Vec<Vec<f32>>>,
+    /// Total parked bytes across all buckets.
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+}
+
+thread_local! {
+    static POOL: RefCell<BufferPool> = RefCell::new(BufferPool::default());
+}
+
+/// Returns a buffer of exactly `len` elements filled with `value`,
+/// reusing a parked buffer when one of matching capacity exists.
+pub(crate) fn take_filled(len: usize, value: f32) -> Vec<f32> {
+    if len >= MIN_RECYCLE_LEN {
+        let reused = POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            match p.free.get_mut(&len).and_then(Vec::pop) {
+                Some(buf) => {
+                    p.bytes -= len * std::mem::size_of::<f32>();
+                    p.hits += 1;
+                    Some(buf)
+                }
+                None => {
+                    p.misses += 1;
+                    None
+                }
+            }
+        });
+        if let Some(mut buf) = reused {
+            buf.clear();
+            buf.resize(len, value);
+            return buf;
+        }
+    }
+    vec![value; len]
+}
+
+/// Returns a buffer holding a copy of `src`, reusing a parked buffer of
+/// matching capacity when one exists. Unlike [`take_filled`] the reused
+/// buffer is written exactly once (`extend_from_slice`, no pre-fill), so
+/// a pooled deep copy costs one memcpy — same as `slice::to_vec` minus
+/// the allocator round-trip.
+pub(crate) fn take_copied(src: &[f32]) -> Vec<f32> {
+    let len = src.len();
+    if len >= MIN_RECYCLE_LEN {
+        let reused = POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            match p.free.get_mut(&len).and_then(Vec::pop) {
+                Some(buf) => {
+                    p.bytes -= std::mem::size_of_val(src);
+                    p.hits += 1;
+                    Some(buf)
+                }
+                None => {
+                    p.misses += 1;
+                    None
+                }
+            }
+        });
+        if let Some(mut buf) = reused {
+            buf.clear();
+            buf.extend_from_slice(src);
+            return buf;
+        }
+    }
+    src.to_vec()
+}
+
+/// Parks `buf` for reuse. Called from `Tensor::drop`; buffers that do not
+/// qualify (too small, pool full, thread-local storage torn down) are
+/// simply freed.
+pub(crate) fn give(buf: Vec<f32>) {
+    let cap = buf.capacity();
+    if cap < MIN_RECYCLE_LEN {
+        return;
+    }
+    let size = cap * std::mem::size_of::<f32>();
+    // `try_with`: a tensor dropped during thread teardown must not panic.
+    let _ = POOL.try_with(|p| {
+        if let Ok(mut p) = p.try_borrow_mut() {
+            if p.bytes + size <= MAX_POOL_BYTES {
+                p.bytes += size;
+                p.free.entry(cap).or_default().push(buf);
+            }
+        }
+    });
+}
+
+/// Point-in-time statistics for the calling thread's pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Bytes currently parked.
+    pub cached_bytes: usize,
+    /// Number of parked buffers.
+    pub cached_buffers: usize,
+    /// Requests served from the pool.
+    pub hits: u64,
+    /// Requests that fell through to the allocator.
+    pub misses: u64,
+}
+
+/// Returns the calling thread's pool statistics.
+pub fn stats() -> ScratchStats {
+    POOL.with(|p| {
+        let p = p.borrow();
+        ScratchStats {
+            cached_bytes: p.bytes,
+            cached_buffers: p.free.values().map(Vec::len).sum(),
+            hits: p.hits,
+            misses: p.misses,
+        }
+    })
+}
+
+/// Frees every buffer parked by the calling thread and resets counters.
+pub fn clear_pool() {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.free.clear();
+        p.bytes = 0;
+        p.hits = 0;
+        p.misses = 0;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    #[test]
+    fn dropped_tensor_buffer_is_reused() {
+        clear_pool();
+        let t = Tensor::zeros(&[32, 32]);
+        let ptr = t.data().as_ptr();
+        drop(t);
+        let t2 = Tensor::zeros(&[32, 32]);
+        assert_eq!(t2.data().as_ptr(), ptr, "same-size alloc should reuse");
+        assert!(t2.data().iter().all(|&v| v == 0.0));
+        clear_pool();
+    }
+
+    #[test]
+    fn reused_buffer_is_reset_to_fill_value() {
+        clear_pool();
+        let mut t = Tensor::full(&[64], 3.0);
+        t.data_mut()[7] = -9.0;
+        drop(t);
+        let t2 = Tensor::full(&[64], 1.5);
+        assert!(t2.data().iter().all(|&v| v == 1.5));
+        clear_pool();
+    }
+
+    #[test]
+    fn tiny_buffers_bypass_the_pool() {
+        clear_pool();
+        drop(Tensor::zeros(&[4]));
+        assert_eq!(stats().cached_buffers, 0);
+    }
+
+    #[test]
+    fn mismatched_sizes_do_not_alias() {
+        clear_pool();
+        drop(Tensor::zeros(&[100]));
+        let t = Tensor::zeros(&[101]);
+        assert_eq!(t.len(), 101);
+        clear_pool();
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        clear_pool();
+        drop(Tensor::zeros(&[256]));
+        let before = stats();
+        let _t = Tensor::zeros(&[256]);
+        let after = stats();
+        assert_eq!(after.hits, before.hits + 1);
+        clear_pool();
+    }
+}

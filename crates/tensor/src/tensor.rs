@@ -1,5 +1,6 @@
 use crate::error::ShapeError;
 use crate::rng::XorShiftRng;
+use crate::{elementwise, scratch};
 
 /// An owned, row-major, N-dimensional `f32` array.
 ///
@@ -22,19 +23,35 @@ use crate::rng::XorShiftRng;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
 }
 
+impl Clone for Tensor {
+    /// Pooled deep copy: draws the destination buffer from the
+    /// thread-local [`crate::scratch`] pool when a same-size buffer is
+    /// parked, so steady-state clones (weight snapshots, layer caches,
+    /// replica broadcasts) skip the allocator just like
+    /// [`Tensor::zeros`] does.
+    fn clone(&self) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            data: scratch::take_copied(&self.data),
+        }
+    }
+}
+
 impl Tensor {
     /// Creates a tensor of zeros with the given shape.
+    ///
+    /// Draws the backing buffer from the thread-local [`crate::scratch`]
+    /// pool when a previously dropped tensor of the same size is
+    /// available, so steady-state loops (training steps, sweep cells)
+    /// stop hitting the allocator after their first iteration.
     pub fn zeros(shape: &[usize]) -> Self {
-        Self {
-            shape: shape.to_vec(),
-            data: vec![0.0; shape.iter().product()],
-        }
+        Self::full(shape, 0.0)
     }
 
     /// Creates a tensor of ones with the given shape.
@@ -42,11 +59,11 @@ impl Tensor {
         Self::full(shape, 1.0)
     }
 
-    /// Creates a tensor filled with `value`.
+    /// Creates a tensor filled with `value` (pooled, see [`Tensor::zeros`]).
     pub fn full(shape: &[usize], value: f32) -> Self {
         Self {
             shape: shape.to_vec(),
-            data: vec![value; shape.iter().product()],
+            data: scratch::take_filled(shape.iter().product(), value),
         }
     }
 
@@ -129,8 +146,8 @@ impl Tensor {
     }
 
     /// Consumes the tensor, returning its flat data buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Flat row-major offset of a multi-dimensional index.
@@ -291,9 +308,7 @@ impl Tensor {
     /// Returns [`ShapeError`] if shapes differ.
     pub fn add_scaled(&mut self, other: &Self, scale: f32) -> Result<(), ShapeError> {
         self.check_same_shape("add_scaled", other)?;
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += scale * b;
-        }
+        elementwise::axpy(&mut self.data, &other.data, scale);
         Ok(())
     }
 
@@ -403,6 +418,17 @@ impl Tensor {
 impl Default for Tensor {
     fn default() -> Self {
         Self::zeros(&[0])
+    }
+}
+
+impl Drop for Tensor {
+    /// Parks the data buffer in the thread-local [`crate::scratch`] pool
+    /// so the next same-size [`Tensor::zeros`]/[`Tensor::full`] skips the
+    /// allocator.
+    fn drop(&mut self) {
+        if !self.data.is_empty() {
+            scratch::give(std::mem::take(&mut self.data));
+        }
     }
 }
 

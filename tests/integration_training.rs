@@ -6,7 +6,12 @@ use xbar_core::Mapping;
 use xbar_data::SyntheticMnist;
 use xbar_device::DeviceConfig;
 use xbar_models::{lenet, mlp2, ModelConfig, ModelScale};
-use xbar_nn::{evaluate, train, Layer, TrainConfig, WeightKind};
+use xbar_nn::{
+    evaluate, persist, train, Dense, Dropout, Flatten, Layer, Relu, Sequential, TrainConfig,
+    WeightKind,
+};
+use xbar_tensor::backend;
+use xbar_tensor::rng::XorShiftRng;
 
 fn quick_cfg(epochs: usize) -> TrainConfig {
     TrainConfig {
@@ -173,6 +178,218 @@ fn evaluate_matches_history_test_accuracy() {
     let (_, acc) = evaluate(&mut net, data.test.features(), data.test.labels(), 16).unwrap();
     let recorded = hist.final_test_acc().unwrap();
     assert!((acc - recorded).abs() < 1e-6, "{acc} vs {recorded}");
+}
+
+// ---------------------------------------------------------------------------
+// Data-parallel (sharded) training: determinism and checkpoint contracts.
+// ---------------------------------------------------------------------------
+
+/// Restores pooled (parallel) execution when dropped, so a failing parity
+/// assertion cannot leave the whole test process forced serial.
+struct SerialGuard;
+
+impl Drop for SerialGuard {
+    fn drop(&mut self) {
+        backend::force_serial(false);
+    }
+}
+
+/// A small MLP with a dropout layer, so the per-shard RNG forking of the
+/// data-parallel trainer is on the tested path.
+fn dropout_net(kind: WeightKind) -> Sequential {
+    let mut rng = XorShiftRng::new(0xD207);
+    let mut net = Sequential::new();
+    net.push(Flatten::new());
+    net.push(Dense::new(256, 32, kind, DeviceConfig::ideal(), &mut rng).unwrap());
+    net.push(Relu::new());
+    net.push(Dropout::new(0.2, 0xF02C));
+    net.push(Dense::new(32, 10, kind, DeviceConfig::ideal(), &mut rng).unwrap());
+    net
+}
+
+/// Bitwise state comparison: every tensor element must match in bits (not
+/// merely `==`, which would conflate `0.0` with `-0.0`), and every RNG
+/// stream must sit at the same position.
+fn assert_state_bitwise_eq(a: &[persist::StateItem], b: &[persist::StateItem], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: state item count");
+    for (x, y) in a.iter().zip(b) {
+        match (x, y) {
+            (
+                persist::StateItem::Tensor {
+                    name: na,
+                    value: va,
+                },
+                persist::StateItem::Tensor {
+                    name: nb,
+                    value: vb,
+                },
+            ) => {
+                assert_eq!(na, nb, "{label}: item order");
+                assert_eq!(va.shape(), vb.shape(), "{label}: {na} shape");
+                for (i, (p, q)) in va.data().iter().zip(vb.data()).enumerate() {
+                    assert_eq!(p.to_bits(), q.to_bits(), "{label}: {na}[{i}] {p} vs {q}");
+                }
+            }
+            (
+                persist::StateItem::Rng {
+                    name: na,
+                    value: va,
+                },
+                persist::StateItem::Rng {
+                    name: nb,
+                    value: vb,
+                },
+            ) => {
+                assert_eq!(na, nb, "{label}: item order");
+                assert_eq!(va, vb, "{label}: {na} rng stream position");
+            }
+            _ => panic!("{label}: state item kind mismatch"),
+        }
+    }
+}
+
+#[test]
+fn sharded_training_parallel_matches_serial_bitwise() {
+    // The headline determinism contract: with a fixed shard count, pooled
+    // and guaranteed-serial execution (the in-process equivalent of
+    // XBAR_THREADS=4 vs XBAR_THREADS=1) produce bitwise-identical weights,
+    // biases, and RNG stream positions — for the baseline and for every
+    // crossbar mapping, with dropout active.
+    let data = SyntheticMnist::builder()
+        .train(120)
+        .test(40)
+        .seed(51)
+        .build();
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        lr: 0.08,
+        lr_decay: 0.9,
+        seed: 0x5EED,
+        shards: 4,
+        ..TrainConfig::default()
+    };
+    let _guard = SerialGuard;
+    for kind in [
+        WeightKind::Signed,
+        WeightKind::Mapped(Mapping::Acm),
+        WeightKind::Mapped(Mapping::DoubleElement),
+        WeightKind::Mapped(Mapping::BiasColumn),
+    ] {
+        let run = |serial: bool| {
+            backend::force_serial(serial);
+            let mut net = dropout_net(kind);
+            let hist = train(&mut net, data.train.as_split(), None, &cfg).unwrap();
+            (
+                persist::collect_state(&mut net),
+                hist.last().unwrap().train_loss,
+            )
+        };
+        let (serial_state, serial_loss) = run(true);
+        let (parallel_state, parallel_loss) = run(false);
+        let label = format!("{kind:?}");
+        assert_eq!(
+            serial_loss.to_bits(),
+            parallel_loss.to_bits(),
+            "{label}: loss trajectory diverged"
+        );
+        assert_state_bitwise_eq(&serial_state, &parallel_state, &label);
+    }
+}
+
+#[test]
+fn shard_count_is_part_of_the_reduction_order() {
+    // shards=1 and shards=4 are *different* gradient reduction orders and
+    // are not expected to agree bitwise — but each must be internally
+    // deterministic. This pins the documented contract so a future
+    // "helpful" change that silently reorders the reduction gets caught.
+    let data = SyntheticMnist::builder()
+        .train(96)
+        .test(32)
+        .seed(52)
+        .build();
+    let state_for = |shards: usize| {
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 16,
+            lr: 0.08,
+            seed: 0x5EED,
+            shards,
+            ..TrainConfig::default()
+        };
+        let mut net = dropout_net(WeightKind::Mapped(Mapping::Acm));
+        train(&mut net, data.train.as_split(), None, &cfg).unwrap();
+        persist::collect_state(&mut net)
+    };
+    assert_state_bitwise_eq(&state_for(4), &state_for(4), "shards=4 repeat");
+    let one = state_for(1);
+    let four = state_for(4);
+    let identical = one.iter().zip(&four).all(|(x, y)| match (x, y) {
+        (
+            persist::StateItem::Tensor { value: va, .. },
+            persist::StateItem::Tensor { value: vb, .. },
+        ) => va
+            .data()
+            .iter()
+            .zip(vb.data())
+            .all(|(p, q)| p.to_bits() == q.to_bits()),
+        _ => true,
+    });
+    assert!(
+        !identical,
+        "shards=1 and shards=4 agreed bitwise; dropout forking or \
+         shard-order reduction is not actually exercising the shard count"
+    );
+}
+
+#[test]
+fn sharded_checkpoint_resume_is_bitwise_identical() {
+    // Simulated mid-run crash: run A trains 4 epochs straight through; run
+    // B trains 2 epochs (checkpointing every epoch), "dies", and a fresh
+    // process picks the checkpoint up for the remaining 2. Final state —
+    // including dropout RNG positions — must match run A exactly, with the
+    // resumed epochs executing data-parallel.
+    let data = SyntheticMnist::builder()
+        .train(96)
+        .test(32)
+        .seed(53)
+        .build();
+    let base = TrainConfig {
+        epochs: 4,
+        batch_size: 16,
+        lr: 0.08,
+        lr_decay: 0.95,
+        seed: 0xC4A5,
+        shards: 4,
+        ..TrainConfig::default()
+    };
+
+    let mut straight = dropout_net(WeightKind::Mapped(Mapping::Acm));
+    train(&mut straight, data.train.as_split(), None, &base).unwrap();
+    let straight_state = persist::collect_state(&mut straight);
+
+    let dir = std::env::temp_dir().join(format!("xbar_shard_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let killed = TrainConfig {
+        epochs: 2,
+        checkpoint_every: 1,
+        checkpoint_dir: Some(dir.clone()),
+        ..base.clone()
+    };
+    let mut net_b = dropout_net(WeightKind::Mapped(Mapping::Acm));
+    train(&mut net_b, data.train.as_split(), None, &killed).unwrap();
+
+    let resumed_cfg = TrainConfig {
+        checkpoint_every: 1,
+        checkpoint_dir: Some(dir.clone()),
+        ..base.clone()
+    };
+    let mut resumed = dropout_net(WeightKind::Mapped(Mapping::Acm));
+    train(&mut resumed, data.train.as_split(), None, &resumed_cfg).unwrap();
+    let resumed_state = persist::collect_state(&mut resumed);
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_state_bitwise_eq(&straight_state, &resumed_state, "resume");
 }
 
 #[test]
