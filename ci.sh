@@ -63,4 +63,29 @@ cargo run --release -p xbar-bench --bin sweep -- $SWEEP_ARGS \
 cmp "$SWEEP_TMP/full.json" "$SWEEP_TMP/resumed.json"
 echo "    resumed output byte-identical"
 
+echo "==> parasitic 4-mapping sweep kill/resume gate (JSONL byte-identical)"
+# The enlarged grid (line resistance x drift time, all four mappings per
+# cell) under the same kill/resume contract: straight run vs aborted-then-
+# resumed run must agree on the output file byte-for-byte AND on every
+# JSONL journal line. Journals append in completion order (parallel pool),
+# so the line sets are compared order-normalized via sort.
+PAR_ARGS="--net lenet --tiny --bits 2 --sigmas 0,0.1 --rlines 0,0.005 --drifts 0,1000 --samples 1 --epochs 1 --train 40 --test 20"
+# shellcheck disable=SC2086  # PAR_ARGS is intentionally word-split
+cargo run --release -p xbar-bench --bin sweep -- $PAR_ARGS \
+    --journal "$SWEEP_TMP/par-full.jsonl" --out "$SWEEP_TMP/par-full.json"
+# shellcheck disable=SC2086
+cargo run --release -p xbar-bench --bin sweep -- $PAR_ARGS \
+    --journal "$SWEEP_TMP/par-j.jsonl" --abort-after-cells 1 \
+    --out "$SWEEP_TMP/par-unused.json" || true  # aborts by design
+# shellcheck disable=SC2086
+cargo run --release -p xbar-bench --bin sweep -- $PAR_ARGS \
+    --journal "$SWEEP_TMP/par-j.jsonl" --resume --out "$SWEEP_TMP/par-resumed.json"
+cmp "$SWEEP_TMP/par-full.json" "$SWEEP_TMP/par-resumed.json"
+grep -q '"perm":' "$SWEEP_TMP/par-full.json"   # all four mappings present
+grep -q '"rline":' "$SWEEP_TMP/par-full.json"  # enlarged schema active
+sort "$SWEEP_TMP/par-full.jsonl" > "$SWEEP_TMP/par-full.sorted"
+sort "$SWEEP_TMP/par-j.jsonl" > "$SWEEP_TMP/par-j.sorted"
+cmp "$SWEEP_TMP/par-full.sorted" "$SWEEP_TMP/par-j.sorted"
+echo "    parasitic grid output + journal byte-identical across kill/resume"
+
 echo "CI OK"

@@ -45,6 +45,12 @@ fn run(args: Args) -> Result<(), BenchError> {
     let report = kernel_bench::run(mode);
     print!("{}", report.summary());
 
+    let scratch = xbar_tensor::scratch::stats();
+    eprintln!(
+        "scratch pool (main thread): {} hits / {} misses, {} buffers ({} B) parked",
+        scratch.hits, scratch.misses, scratch.cached_buffers, scratch.cached_bytes
+    );
+
     std::fs::write(&out_path, report.to_json())
         .map_err(|e| BenchError::io(out_path.clone(), &e))?;
     eprintln!("wrote {out_path}");

@@ -1,19 +1,23 @@
 //! Fault-injection study: inference accuracy under stuck-at faults, with
 //! and without fault-aware null-space remapping, swept over stuck-at rate
-//! × device variation σ. The remapping exploits the non-uniqueness of
-//! `W = S·M` — moving the healthy cells of each faulty column to
-//! compensate for the frozen ones (box-constrained least squares along
-//! the mapping's slack) — so it needs no retraining and no spare
-//! hardware.
+//! × device variation σ × line resistance × drift time, and ranked across
+//! all four mappings (DE, BC, ACM, Perm). The remapping exploits the
+//! non-uniqueness of `W = S·M` — moving the healthy cells of each faulty
+//! column to compensate for the frozen ones (box-constrained least
+//! squares along the mapping's slack) — so it needs no retraining and no
+//! spare hardware. The parasitic axes load each defective chip with
+//! IR-drop line resistance and read it after a conductance-drift dwell.
 //!
 //! ```text
 //! cargo run -p xbar-bench --release --bin fault_recovery
-//! cargo run -p xbar-bench --release --bin fault_recovery -- --samples 5 --rates 0.01,0.05
+//! cargo run -p xbar-bench --release --bin fault_recovery -- \
+//!     --samples 5 --rates 0.01,0.05 --rlines 0,0.002 --drifts 0,1000
+//! cargo run -p xbar-bench --release --bin fault_recovery -- --mapping acm
 //! ```
 
 use xbar_bench::cli::Args;
 use xbar_bench::error::{exit_on_error, BenchError};
-use xbar_bench::experiments::{run_fault_sweep, setup_from_args};
+use xbar_bench::experiments::{run_fault_sweep_parasitic, setup_from_args, Parasitics};
 use xbar_bench::output::{pct, ResultsTable};
 use xbar_core::Mapping;
 
@@ -23,53 +27,106 @@ fn main() {
 
 fn run(args: Args) -> Result<(), BenchError> {
     let setup = setup_from_args(&args, "lenet")?;
-    let mapping: Mapping = args.try_get("mapping", Mapping::Acm)?;
+    // Default: rank every mapping; `--mapping acm` narrows to one.
+    let mappings: Vec<Mapping> = match args.get_str("mapping", "all").as_str() {
+        "all" => Mapping::ALL.to_vec(),
+        one => vec![one
+            .parse()
+            .map_err(|e: xbar_core::ParseMappingError| BenchError::Usage(e.to_string()))?],
+    };
     let bits: u8 = args.try_get::<i64>("bits", 4)? as u8;
     let samples: usize = args.try_get("samples", 10)?;
     let rates = args.try_get_list("rates", &[0.0, 0.002, 0.005, 0.01, 0.02, 0.05])?;
     let sigmas = args.try_get_list("sigmas", &[0.0, 0.10])?;
+    let rlines = args.try_get_list("rlines", &[0.0])?;
+    let drifts = args.try_get_list("drifts", &[0u32])?;
+    let parasitics = Parasitics::grid(&rlines, &drifts);
 
     eprintln!(
-        "fault-recovery sweep: {} ({:?}), {mapping} {bits}-bit, rates {rates:?}, \
-         sigmas {sigmas:?}, {samples} samples/point, seed {:#x}",
+        "fault-recovery sweep: {} ({:?}), {bits}-bit, mappings {:?}, rates {rates:?}, \
+         sigmas {sigmas:?}, rlines {rlines:?}, drifts {drifts:?}, {samples} samples/point, \
+         seed {:#x}",
         setup.net.name(),
         setup.scale,
+        mappings.iter().map(|m| m.tag()).collect::<Vec<_>>(),
         setup.seed
     );
 
-    let points = run_fault_sweep(&setup, mapping, bits, &rates, &sigmas, samples)?;
-
     let mut table = ResultsTable::new(&[
+        "map",
         "rate%",
         "sigma%",
+        "rline",
+        "t",
         "stuck",
         "naive-acc%",
         "remap-acc%",
         "recovered%",
     ]);
-    // Accuracy lost to faults alone = fault-free accuracy (same σ) minus
-    // the faulty accuracy; "recovered" is the share of that loss the
-    // remapping wins back.
-    for p in &points {
-        let ideal = points
-            .iter()
-            .find(|q| q.rate == 0.0 && q.sigma == p.sigma)
-            .map_or(p.naive, |q| q.naive);
-        let lost = ideal - p.naive;
-        let recovered = if lost > 0.5 {
-            format!("{:.0}", 100.0 * (p.remapped - p.naive) / lost)
-        } else {
-            "-".into()
-        };
-        table.push(vec![
-            format!("{:.2}", p.rate * 100.0),
-            format!("{:.0}", p.sigma * 100.0),
-            format!("{:.1}", p.mean_stuck),
-            pct(p.naive),
-            pct(p.remapped),
-            recovered,
-        ]);
+    // (mapping, sum of remapped accuracy, cells) for the final ranking.
+    let mut ranking: Vec<(Mapping, f32, usize)> = Vec::new();
+    for &mapping in &mappings {
+        let points = run_fault_sweep_parasitic(
+            &setup,
+            mapping,
+            bits,
+            &rates,
+            &sigmas,
+            &parasitics,
+            samples,
+        )?;
+        // Accuracy lost to faults alone = fault-free accuracy (same σ and
+        // parasitic point) minus the faulty accuracy; "recovered" is the
+        // share of that loss the remapping wins back.
+        for p in &points {
+            let ideal = points
+                .iter()
+                .find(|q| {
+                    q.rate == 0.0
+                        && q.sigma == p.sigma
+                        && q.r_line == p.r_line
+                        && q.t_drift == p.t_drift
+                })
+                .map_or(p.naive, |q| q.naive);
+            let lost = ideal - p.naive;
+            let recovered = if lost > 0.5 {
+                format!("{:.0}", 100.0 * (p.remapped - p.naive) / lost)
+            } else {
+                "-".into()
+            };
+            table.push(vec![
+                mapping.tag().into(),
+                format!("{:.2}", p.rate * 100.0),
+                format!("{:.0}", p.sigma * 100.0),
+                format!("{}", p.r_line),
+                format!("{}", p.t_drift),
+                format!("{:.1}", p.mean_stuck),
+                pct(p.naive),
+                pct(p.remapped),
+                recovered,
+            ]);
+        }
+        let sum: f32 = points.iter().map(|p| p.remapped).sum();
+        ranking.push((mapping, sum, points.len()));
     }
     table.print(args.has("csv"));
+
+    if ranking.len() > 1 {
+        // Rank mappings by mean remapped accuracy over the whole grid —
+        // the headline resilience ordering.
+        ranking.sort_by(|a, b| {
+            (b.1 / b.2 as f32)
+                .partial_cmp(&(a.1 / a.2 as f32))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let summary: Vec<String> = ranking
+            .iter()
+            .map(|(m, sum, n)| format!("{} {:.2}%", m.tag(), sum / *n as f32))
+            .collect();
+        eprintln!(
+            "mean remapped accuracy across the grid: {}",
+            summary.join(" > ")
+        );
+    }
     Ok(())
 }

@@ -46,9 +46,15 @@ fn run(args: Args) -> Result<(), BenchError> {
     let seeds: usize = args.try_get("seeds", 2)?;
     let points = run_precision_sweep_seeds(&setup, update, bit_range(lo, hi), seeds)?;
 
-    let mut table = ResultsTable::new(&["bits", "ACM-err%", "DE-err%", "BC-err%"]);
+    let mut table = ResultsTable::new(&["bits", "ACM-err%", "DE-err%", "BC-err%", "PERM-err%"]);
     for p in &points {
-        table.push(vec![p.bits.to_string(), pct(p.acm), pct(p.de), pct(p.bc)]);
+        table.push(vec![
+            p.bits.to_string(),
+            pct(p.acm),
+            pct(p.de),
+            pct(p.bc),
+            pct(p.perm),
+        ]);
     }
     table.print(args.has("csv"));
 

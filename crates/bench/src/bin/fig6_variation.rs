@@ -35,7 +35,14 @@ fn run(args: Args) -> Result<(), BenchError> {
 
     let points = run_variation_sweep(&setup, &bits, &sigmas, samples)?;
 
-    let mut table = ResultsTable::new(&["bits", "sigma%", "DE-acc%", "ACM-acc%", "BC-acc%"]);
+    let mut table = ResultsTable::new(&[
+        "bits",
+        "sigma%",
+        "DE-acc%",
+        "ACM-acc%",
+        "BC-acc%",
+        "PERM-acc%",
+    ]);
     for p in &points {
         table.push(vec![
             p.bits.to_string(),
@@ -43,6 +50,7 @@ fn run(args: Args) -> Result<(), BenchError> {
             pct(p.de),
             pct(p.acm),
             pct(p.bc),
+            pct(p.perm),
         ]);
     }
     table.print(args.has("csv"));

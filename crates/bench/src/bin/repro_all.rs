@@ -59,9 +59,15 @@ fn run(args: Args) -> Result<(), BenchError> {
             let lo = if net == NetKind::Lenet { 2 } else { 3 };
             let hi = if full { 8 } else { 4 };
             let pts = run_precision_sweep_seeds(&setup, update, bit_range(lo, hi), seeds)?;
-            let mut t = ResultsTable::new(&["bits", "ACM", "DE", "BC"]);
+            let mut t = ResultsTable::new(&["bits", "ACM", "DE", "BC", "PERM"]);
             for p in &pts {
-                t.push(vec![p.bits.to_string(), pct(p.acm), pct(p.de), pct(p.bc)]);
+                t.push(vec![
+                    p.bits.to_string(),
+                    pct(p.acm),
+                    pct(p.de),
+                    pct(p.bc),
+                    pct(p.perm),
+                ]);
             }
             println!("  {} / {} update:", net.name(), update.name());
             for line in t.to_aligned().lines() {
@@ -79,12 +85,13 @@ fn run(args: Args) -> Result<(), BenchError> {
     let pts = run_variation_sweep(&setup, bits, &[0.0, 0.10, 0.20], if full { 8 } else { 3 })?;
     for p in &pts {
         println!(
-            "  {}b sigma {:>2.0}%: DE {:.1} ACM {:.1} BC {:.1}",
+            "  {}b sigma {:>2.0}%: DE {:.1} ACM {:.1} BC {:.1} PERM {:.1}",
             p.bits,
             p.sigma * 100.0,
             p.de,
             p.acm,
-            p.bc
+            p.bc,
+            p.perm
         );
     }
 

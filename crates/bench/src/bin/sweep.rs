@@ -1,15 +1,22 @@
 //! Fault-tolerant, resumable variation sweep (the Fig. 6 grid under the
-//! resilient runner).
+//! resilient runner), optionally enlarged with the parasitic axes.
 //!
-//! Each `(bits, sigma)` cell runs with panic isolation and bounded retry;
-//! completed cells stream to an append-only JSONL journal, so a killed run
-//! restarted with `--resume` skips them and still produces output
-//! byte-identical to an uninterrupted run.
+//! Each `(bits, sigma[, rline, tdrift])` cell runs with panic isolation
+//! and bounded retry; completed cells stream to an append-only JSONL
+//! journal, so a killed run restarted with `--resume` skips them and
+//! still produces output byte-identical to an uninterrupted run.
+//!
+//! Passing `--rlines` and/or `--drifts` crosses the grid with IR-drop
+//! line resistance and conductance-drift read time; cell keys then gain
+//! `-r{r}-t{t}` segments (the classic two-axis key format — and journal
+//! contract — is unchanged when neither flag is given).
 //!
 //! ```text
 //! cargo run -p xbar-bench --release --bin sweep -- \
 //!     --net lenet --tiny --bits 2,4 --sigmas 0,0.1 --samples 4 \
 //!     --journal sweep.jsonl --out sweep.json
+//! # enlarged parasitic grid:
+//! ... --rlines 0,0.002 --drifts 0,1000
 //! # after a crash:
 //! ... --journal sweep.jsonl --resume --out sweep.json
 //! ```
@@ -19,7 +26,9 @@ use std::sync::{Arc, Mutex};
 
 use xbar_bench::cli::Args;
 use xbar_bench::error::{exit_on_error, BenchError};
-use xbar_bench::experiments::{run_variation_cell, setup_from_args, train_mapped_nets};
+use xbar_bench::experiments::{
+    run_variation_cell_parasitic, setup_from_args, train_mapped_nets, Parasitics,
+};
 use xbar_bench::json::Json;
 use xbar_bench::sweep::{run_sweep, CellOutcome, SweepConfig};
 use xbar_core::Mapping;
@@ -36,6 +45,14 @@ fn run(args: Args) -> Result<(), BenchError> {
     let sigmas: Vec<f32> = args.try_get_list("sigmas", &[0.0, 0.05, 0.10, 0.15, 0.20, 0.25])?;
     let samples: usize = args.try_get("samples", 25)?;
     let inject_panic = args.get_str("inject-panic", "");
+    // The parasitic axes are opt-in: only their presence switches the
+    // cell keys (and the JSON value schema) to the enlarged format, so
+    // classic invocations keep today's journal contract byte-for-byte.
+    let parasitic_axes =
+        !args.get_str("rlines", "").is_empty() || !args.get_str("drifts", "").is_empty();
+    let rlines: Vec<f32> = args.try_get_list("rlines", &[0.0])?;
+    let drifts: Vec<u32> = args.try_get_list("drifts", &[0u32])?;
+    let parasitics = Parasitics::grid(&rlines, &drifts);
 
     let journal = args.get_str("journal", "");
     let cfg = SweepConfig {
@@ -48,9 +65,21 @@ fn run(args: Args) -> Result<(), BenchError> {
         },
     };
 
-    let cells: Vec<(String, (u8, f32))> = bits
+    let cells: Vec<(String, (u8, f32, Parasitics))> = bits
         .iter()
-        .flat_map(|&b| sigmas.iter().map(move |&s| (format!("b{b}-s{s}"), (b, s))))
+        .flat_map(|&b| {
+            let parasitics = &parasitics;
+            sigmas.iter().flat_map(move |&s| {
+                parasitics.iter().map(move |&par| {
+                    let key = if parasitic_axes {
+                        format!("b{b}-s{s}-r{}-t{}", par.r_line, par.t_drift)
+                    } else {
+                        format!("b{b}-s{s}")
+                    };
+                    (key, (b, s, par))
+                })
+            })
+        })
         .collect();
     eprintln!(
         "resilient variation sweep: {} ({:?}), {} cells, {samples} samples/cell, seed {:#x}{}",
@@ -68,7 +97,7 @@ fn run(args: Args) -> Result<(), BenchError> {
     let nets_by_bits: HashMap<u8, Mutex<Option<Arc<Vec<Sequential>>>>> =
         bits.iter().map(|&b| (b, Mutex::new(None))).collect();
 
-    let report = run_sweep(cells, &cfg, |key, &(b, sigma)| {
+    let report = run_sweep(cells, &cfg, |key, &(b, sigma, par)| {
         if key == inject_panic {
             panic!("injected panic for cell {key}");
         }
@@ -84,11 +113,15 @@ fn run(args: Args) -> Result<(), BenchError> {
                 }
             }
         };
-        let p = run_variation_cell(&setup, &nets, b, sigma, samples, &data)?;
+        let p = run_variation_cell_parasitic(&setup, &nets, b, sigma, par, samples, &data)?;
         let mut fields = vec![
             ("bits".into(), Json::Num(f64::from(p.bits))),
             ("sigma".into(), Json::Num(f64::from(p.sigma))),
         ];
+        if parasitic_axes {
+            fields.push(("rline".into(), Json::Num(f64::from(p.r_line))));
+            fields.push(("tdrift".into(), Json::Num(f64::from(p.t_drift))));
+        }
         // Per-mapping keys come from Mapping's canonical tags, so the JSON
         // schema tracks the enum instead of a hand-maintained string list.
         fields.extend(Mapping::ALL.iter().map(|&m| {
@@ -126,11 +159,17 @@ fn run(args: Args) -> Result<(), BenchError> {
         std::fs::write(&out, rendered).map_err(|e| BenchError::io(out.clone(), &e))?;
         eprintln!("wrote {out}");
     }
+    let scratch = xbar_tensor::scratch::stats();
     eprintln!(
-        "{} ok ({} skipped via journal), {} failed",
+        "{} ok ({} skipped via journal), {} failed; scratch pool (main thread): \
+         {} hits / {} misses, {} buffers ({} B) parked",
         report.cells.len() - report.failures().len(),
         report.skipped,
-        report.failures().len()
+        report.failures().len(),
+        scratch.hits,
+        scratch.misses,
+        scratch.cached_buffers,
+        scratch.cached_bytes
     );
     Ok(())
 }

@@ -1,22 +1,37 @@
 //! Reproduces paper Table I: system-level area / read energy / read delay
-//! of the three mappings for training a two-layer MLP on crossbar arrays
+//! of the mappings for training a two-layer MLP on crossbar arrays
 //! (analytical NeuroSim+-style model, 14 nm parameters).
 //!
 //! ```text
 //! cargo run -p xbar-bench --release --bin table1_system
 //! cargo run -p xbar-bench --release --bin table1_system -- --inputs 784 --hidden 300
 //! cargo run -p xbar-bench --release --bin table1_system -- --tile 128x128
+//! cargo run -p xbar-bench --release --bin table1_system -- --tile 128x128 --rline 0.005
 //! ```
 //!
 //! With `--tile ROWSxCOLS` a second table prices the workload split
 //! across physical tiles of that size: fabricated (whole-tile) area, a
 //! periphery instance per tile, per-tile `N_D` accounting, and the
-//! reference columns replicated per extra column group.
+//! reference columns replicated per extra column group. Adding
+//! `--rline FRAC` prices IR drop on top: worst-corner attenuation and
+//! the IR-derated read energy/delay.
 
 use xbar_bench::cli::Args;
 use xbar_bench::output::{num3, ResultsTable};
 use xbar_core::{Mapping, TileShape};
-use xbar_neurosim::{evaluate, evaluate_tiled, LayerDims, TechParams, Workload};
+use xbar_neurosim::{
+    evaluate, evaluate_tiled_with_line, LayerDims, TechParams, TiledCostReport, Workload,
+};
+
+const HEADERS: [&str; 5] = ["Metric", "BC", "DE", "ACM", "PERM"];
+
+/// One table row: the metric label plus one cell per mapping, in the
+/// paper's BC/DE/ACM order with PERM appended.
+fn row<T>(label: &str, reports: &[T], cell: impl Fn(&T) -> String) -> Vec<String> {
+    let mut cells = vec![label.to_string()];
+    cells.extend(reports.iter().map(cell));
+    cells
+}
 
 fn main() {
     let args = Args::from_env();
@@ -43,31 +58,17 @@ fn main() {
         .map(|&m| evaluate(&workload, m, &params))
         .collect();
 
-    let mut table = ResultsTable::new(&["Metric", "BC", "DE", "ACM"]);
-    table.push(vec![
-        "XBar Area (um^2)".into(),
-        format!("{:.0}", reports[0].xbar_area_um2),
-        format!("{:.0}", reports[1].xbar_area_um2),
-        format!("{:.0}", reports[2].xbar_area_um2),
-    ]);
-    table.push(vec![
-        "Periphery Area (um^2)".into(),
-        format!("{:.0}", reports[0].periphery_area_um2),
-        format!("{:.0}", reports[1].periphery_area_um2),
-        format!("{:.0}", reports[2].periphery_area_um2),
-    ]);
-    table.push(vec![
-        "Read Energy (uJ)".into(),
-        num3(reports[0].read_energy_uj),
-        num3(reports[1].read_energy_uj),
-        num3(reports[2].read_energy_uj),
-    ]);
-    table.push(vec![
-        "Read Delay (ms)".into(),
-        num3(reports[0].read_delay_ms),
-        num3(reports[1].read_delay_ms),
-        num3(reports[2].read_delay_ms),
-    ]);
+    let mut table = ResultsTable::new(&HEADERS);
+    table.push(row("XBar Area (um^2)", &reports, |r| {
+        format!("{:.0}", r.xbar_area_um2)
+    }));
+    table.push(row("Periphery Area (um^2)", &reports, |r| {
+        format!("{:.0}", r.periphery_area_um2)
+    }));
+    table.push(row("Read Energy (uJ)", &reports, |r| {
+        num3(r.read_energy_uj)
+    }));
+    table.push(row("Read Delay (ms)", &reports, |r| num3(r.read_delay_ms)));
     table.print(args.has("csv"));
 
     let (de, acm) = (&reports[1], &reports[2]);
@@ -80,70 +81,66 @@ fn main() {
     );
 
     let tile_str = args.get_str("tile", "");
-    if !tile_str.is_empty() {
-        let tile: TileShape = tile_str.parse().unwrap_or_else(|e| {
-            eprintln!("error: {e}");
+    let r_line: f64 = args.get("rline", 0.0);
+    if tile_str.is_empty() {
+        if r_line != 0.0 {
+            eprintln!("error: --rline requires --tile (IR drop is priced per physical tile)");
             std::process::exit(2);
-        });
-        let tiled: Vec<_> = Mapping::ALL
-            .iter()
-            .map(|&m| {
-                evaluate_tiled(&workload, m, tile, &params).unwrap_or_else(|e| {
-                    eprintln!("error: {e}");
-                    std::process::exit(2);
-                })
+        }
+        return;
+    }
+    let tile: TileShape = tile_str.parse().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let tiled: Vec<TiledCostReport> = Mapping::ALL
+        .iter()
+        .map(|&m| {
+            evaluate_tiled_with_line(&workload, m, tile, &params, r_line).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
             })
-            .collect();
-        eprintln!("tile-granular evaluation: {tile} physical arrays");
-        let mut table = ResultsTable::new(&["Metric", "BC", "DE", "ACM"]);
-        table.push(vec![
-            "Tiles".into(),
-            tiled[0].num_tiles.to_string(),
-            tiled[1].num_tiles.to_string(),
-            tiled[2].num_tiles.to_string(),
-        ]);
-        table.push(vec![
-            "Device Columns (ND)".into(),
-            tiled[0].nd_total.to_string(),
-            tiled[1].nd_total.to_string(),
-            tiled[2].nd_total.to_string(),
-        ]);
-        table.push(vec![
-            "Replicated Ref Columns".into(),
-            tiled[0].replicated_reference_columns.to_string(),
-            tiled[1].replicated_reference_columns.to_string(),
-            tiled[2].replicated_reference_columns.to_string(),
-        ]);
-        table.push(vec![
-            "Fabricated XBar Area (um^2)".into(),
-            format!("{:.0}", tiled[0].xbar_area_um2),
-            format!("{:.0}", tiled[1].xbar_area_um2),
-            format!("{:.0}", tiled[2].xbar_area_um2),
-        ]);
-        table.push(vec![
-            "Periphery Area (um^2)".into(),
-            format!("{:.0}", tiled[0].periphery_area_um2),
-            format!("{:.0}", tiled[1].periphery_area_um2),
-            format!("{:.0}", tiled[2].periphery_area_um2),
-        ]);
-        table.push(vec![
-            "Read Energy (uJ)".into(),
-            num3(tiled[0].read_energy_uj),
-            num3(tiled[1].read_energy_uj),
-            num3(tiled[2].read_energy_uj),
-        ]);
-        table.push(vec![
-            "Read Delay (ms)".into(),
-            num3(tiled[0].read_delay_ms),
-            num3(tiled[1].read_delay_ms),
-            num3(tiled[2].read_delay_ms),
-        ]);
-        table.print(args.has("csv"));
+        })
+        .collect();
+    eprintln!("tile-granular evaluation: {tile} physical arrays");
+    let mut table = ResultsTable::new(&HEADERS);
+    table.push(row("Tiles", &tiled, |r| r.num_tiles.to_string()));
+    table.push(row("Device Columns (ND)", &tiled, |r| {
+        r.nd_total.to_string()
+    }));
+    table.push(row("Replicated Ref Columns", &tiled, |r| {
+        r.replicated_reference_columns.to_string()
+    }));
+    table.push(row("Fabricated XBar Area (um^2)", &tiled, |r| {
+        format!("{:.0}", r.xbar_area_um2)
+    }));
+    table.push(row("Periphery Area (um^2)", &tiled, |r| {
+        format!("{:.0}", r.periphery_area_um2)
+    }));
+    table.push(row("Read Energy (uJ)", &tiled, |r| num3(r.read_energy_uj)));
+    table.push(row("Read Delay (ms)", &tiled, |r| num3(r.read_delay_ms)));
+    if r_line != 0.0 {
+        table.push(row("IR Worst Attenuation", &tiled, |r| {
+            format!("{:.4}", r.ir_worst_attenuation)
+        }));
+        table.push(row("IR Read Energy (uJ)", &tiled, |r| {
+            num3(r.read_energy_ir_uj)
+        }));
+        table.push(row("IR Read Delay (ms)", &tiled, |r| {
+            num3(r.read_delay_ir_ms)
+        }));
+    }
+    table.print(args.has("csv"));
+    eprintln!(
+        "periphery replication cost vs monolithic: BC +{:.0} um^2, DE +{:.0} um^2, ACM +{:.0} um^2",
+        tiled[0].periphery_area_um2 - reports[0].periphery_area_um2,
+        tiled[1].periphery_area_um2 - reports[1].periphery_area_um2,
+        tiled[2].periphery_area_um2 - reports[2].periphery_area_um2,
+    );
+    if r_line != 0.0 {
         eprintln!(
-            "periphery replication cost vs monolithic: BC +{:.0} um^2, DE +{:.0} um^2, ACM +{:.0} um^2",
-            tiled[0].periphery_area_um2 - reports[0].periphery_area_um2,
-            tiled[1].periphery_area_um2 - reports[1].periphery_area_um2,
-            tiled[2].periphery_area_um2 - reports[2].periphery_area_um2,
+            "IR drop at r = {r_line}: worst tile corner keeps {:.1}% of its signal (BC)",
+            tiled[0].ir_worst_attenuation * 100.0
         );
     }
 }

@@ -66,12 +66,14 @@ impl ModelType {
         ModelType::Mapped(Mapping::BiasColumn),
     ];
 
-    /// The three mapped types (for quantized sweeps, where the baseline is
-    /// not defined).
-    pub const MAPPED: [ModelType; 3] = [
+    /// The mapped types (for quantized sweeps, where the baseline is not
+    /// defined): the paper's three plus the permutation remap, appended
+    /// last so the paper-ordered prefix (ACM, DE, BC) keeps its indices.
+    pub const MAPPED: [ModelType; 4] = [
         ModelType::Mapped(Mapping::Acm),
         ModelType::Mapped(Mapping::DoubleElement),
         ModelType::Mapped(Mapping::BiasColumn),
+        ModelType::Mapped(Mapping::Perm),
     ];
 
     /// Display label ("Baseline", "ACM", "DE", "BC").
@@ -248,6 +250,8 @@ pub struct PrecisionPoint {
     pub de: f32,
     /// Test error (%) for BC.
     pub bc: f32,
+    /// Test error (%) for the permutation remap.
+    pub perm: f32,
 }
 
 /// Runs the Fig. 5b–h experiment: trains ACM/DE/BC at each bit width and
@@ -268,7 +272,7 @@ pub fn run_precision_sweep_seeds(
     let mut out = Vec::new();
     for b in bits {
         let device = update.device(b);
-        let mut errs = [0.0f32; 3];
+        let mut errs = [0.0f32; 4];
         for rep in 0..seeds {
             let mut s = *setup;
             s.seed = setup.seed.wrapping_add(rep as u64 * 0x9E37);
@@ -284,6 +288,7 @@ pub fn run_precision_sweep_seeds(
             acm: errs[0],
             de: errs[1],
             bc: errs[2],
+            perm: errs[3],
         });
     }
     Ok(out)
@@ -302,19 +307,28 @@ pub fn run_precision_sweep(
     run_precision_sweep_seeds(setup, update, bits, 1)
 }
 
-/// One Monte-Carlo cell of the Fig. 6 experiment.
+/// One Monte-Carlo cell of the Fig. 6 experiment (optionally with the
+/// parasitic line-resistance / drift axes of the enlarged grid).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationPoint {
     /// Weight bit precision.
     pub bits: u8,
     /// Device variation σ as a fraction of the conductance range.
     pub sigma: f32,
+    /// Per-segment line resistance as a fraction of the device
+    /// on-resistance (zero for the classic Fig. 6 grid).
+    pub r_line: f32,
+    /// Conductance-drift read time in arbitrary retention units (zero
+    /// for the classic Fig. 6 grid).
+    pub t_drift: u32,
     /// Mean inference accuracy (%) for ACM.
     pub acm: f32,
     /// Mean inference accuracy (%) for DE.
     pub de: f32,
     /// Mean inference accuracy (%) for BC.
     pub bc: f32,
+    /// Mean inference accuracy (%) for the permutation remap.
+    pub perm: f32,
 }
 
 impl VariationPoint {
@@ -325,8 +339,30 @@ impl VariationPoint {
             Mapping::Acm => self.acm,
             Mapping::DoubleElement => self.de,
             Mapping::BiasColumn => self.bc,
+            Mapping::Perm => self.perm,
         }
     }
+}
+
+/// Mean drift exponent ν for the parasitic sweeps: `g(t) = g_min +
+/// (g(0) − g_min) · (1 + t)^(−ν)` per cell, with per-device spread
+/// [`DRIFT_NU_SIGMA`]. A mid-range published retention figure; the sweep
+/// axis is the read time, not ν.
+pub const DRIFT_NU_MEAN: f32 = 0.05;
+
+/// Per-device standard deviation of the drift exponent ν.
+pub const DRIFT_NU_SIGMA: f32 = 0.02;
+
+/// The drift model every parasitic sweep cell uses: bench-wide ν
+/// statistics, a per-chip stream derived from `(seed, sample)`, read at
+/// `t_drift`. Inactive (a guaranteed no-op) at `t_drift = 0`.
+pub fn drift_model(seed: u64, sample: usize, t_drift: u32) -> xbar_device::DriftModel {
+    xbar_device::DriftModel::new(
+        DRIFT_NU_MEAN,
+        DRIFT_NU_SIGMA,
+        (seed ^ 0x777).wrapping_add(sample as u64 * 0x9E37_79B9),
+    )
+    .at_time(t_drift)
 }
 
 /// Trains the three mapped model types (ACM, DE, BC) at `bits` precision
@@ -350,6 +386,39 @@ pub fn train_mapped_nets(
     Ok(nets)
 }
 
+/// The parasitic coordinates of one sweep cell: a line-resistance
+/// fraction and a drift read time. `Parasitics::default()` is the
+/// degenerate point — both off, reproducing the parasitic-free path
+/// bitwise.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Parasitics {
+    /// Per-segment line resistance as a fraction of the device
+    /// on-resistance.
+    pub r_line: f32,
+    /// Drift read time in arbitrary retention units.
+    pub t_drift: u32,
+}
+
+impl Parasitics {
+    /// The cross product of the two parasitic axes, line resistance
+    /// outermost — the order the enlarged sweep grids iterate.
+    pub fn grid(rlines: &[f32], times: &[u32]) -> Vec<Parasitics> {
+        rlines
+            .iter()
+            .flat_map(|&r_line| {
+                times
+                    .iter()
+                    .map(move |&t_drift| Parasitics { r_line, t_drift })
+            })
+            .collect()
+    }
+
+    /// Whether both axes sit at the degenerate zero point.
+    pub fn is_off(&self) -> bool {
+        self.r_line == 0.0 && self.t_drift == 0
+    }
+}
+
 /// Evaluates one `(bits, sigma)` cell of the Fig. 6 experiment on
 /// already-trained `nets` (from [`train_mapped_nets`]): mean inference
 /// accuracy over `samples` Monte-Carlo variation draws per mapping, no
@@ -368,7 +437,38 @@ pub fn run_variation_cell(
     samples: usize,
     data: &DatasetPair,
 ) -> Result<VariationPoint, NnError> {
-    let mut accs = [0.0f32; 3];
+    run_variation_cell_parasitic(
+        setup,
+        nets,
+        bits,
+        sigma,
+        Parasitics::default(),
+        samples,
+        data,
+    )
+}
+
+/// [`run_variation_cell`] on the enlarged grid: each Monte-Carlo chip is
+/// additionally loaded with IR-drop line resistance and read after
+/// `t_drift` of conductance drift (per-chip ν stream from
+/// [`drift_model`]). At the degenerate `Parasitics::default()` point the
+/// parasitic pass is a guaranteed no-op and the cell is bitwise identical
+/// to the classic Fig. 6 cell.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn run_variation_cell_parasitic(
+    setup: &Setup,
+    nets: &[Sequential],
+    bits: u8,
+    sigma: f32,
+    par: Parasitics,
+    samples: usize,
+    data: &DatasetPair,
+) -> Result<VariationPoint, NnError> {
+    let line = xbar_device::LineResistanceModel::new(par.r_line);
+    let mut accs = [0.0f32; 4];
     for (i, net) in nets.iter().enumerate() {
         let mut rng = XorShiftRng::new(setup.seed ^ (bits as u64) << 8 ^ 0x555);
         // Fork every per-sample stream serially (fork advances the
@@ -378,12 +478,21 @@ pub fn run_variation_cell(
         // copy. Results come back in sample order and are summed
         // in that order, so the mean is bitwise identical to the
         // serial loop.
-        let sample_rngs: Vec<XorShiftRng> = (0..samples).map(|s| rng.fork(s as u64)).collect();
+        let sample_rngs: Vec<(usize, XorShiftRng)> =
+            (0..samples).map(|s| (s, rng.fork(s as u64))).collect();
         let results = backend::parallel_map_with(
             || net.clone(),
             sample_rngs,
-            |worker, _s, mut sample_rng| {
+            |worker, _idx, (s, mut sample_rng)| {
                 worker.visit_mapped(&mut |p| p.apply_variation(sigma, &mut sample_rng));
+                let drift = drift_model(setup.seed, s, par.t_drift);
+                let mut parasitic = Ok(());
+                worker.visit_mapped(&mut |p| {
+                    if let Err(e) = p.apply_parasitics(line, drift) {
+                        parasitic = Err(e);
+                    }
+                });
+                parasitic?;
                 let r = evaluate(
                     worker,
                     data.test.features(),
@@ -403,9 +512,12 @@ pub fn run_variation_cell(
     Ok(VariationPoint {
         bits,
         sigma,
+        r_line: par.r_line,
+        t_drift: par.t_drift,
         acm: accs[0],
         de: accs[1],
         bc: accs[2],
+        perm: accs[3],
     })
 }
 
@@ -434,13 +546,20 @@ pub fn run_variation_sweep(
 }
 
 /// One cell of the fault-injection sweep: accuracy with and without
-/// fault-aware remapping at one (stuck-at rate, variation σ) point.
+/// fault-aware remapping at one (stuck-at rate, variation σ,
+/// line resistance, drift time) point.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPoint {
     /// Total stuck-at rate (fraction of cells, 80/20 off/on split).
     pub rate: f32,
     /// Device variation σ as a fraction of the conductance range.
     pub sigma: f32,
+    /// Per-segment line resistance as a fraction of the device
+    /// on-resistance (zero for the classic grid).
+    pub r_line: f32,
+    /// Drift read time in arbitrary retention units (zero for the
+    /// classic grid).
+    pub t_drift: u32,
     /// Mean inference accuracy (%) programming onto the defective array
     /// as-is.
     pub naive: f32,
@@ -468,6 +587,38 @@ pub fn run_fault_sweep(
     sigmas: &[f32],
     samples: usize,
 ) -> Result<Vec<FaultPoint>, NnError> {
+    run_fault_sweep_parasitic(
+        setup,
+        mapping,
+        bits,
+        rates,
+        sigmas,
+        &[Parasitics::default()],
+        samples,
+    )
+}
+
+/// [`run_fault_sweep`] on the enlarged grid: every `(rate, parasitics,
+/// σ)` cell programs the trained conductances onto `samples` defective
+/// chips, then loads each chip with IR-drop line resistance and reads it
+/// after `t_drift` of conductance drift (stuck cells are frozen and do
+/// not drift). Both arms of a sample share the defect pattern *and* the
+/// parasitic state, so the naive-vs-remapped comparison stays paired. At
+/// the degenerate `Parasitics::default()` point each cell is bitwise
+/// identical to the classic [`run_fault_sweep`] cell.
+///
+/// # Errors
+///
+/// Propagates training/evaluation errors.
+pub fn run_fault_sweep_parasitic(
+    setup: &Setup,
+    mapping: Mapping,
+    bits: u8,
+    rates: &[f32],
+    sigmas: &[f32],
+    parasitics: &[Parasitics],
+    samples: usize,
+) -> Result<Vec<FaultPoint>, NnError> {
     use xbar_device::FaultModel;
     let data = setup.data();
     let device = DeviceConfig::quantized_linear(bits);
@@ -475,62 +626,76 @@ pub fn run_fault_sweep(
     let mut out = Vec::new();
     for &rate in rates {
         let model = FaultModel::uniform(rate);
-        for &sigma in sigmas {
-            // Fan the Monte-Carlo chips across the compute pool: one item
-            // per defective chip, both arms evaluated by the same task so
-            // they share the worker's cloned net. The per-(sample, arm)
-            // RNG is rebuilt from constants exactly as in the serial
-            // loop, and the in-order reduction below reproduces its
-            // summation order bitwise.
-            let results = backend::parallel_map_with(
-                || net.clone(),
-                (0..samples).collect::<Vec<usize>>(),
-                |worker, _idx, s| -> Result<([f32; 2], usize), NnError> {
-                    let mut accs = [0.0f32; 2]; // [naive, remapped]
-                    let mut stuck_naive = 0usize;
-                    for (arm, remap) in [false, true].into_iter().enumerate() {
-                        // Re-fork per arm: identical defect pattern for both.
-                        let mut rng = XorShiftRng::new(setup.seed ^ u64::from(bits) << 8 ^ 0x666)
-                            .fork(s as u64);
-                        let mut stuck = 0usize;
-                        let mut result = Ok(());
-                        worker.visit_mapped(&mut |p| match p
-                            .apply_faults(model, sigma, remap, &mut rng)
-                        {
-                            Ok((prog, _)) => stuck += prog.num_stuck(),
-                            Err(e) => result = Err(e),
-                        });
-                        result?;
-                        let (_, a) = evaluate(
-                            worker,
-                            data.test.features(),
-                            data.test.labels(),
-                            setup.batch,
-                        )?;
-                        worker.visit_mapped(&mut |p| p.clear_variation());
-                        accs[arm] = a;
-                        if !remap {
-                            stuck_naive = stuck;
+        for &par in parasitics {
+            let line = xbar_device::LineResistanceModel::new(par.r_line);
+            for &sigma in sigmas {
+                // Fan the Monte-Carlo chips across the compute pool: one item
+                // per defective chip, both arms evaluated by the same task so
+                // they share the worker's cloned net. The per-(sample, arm)
+                // RNG is rebuilt from constants exactly as in the serial
+                // loop, and the in-order reduction below reproduces its
+                // summation order bitwise.
+                let results = backend::parallel_map_with(
+                    || net.clone(),
+                    (0..samples).collect::<Vec<usize>>(),
+                    |worker, _idx, s| -> Result<([f32; 2], usize), NnError> {
+                        let mut accs = [0.0f32; 2]; // [naive, remapped]
+                        let mut stuck_naive = 0usize;
+                        let drift = drift_model(setup.seed, s, par.t_drift);
+                        for (arm, remap) in [false, true].into_iter().enumerate() {
+                            // Re-fork per arm: identical defect pattern for both.
+                            let mut rng =
+                                XorShiftRng::new(setup.seed ^ u64::from(bits) << 8 ^ 0x666)
+                                    .fork(s as u64);
+                            let mut stuck = 0usize;
+                            let mut result = Ok(());
+                            worker.visit_mapped(&mut |p| match p
+                                .apply_faults(model, sigma, remap, &mut rng)
+                            {
+                                Ok((prog, _)) => stuck += prog.num_stuck(),
+                                Err(e) => result = Err(e),
+                            });
+                            result?;
+                            let mut parasitic = Ok(());
+                            worker.visit_mapped(&mut |p| {
+                                if let Err(e) = p.apply_parasitics(line, drift) {
+                                    parasitic = Err(e);
+                                }
+                            });
+                            parasitic?;
+                            let (_, a) = evaluate(
+                                worker,
+                                data.test.features(),
+                                data.test.labels(),
+                                setup.batch,
+                            )?;
+                            worker.visit_mapped(&mut |p| p.clear_variation());
+                            accs[arm] = a;
+                            if !remap {
+                                stuck_naive = stuck;
+                            }
                         }
-                    }
-                    Ok((accs, stuck_naive))
-                },
-            );
-            let mut acc = [0.0f32; 2];
-            let mut stuck_total = 0usize;
-            for r in results {
-                let (a, stuck) = r?;
-                acc[0] += a[0];
-                acc[1] += a[1];
-                stuck_total += stuck;
+                        Ok((accs, stuck_naive))
+                    },
+                );
+                let mut acc = [0.0f32; 2];
+                let mut stuck_total = 0usize;
+                for r in results {
+                    let (a, stuck) = r?;
+                    acc[0] += a[0];
+                    acc[1] += a[1];
+                    stuck_total += stuck;
+                }
+                out.push(FaultPoint {
+                    rate,
+                    sigma,
+                    r_line: par.r_line,
+                    t_drift: par.t_drift,
+                    naive: 100.0 * acc[0] / samples as f32,
+                    remapped: 100.0 * acc[1] / samples as f32,
+                    mean_stuck: stuck_total as f32 / samples as f32,
+                });
             }
-            out.push(FaultPoint {
-                rate,
-                sigma,
-                naive: 100.0 * acc[0] / samples as f32,
-                remapped: 100.0 * acc[1] / samples as f32,
-                mean_stuck: stuck_total as f32 / samples as f32,
-            });
         }
     }
     Ok(out)
@@ -677,5 +842,64 @@ mod tests {
     #[test]
     fn bit_range_is_inclusive() {
         assert_eq!(bit_range(2, 5), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn parasitics_grid_crosses_axes_and_flags_the_zero_point() {
+        let grid = Parasitics::grid(&[0.0, 0.002], &[0, 1000]);
+        assert_eq!(grid.len(), 4);
+        assert!(grid[0].is_off());
+        assert_eq!(
+            grid[1],
+            Parasitics {
+                r_line: 0.0,
+                t_drift: 1000
+            }
+        );
+        assert_eq!(
+            grid[3],
+            Parasitics {
+                r_line: 0.002,
+                t_drift: 1000
+            }
+        );
+        assert!(!grid[3].is_off());
+    }
+
+    #[test]
+    fn degenerate_parasitic_cell_is_bitwise_the_classic_fault_cell() {
+        // The acceptance criterion of the enlarged grid: at
+        // (R_line = 0, t = 0) every cell reproduces the classic sweep's
+        // accuracies bit for bit.
+        let setup = tiny_setup(NetKind::Lenet);
+        let classic = run_fault_sweep(&setup, Mapping::Acm, 4, &[0.02], &[0.0, 0.1], 2).unwrap();
+        let enlarged = run_fault_sweep_parasitic(
+            &setup,
+            Mapping::Acm,
+            4,
+            &[0.02],
+            &[0.0, 0.1],
+            &[
+                Parasitics::default(),
+                Parasitics {
+                    r_line: 0.005,
+                    t_drift: 1000,
+                },
+            ],
+            2,
+        )
+        .unwrap();
+        assert_eq!(classic.len(), 2);
+        assert_eq!(enlarged.len(), 4);
+        // Cells iterate rate → parasitics → sigma: the degenerate
+        // parasitic point holds the first two enlarged cells.
+        for (c, e) in classic.iter().zip(&enlarged[..2]) {
+            assert_eq!(c.naive, e.naive);
+            assert_eq!(c.remapped, e.remapped);
+            assert_eq!(c.mean_stuck, e.mean_stuck);
+        }
+        // The parasitic cells carry their coordinates.
+        assert_eq!(enlarged[2].r_line, 0.005);
+        assert_eq!(enlarged[2].t_drift, 1000);
     }
 }

@@ -61,10 +61,13 @@ pub fn representable_sum_count(mapping: Mapping, bits: u8, n_in: usize, n_out: u
         // ACM: the sum is M̄_first − M̄_last; each column total spans
         // n_in·levels steps, the difference spans twice that.
         Mapping::Acm => 2.0 * n_in as f64 * levels + 1.0,
-        // DE/BC: every weight contributes independently; the sum of
+        // DE/BC/Perm: every weight contributes independently; the sum of
         // n_in·n_out quantized weights spans 2·n_in·n_out·levels steps
-        // (each weight can move the sum by ±levels steps).
-        Mapping::DoubleElement | Mapping::BiasColumn => 2.0 * (n_in * n_out) as f64 * levels + 1.0,
+        // (each weight can move the sum by ±levels steps). Perm only
+        // reorders BC's rows, which cannot change the reachable sums.
+        Mapping::DoubleElement | Mapping::BiasColumn | Mapping::Perm => {
+            2.0 * (n_in * n_out) as f64 * levels + 1.0
+        }
     }
 }
 

@@ -18,6 +18,13 @@ use crate::{decompose, remap_for_faults, Mapping, MappingError, PeripheryMatrix,
 /// 1. the analog stage — raw column dot products `y_dev = M·x`;
 /// 2. the digital periphery — the fixed signed combine `y = S·y_dev`.
 ///
+/// The analog stage reads the *effective* conductances: the programmed
+/// values composed with the device's parasitic read non-idealities
+/// (conductance drift at the configured time index, then the
+/// position-dependent line-resistance attenuation, the whole array acting
+/// as one tile). With both parasitic models off the effective matrix is
+/// the programmed matrix, bitwise.
+///
 /// # Example
 ///
 /// ```
@@ -46,10 +53,76 @@ pub struct CrossbarArray {
     targets: Tensor,
     /// Realised conductances after variation sampling.
     programmed: Tensor,
+    /// What the read path sees: `programmed` composed with drift and
+    /// line-resistance attenuation (equal to `programmed` when both are
+    /// off).
+    effective: Tensor,
     /// The stuck-at defect pattern this physical array was dealt.
     faults: FaultMap,
     /// Outcome of the most recent programming pass.
     report: ProgrammingReport,
+}
+
+/// Stable descending order of the device rows of `M (N_D × N_I)` by total
+/// deviation from `mid` (`Σᵢ |m[j,i] − mid|`) — the X-CHANGR-style
+/// placement rule behind [`Mapping::Perm`]: the returned `perm` assigns
+/// logical device column `perm[p]` to physical position `p`, so the
+/// largest-magnitude rows land nearest the drivers where IR-drop
+/// attenuation is smallest. The sort is stable, so a BC reference row
+/// (all `mid`, deviation exactly zero, stored last) stays last.
+pub fn magnitude_permutation(m: &Tensor, mid: f32) -> Vec<usize> {
+    let (nd, n_in) = (m.shape()[0], m.shape()[1]);
+    let key: Vec<f32> = (0..nd)
+        .map(|j| {
+            m.data()[j * n_in..(j + 1) * n_in]
+                .iter()
+                .map(|&g| (g - mid).abs())
+                .sum()
+        })
+        .collect();
+    let mut perm: Vec<usize> = (0..nd).collect();
+    perm.sort_by(|&a, &b| {
+        key[b]
+            .partial_cmp(&key[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    perm
+}
+
+/// Copies the rows of `M` into physical order: row `p` of the result is
+/// logical row `perm[p]` of `m`.
+pub(crate) fn permute_rows(m: &Tensor, perm: &[usize]) -> Tensor {
+    let (_, n_in) = (m.shape()[0], m.shape()[1]);
+    let mut out = Tensor::zeros(&[perm.len(), n_in]);
+    for (p, &logical) in perm.iter().enumerate() {
+        out.data_mut()[p * n_in..(p + 1) * n_in]
+            .copy_from_slice(&m.data()[logical * n_in..(logical + 1) * n_in]);
+    }
+    out
+}
+
+/// Composes the parasitic read non-idealities onto a programmed
+/// conductance matrix: drift first (cell state decays; stuck cells are
+/// physically frozen and do not drift), then line-resistance attenuation
+/// over the given tile-local block geometry handled by the caller. This
+/// monolithic variant treats the whole matrix as one tile. Returns a
+/// plain clone (bitwise identity) when both models are off.
+fn effective_monolithic(programmed: &Tensor, device: &DeviceConfig, faults: &FaultMap) -> Tensor {
+    let line = device.line_resistance();
+    let drift = device.drift();
+    let mut eff = programmed.clone();
+    if drift.is_active() {
+        let range = device.range();
+        let cols = eff.shape()[1];
+        for (idx, g) in eff.data_mut().iter_mut().enumerate() {
+            let (r, c) = (idx / cols, idx % cols);
+            if faults.get(r, c).is_none() {
+                *g = drift.decayed(*g, r, c, range);
+            }
+        }
+    }
+    line.apply_tile(&mut eff);
+    eff
 }
 
 impl CrossbarArray {
@@ -165,7 +238,7 @@ impl CrossbarArray {
                 }
                 nd / 2
             }
-            Mapping::BiasColumn | Mapping::Acm => {
+            Mapping::BiasColumn | Mapping::Acm | Mapping::Perm => {
                 if nd < 2 {
                     return Err(MappingError::Shape(xbar_tensor::ShapeError::new(
                         "program_conductances",
@@ -175,7 +248,19 @@ impl CrossbarArray {
                 nd - 1
             }
         };
-        let periphery = mapping.periphery(n_out);
+        // Perm: `m` arrives in logical (decompose) order; the physical
+        // placement reorders device columns so large-magnitude rows sit
+        // nearest the drivers, and the inverse permutation is folded into
+        // the periphery so `S_p · (P·M) = S · M` exactly.
+        let (periphery, m_phys) = match mapping {
+            Mapping::Perm => {
+                let perm = magnitude_permutation(m, range.midpoint());
+                let periphery = mapping.periphery(n_out).permuted(&perm);
+                (periphery, Some(permute_rows(m, &perm)))
+            }
+            _ => (mapping.periphery(n_out), None),
+        };
+        let m = m_phys.as_ref().unwrap_or(m);
         // Stage 1: snap to the device's programmable states (non-uniform
         // in conductance for nonlinear devices — states sit at equal pulse
         // spacing along the transfer curve).
@@ -205,6 +290,7 @@ impl CrossbarArray {
             Some(&faults),
             rng,
         );
+        let effective = effective_monolithic(&programmed, &device, &faults);
         Ok((
             Self {
                 mapping,
@@ -212,6 +298,7 @@ impl CrossbarArray {
                 device,
                 targets,
                 programmed,
+                effective,
                 faults,
                 report,
             },
@@ -259,15 +346,24 @@ impl CrossbarArray {
         &self.programmed
     }
 
+    /// The conductances the read path sees: [`CrossbarArray::conductances`]
+    /// composed with drift (at the device's configured time index) and
+    /// line-resistance attenuation. Equal to the programmed matrix when
+    /// both parasitic models are off.
+    pub fn effective_conductances(&self) -> &Tensor {
+        &self.effective
+    }
+
     /// The ideal conductance targets (after quantization, before
     /// variation).
     pub fn targets(&self) -> &Tensor {
         &self.targets
     }
 
-    /// The effective signed weight matrix `S · G` realised by the array.
+    /// The effective signed weight matrix `S · G` realised by the array,
+    /// including the parasitic read non-idealities.
     pub fn effective_weights(&self) -> Tensor {
-        linalg::matmul(self.periphery.matrix(), &self.programmed)
+        linalg::matmul(self.periphery.matrix(), &self.effective)
             .expect("periphery and conductances are dimension-checked at construction")
     }
 
@@ -315,6 +411,7 @@ impl CrossbarArray {
             rng,
         );
         self.programmed = programmed;
+        self.effective = effective_monolithic(&self.programmed, &self.device, &self.faults);
         self.report = report;
     }
 
@@ -331,7 +428,7 @@ impl CrossbarArray {
         if !x.data().iter().all(|v| v.is_finite()) {
             return Err(MappingError::NonFiniteInput { op: "mvm_raw" });
         }
-        linalg::matvec(&self.programmed, x).map_err(MappingError::from)
+        linalg::matvec(&self.effective, x).map_err(MappingError::from)
     }
 
     /// Signed MVM `y = S · (G · x)` for a 1-D input.
@@ -355,7 +452,7 @@ impl CrossbarArray {
             return Err(MappingError::NonFiniteInput { op: "forward" });
         }
         // (batch, n_in) · G^T -> (batch, nd)
-        let raw = linalg::matmul_nt(x, &self.programmed).map_err(MappingError::from)?;
+        let raw = linalg::matmul_nt(x, &self.effective).map_err(MappingError::from)?;
         self.periphery.combine(&raw)
     }
 
@@ -703,5 +800,142 @@ mod tests {
         let xb = CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut r).unwrap();
         let eff = xb.effective_weights();
         assert!(eff.all_close(&w, dev.quantizer().step() * 2.0));
+    }
+
+    #[test]
+    fn parasitics_off_effective_is_bitwise_programmed() {
+        let w = test_w();
+        for mapping in Mapping::ALL {
+            let xb = CrossbarArray::program_signed(
+                &w,
+                mapping,
+                DeviceConfig::quantized_linear(4).with_variation_sigma(0.03),
+                &mut rng(),
+            )
+            .unwrap();
+            assert_eq!(
+                xb.effective_conductances().data(),
+                xb.conductances().data(),
+                "{mapping}: parasitics off must be a pure pass-through"
+            );
+        }
+    }
+
+    #[test]
+    fn line_resistance_attenuates_every_live_cell() {
+        use xbar_device::LineResistanceModel;
+        let w = test_w();
+        let dev = DeviceConfig::ideal().with_line_resistance(LineResistanceModel::new(0.01));
+        let xb = CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut rng()).unwrap();
+        let (prog, eff) = (xb.conductances(), xb.effective_conductances());
+        for (p, e) in prog.data().iter().zip(eff.data()) {
+            if *p > 0.0 {
+                assert!(*e < *p, "attenuation must strictly shrink {p} -> {e}");
+            } else {
+                assert_eq!(*e, *p);
+            }
+        }
+        // Output error grows with the wire resistance.
+        let x = Tensor::ones(&[w.shape()[1]]);
+        let err = |r_frac: f32| {
+            let dev = DeviceConfig::ideal().with_line_resistance(LineResistanceModel::new(r_frac));
+            let xb = CrossbarArray::program_signed(&w, Mapping::Acm, dev, &mut rng()).unwrap();
+            let ideal = linalg::matvec(&w, &x).unwrap();
+            xb.mvm_signed(&x).unwrap().sub(&ideal).unwrap().abs_max()
+        };
+        assert!(err(0.02) > err(0.002));
+    }
+
+    #[test]
+    fn drift_decays_toward_g_min_but_skips_stuck_cells() {
+        use xbar_device::{DriftModel, FaultModel};
+        let w = test_w();
+        let dev = DeviceConfig::ideal()
+            .with_faults(FaultModel::uniform(0.1))
+            .with_drift(DriftModel::new(0.1, 0.02, 99).at_time(1000));
+        let xb = CrossbarArray::program_signed(&w, Mapping::BiasColumn, dev, &mut rng()).unwrap();
+        assert!(xb.fault_map().num_stuck() > 0);
+        let g_min = dev.range().g_min();
+        let cols = xb.conductances().shape()[1];
+        let mut decayed = 0usize;
+        for (idx, (p, e)) in xb
+            .conductances()
+            .data()
+            .iter()
+            .zip(xb.effective_conductances().data())
+            .enumerate()
+        {
+            let (r, c) = (idx / cols, idx % cols);
+            if xb.fault_map().get(r, c).is_some() {
+                assert_eq!(*e, *p, "stuck cells are frozen and must not drift");
+            } else {
+                assert!(*e <= *p && *e >= g_min);
+                if *e < *p {
+                    decayed += 1;
+                }
+            }
+        }
+        assert!(decayed > 0, "drift at t=1000 must move some live cells");
+    }
+
+    #[test]
+    fn perm_reorders_conductance_rows_but_weights_are_exact() {
+        let w = test_w();
+        let mut r = rng();
+        let bc = CrossbarArray::program_signed(
+            &w,
+            Mapping::BiasColumn,
+            DeviceConfig::ideal(),
+            &mut rng(),
+        )
+        .unwrap();
+        let perm =
+            CrossbarArray::program_signed(&w, Mapping::Perm, DeviceConfig::ideal(), &mut rng())
+                .unwrap();
+        // Same multiset of device rows, different order.
+        assert_eq!(bc.conductances().shape(), perm.conductances().shape());
+        assert_ne!(
+            bc.conductances().data(),
+            perm.conductances().data(),
+            "the magnitude sort should move rows for a generic W"
+        );
+        // The folded-in inverse permutation keeps the map exact.
+        assert!(perm.effective_weights().all_close(&w, 1e-5));
+        let x = Tensor::rand_uniform(&[w.shape()[1]], -1.0, 1.0, &mut r);
+        let yb = bc.mvm_signed(&x).unwrap();
+        let yp = perm.mvm_signed(&x).unwrap();
+        assert!(yp.all_close(&yb, 1e-4));
+    }
+
+    #[test]
+    fn perm_places_large_magnitude_rows_near_the_driver() {
+        let w = test_w();
+        let xb =
+            CrossbarArray::program_signed(&w, Mapping::Perm, DeviceConfig::ideal(), &mut rng())
+                .unwrap();
+        let mid = xb.device().range().midpoint();
+        let (nd, n_in) = (xb.conductances().shape()[0], xb.conductances().shape()[1]);
+        let dev: Vec<f32> = (0..nd)
+            .map(|j| {
+                xb.conductances().data()[j * n_in..(j + 1) * n_in]
+                    .iter()
+                    .map(|&g| (g - mid).abs())
+                    .sum()
+            })
+            .collect();
+        for pair in dev.windows(2) {
+            assert!(
+                pair[0] >= pair[1] - 1e-6,
+                "physical rows must be sorted by descending mid-deviation: {dev:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn magnitude_permutation_is_stable_for_ties() {
+        // Identical rows keep their original order (stable sort), which
+        // is what pins BC's all-mid reference row to the last slot.
+        let m = Tensor::from_vec(vec![0.5, 0.5, 0.9, 0.1, 0.5, 0.5], &[3, 2]).unwrap();
+        assert_eq!(magnitude_permutation(&m, 0.5), vec![1, 0, 2]);
     }
 }

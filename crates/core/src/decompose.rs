@@ -40,7 +40,7 @@ pub fn compose(m: &Tensor, mapping: Mapping) -> Result<Tensor, MappingError> {
             }
             nd / 2
         }
-        Mapping::BiasColumn | Mapping::Acm => {
+        Mapping::BiasColumn | Mapping::Acm | Mapping::Perm => {
             if nd < 2 {
                 return Err(MappingError::Shape(xbar_tensor::ShapeError::new(
                     "compose",
@@ -96,7 +96,10 @@ pub fn decompose(
             }
             Ok(m)
         }
-        Mapping::BiasColumn => {
+        // Perm decomposes exactly like BC: the physical row permutation
+        // is applied (and folded into the periphery) at program time, in
+        // the logical→physical step — `M` here is in logical row order.
+        Mapping::BiasColumn | Mapping::Perm => {
             let mid = range.midpoint();
             let mut m = Tensor::zeros(&[n_out + 1, n_in]);
             for j in 0..n_out {
@@ -104,7 +107,7 @@ pub fn decompose(
                     let wv = w.at(&[j, i]);
                     if wv.abs() > span / 2.0 + 1e-6 {
                         return Err(MappingError::NotRepresentable {
-                            mapping: "BC",
+                            mapping: mapping.tag(),
                             detail: format!("|{wv}| exceeds half-span {}", span / 2.0),
                         });
                     }
@@ -262,7 +265,7 @@ pub fn max_representable_scale(
     let span = range.span();
     let limit = match mapping {
         Mapping::DoubleElement => w.abs_max(),
-        Mapping::BiasColumn => 2.0 * w.abs_max(),
+        Mapping::BiasColumn | Mapping::Perm => 2.0 * w.abs_max(),
         Mapping::Acm => {
             let mut worst = 0.0f32;
             for i in 0..n_in {

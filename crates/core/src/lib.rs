@@ -70,7 +70,7 @@ mod remap;
 mod tiling;
 
 pub use balance::{balance_profile, BalanceProfile};
-pub use crossbar::CrossbarArray;
+pub use crossbar::{magnitude_permutation, CrossbarArray};
 pub use decompose::{compose, decompose, decompose_with_periphery, max_representable_scale};
 pub use error::MappingError;
 pub use mapping::{Mapping, ParseMappingError};

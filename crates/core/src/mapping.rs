@@ -16,10 +16,17 @@ use crate::PeripheryMatrix;
 /// | [`Mapping::DoubleElement`] | `2·N_O` | `[−G_max, G_max]` |
 /// | [`Mapping::BiasColumn`]    | `N_O + 1` | `[−G_max/2, G_max/2]` |
 /// | [`Mapping::Acm`]           | `N_O + 1` | `[−G_max, G_max]`, column-coupled |
+/// | [`Mapping::Perm`]          | `N_O + 1` | `[−G_max/2, G_max/2]`, rows permuted |
 ///
 /// ACM achieves DE's dynamic range at BC's hardware cost, at the price of a
 /// nearest-neighbour coupling between columns — which Sec. III-E shows acts
 /// as a mild regularizer.
+///
+/// Perm extends the comparison beyond the paper: it is BC with an
+/// X-CHANGR-style physical reordering of the device columns (rows of
+/// `M`) that places large-magnitude weight rows nearest the drivers,
+/// mitigating line-resistance IR drop; the inverse permutation is folded
+/// into the periphery (`S_p = S · Pᵀ`), so the factorization stays exact.
 ///
 /// # Example
 ///
@@ -42,18 +49,31 @@ pub enum Mapping {
     /// neighbour — outputs are differences of adjacent columns with
     /// alternating signs (paper Fig. 2).
     Acm,
+    /// Permutation remapping (beyond the paper; after X-CHANGR): the BC
+    /// stencil with device columns physically reordered so that
+    /// large-magnitude weight rows sit nearest the drivers, where
+    /// line-resistance attenuation is smallest. The inverse permutation
+    /// is folded into the periphery, so the mapping stays exact under
+    /// zero parasitics.
+    Perm,
 }
 
 impl Mapping {
-    /// All mappings, in the order the paper's tables list them.
-    pub const ALL: [Mapping; 3] = [Mapping::BiasColumn, Mapping::DoubleElement, Mapping::Acm];
+    /// All mappings, in the order the paper's tables list them, with the
+    /// beyond-paper permutation mapping appended last.
+    pub const ALL: [Mapping; 4] = [
+        Mapping::BiasColumn,
+        Mapping::DoubleElement,
+        Mapping::Acm,
+        Mapping::Perm,
+    ];
 
     /// Number of crossbar columns (`N_D`) needed to represent `n_out`
     /// signed weight columns.
     pub fn num_device_columns(&self, n_out: usize) -> usize {
         match self {
             Self::DoubleElement => 2 * n_out,
-            Self::BiasColumn | Self::Acm => n_out + 1,
+            Self::BiasColumn | Self::Acm | Self::Perm => n_out + 1,
         }
     }
 
@@ -82,7 +102,7 @@ impl Mapping {
         let span = range.span();
         match self {
             Self::DoubleElement | Self::Acm => (-span, span),
-            Self::BiasColumn => (-span / 2.0, span / 2.0),
+            Self::BiasColumn | Self::Perm => (-span / 2.0, span / 2.0),
         }
     }
 
@@ -94,7 +114,9 @@ impl Mapping {
     pub fn periphery(&self, n_out: usize) -> PeripheryMatrix {
         match self {
             Self::DoubleElement => PeripheryMatrix::double_element(n_out),
-            Self::BiasColumn => PeripheryMatrix::bias_column(n_out),
+            // Perm's *base* stencil is BC's; a concrete array folds its
+            // row permutation in via `PeripheryMatrix::permuted`.
+            Self::BiasColumn | Self::Perm => PeripheryMatrix::bias_column(n_out),
             Self::Acm => PeripheryMatrix::acm(n_out),
         }
     }
@@ -105,6 +127,7 @@ impl Mapping {
             Self::DoubleElement => "DE",
             Self::BiasColumn => "BC",
             Self::Acm => "ACM",
+            Self::Perm => "PERM",
         }
     }
 }
@@ -123,7 +146,7 @@ impl fmt::Display for ParseMappingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown mapping '{}': expected one of DE, BC, ACM",
+            "unknown mapping '{}': expected one of DE, BC, ACM, PERM",
             self.0
         )
     }
@@ -141,6 +164,7 @@ impl std::str::FromStr for Mapping {
             "DE" => Ok(Self::DoubleElement),
             "BC" => Ok(Self::BiasColumn),
             "ACM" => Ok(Self::Acm),
+            "PERM" => Ok(Self::Perm),
             _ => Err(ParseMappingError(s.to_string())),
         }
     }
@@ -158,6 +182,7 @@ mod tests {
             assert_eq!(Mapping::DoubleElement.num_device_columns(no), 2 * no);
             assert_eq!(Mapping::BiasColumn.num_device_columns(no), no + 1);
             assert_eq!(Mapping::Acm.num_device_columns(no), no + 1);
+            assert_eq!(Mapping::Perm.num_device_columns(no), no + 1);
         }
     }
 
@@ -189,6 +214,8 @@ mod tests {
         assert_eq!(Mapping::DoubleElement.weight_range(r), (-1.0, 1.0));
         assert_eq!(Mapping::BiasColumn.weight_range(r), (-0.5, 0.5));
         assert_eq!(Mapping::Acm.weight_range(r), (-1.0, 1.0));
+        // Perm is a physically reordered BC: same dynamic range.
+        assert_eq!(Mapping::Perm.weight_range(r), (-0.5, 0.5));
     }
 
     #[test]
@@ -196,6 +223,7 @@ mod tests {
         assert_eq!(Mapping::DoubleElement.to_string(), "DE");
         assert_eq!(Mapping::BiasColumn.to_string(), "BC");
         assert_eq!(Mapping::Acm.to_string(), "ACM");
+        assert_eq!(Mapping::Perm.to_string(), "PERM");
     }
 
     #[test]

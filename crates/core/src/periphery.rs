@@ -137,6 +137,40 @@ impl PeripheryMatrix {
         Self { s, null_vector }
     }
 
+    /// Folds a device-column permutation into this stencil: returns
+    /// `S_p = S · Pᵀ`, the periphery of an array whose physical device
+    /// column `p` stores logical device column `perm[p]`.
+    ///
+    /// Validity is inherited by construction (no rank recheck needed):
+    /// permuting columns of a ternary matrix keeps it ternary, preserves
+    /// row rank, and permutes the strictly positive null vector into
+    /// another strictly positive null vector (`x_h_p[p] = x_h[perm[p]]`).
+    /// This is how [`crate::Mapping::Perm`] keeps `W = S_p · (P·M)` exact:
+    /// `S_p · P · M = S · Pᵀ · P · M = S · M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n_dev()`.
+    pub fn permuted(&self, perm: &[usize]) -> Self {
+        let nd = self.n_dev();
+        assert_eq!(perm.len(), nd, "permutation length must equal N_D");
+        let mut seen = vec![false; nd];
+        for &l in perm {
+            assert!(l < nd && !seen[l], "not a permutation of 0..{nd}");
+            seen[l] = true;
+        }
+        let n_out = self.n_out();
+        let mut s = Tensor::zeros(&[n_out, nd]);
+        let mut null_vector = Vec::with_capacity(nd);
+        for (phys, &logical) in perm.iter().enumerate() {
+            for i in 0..n_out {
+                *s.at_mut(&[i, phys]) = self.s.at(&[i, logical]);
+            }
+            null_vector.push(self.null_vector[logical]);
+        }
+        Self { s, null_vector }
+    }
+
     /// Validates an arbitrary candidate periphery matrix against the
     /// paper's conditions.
     ///
@@ -507,6 +541,38 @@ mod tests {
         let b = PeripheryMatrix::bias_column(4);
         let s = PeripheryMatrix::block_diagonal(std::slice::from_ref(&b));
         assert_eq!(s, b);
+    }
+
+    #[test]
+    fn permuted_stencil_is_valid_and_undoes_the_row_shuffle() {
+        use xbar_tensor::rng::XorShiftRng;
+        let base = PeripheryMatrix::bias_column(4);
+        // Physical row p stores logical row perm[p].
+        let perm = [3usize, 0, 4, 1, 2];
+        let sp = base.permuted(&perm);
+        // Still a valid periphery by the expensive check.
+        let revalidated = PeripheryMatrix::try_new(sp.matrix().clone()).unwrap();
+        assert_eq!(revalidated.n_out(), 4);
+        // S_p · (P·M) == S · M for any M.
+        let mut rng = XorShiftRng::new(63);
+        let m = Tensor::rand_uniform(&[5, 6], 0.0, 1.0, &mut rng);
+        let mut m_phys = Tensor::zeros(&[5, 6]);
+        for (phys, &logical) in perm.iter().enumerate() {
+            for c in 0..6 {
+                *m_phys.at_mut(&[phys, c]) = m.at(&[logical, c]);
+            }
+        }
+        let want = linalg::matmul(base.matrix(), &m).unwrap();
+        let got = linalg::matmul(sp.matrix(), &m_phys).unwrap();
+        assert!(got.all_close(&want, 1e-6));
+        // Identity permutation is a no-op.
+        assert_eq!(base.permuted(&[0, 1, 2, 3, 4]), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permuted_rejects_duplicates() {
+        let _ = PeripheryMatrix::bias_column(2).permuted(&[0, 0, 1]);
     }
 
     #[test]

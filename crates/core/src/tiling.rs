@@ -24,7 +24,11 @@ use xbar_device::{DeviceConfig, FaultMap, ProgrammingReport, TileShape};
 use xbar_tensor::rng::XorShiftRng;
 use xbar_tensor::{backend, linalg, Tensor};
 
-use crate::{decompose, remap_for_faults, Mapping, MappingError, PeripheryMatrix, RemapReport};
+use crate::crossbar::permute_rows;
+use crate::{
+    decompose, magnitude_permutation, remap_for_faults, Mapping, MappingError, PeripheryMatrix,
+    RemapReport,
+};
 
 /// One column-group of a [`TileGrid`]: a contiguous run of logical
 /// outputs whose device columns (including any local reference column)
@@ -154,7 +158,7 @@ impl TileGrid {
     pub fn outputs_per_tile(mapping: Mapping, tile: TileShape) -> Result<usize, MappingError> {
         let cap = match mapping {
             Mapping::DoubleElement => tile.cols / 2,
-            Mapping::BiasColumn | Mapping::Acm => tile.cols.saturating_sub(1),
+            Mapping::BiasColumn | Mapping::Acm | Mapping::Perm => tile.cols.saturating_sub(1),
         };
         if cap == 0 {
             return Err(MappingError::Shape(xbar_tensor::ShapeError::new(
@@ -278,6 +282,45 @@ impl TileGrid {
         }
         Ok(m)
     }
+
+    /// Composes the parasitic read non-idealities of `device` onto a
+    /// stacked `(nd_total × n_in)` conductance tensor in place: drift
+    /// first (cell state decays where it sits; cells stuck in `faults`
+    /// are physically frozen and do not drift), then line-resistance
+    /// attenuation applied *tile-locally* — each physical array has its
+    /// own wire runs, so the IR drop restarts at every tile boundary.
+    /// Drift coordinates are the global stacked `(row, col)`, making the
+    /// decay a pure function of the cell's position in the layer
+    /// regardless of the tile grid. Leaves the tensor bitwise untouched
+    /// when both models are off.
+    pub fn apply_parasitics(
+        &self,
+        conductances: &mut Tensor,
+        device: &xbar_device::DeviceConfig,
+        faults: &xbar_device::FaultMap,
+    ) {
+        let drift = device.drift();
+        let line = device.line_resistance();
+        if drift.is_active() {
+            let range = device.range();
+            let cols = conductances.shape()[1];
+            for (idx, g) in conductances.data_mut().iter_mut().enumerate() {
+                let (r, c) = (idx / cols, idx % cols);
+                if faults.get(r, c).is_none() {
+                    *g = drift.decayed(*g, r, c, range);
+                }
+            }
+        }
+        if !line.is_none() {
+            for &(r0, rl) in self.row_blocks() {
+                for g in self.col_groups() {
+                    let mut tile_block = block(conductances, g.dev_start, g.dev_len, r0, rl);
+                    line.apply_tile(&mut tile_block);
+                    write_block(conductances, g.dev_start, r0, &tile_block);
+                }
+            }
+        }
+    }
 }
 
 /// Copies rows `[start, start + len)` of a 2-D tensor into a new tensor.
@@ -330,6 +373,25 @@ fn write_block(dst: &mut Tensor, r0: usize, c0: usize, src: &Tensor) {
     }
 }
 
+/// Composes the parasitic read non-idealities onto the stacked programmed
+/// conductances: drift first (cell state decays in place; stuck cells are
+/// physically frozen and do not drift), then line-resistance attenuation
+/// applied *tile-locally* — each physical array has its own wire runs, so
+/// the IR drop restarts at every tile boundary. Drift coordinates are the
+/// global stacked `(row, col)`, making the decay a pure function of the
+/// cell's position in the layer regardless of the tile grid. Returns a
+/// plain copy when both models are off.
+fn effective_tiled(
+    programmed: &Tensor,
+    device: &DeviceConfig,
+    faults: &FaultMap,
+    grid: &TileGrid,
+) -> Tensor {
+    let mut eff = programmed.clone();
+    grid.apply_parasitics(&mut eff, device, faults);
+    eff
+}
+
 /// A signed MVM engine built from a grid of physical crossbar tiles.
 ///
 /// Semantically equivalent to [`crate::CrossbarArray`] and exposing the
@@ -374,6 +436,10 @@ pub struct TiledCrossbar {
     targets: Tensor,
     /// Realised conductances after per-tile programming.
     programmed: Tensor,
+    /// What the read path sees: `programmed` composed with conductance
+    /// drift (global stacked coordinates) and per-tile line-resistance
+    /// attenuation. Equal to `programmed` when both parasitics are off.
+    effective: Tensor,
     /// The stuck-at defects all tiles were dealt, in the stacked frame.
     faults: FaultMap,
     /// Merged outcome of the most recent per-tile programming passes.
@@ -494,7 +560,7 @@ impl TiledCrossbar {
                 }
                 nd / 2
             }
-            Mapping::BiasColumn | Mapping::Acm => {
+            Mapping::BiasColumn | Mapping::Acm | Mapping::Perm => {
                 // nd = n_out + ceil(n_out / cap) is strictly increasing in
                 // n_out, so the group count k with nd = n_out + k is
                 // unique when it exists.
@@ -544,18 +610,38 @@ impl TiledCrossbar {
         debug_assert_eq!(m.shape(), [nd, n_in]);
         // Snap to the device's programmable states (as one array would);
         // every per-tile stage below starts from the snapped targets.
-        let snapped = m.map(|g| device.snap(g));
+        let mut snapped = m.map(|g| device.snap(g));
         let mut targets = Tensor::zeros(&[nd, n_in]);
         let mut programmed = Tensor::zeros(&[nd, n_in]);
         let mut faults = FaultMap::pristine(nd, n_in);
         let mut report = ProgrammingReport::default();
         let mut remap_report: Option<RemapReport> = None;
         // Per-group local stencils, reused across the grid rows.
-        let peripheries: Vec<PeripheryMatrix> = grid
+        let mut peripheries: Vec<PeripheryMatrix> = grid
             .col_groups()
             .iter()
             .map(|g| grid.mapping().periphery(g.out_len))
             .collect();
+        // Perm: each group derives its physical row order from the
+        // *pre-snap* conductances over the full input width (so every row
+        // block of the group agrees on one order), folds the inverse into
+        // the group's local stencil, and rearranges the group's snapped
+        // rows into physical order. The stable descending sort keeps the
+        // group's all-mid reference row in the last position.
+        if grid.mapping() == Mapping::Perm {
+            let mid = range.midpoint();
+            for (g, periphery) in grid.col_groups().iter().zip(peripheries.iter_mut()) {
+                let m_group = rows_slice(m, g.dev_start, g.dev_len);
+                let perm = magnitude_permutation(&m_group, mid);
+                *periphery = periphery.permuted(&perm);
+                let snapped_group = rows_slice(&snapped, g.dev_start, g.dev_len);
+                write_rows(
+                    &mut snapped,
+                    g.dev_start,
+                    &permute_rows(&snapped_group, &perm),
+                );
+            }
+        }
         // Deterministic tile order: row blocks outer, column groups inner.
         // Each tile is an independent physical array: it draws its own
         // defect pattern and runs its own write-verify pass.
@@ -587,7 +673,10 @@ impl TiledCrossbar {
                 report.merge(tile_report, g.dev_start, r0);
             }
         }
-        let periphery = grid.periphery();
+        // Block-diagonal over the (possibly permuted) per-group stencils;
+        // identical to `grid.periphery()` for the non-permuted mappings.
+        let periphery = PeripheryMatrix::block_diagonal(&peripheries);
+        let effective = effective_tiled(&programmed, &device, &faults, &grid);
         Ok((
             Self {
                 grid,
@@ -596,6 +685,7 @@ impl TiledCrossbar {
                 tile,
                 targets,
                 programmed,
+                effective,
                 faults,
                 report,
             },
@@ -663,15 +753,23 @@ impl TiledCrossbar {
         &self.programmed
     }
 
+    /// The conductances the read path sees: [`TiledCrossbar::conductances`]
+    /// composed with drift and per-tile line-resistance attenuation. Equal
+    /// to the programmed matrix when both parasitic models are off.
+    pub fn effective_conductances(&self) -> &Tensor {
+        &self.effective
+    }
+
     /// The ideal conductance targets (after quantization and any remap,
     /// before variation).
     pub fn targets(&self) -> &Tensor {
         &self.targets
     }
 
-    /// The effective signed weight matrix `S · G` realised by the grid.
+    /// The effective signed weight matrix `S · G` realised by the grid,
+    /// including the parasitic read non-idealities.
     pub fn effective_weights(&self) -> Tensor {
-        linalg::matmul(self.periphery.matrix(), &self.programmed)
+        linalg::matmul(self.periphery.matrix(), &self.effective)
             .expect("periphery and conductances are dimension-checked at construction")
     }
 
@@ -734,6 +832,7 @@ impl TiledCrossbar {
             }
         }
         self.programmed = programmed;
+        self.effective = effective_tiled(&self.programmed, &self.device, &self.faults, &self.grid);
         self.report = report;
     }
 
@@ -752,7 +851,7 @@ impl TiledCrossbar {
         }
         let partials = backend::parallel_map(items.clone(), |_, ((r0, rl), g)| {
             let x_block = cols_slice(x, r0, rl);
-            let m_block = block(&self.programmed, g.dev_start, g.dev_len, r0, rl);
+            let m_block = block(&self.effective, g.dev_start, g.dev_len, r0, rl);
             linalg::matmul_nt(&x_block, &m_block).expect("tile dimensions agree by construction")
         });
         let mut raw = Tensor::zeros(&[batch, nd]);
@@ -1278,5 +1377,106 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn tile_shape_rejects_zero() {
         let _ = TileShape::new(0, 4);
+    }
+
+    #[test]
+    fn tiled_parasitics_off_effective_is_bitwise_programmed() {
+        let mut r = rng();
+        let w = Tensor::rand_uniform(&[12, 30], -0.02, 0.02, &mut r);
+        for mapping in Mapping::ALL {
+            let tiled = TiledCrossbar::program_signed(
+                &w,
+                mapping,
+                DeviceConfig::quantized_linear(4).with_variation_sigma(0.03),
+                TileShape::new(8, 8),
+                &mut r,
+            )
+            .unwrap();
+            assert_eq!(
+                tiled.effective_conductances().data(),
+                tiled.conductances().data(),
+                "{mapping}: parasitics off must be a pure pass-through"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_line_resistance_restarts_at_tile_boundaries() {
+        use xbar_device::LineResistanceModel;
+        // The same layer split over smaller tiles has shorter wire runs,
+        // so the worst-case attenuation is milder than monolithic.
+        let mut r = rng();
+        let w = Tensor::rand_uniform(&[12, 30], 0.005, 0.02, &mut r);
+        let x = Tensor::ones(&[30]);
+        let dev = DeviceConfig::ideal().with_line_resistance(LineResistanceModel::new(0.01));
+        let ideal = linalg::matvec(&w, &x).unwrap();
+        let err = |tile: TileShape| {
+            let t = TiledCrossbar::program_signed(&w, Mapping::Acm, dev, tile, &mut rng()).unwrap();
+            t.mvm_signed(&x).unwrap().sub(&ideal).unwrap().abs_max()
+        };
+        assert!(err(TileShape::new(8, 8)) < err(TileShape::new(128, 128)));
+    }
+
+    #[test]
+    fn tiled_perm_sorts_each_group_and_stays_exact() {
+        let mut r = rng();
+        let w = Tensor::rand_uniform(&[13, 21], -0.02, 0.02, &mut r);
+        let tiled = TiledCrossbar::program_signed(
+            &w,
+            Mapping::Perm,
+            DeviceConfig::ideal(),
+            TileShape::new(8, 8),
+            &mut r,
+        )
+        .unwrap();
+        assert!(tiled.effective_weights().all_close(&w, 1e-4));
+        // Within every column-group the physical rows are in descending
+        // mid-deviation order.
+        let mid = tiled.device().range().midpoint();
+        let n_in = tiled.n_in();
+        for g in tiled.grid().col_groups() {
+            let dev: Vec<f32> = (g.dev_start..g.dev_start + g.dev_len)
+                .map(|j| {
+                    tiled.conductances().data()[j * n_in..(j + 1) * n_in]
+                        .iter()
+                        .map(|&v| (v - mid).abs())
+                        .sum()
+                })
+                .collect();
+            for pair in dev.windows(2) {
+                assert!(pair[0] >= pair[1] - 1e-6, "group not sorted: {dev:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_perm_remap_still_recovers_faults() {
+        use xbar_device::FaultModel;
+        let mut r = rng();
+        let w = Tensor::rand_uniform(&[12, 24], -0.02, 0.02, &mut r);
+        let dev = DeviceConfig::ideal().with_faults(FaultModel::uniform(0.02));
+        let naive = TiledCrossbar::program_signed(
+            &w,
+            Mapping::Perm,
+            dev,
+            TileShape::new(8, 8),
+            &mut XorShiftRng::new(5),
+        )
+        .unwrap();
+        let (remapped, report) = TiledCrossbar::program_signed_remapped(
+            &w,
+            Mapping::Perm,
+            dev,
+            TileShape::new(8, 8),
+            &mut XorShiftRng::new(5),
+        )
+        .unwrap();
+        assert!(naive.fault_map().num_stuck() > 0);
+        let err = |xb: &TiledCrossbar| xb.effective_weights().sub(&w).unwrap().norm_sq().sqrt();
+        assert!(
+            err(&remapped) < err(&naive),
+            "null-space slack survives the permutation"
+        );
+        assert!(report.residual_after() <= report.residual_before());
     }
 }

@@ -1,6 +1,6 @@
 use crate::{
-    ConductanceRange, FaultModel, ProgrammingModel, Quantizer, TileShape, UpdateModel,
-    VariationModel,
+    ConductanceRange, DriftModel, FaultModel, LineResistanceModel, ProgrammingModel, Quantizer,
+    TileShape, UpdateModel, VariationModel,
 };
 
 /// Complete non-ideality description of a synapse device, consumed by the
@@ -35,6 +35,8 @@ pub struct DeviceConfig {
     /// Physical array bound, when mapped execution should be split across
     /// a grid of tiles. `None` models one arbitrarily large array.
     tile: Option<TileShape>,
+    line: LineResistanceModel,
+    drift: DriftModel,
 }
 
 impl DeviceConfig {
@@ -121,6 +123,16 @@ impl DeviceConfig {
         self.tile
     }
 
+    /// The interconnect line-resistance (IR-drop) model.
+    pub fn line_resistance(&self) -> LineResistanceModel {
+        self.line
+    }
+
+    /// The time-indexed conductance-drift model.
+    pub fn drift(&self) -> DriftModel {
+        self.drift
+    }
+
     /// Number of programming pulses needed to traverse the full range —
     /// one pulse per state transition, `2^B − 1` for a `B`-bit device, or a
     /// fine default of 256 for full-precision simulation.
@@ -160,6 +172,29 @@ impl DeviceConfig {
         self
     }
 
+    /// Returns a copy with a different line-resistance model (keeps
+    /// everything else). Convenient for sweeping the IR-drop axis on a
+    /// trained model.
+    pub fn with_line_resistance(mut self, line: LineResistanceModel) -> Self {
+        self.line = line;
+        self
+    }
+
+    /// Returns a copy with a different drift model (keeps everything
+    /// else).
+    pub fn with_drift(mut self, drift: DriftModel) -> Self {
+        self.drift = drift;
+        self
+    }
+
+    /// Returns a copy read at drift time index `t` (keeps the drift
+    /// statistics and everything else). Convenient for sweeping the
+    /// drift-time axis on a trained model.
+    pub fn with_drift_time(mut self, t: u32) -> Self {
+        self.drift = self.drift.at_time(t);
+        self
+    }
+
     /// Snaps a target conductance to the nearest programmable device
     /// state, honouring both the bit precision *and* the update
     /// nonlinearity: a nonlinear device's `2^B` states sit at equal pulse
@@ -192,6 +227,8 @@ pub struct DeviceConfigBuilder {
     faults: FaultModel,
     programming: ProgrammingModel,
     tile: Option<TileShape>,
+    line: LineResistanceModel,
+    drift: DriftModel,
 }
 
 impl DeviceConfigBuilder {
@@ -204,6 +241,8 @@ impl DeviceConfigBuilder {
             faults: FaultModel::none(),
             programming: ProgrammingModel::one_shot(),
             tile: None,
+            line: LineResistanceModel::none(),
+            drift: DriftModel::none(),
         }
     }
 
@@ -265,6 +304,18 @@ impl DeviceConfigBuilder {
         self
     }
 
+    /// Sets the interconnect line-resistance (IR-drop) model.
+    pub fn line_resistance(mut self, line: LineResistanceModel) -> Self {
+        self.line = line;
+        self
+    }
+
+    /// Sets the time-indexed conductance-drift model.
+    pub fn drift(mut self, drift: DriftModel) -> Self {
+        self.drift = drift;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -284,6 +335,8 @@ impl DeviceConfigBuilder {
             faults: self.faults,
             programming: self.programming,
             tile: self.tile,
+            line: self.line,
+            drift: self.drift,
         }
     }
 }
@@ -377,6 +430,34 @@ mod tests {
         assert_eq!(e.tile_shape(), Some(t));
         assert_eq!(e.with_tile_shape(None).tile_shape(), None);
         assert_eq!(e.with_tile_shape(None), DeviceConfig::quantized_linear(3));
+    }
+
+    #[test]
+    fn parasitic_models_default_off_and_thread_through() {
+        let d = DeviceConfig::ideal();
+        assert!(d.line_resistance().is_none());
+        assert!(d.drift().is_none());
+        let line = LineResistanceModel::new(0.01);
+        let drift = DriftModel::new(0.05, 0.01, 7);
+        let e = DeviceConfig::quantized_linear(4)
+            .with_line_resistance(line)
+            .with_drift(drift)
+            .with_drift_time(100);
+        assert_eq!(e.line_resistance(), line);
+        assert_eq!(e.drift(), drift.at_time(100));
+        assert_eq!(e.bits(), Some(4));
+        let b = DeviceConfig::builder()
+            .line_resistance(line)
+            .drift(drift.at_time(100))
+            .build();
+        assert_eq!(b.line_resistance(), e.line_resistance());
+        assert_eq!(b.drift(), e.drift());
+        // Clearing the parasitics restores exact equality with the base
+        // config — the degenerate sweep point depends on this.
+        let cleared = e
+            .with_line_resistance(LineResistanceModel::none())
+            .with_drift(DriftModel::none());
+        assert_eq!(cleared, DeviceConfig::quantized_linear(4));
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Time-indexed conductance drift.
+//!
+//! PCM (and, more weakly, RRAM) conductances relax toward the
+//! low-conductance state after programming, following the empirical
+//! power law `G(t) = G(0) · (t / t0)^(-ν)` with a per-device drift
+//! exponent `ν`. [`DriftModel`] implements the normalized form
+//!
+//! ```text
+//! g(t) = g_min + (g(0) − g_min) · (1 + t)^(−ν)
+//! ```
+//!
+//! where `t` is a dimensionless time index (`t = 0` is read-at-program,
+//! no drift) and `ν = max(0, ν_mean + ν_sigma · z)` is drawn once per
+//! cell from a standard normal `z`. The per-cell draw is seeded from the
+//! model seed and the cell's coordinates — *not* from a shared stream —
+//! so the drifted state of any cell is a pure function of
+//! `(seed, t, row, col, g)`: identical across thread counts, iteration
+//! orders, and monolithic-vs-tiled traversals of the same stacked frame.
+
+use crate::ConductanceRange;
+use xbar_tensor::rng::XorShiftRng;
+use xbar_tensor::Tensor;
+
+/// Log-time conductance decay with per-device exponent variation.
+///
+/// The model is a no-op (zero arithmetic, bitwise-identical output) when
+/// either the exponent statistics are zero ([`DriftModel::is_none`]) or
+/// the time index is `0`.
+///
+/// # Example
+///
+/// ```
+/// use xbar_device::{ConductanceRange, DriftModel};
+///
+/// let drift = DriftModel::new(0.05, 0.0, 7).at_time(100);
+/// let g = drift.decayed(1.0, 3, 4, ConductanceRange::normalized());
+/// assert!(g < 1.0 && g > 0.0);
+/// assert_eq!(drift.at_time(0).decayed(1.0, 3, 4, ConductanceRange::normalized()), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftModel {
+    nu_mean: f32,
+    nu_sigma: f32,
+    seed: u64,
+    time: u32,
+}
+
+impl DriftModel {
+    /// Creates a drift model with mean exponent `nu_mean`, per-cell
+    /// spread `nu_sigma`, and a seed for the per-cell exponent draws.
+    /// The time index starts at `0` (no drift); advance it with
+    /// [`DriftModel::at_time`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either statistic is negative or non-finite.
+    pub fn new(nu_mean: f32, nu_sigma: f32, seed: u64) -> Self {
+        assert!(
+            nu_mean.is_finite() && nu_mean >= 0.0,
+            "drift exponent mean must be non-negative and finite, got {nu_mean}"
+        );
+        assert!(
+            nu_sigma.is_finite() && nu_sigma >= 0.0,
+            "drift exponent sigma must be non-negative and finite, got {nu_sigma}"
+        );
+        Self {
+            nu_mean,
+            nu_sigma,
+            seed,
+            time: 0,
+        }
+    }
+
+    /// The drift-free model.
+    pub fn none() -> Self {
+        Self::new(0.0, 0.0, 0)
+    }
+
+    /// Returns a copy read at time index `t` (keeps the exponent
+    /// statistics and seed).
+    pub fn at_time(mut self, t: u32) -> Self {
+        self.time = t;
+        self
+    }
+
+    /// The mean drift exponent.
+    pub fn nu_mean(&self) -> f32 {
+        self.nu_mean
+    }
+
+    /// The per-cell exponent spread.
+    pub fn nu_sigma(&self) -> f32 {
+        self.nu_sigma
+    }
+
+    /// The seed for per-cell exponent draws.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The dimensionless time index the array is read at.
+    pub fn time(&self) -> u32 {
+        self.time
+    }
+
+    /// Whether the exponent statistics are identically zero.
+    pub fn is_none(&self) -> bool {
+        self.nu_mean == 0.0 && self.nu_sigma == 0.0
+    }
+
+    /// Whether reading at the current time index changes anything.
+    pub fn is_active(&self) -> bool {
+        !self.is_none() && self.time > 0
+    }
+
+    /// The drift exponent of the cell at stacked-frame coordinates
+    /// `(row, col)` — a pure function of `(seed, row, col)`.
+    pub fn nu_at(&self, row: usize, col: usize) -> f32 {
+        if self.nu_sigma == 0.0 {
+            return self.nu_mean;
+        }
+        // One independent stream per cell: determinism cannot depend on
+        // the order cells are visited in.
+        let mixed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((row as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+            .wrapping_add((col as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB));
+        let mut rng = XorShiftRng::new(mixed | 1);
+        (self.nu_mean + self.nu_sigma * rng.normal()).max(0.0)
+    }
+
+    /// The multiplicative decay factor `(1 + t)^(−ν)` for the cell at
+    /// `(row, col)`; `1` when inactive.
+    pub fn decay_factor(&self, row: usize, col: usize) -> f32 {
+        if !self.is_active() {
+            return 1.0;
+        }
+        (1.0 + self.time as f32).powf(-self.nu_at(row, col))
+    }
+
+    /// The conductance of the cell at `(row, col)` after drifting from
+    /// its programmed value `g` for the model's time index.
+    pub fn decayed(&self, g: f32, row: usize, col: usize, range: ConductanceRange) -> f32 {
+        if !self.is_active() {
+            return g;
+        }
+        range.g_min() + (g - range.g_min()) * self.decay_factor(row, col)
+    }
+
+    /// Applies drift to a full stacked conductance matrix (rows index
+    /// device columns, columns index inputs), returning the drifted
+    /// copy. Bitwise identity (plain clone) when inactive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conductances` is not 2-D.
+    pub fn apply_tensor(&self, conductances: &Tensor, range: ConductanceRange) -> Tensor {
+        if !self.is_active() {
+            return conductances.clone();
+        }
+        assert_eq!(conductances.ndim(), 2, "drift applies to 2-D matrices");
+        let cols = conductances.shape()[1];
+        let mut out = conductances.clone();
+        for (idx, g) in out.data_mut().iter_mut().enumerate() {
+            *g = self.decayed(*g, idx / cols, idx % cols, range);
+        }
+        out
+    }
+}
+
+impl Default for DriftModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range() -> ConductanceRange {
+        ConductanceRange::normalized()
+    }
+
+    #[test]
+    fn time_zero_and_zero_stats_are_identity() {
+        let active_stats = DriftModel::new(0.1, 0.02, 3);
+        assert!(!active_stats.is_active(), "t = 0 must not drift");
+        assert_eq!(active_stats.decayed(0.7, 2, 5, range()), 0.7);
+        let zero_stats = DriftModel::none().at_time(1000);
+        assert!(zero_stats.is_none() && !zero_stats.is_active());
+        assert_eq!(zero_stats.decay_factor(0, 0), 1.0);
+        let t = Tensor::full(&[3, 3], 0.4);
+        assert_eq!(zero_stats.apply_tensor(&t, range()).data(), t.data());
+    }
+
+    #[test]
+    fn decay_is_monotone_in_time() {
+        let base = DriftModel::new(0.05, 0.01, 11);
+        let g1 = base.at_time(10).decayed(0.9, 1, 1, range());
+        let g2 = base.at_time(100).decayed(0.9, 1, 1, range());
+        let g3 = base.at_time(1000).decayed(0.9, 1, 1, range());
+        assert!(0.9 > g1 && g1 > g2 && g2 > g3);
+        assert!(g3 >= range().g_min());
+    }
+
+    #[test]
+    fn per_cell_exponent_is_order_independent() {
+        let d = DriftModel::new(0.05, 0.02, 42).at_time(50);
+        // Visiting cells in any order yields the same per-cell value.
+        let forward: Vec<f32> = (0..20).map(|i| d.nu_at(i, 3)).collect();
+        let backward: Vec<f32> = (0..20).rev().map(|i| d.nu_at(i, 3)).collect();
+        assert_eq!(
+            forward,
+            backward.into_iter().rev().collect::<Vec<_>>(),
+            "nu must be a pure function of (seed, row, col)"
+        );
+        // Distinct cells get distinct exponents (with sigma > 0).
+        assert_ne!(d.nu_at(0, 0), d.nu_at(0, 1));
+        assert_ne!(d.nu_at(0, 0), d.nu_at(1, 0));
+    }
+
+    #[test]
+    fn seed_changes_the_exponent_field() {
+        let a = DriftModel::new(0.05, 0.02, 1).at_time(10);
+        let b = DriftModel::new(0.05, 0.02, 2).at_time(10);
+        let diff = (0..50).filter(|&i| a.nu_at(i, 0) != b.nu_at(i, 0)).count();
+        assert!(diff > 40, "different seeds must decorrelate cells");
+    }
+
+    #[test]
+    fn tensor_application_matches_scalar_path() {
+        let d = DriftModel::new(0.08, 0.03, 9).at_time(200);
+        let mut rng = XorShiftRng::new(4);
+        let t = Tensor::rand_uniform(&[5, 7], 0.0, 1.0, &mut rng);
+        let out = d.apply_tensor(&t, range());
+        for r in 0..5 {
+            for c in 0..7 {
+                assert_eq!(out.at(&[r, c]), d.decayed(t.at(&[r, c]), r, c, range()));
+            }
+        }
+    }
+
+    #[test]
+    fn drift_never_leaves_the_range() {
+        let d = DriftModel::new(0.3, 0.3, 17).at_time(10_000);
+        let wide = ConductanceRange::new(0.1, 2.0);
+        for r in 0..10 {
+            for c in 0..10 {
+                let g = d.decayed(2.0, r, c, wide);
+                assert!(wide.contains(g), "({r}, {c}) drifted to {g}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_mean() {
+        let _ = DriftModel::new(-0.1, 0.0, 0);
+    }
+}

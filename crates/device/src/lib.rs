@@ -17,7 +17,11 @@
 //! Beyond the paper's three, the crate also models **stuck-at faults**
 //! (cells frozen at `g_min`/`g_max`, [`FaultModel`]) and **closed-loop
 //! write-verify programming** ([`ProgrammingModel`]), which together feed
-//! the fault-aware remapping machinery in `xbar-core`.
+//! the fault-aware remapping machinery in `xbar-core`, plus two
+//! *parasitic* non-idealities: **line-resistance IR drop**
+//! (position-dependent conductance attenuation, [`LineResistanceModel`])
+//! and **time-indexed conductance drift** (log-time decay with per-cell
+//! exponent variation, [`DriftModel`]).
 //!
 //! All conductances are expressed in *normalized weight units*: the device
 //! range `[g_min, g_max]` maps linearly onto the weight magnitude a single
@@ -42,7 +46,9 @@
 #![deny(missing_docs)]
 
 mod config;
+mod drift;
 mod faults;
+mod line;
 mod programming;
 mod quantizer;
 mod range;
@@ -51,7 +57,9 @@ mod update;
 mod variation;
 
 pub use config::{DeviceConfig, DeviceConfigBuilder};
+pub use drift::DriftModel;
 pub use faults::{FaultKind, FaultMap, FaultModel};
+pub use line::LineResistanceModel;
 pub use programming::{ProgrammingModel, ProgrammingReport, UnconvergedCell};
 pub use quantizer::{quantize_signed, Quantizer};
 pub use range::ConductanceRange;

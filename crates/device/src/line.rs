@@ -1,0 +1,213 @@
+//! Interconnect (line) resistance and the IR-drop it induces.
+//!
+//! A crossbar cell does not see the full driver voltage: the read current
+//! crosses one wordline segment per device column between the driver and
+//! the cell, and one bitline segment per input row between the cell and
+//! the sense amplifier. Each segment adds wire resistance, so the
+//! *effective* conductance of a cell falls with its Manhattan distance
+//! from the periphery — the position-dependent degradation X-CHANGR
+//! (Agrawal et al.) recovers by permuting rows/columns so that
+//! large-magnitude weights sit near the drivers.
+//!
+//! [`LineResistanceModel`] captures this with a single parameter: the
+//! per-segment wire resistance expressed as a fraction of the device's
+//! low-resistance state. The attenuation at tile-local position
+//! `(device column d, input row i)` is
+//!
+//! ```text
+//! a(d, i) = 1 / (1 + r · ((d + 1) + (i + 1)))
+//! ```
+//!
+//! i.e. a first-order series-resistance divider over the `d + 1` wordline
+//! and `i + 1` bitline segments the current traverses. The model is fully
+//! deterministic (no RNG), and the attenuation map for a given tile shape
+//! is computed once and cached process-wide.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use xbar_tensor::Tensor;
+
+/// Position-dependent conductance attenuation from wire (line) resistance.
+///
+/// `r_frac = 0` is the ideal zero-resistance interconnect: every
+/// attenuation factor is exactly `1` and the model is skipped entirely
+/// (no arithmetic touches the conductances, preserving bitwise identity
+/// with the resistance-free simulation).
+///
+/// # Example
+///
+/// ```
+/// use xbar_device::LineResistanceModel;
+///
+/// let line = LineResistanceModel::new(0.01);
+/// // The cell nearest the periphery is attenuated least.
+/// assert!(line.attenuation(0, 0) > line.attenuation(7, 7));
+/// assert!(LineResistanceModel::none().is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineResistanceModel {
+    r_frac: f32,
+}
+
+/// Cache key: `(device columns, input rows, r_frac bits)`.
+type MapKey = (usize, usize, u32);
+
+/// Process-wide cache of attenuation maps. Maps depend only on the tile
+/// dimensions and the resistance, so they are shared across arrays,
+/// threads and trials.
+fn map_cache() -> &'static Mutex<HashMap<MapKey, Arc<Tensor>>> {
+    static CACHE: OnceLock<Mutex<HashMap<MapKey, Arc<Tensor>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+impl LineResistanceModel {
+    /// Creates a model with per-segment wire resistance `r_frac`,
+    /// expressed as a fraction of the device low-resistance state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_frac` is negative or non-finite.
+    pub fn new(r_frac: f32) -> Self {
+        assert!(
+            r_frac.is_finite() && r_frac >= 0.0,
+            "line resistance must be non-negative and finite, got {r_frac}"
+        );
+        Self { r_frac }
+    }
+
+    /// The ideal zero-resistance interconnect.
+    pub fn none() -> Self {
+        Self::new(0.0)
+    }
+
+    /// The per-segment wire resistance as a fraction of the device LRS.
+    pub fn r_frac(&self) -> f32 {
+        self.r_frac
+    }
+
+    /// Whether the model attenuates at all.
+    pub fn is_none(&self) -> bool {
+        self.r_frac == 0.0
+    }
+
+    /// Attenuation factor for the cell at tile-local device column `d`
+    /// and input row `i` (both 0-indexed; `(0, 0)` is the corner nearest
+    /// drivers and sense amplifiers).
+    pub fn attenuation(&self, d: usize, i: usize) -> f32 {
+        if self.is_none() {
+            return 1.0;
+        }
+        1.0 / (1.0 + self.r_frac * ((d + 1) + (i + 1)) as f32)
+    }
+
+    /// The `(n_dev × n_in)` attenuation map for one tile, laid out like
+    /// the programmed conductance block (row = device column, column =
+    /// input row). Computed once per distinct `(shape, r_frac)` and
+    /// cached process-wide; repeated calls return the same shared tensor.
+    pub fn attenuation_map(&self, n_dev: usize, n_in: usize) -> Arc<Tensor> {
+        let key = (n_dev, n_in, self.r_frac.to_bits());
+        let mut cache = map_cache().lock().expect("attenuation cache poisoned");
+        if let Some(map) = cache.get(&key) {
+            return Arc::clone(map);
+        }
+        let mut data = Vec::with_capacity(n_dev * n_in);
+        for d in 0..n_dev {
+            for i in 0..n_in {
+                data.push(self.attenuation(d, i));
+            }
+        }
+        let map = Arc::new(
+            Tensor::from_vec(data, &[n_dev, n_in]).expect("attenuation map shape matches data"),
+        );
+        cache.insert(key, Arc::clone(&map));
+        map
+    }
+
+    /// Applies the attenuation map to a tile's conductance block in
+    /// place. `block` rows index device columns and columns index input
+    /// rows, both tile-local. No-op (and zero arithmetic) when
+    /// [`LineResistanceModel::is_none`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not 2-D.
+    pub fn apply_tile(&self, block: &mut Tensor) {
+        if self.is_none() {
+            return;
+        }
+        assert_eq!(block.ndim(), 2, "attenuation applies to 2-D tile blocks");
+        let (n_dev, n_in) = (block.shape()[0], block.shape()[1]);
+        let map = self.attenuation_map(n_dev, n_in);
+        for (g, a) in block.data_mut().iter_mut().zip(map.data()) {
+            *g *= a;
+        }
+    }
+}
+
+impl Default for LineResistanceModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_resistance_is_identity() {
+        let line = LineResistanceModel::none();
+        assert!(line.is_none());
+        assert_eq!(line.attenuation(5, 9), 1.0);
+        let mut block = Tensor::from_vec(vec![0.3, 0.7, 0.1, 0.9], &[2, 2]).unwrap();
+        let before = block.clone();
+        line.apply_tile(&mut block);
+        assert_eq!(block.data(), before.data(), "no-op must be bitwise");
+    }
+
+    #[test]
+    fn attenuation_decreases_with_manhattan_distance() {
+        let line = LineResistanceModel::new(0.02);
+        let a00 = line.attenuation(0, 0);
+        assert!(a00 < 1.0 && a00 > 0.0);
+        assert!(line.attenuation(1, 0) < a00);
+        assert!(line.attenuation(0, 1) < a00);
+        // Same Manhattan distance, same attenuation.
+        assert_eq!(line.attenuation(3, 1), line.attenuation(1, 3));
+        // Matches the closed form.
+        let want = 1.0 / (1.0 + 0.02 * (4.0 + 2.0));
+        assert_eq!(line.attenuation(3, 1), want);
+    }
+
+    #[test]
+    fn map_is_cached_and_shared() {
+        let line = LineResistanceModel::new(0.013);
+        let a = line.attenuation_map(6, 4);
+        let b = line.attenuation_map(6, 4);
+        assert!(Arc::ptr_eq(&a, &b), "same shape+r must share one map");
+        assert_eq!(a.shape(), [6, 4]);
+        assert_eq!(a.at(&[2, 3]), line.attenuation(2, 3));
+        // A different resistance gets its own map.
+        let c = LineResistanceModel::new(0.014).attenuation_map(6, 4);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn apply_tile_scales_each_cell() {
+        let line = LineResistanceModel::new(0.05);
+        let mut block = Tensor::full(&[3, 5], 0.8);
+        line.apply_tile(&mut block);
+        for d in 0..3 {
+            for i in 0..5 {
+                assert_eq!(block.at(&[d, i]), 0.8 * line.attenuation(d, i));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_resistance() {
+        let _ = LineResistanceModel::new(-0.1);
+    }
+}

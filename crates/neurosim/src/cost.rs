@@ -90,6 +90,22 @@ pub struct TiledCostReport {
     /// Read delay for one training epoch: tiles convert in parallel, so
     /// each layer pays its widest column group (ms).
     pub read_delay_ms: f64,
+    /// Worst-case IR-drop attenuation over all tiles: the signal fraction
+    /// surviving at the far corner of the largest tile,
+    /// `1 / (1 + r·(dev_len + row_len))`. Exactly `1.0` when the
+    /// line-resistance fraction is zero.
+    pub ir_worst_attenuation: f64,
+    /// Read energy including the IR-drop penalty (µJ): the wordline
+    /// drivers make up the power dissipated in the line parasitics, so
+    /// each layer's energy scales by the reciprocal of its worst-corner
+    /// attenuation. Equals [`read_energy_uj`](Self::read_energy_uj) at
+    /// zero line resistance.
+    pub read_energy_ir_uj: f64,
+    /// Read delay including the IR-drop penalty (ms): the sense margin
+    /// shrinks with the attenuation, so the integration window stretches
+    /// by its reciprocal. Equals [`read_delay_ms`](Self::read_delay_ms)
+    /// at zero line resistance.
+    pub read_delay_ir_ms: f64,
 }
 
 impl TiledCostReport {
@@ -112,6 +128,37 @@ pub fn evaluate_tiled(
     tile: TileShape,
     params: &TechParams,
 ) -> Result<TiledCostReport, MappingError> {
+    evaluate_tiled_with_line(workload, mapping, tile, params, 0.0)
+}
+
+/// Prices `workload` under `mapping` split across `tile`-sized physical
+/// arrays with parasitic wire resistance.
+///
+/// `r_frac` is the per-segment line resistance as a fraction of a device's
+/// on-resistance — the same parameter as
+/// `xbar_device::LineResistanceModel`. The signal reaching a cell `d`
+/// columns and `i` rows from the drivers is attenuated by
+/// `1 / (1 + r·((d+1)+(i+1)))`, so the worst corner of a tile of
+/// `row_len × dev_len` occupied cells sees `1 / (1 + r·(dev_len +
+/// row_len))`. IR drop restarts at every tile boundary, which is why the
+/// penalty is per-tile, not per-layer: smaller tiles trade fabricated
+/// area for shorter, cleaner lines.
+///
+/// The base (`read_energy_uj`, `read_delay_ms`) fields are unchanged by
+/// `r_frac`; the `*_ir_*` fields carry the penalty so callers can rank
+/// both with and without parasitics from one report.
+///
+/// # Errors
+///
+/// Returns an error if the tile is too narrow to hold one output under
+/// `mapping` (fewer than two device columns).
+pub fn evaluate_tiled_with_line(
+    workload: &Workload,
+    mapping: Mapping,
+    tile: TileShape,
+    params: &TechParams,
+    r_frac: f64,
+) -> Result<TiledCostReport, MappingError> {
     let tile_cols = tile.cols as f64;
     let mut report = TiledCostReport {
         mapping,
@@ -123,6 +170,9 @@ pub fn evaluate_tiled(
         periphery_area_um2: 0.0,
         read_energy_uj: 0.0,
         read_delay_ms: 0.0,
+        ir_worst_attenuation: 1.0,
+        read_energy_ir_uj: 0.0,
+        read_delay_ir_ms: 0.0,
     };
     for layer in workload.layers() {
         let grid = TileGrid::new(layer.outputs, layer.inputs, mapping, Some(tile))?;
@@ -135,22 +185,32 @@ pub fn evaluate_tiled(
             * params.area_coeff_um2
             * tile.rows as f64
             * tile_cols.powf(params.area_exp);
-        let (row_blocks, _) = grid.grid();
+        let row_blocks = grid.row_blocks();
+        let longest_rows = row_blocks.iter().map(|&(_, len)| len).max().unwrap_or(0);
         let mut widest = 0.0f64;
+        let mut layer_energy = 0.0;
         for g in grid.col_groups() {
             let cols = g.dev_len as f64;
             // One periphery instance (MUX/ADC/decoder/adders) per tile in
             // this group's column strip.
             report.periphery_area_um2 +=
-                row_blocks as f64 * params.periph_coeff_um2 * cols.powf(params.periph_exp);
+                row_blocks.len() as f64 * params.periph_coeff_um2 * cols.powf(params.periph_exp);
             // Energy scales with the cells actually driven.
-            report.read_energy_uj +=
+            layer_energy +=
                 params.energy_coeff_uj * layer.inputs as f64 * cols.powf(params.energy_exp);
             widest = widest.max(cols);
         }
         // Tiles convert in parallel; the layer's read waits for its
         // widest column group.
-        report.read_delay_ms += params.delay_coeff_ms * widest.powf(params.delay_exp);
+        let layer_delay = params.delay_coeff_ms * widest.powf(params.delay_exp);
+        report.read_energy_uj += layer_energy;
+        report.read_delay_ms += layer_delay;
+        // Worst IR corner of the layer: the tile pairing the widest
+        // column group with the tallest row block.
+        let attenuation = 1.0 / (1.0 + r_frac * (widest + longest_rows as f64));
+        report.ir_worst_attenuation = report.ir_worst_attenuation.min(attenuation);
+        report.read_energy_ir_uj += layer_energy / attenuation;
+        report.read_delay_ir_ms += layer_delay / attenuation;
     }
     Ok(report)
 }
@@ -333,6 +393,83 @@ mod tests {
         assert!(tiled.xbar_area_um2 > mono.xbar_area_um2 * 100.0);
         // Energy is on occupied cells, so it matches the monolithic model.
         assert!((tiled.read_energy_uj - mono.read_energy_uj).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ir_fields_match_base_at_zero_line_resistance() {
+        // The degenerate point: no wire resistance, no penalty — the IR
+        // fields collapse onto the base fields exactly.
+        let p = TechParams::nm14();
+        let w = Workload::table1_mlp();
+        for m in Mapping::ALL {
+            let r = evaluate_tiled(&w, m, TileShape::standard(), &p).unwrap();
+            assert_eq!(r.ir_worst_attenuation, 1.0);
+            assert_eq!(r.read_energy_ir_uj, r.read_energy_uj);
+            assert_eq!(r.read_delay_ir_ms, r.read_delay_ms);
+        }
+    }
+
+    #[test]
+    fn ir_penalty_grows_with_line_resistance() {
+        let p = TechParams::nm14();
+        let w = Workload::table1_mlp();
+        let tile = TileShape::standard();
+        let mut last_att = 1.0;
+        let mut last_energy = 0.0;
+        let mut last_delay = 0.0;
+        for (i, r_frac) in [0.0, 0.001, 0.005, 0.02].into_iter().enumerate() {
+            let r = evaluate_tiled_with_line(&w, Mapping::Acm, tile, &p, r_frac).unwrap();
+            if i > 0 {
+                assert!(
+                    r.ir_worst_attenuation < last_att,
+                    "{}",
+                    r.ir_worst_attenuation
+                );
+                assert!(r.read_energy_ir_uj > last_energy);
+                assert!(r.read_delay_ir_ms > last_delay);
+            }
+            // The base fields never move with r.
+            let base = evaluate_tiled(&w, Mapping::Acm, tile, &p).unwrap();
+            assert_eq!(r.read_energy_uj, base.read_energy_uj);
+            assert_eq!(r.read_delay_ms, base.read_delay_ms);
+            last_att = r.ir_worst_attenuation;
+            last_energy = r.read_energy_ir_uj;
+            last_delay = r.read_delay_ir_ms;
+        }
+    }
+
+    #[test]
+    fn ir_aware_costs_preserve_bc_acm_perm_identity() {
+        // BC, ACM, and Perm share outputs-per-tile (cols − 1), so their
+        // grids — and every cost, parasitic or not — coincide exactly.
+        // Perm only reorders rows inside each tile, which moves no wire.
+        let p = TechParams::nm14();
+        let w = Workload::table1_mlp();
+        let tile = TileShape::standard();
+        let bc = evaluate_tiled_with_line(&w, Mapping::BiasColumn, tile, &p, 0.01).unwrap();
+        for m in [Mapping::Acm, Mapping::Perm] {
+            let r = evaluate_tiled_with_line(&w, m, tile, &p, 0.01).unwrap();
+            assert_eq!(r.num_tiles, bc.num_tiles);
+            assert_eq!(r.nd_total, bc.nd_total);
+            assert_eq!(r.ir_worst_attenuation, bc.ir_worst_attenuation);
+            assert_eq!(r.read_energy_ir_uj, bc.read_energy_ir_uj);
+            assert_eq!(r.read_delay_ir_ms, bc.read_delay_ir_ms);
+        }
+    }
+
+    #[test]
+    fn smaller_tiles_soften_the_worst_ir_corner() {
+        // IR drop restarts at every tile boundary: quartering the tile
+        // shortens the worst line, at the price of more tiles (and a
+        // periphery instance on each).
+        let p = TechParams::nm14();
+        let w = Workload::table1_mlp();
+        let big =
+            evaluate_tiled_with_line(&w, Mapping::Acm, TileShape::standard(), &p, 0.01).unwrap();
+        let small =
+            evaluate_tiled_with_line(&w, Mapping::Acm, TileShape::new(64, 64), &p, 0.01).unwrap();
+        assert!(small.ir_worst_attenuation > big.ir_worst_attenuation);
+        assert!(small.num_tiles > big.num_tiles);
     }
 
     #[test]

@@ -49,6 +49,8 @@ mod cost;
 mod params;
 mod workload;
 
-pub use cost::{evaluate, evaluate_tiled, table1, CostReport, TiledCostReport};
+pub use cost::{
+    evaluate, evaluate_tiled, evaluate_tiled_with_line, table1, CostReport, TiledCostReport,
+};
 pub use params::TechParams;
 pub use workload::{LayerDims, Workload};

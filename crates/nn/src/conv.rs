@@ -33,7 +33,10 @@ pub struct Conv2d {
 #[derive(Clone)]
 struct ConvCache {
     cols: Tensor,
-    w_eff: Tensor,
+    /// The forward-time effective weights, kept only when they had to be
+    /// materialized (mapped weights); `None` means backward can re-borrow
+    /// the still-unchanged matrix from the parameter.
+    w_eff: Option<Tensor>,
     n: usize,
     geom: ConvGeometry,
 }
@@ -142,8 +145,20 @@ impl Layer for Conv2d {
         }
         let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
         let geom = ConvGeometry::new(h, w, self.kernel, self.kernel, self.stride, self.pad);
-        let w_eff = self.weights.effective_weights();
-        let (mut y, cols) = conv2d_forward(x, &w_eff, &geom)?;
+        // Borrow the effective weights when the parameter allows it (the
+        // zero-copy hot path, as in `Dense`); otherwise materialize once
+        // and keep the tensor for backward.
+        let (mut y, cols, w_cached) = match self.weights.effective_weights_ref() {
+            Some(w_eff) => {
+                let (y, cols) = conv2d_forward(x, w_eff, &geom)?;
+                (y, cols, None)
+            }
+            None => {
+                let w_eff = self.weights.effective_weights();
+                let (y, cols) = conv2d_forward(x, &w_eff, &geom)?;
+                (y, cols, Some(w_eff))
+            }
+        };
         // Per-channel bias.
         let spatial = geom.out_h * geom.out_w;
         {
@@ -163,7 +178,7 @@ impl Layer for Conv2d {
         if train {
             self.cache = Some(ConvCache {
                 cols,
-                w_eff,
+                w_eff: w_cached,
                 n,
                 geom,
             });
@@ -188,7 +203,19 @@ impl Layer for Conv2d {
                 format!("expected {:?}, got {:?}", expected, grad.shape()),
             )));
         }
-        let (grad_input, grad_weight) = conv2d_backward(grad, &cols, &w_eff, n, self.in_c, &geom)?;
+        // Backward against the forward-time effective weights: either the
+        // cached materialization, or the still-unchanged borrowable matrix
+        // (nothing mutates weights between forward and backward).
+        let (grad_input, grad_weight) = match &w_eff {
+            Some(w_eff) => conv2d_backward(grad, &cols, w_eff, n, self.in_c, &geom)?,
+            None => match self.weights.effective_weights_ref() {
+                Some(w_eff) => conv2d_backward(grad, &cols, w_eff, n, self.in_c, &geom)?,
+                None => {
+                    let w_eff = self.weights.effective_weights();
+                    conv2d_backward(grad, &cols, &w_eff, n, self.in_c, &geom)?
+                }
+            },
+        };
         self.weights.accumulate_grad(&grad_weight)?;
         // Per-channel bias gradient: sum over batch and spatial dims.
         let spatial = geom.out_h * geom.out_w;

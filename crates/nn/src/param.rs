@@ -1,7 +1,7 @@
 //! The crossbar-mapped weight parameter — the training-side embodiment of
 //! the paper's `W = S · M` factorization.
 
-use xbar_core::{Mapping, PeripheryMatrix, TileGrid};
+use xbar_core::{magnitude_permutation, Mapping, PeripheryMatrix, TileGrid};
 use xbar_device::DeviceConfig;
 use xbar_tensor::rng::XorShiftRng;
 use xbar_tensor::{linalg, Tensor};
@@ -60,8 +60,15 @@ pub struct MappedParam {
     /// Tile layout of the conductance matrix (mapped weights only);
     /// monolithic 1×1 when the device has no tile bound.
     grid: Option<TileGrid>,
-    /// Block-diagonal over the grid's per-group stencils.
+    /// Block-diagonal over the grid's per-group stencils (with each
+    /// group's physical row permutation folded in for [`Mapping::Perm`]).
     periphery: Option<PeripheryMatrix>,
+    /// Physical row order for [`Mapping::Perm`]: entry at physical row
+    /// `p` is the *global logical* device row stored there (indices kept
+    /// as `f32` so the permutation rides the tensor checkpoint path).
+    /// `None` for every other kind. Fixed at construction; a checkpoint
+    /// restore overwrites it and rebuilds the periphery to match.
+    perm: Option<Tensor>,
     device: DeviceConfig,
     /// Master copy: `M (N_D × n_in)` for mapped weights (conductance
     /// units), or signed `W (n_out × n_in)` for the baseline.
@@ -71,6 +78,11 @@ pub struct MappedParam {
     /// When set, forward passes read these conductances instead of
     /// `q(shadow)` — used for Monte-Carlo variation sampling.
     variation_override: Option<Tensor>,
+    /// The stuck-cell map of the last [`MappedParam::apply_faults`] call,
+    /// kept so a later [`MappedParam::apply_parasitics`] can freeze stuck
+    /// cells out of the drift decay (a stuck device holds its defect
+    /// value; it has no programmed state left to lose).
+    fault_map: Option<xbar_device::FaultMap>,
     n_out: usize,
     n_in: usize,
     /// Conductance-to-logical-weight scale.
@@ -125,10 +137,12 @@ impl MappedParam {
                     kind,
                     grid: None,
                     periphery: None,
+                    perm: None,
                     device,
                     shadow,
                     grad,
                     variation_override: None,
+                    fault_map: None,
                     n_out,
                     n_in,
                     alpha: 1.0,
@@ -155,7 +169,8 @@ impl MappedParam {
                 // training produces ±3σ binary weights and diverges.
                 let w_lim = clip_sigmas(device.bits()) * rms;
                 let alpha = match mapping {
-                    Mapping::BiasColumn => 2.0 * w_lim / span,
+                    // Perm is BC with reordered rows: same half-span range.
+                    Mapping::BiasColumn | Mapping::Perm => 2.0 * w_lim / span,
                     Mapping::DoubleElement | Mapping::Acm => w_lim / span,
                 };
                 let wc = w_init.scale(1.0 / alpha); // conductance units
@@ -165,7 +180,6 @@ impl MappedParam {
                                                     // its own row-slice of the scaled weights.
                 let grid = TileGrid::new(n_out, n_in, mapping, device.tile_shape())
                     .map_err(NnError::Mapping)?;
-                let periphery = grid.periphery();
                 let mut shadow = Tensor::zeros(&[grid.nd_total(), n_in]);
                 for g in grid.col_groups() {
                     let wc_group = rows_slice(&wc, g.out_start, g.out_len);
@@ -174,15 +188,44 @@ impl MappedParam {
                     shadow.data_mut()[g.dev_start * cols..(g.dev_start + g.dev_len) * cols]
                         .copy_from_slice(m_group.data());
                 }
+                // Perm: fix each group's physical row order from the
+                // initial conductances (large mid-deviation rows first,
+                // nearest the drivers), store the shadow in that physical
+                // order, and fold the inverse into the periphery. The
+                // order is decided once here and never re-sorted during
+                // training — re-sorting would physically move device rows.
+                let perm = if mapping == Mapping::Perm {
+                    let mid = range.midpoint();
+                    let mut perm = vec![0.0f32; grid.nd_total()];
+                    for g in grid.col_groups() {
+                        let group = rows_slice(&shadow, g.dev_start, g.dev_len);
+                        let local = magnitude_permutation(&group, mid);
+                        let permuted = permute_rows(&group, &local);
+                        shadow.data_mut()[g.dev_start * n_in..(g.dev_start + g.dev_len) * n_in]
+                            .copy_from_slice(permuted.data());
+                        for (p, &logical) in local.iter().enumerate() {
+                            perm[g.dev_start + p] = (g.dev_start + logical) as f32;
+                        }
+                    }
+                    Some(Tensor::from_vec(perm, &[grid.nd_total()]).expect("len matches"))
+                } else {
+                    None
+                };
+                let periphery = match &perm {
+                    Some(perm) => periphery_for_perm(&grid, perm),
+                    None => grid.periphery(),
+                };
                 let grad = Tensor::zeros(shadow.shape());
                 Ok(Self {
                     kind,
                     grid: Some(grid),
                     periphery: Some(periphery),
+                    perm,
                     device,
                     shadow,
                     grad,
                     variation_override: None,
+                    fault_map: None,
                     n_out,
                     n_in,
                     alpha,
@@ -232,18 +275,40 @@ impl MappedParam {
         self.grid.as_ref()
     }
 
-    /// Device rows holding a fixed reference column: the last device row
-    /// of each column group (BC/ACM layouts; callers only use this for
-    /// BC, whose references are frozen at mid-range).
+    /// Device rows holding a fixed reference column: the last *logical*
+    /// device row of each column group (BC/ACM layouts; callers only use
+    /// this for BC and Perm, whose references are frozen at mid-range).
+    /// For Perm the reference sits wherever the group's permutation put
+    /// the logical last row — physically the row farthest from the
+    /// driver, since its all-mid contents have zero mid-deviation.
     fn reference_rows(&self) -> Vec<usize> {
         match &self.grid {
             Some(grid) if !matches!(grid.mapping(), Mapping::DoubleElement) => grid
                 .col_groups()
                 .iter()
-                .map(|g| g.dev_start + g.dev_len - 1)
+                .map(|g| {
+                    let logical_ref = g.dev_start + g.dev_len - 1;
+                    match &self.perm {
+                        Some(perm) => {
+                            let data = &perm.data()[g.dev_start..g.dev_start + g.dev_len];
+                            let local = data
+                                .iter()
+                                .position(|&v| v as usize == logical_ref)
+                                .expect("every logical row appears in the permutation");
+                            g.dev_start + local
+                        }
+                        None => logical_ref,
+                    }
+                })
                 .collect(),
             _ => Vec::new(),
         }
+    }
+
+    /// The stored physical→logical row permutation ([`Mapping::Perm`]
+    /// only).
+    pub fn permutation(&self) -> Option<&Tensor> {
+        self.perm.as_ref()
     }
 
     /// Number of stored scalar parameters (crossbar elements for mapped
@@ -285,7 +350,10 @@ impl MappedParam {
                 // constrained to the weight-update state ladder. On a tile
                 // grid every column group carries its own reference (the
                 // last device row of the group).
-                if matches!(self.kind, WeightKind::Mapped(Mapping::BiasColumn)) {
+                if matches!(
+                    self.kind,
+                    WeightKind::Mapped(Mapping::BiasColumn) | WeightKind::Mapped(Mapping::Perm)
+                ) {
                     let n_in = out.shape()[1];
                     let mid = self.device.range().midpoint();
                     for row in self.reference_rows() {
@@ -380,8 +448,9 @@ impl MappedParam {
                 let pre = match mapping {
                     // DE: S·Sᵀ = 2·I (per group, hence globally).
                     Mapping::DoubleElement => grad_w.scale(0.5),
-                    // BC with frozen references: identity.
-                    Mapping::BiasColumn => grad_w.clone(),
+                    // BC with frozen references: identity. Perm's Gram is
+                    // S·Pᵀ·P·Sᵀ = S·Sᵀ — row permutation cancels.
+                    Mapping::BiasColumn | Mapping::Perm => grad_w.clone(),
                     // ACM: each group's Gram is the tridiagonal path
                     // Laplacian tridiag(−1, 2, −1) of size out_len; solve
                     // per group per input column.
@@ -405,7 +474,7 @@ impl MappedParam {
                 // reference accumulates the negated sum of its group's
                 // output gradients and saturates, collapsing the sign
                 // range.
-                if matches!(mapping, Mapping::BiasColumn) {
+                if matches!(mapping, Mapping::BiasColumn | Mapping::Perm) {
                     let n_in = self.n_in;
                     for row in self.reference_rows() {
                         for v in &mut routed.data_mut()[row * n_in..(row + 1) * n_in] {
@@ -507,6 +576,8 @@ impl MappedParam {
                 self.variation_override = Some(var.sample_tensor(&targets, range, rng));
             }
         }
+        // A fresh variation draw starts from the pristine array.
+        self.fault_map = None;
     }
 
     /// Deals this parameter's crossbar a stuck-at defect pattern drawn
@@ -569,7 +640,12 @@ impl MappedParam {
                     }
                 }
                 let group_targets = rows_slice(&targets, g.dev_start, g.dev_len);
-                let group_periphery = grid.mapping().periphery(g.out_len);
+                let mut group_periphery = grid.mapping().periphery(g.out_len);
+                if let Some(perm) = &self.perm {
+                    // The stored rows are in physical order; compensate
+                    // against the same permuted stencil the forward uses.
+                    group_periphery = group_periphery.permuted(&group_perm(perm, g));
+                }
                 let (shifted, report) = xbar_core::remap_for_faults(
                     &group_targets,
                     &group_periphery,
@@ -593,7 +669,53 @@ impl MappedParam {
                 .programming()
                 .program_tensor(&targets, &var, range, Some(&map), rng);
         self.variation_override = Some(programmed);
+        self.fault_map = Some(map);
         Ok((prog_report, remap_report))
+    }
+
+    /// Composes the parasitic read non-idealities — conductance drift,
+    /// then tile-local IR-drop line-resistance attenuation — onto the
+    /// currently-programmed conductances (the override installed by
+    /// [`MappedParam::apply_variation`]/[`MappedParam::apply_faults`], or
+    /// the ideal quantized shadow when none is active). Cells recorded as
+    /// stuck by a preceding [`MappedParam::apply_faults`] do not drift.
+    /// A no-op — the override stays bitwise untouched — when both models
+    /// are inactive, so the degenerate `(R_line = 0, t = 0)` point of a
+    /// parasitic sweep reproduces the parasitic-free path exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::State`] for baseline signed weights, which have
+    /// no crossbar wires to drop voltage over.
+    pub fn apply_parasitics(
+        &mut self,
+        line: xbar_device::LineResistanceModel,
+        drift: xbar_device::DriftModel,
+    ) -> Result<(), NnError> {
+        if line.is_none() && !drift.is_active() {
+            return Ok(());
+        }
+        let Some(grid) = &self.grid else {
+            return Err(NnError::State(
+                "baseline signed weights have no crossbar lines to parasitically load".into(),
+            ));
+        };
+        let mut conductances = match self.variation_override.take() {
+            Some(c) => c,
+            None => self.quantized_shadow(),
+        };
+        let device = self.device.with_line_resistance(line).with_drift(drift);
+        let pristine;
+        let faults = match &self.fault_map {
+            Some(map) => map,
+            None => {
+                pristine = xbar_device::FaultMap::pristine(conductances.shape()[0], self.n_in);
+                &pristine
+            }
+        };
+        grid.apply_parasitics(&mut conductances, &device, faults);
+        self.variation_override = Some(conductances);
+        Ok(())
     }
 
     /// Installs an explicit conductance override for inference — the
@@ -614,12 +736,14 @@ impl MappedParam {
             "override shape must match the stored parameter"
         );
         self.variation_override = Some(conductances);
+        self.fault_map = None;
     }
 
     /// Removes any variation override (returns to ideal quantized
     /// inference).
     pub fn clear_variation(&mut self) {
         self.variation_override = None;
+        self.fault_map = None;
     }
 
     /// Whether a variation override is active.
@@ -642,7 +766,52 @@ impl MappedParam {
     pub fn visit_state(&mut self, prefix: &str, visitor: &mut dyn crate::StateVisitor) {
         visitor.tensor(&format!("{prefix}shadow"), &mut self.shadow);
         visitor.rng(&format!("{prefix}update_rng"), &mut self.update_rng);
+        // The Perm row order is part of the trained state: the shadow rows
+        // are stored physically, so the permutation that decodes them must
+        // travel with them. After a restore pass may have overwritten it,
+        // rebuild the periphery so the stencil always matches.
+        if let Some(perm) = &mut self.perm {
+            visitor.tensor(&format!("{prefix}perm"), perm);
+            let grid = self.grid.as_ref().expect("Perm parameters carry a grid");
+            self.periphery = Some(periphery_for_perm(grid, perm));
+        }
     }
+}
+
+/// Reorders the rows of a 2-D tensor: output row `p` is input row
+/// `perm[p]`.
+fn permute_rows(t: &Tensor, perm: &[usize]) -> Tensor {
+    let cols = t.shape()[1];
+    let mut out = Tensor::zeros(&[perm.len(), cols]);
+    for (p, &logical) in perm.iter().enumerate() {
+        out.data_mut()[p * cols..(p + 1) * cols]
+            .copy_from_slice(&t.data()[logical * cols..(logical + 1) * cols]);
+    }
+    out
+}
+
+/// The group-local physical→logical row order for column group `g`,
+/// sliced out of the stacked permutation tensor.
+fn group_perm(perm: &Tensor, g: &xbar_core::ColGroup) -> Vec<usize> {
+    perm.data()[g.dev_start..g.dev_start + g.dev_len]
+        .iter()
+        .map(|&v| v as usize - g.dev_start)
+        .collect()
+}
+
+/// Rebuilds the block-diagonal periphery with each group's physical row
+/// permutation folded into its local stencil.
+fn periphery_for_perm(grid: &TileGrid, perm: &Tensor) -> PeripheryMatrix {
+    let blocks: Vec<PeripheryMatrix> = grid
+        .col_groups()
+        .iter()
+        .map(|g| {
+            grid.mapping()
+                .periphery(g.out_len)
+                .permuted(&group_perm(perm, g))
+        })
+        .collect();
+    PeripheryMatrix::block_diagonal(&blocks)
 }
 
 /// Copies rows `[start, start + len)` of a 2-D tensor into a new tensor.
@@ -722,7 +891,9 @@ fn init_conductances(wc: &Tensor, mapping: Mapping, device: &DeviceConfig) -> Te
             }
             m
         }
-        Mapping::BiasColumn => {
+        // Perm initialises exactly like BC — in logical row order; the
+        // caller applies the physical permutation afterwards.
+        Mapping::BiasColumn | Mapping::Perm => {
             let mut m = Tensor::zeros(&[n_out + 1, n_in]);
             for j in 0..n_out {
                 for i in 0..n_in {
@@ -805,6 +976,86 @@ mod tests {
                 p.effective_weights().all_close(&w, 1e-4),
                 "{mapping} init should reconstruct exactly (4σ headroom)"
             );
+        }
+    }
+
+    #[test]
+    fn apply_parasitics_off_is_a_bitwise_noop() {
+        let w = he_init(6, 8, 140);
+        for mapping in Mapping::ALL {
+            let mut p = MappedParam::from_signed(
+                &w,
+                WeightKind::Mapped(mapping),
+                DeviceConfig::quantized_linear(4),
+            )
+            .unwrap();
+            let mut rng = XorShiftRng::new(9);
+            p.apply_variation(0.05, &mut rng);
+            let before = p.variation_override.clone().unwrap();
+            p.apply_parasitics(
+                xbar_device::LineResistanceModel::none(),
+                xbar_device::DriftModel::none(),
+            )
+            .unwrap();
+            assert_eq!(
+                p.variation_override.as_ref().unwrap().data(),
+                before.data(),
+                "{mapping}: inactive parasitics must not rewrite the override"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_parasitics_attenuates_the_programmed_override() {
+        let w = he_init(6, 8, 141);
+        let mut p = MappedParam::from_signed(
+            &w,
+            WeightKind::Mapped(Mapping::Acm),
+            DeviceConfig::quantized_linear(4),
+        )
+        .unwrap();
+        let ideal = p.quantized_shadow();
+        p.apply_parasitics(
+            xbar_device::LineResistanceModel::new(0.002),
+            xbar_device::DriftModel::none(),
+        )
+        .unwrap();
+        let loaded = p.variation_override.clone().unwrap();
+        for (i, (&g, &g0)) in loaded.data().iter().zip(ideal.data()).enumerate() {
+            assert!(g <= g0, "cell {i}: attenuation can only lower conductance");
+            if g0 > 0.0 {
+                assert!(g < g0, "cell {i}: live cell must see some IR drop");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_parasitics_drift_skips_stuck_cells() {
+        let w = he_init(6, 8, 142);
+        let mut p = MappedParam::from_signed(
+            &w,
+            WeightKind::Mapped(Mapping::BiasColumn),
+            DeviceConfig::quantized_linear(4),
+        )
+        .unwrap();
+        let mut rng = XorShiftRng::new(17);
+        p.apply_faults(xbar_device::FaultModel::uniform(0.2), 0.0, false, &mut rng)
+            .unwrap();
+        let map = p.fault_map.clone().unwrap();
+        let programmed = p.variation_override.clone().unwrap();
+        assert!(map.num_stuck() > 0, "want stuck cells in this scenario");
+        let drift = xbar_device::DriftModel::new(0.1, 0.0, 77).at_time(1000);
+        p.apply_parasitics(xbar_device::LineResistanceModel::none(), drift)
+            .unwrap();
+        let drifted = p.variation_override.clone().unwrap();
+        let cols = programmed.shape()[1];
+        for (idx, (&before, &after)) in programmed.data().iter().zip(drifted.data()).enumerate() {
+            let (r, c) = (idx / cols, idx % cols);
+            if map.get(r, c).is_some() {
+                assert_eq!(after, before, "stuck cell ({r}, {c}) must not drift");
+            } else {
+                assert!(after <= before, "live cell ({r}, {c}) decays toward g_min");
+            }
         }
     }
 
@@ -1036,8 +1287,9 @@ mod tests {
             assert!(tiled.tile_grid().unwrap().num_tiles() > 1, "{mapping}");
             assert_eq!(tiled.alpha(), mono.alpha(), "{mapping}");
             match mapping {
-                // DE/BC initialise element-locally: identical layouts.
-                Mapping::DoubleElement | Mapping::BiasColumn => assert!(
+                // DE/BC initialise element-locally (and Perm's folded-in
+                // permutation cancels exactly): identical layouts.
+                Mapping::DoubleElement | Mapping::BiasColumn | Mapping::Perm => assert!(
                     tiled
                         .effective_weights()
                         .all_close(&mono.effective_weights(), 1e-5),
@@ -1131,6 +1383,92 @@ mod tests {
         p.accumulate_grad(&big).unwrap();
         p.apply_update(0.1);
         check_refs(&p);
+    }
+
+    #[test]
+    fn perm_init_matches_bc_exactly() {
+        // Perm is BC with reordered device rows and the inverse folded
+        // into the periphery, so the effective weights coincide.
+        let w = he_init(6, 8, 140);
+        let bc = MappedParam::from_signed(
+            &w,
+            WeightKind::Mapped(Mapping::BiasColumn),
+            DeviceConfig::ideal(),
+        )
+        .unwrap();
+        let perm =
+            MappedParam::from_signed(&w, WeightKind::Mapped(Mapping::Perm), DeviceConfig::ideal())
+                .unwrap();
+        assert_eq!(perm.alpha(), bc.alpha());
+        assert!(perm
+            .effective_weights()
+            .all_close(&bc.effective_weights(), 1e-6));
+        // The physical order really is a non-identity shuffle for a
+        // generic init.
+        let p = perm.permutation().unwrap();
+        assert!(p.data().iter().enumerate().any(|(i, &v)| v as usize != i));
+    }
+
+    #[test]
+    fn perm_reference_row_is_frozen_at_its_physical_position() {
+        let w = he_init(6, 4, 141);
+        let dev = DeviceConfig::quantized_linear(4);
+        let mut p = MappedParam::from_signed(&w, WeightKind::Mapped(Mapping::Perm), dev).unwrap();
+        let refs = p.reference_rows();
+        assert_eq!(refs.len(), 1);
+        let mid = dev.range().midpoint();
+        let check = |p: &MappedParam| {
+            let g = p.conductances().unwrap();
+            for i in 0..p.n_in() {
+                assert_eq!(g.at(&[refs[0], i]), mid, "reference moved");
+            }
+        };
+        check(&p);
+        let big = Tensor::full(&[6, 4], 5.0);
+        p.accumulate_grad(&big).unwrap();
+        p.apply_update(0.1);
+        check(&p);
+    }
+
+    #[test]
+    fn perm_state_round_trips_bitwise_through_a_snapshot() {
+        use crate::persist::{collect_state, restore_state};
+        use crate::{Dense, Layer};
+        let dev = DeviceConfig::quantized_linear(4);
+        let mut rng = XorShiftRng::new(150);
+        let mut net = Dense::new(8, 5, WeightKind::Mapped(Mapping::Perm), dev, &mut rng).unwrap();
+        // Train a few steps so shadow, perm, and update stream all carry
+        // non-trivial state.
+        let x = Tensor::rand_uniform(&[4, 8], -1.0, 1.0, &mut rng);
+        let target = Tensor::rand_uniform(&[4, 5], -0.5, 0.5, &mut rng);
+        for _ in 0..5 {
+            let y = net.forward(&x, true).unwrap();
+            let diff = y.sub(&target).unwrap();
+            net.zero_grad();
+            net.backward(&diff).unwrap();
+            net.update(0.05);
+        }
+        let snapshot = collect_state(&mut net);
+        // The permutation is part of the persisted state.
+        assert!(
+            snapshot.iter().any(|item| item.name().ends_with(".perm")),
+            "snapshot must carry the Perm row order"
+        );
+        let want = net.forward(&x, false).unwrap();
+        // Restore into a fresh identically-constructed network (the
+        // persistence contract: α and architecture are rebuilt from the
+        // same constructor, trained state comes from the snapshot).
+        let mut rng2 = XorShiftRng::new(150);
+        let mut other =
+            Dense::new(8, 5, WeightKind::Mapped(Mapping::Perm), dev, &mut rng2).unwrap();
+        assert!(!other.forward(&x, false).unwrap().all_close(&want, 1e-6));
+        restore_state(&mut other, &snapshot).unwrap();
+        let got = other.forward(&x, false).unwrap();
+        assert_eq!(got.data(), want.data(), "restore must be bitwise");
+        assert_eq!(
+            other.weights().permutation().unwrap().data(),
+            net.weights().permutation().unwrap().data()
+        );
     }
 
     #[test]
