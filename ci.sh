@@ -88,4 +88,32 @@ sort "$SWEEP_TMP/par-j.jsonl" > "$SWEEP_TMP/par-j.sorted"
 cmp "$SWEEP_TMP/par-full.sorted" "$SWEEP_TMP/par-j.sorted"
 echo "    parasitic grid output + journal byte-identical across kill/resume"
 
+echo "==> autotune dispatch gate (cold/warm tune cache + static fallback)"
+# Smoke bench twice against a throwaway tune cache: the cold run must
+# measure and persist every blocked shape class, the warm run must serve
+# them all from the file without re-measuring; both must report per-entry
+# routine names and serial/parallel parity. A third run with
+# XBAR_AUTOTUNE=0 must pin the static table — dispatch never changes bits,
+# so parity holds in all three configurations.
+XBAR_THREADS=4 XBAR_TUNE_CACHE="$SWEEP_TMP/tune.json" \
+    cargo run --release -p xbar-bench --bin bench_kernels -- --smoke \
+    --out "$SWEEP_TMP/bench-cold.json"
+grep -q '"routine": "' "$SWEEP_TMP/bench-cold.json"
+grep -q '"tune_source": "measured"' "$SWEEP_TMP/bench-cold.json"
+grep -q '"parity": true' "$SWEEP_TMP/bench-cold.json"
+! grep -q '"parity": false' "$SWEEP_TMP/bench-cold.json"
+test -s "$SWEEP_TMP/tune.json"
+XBAR_THREADS=4 XBAR_TUNE_CACHE="$SWEEP_TMP/tune.json" \
+    cargo run --release -p xbar-bench --bin bench_kernels -- --smoke \
+    --out "$SWEEP_TMP/bench-warm.json"
+grep -q '"tune_source": "cached"' "$SWEEP_TMP/bench-warm.json"
+! grep -q '"tune_source": "measured"' "$SWEEP_TMP/bench-warm.json"
+! grep -q '"parity": false' "$SWEEP_TMP/bench-warm.json"
+XBAR_THREADS=4 XBAR_AUTOTUNE=0 \
+    cargo run --release -p xbar-bench --bin bench_kernels -- --smoke \
+    --out "$SWEEP_TMP/bench-static.json"
+grep -q '"tune_source": "static"' "$SWEEP_TMP/bench-static.json"
+! grep -q '"parity": false' "$SWEEP_TMP/bench-static.json"
+echo "    routine dispatch: cold measured, warm cached, static fallback — parity on all"
+
 echo "CI OK"

@@ -27,7 +27,7 @@ use std::time::Instant;
 use xbar_core::{CrossbarArray, Mapping};
 use xbar_device::DeviceConfig;
 use xbar_tensor::rng::XorShiftRng;
-use xbar_tensor::{backend, linalg, simd_active, Tensor};
+use xbar_tensor::{backend, dispatch, linalg, simd_active, tune, Tensor};
 
 /// Benchmark scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +74,16 @@ pub struct Entry {
     pub vs_serial: Option<f64>,
     /// Whether the parallel result was bitwise identical to serial.
     pub parity: bool,
+    /// Registry name of the dispatched GEMM routine (GEMM entries only).
+    pub routine: Option<&'static str>,
+    /// How the routine was selected: `"measured"` on a cold tune,
+    /// `"cached"` from a warm `XBAR_TUNE_CACHE`, `"static"` under
+    /// `XBAR_AUTOTUNE=0`, `"small"` for sub-threshold shapes.
+    pub tune_source: Option<&'static str>,
+    /// Wall-clock cost of the measurement pass behind the selection
+    /// (milliseconds) — what a warm-cache run skips. Absent for
+    /// static/small selections.
+    pub tune_ms: Option<f64>,
     /// Heap `(allocations, bytes)` of one naive evaluation, when the
     /// counting allocator is installed (see [`crate::alloc_count`]).
     pub naive_allocs: Option<(u64, u64)>,
@@ -111,6 +121,8 @@ pub struct Report {
     pub threads: usize,
     /// Whether the SIMD micro-kernel was active.
     pub simd: bool,
+    /// Whether autotuned dispatch was enabled (`XBAR_AUTOTUNE != "0"`).
+    pub autotune: bool,
     /// All measured entries.
     pub entries: Vec<Entry>,
 }
@@ -124,6 +136,7 @@ impl Report {
         s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode.tag()));
         s.push_str(&format!("  \"threads\": {},\n", self.threads));
         s.push_str(&format!("  \"simd\": {},\n", self.simd));
+        s.push_str(&format!("  \"autotune\": {},\n", self.autotune));
         s.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             s.push_str("    {");
@@ -158,6 +171,15 @@ impl Report {
                 "\"speedup_vs_serial\": {:.2}, ",
                 e.speedup_vs_serial()
             ));
+            if let Some(routine) = e.routine {
+                s.push_str(&format!("\"routine\": \"{routine}\", "));
+            }
+            if let Some(source) = e.tune_source {
+                s.push_str(&format!("\"tune_source\": \"{source}\", "));
+            }
+            if let Some(tune_ms) = e.tune_ms {
+                s.push_str(&format!("\"tune_ms\": {tune_ms:.3}, "));
+            }
             s.push_str(&format!("\"parity\": {}", e.parity));
             s.push_str(if i + 1 == self.entries.len() {
                 "}\n"
@@ -184,8 +206,11 @@ impl Report {
             let allocs = e
                 .parallel_allocs
                 .map_or_else(String::new, |(a, b)| format!("  {a} allocs/{b} B"));
+            let routine = e.routine.map_or_else(String::new, |r| {
+                format!("  [{r}/{}]", e.tune_source.unwrap_or("?"))
+            });
             s.push_str(&format!(
-                "  {:<24} {:>18}  {:8.3} ms  {:7.2} GF/s  x{} vs naive  x{:.2} vs serial  parity={}{}\n",
+                "  {:<24} {:>18}  {:8.3} ms  {:7.2} GF/s  x{} vs naive  x{:.2} vs serial  parity={}{}{}\n",
                 e.name,
                 e.dims,
                 e.parallel_ms,
@@ -193,6 +218,7 @@ impl Report {
                 speedup,
                 e.speedup_vs_serial(),
                 e.parity,
+                routine,
                 allocs
             ));
         }
@@ -406,6 +432,10 @@ fn gemm_entry(
     let naive_allocs = arm_allocs(|| naive(&a, &b));
     backend::force_serial(false);
     let parallel_allocs = arm_allocs(|| run(&a, &b));
+    // The parity runs above already resolved (and, on a cold cache,
+    // measured) this shape class, so this lookup reports the selection
+    // the timed arms actually dispatched to.
+    let sel = selection_for_kind(kind, m, k, n);
     Entry {
         name: name.to_string(),
         kind,
@@ -416,10 +446,25 @@ fn gemm_entry(
         parallel_ms,
         vs_serial: Some(vs_serial),
         parity,
+        routine: Some(sel.routine),
+        tune_source: Some(sel.source.tag()),
+        tune_ms: sel.tune_ms,
         naive_allocs,
         serial_allocs,
         parallel_allocs,
     }
+}
+
+/// Resolves the dispatch selection for a GEMM kind/shape (triggers a
+/// cold tune on a cache miss, exactly like the kernels themselves).
+fn selection_for_kind(kind: &str, m: usize, k: usize, n: usize) -> dispatch::Selection {
+    let (trans_a, trans_b) = match kind {
+        "matmul" => (false, false),
+        "matmul_tn" => (true, false),
+        "matmul_nt" => (false, true),
+        other => unreachable!("unknown GEMM kind {other}"),
+    };
+    dispatch::selection_for(trans_a, trans_b, m, k, n)
 }
 
 /// Runs a serial/parallel e2e entry (no naive arm).
@@ -453,6 +498,9 @@ fn e2e_entry<T: PartialEq>(
         parallel_ms,
         vs_serial: Some(vs_serial),
         parity,
+        routine: None,
+        tune_source: None,
+        tune_ms: None,
         naive_allocs: None,
         serial_allocs,
         parallel_allocs,
@@ -729,10 +777,57 @@ fn train_step_entry(mode: Mode, reps: usize) -> Entry {
         parallel_ms,
         vs_serial: Some(vs_serial),
         parity,
+        routine: None,
+        tune_source: None,
+        tune_ms: None,
         naive_allocs,
         serial_allocs,
         parallel_allocs,
     }
+}
+
+/// The GEMM shapes of the suite as `(name, kind, m, k, n, seed)` rows,
+/// shared by [`run`] and [`tune_pass`] so the tune pass resolves exactly
+/// the classes the timed suite dispatches.
+pub fn gemm_shapes(mode: Mode) -> Vec<(&'static str, &'static str, usize, usize, usize, u64)> {
+    // The 256³ square is measured in BOTH modes: it carries the repo's
+    // headline acceptance number, and smoke runs overwrite the JSON.
+    let mut shapes = vec![("matmul_square_256", "matmul", 256, 256, 256, 11u64)];
+    match mode {
+        Mode::Smoke => {
+            shapes.push(("matmul_smoke_odd", "matmul", 33, 65, 17, 12));
+            shapes.push(("matmul_nt_smoke", "matmul_nt", 64, 64, 64, 13));
+            shapes.push(("matmul_tn_smoke", "matmul_tn", 64, 64, 64, 14));
+        }
+        Mode::Full => {
+            shapes.push(("matmul_tn_square_256", "matmul_tn", 256, 256, 256, 15));
+            shapes.push(("matmul_nt_square_256", "matmul_nt", 256, 256, 256, 16));
+            // LeNet conv2 im2col GEMM at batch 32 (8×8 spatial, 6·5·5
+            // patch, 16 filters).
+            shapes.push(("lenet_conv2_gemm", "matmul_nt", 2048, 150, 16, 17));
+            // LeNet fc1 forward at batch 32.
+            shapes.push(("lenet_fc1_gemm", "matmul_nt", 32, 400, 120, 18));
+            // VGG 3×3 conv 64→128 channels on 8×8 at batch 32.
+            shapes.push(("vgg_conv_gemm", "matmul_nt", 2048, 576, 128, 19));
+            // ResNet-20 3×3 conv 32→32 channels on 16×16 at batch 32.
+            shapes.push(("resnet_conv_gemm", "matmul_nt", 8192, 288, 32, 20));
+            // Dense backward weight gradient (xᵀ·dy) shape.
+            shapes.push(("dense_bwd_gemm", "matmul_tn", 400, 32, 120, 21));
+        }
+    }
+    shapes
+}
+
+/// Resolves the selector once for every suite GEMM shape, so cold-tune
+/// measurement cost lands here instead of inside the timed arms. Returns
+/// `(entry name, selection)` rows for reporting; callers typically print
+/// `scratch::stats()` afterwards since tuning runs through the same
+/// scratch pool as the kernels.
+pub fn tune_pass(mode: Mode) -> Vec<(&'static str, dispatch::Selection)> {
+    gemm_shapes(mode)
+        .into_iter()
+        .map(|(name, kind, m, k, n, _)| (name, selection_for_kind(kind, m, k, n)))
+        .collect()
 }
 
 /// Runs the benchmark suite at `mode` scale.
@@ -743,119 +838,8 @@ pub fn run(mode: Mode) -> Report {
     };
     let mut entries = Vec::new();
 
-    // The 256³ square is measured in BOTH modes: it carries the repo's
-    // headline acceptance number, and smoke runs overwrite the JSON.
-    entries.push(gemm_entry(
-        "matmul_square_256",
-        "matmul",
-        256,
-        256,
-        256,
-        reps,
-        11,
-    ));
-
-    match mode {
-        Mode::Smoke => {
-            entries.push(gemm_entry(
-                "matmul_smoke_odd",
-                "matmul",
-                33,
-                65,
-                17,
-                reps,
-                12,
-            ));
-            entries.push(gemm_entry(
-                "matmul_nt_smoke",
-                "matmul_nt",
-                64,
-                64,
-                64,
-                reps,
-                13,
-            ));
-            entries.push(gemm_entry(
-                "matmul_tn_smoke",
-                "matmul_tn",
-                64,
-                64,
-                64,
-                reps,
-                14,
-            ));
-        }
-        Mode::Full => {
-            entries.push(gemm_entry(
-                "matmul_tn_square_256",
-                "matmul_tn",
-                256,
-                256,
-                256,
-                reps,
-                15,
-            ));
-            entries.push(gemm_entry(
-                "matmul_nt_square_256",
-                "matmul_nt",
-                256,
-                256,
-                256,
-                reps,
-                16,
-            ));
-            // LeNet conv2 im2col GEMM at batch 32 (8×8 spatial, 6·5·5
-            // patch, 16 filters).
-            entries.push(gemm_entry(
-                "lenet_conv2_gemm",
-                "matmul_nt",
-                2048,
-                150,
-                16,
-                reps,
-                17,
-            ));
-            // LeNet fc1 forward at batch 32.
-            entries.push(gemm_entry(
-                "lenet_fc1_gemm",
-                "matmul_nt",
-                32,
-                400,
-                120,
-                reps,
-                18,
-            ));
-            // VGG 3×3 conv 64→128 channels on 8×8 at batch 32.
-            entries.push(gemm_entry(
-                "vgg_conv_gemm",
-                "matmul_nt",
-                2048,
-                576,
-                128,
-                reps,
-                19,
-            ));
-            // ResNet-20 3×3 conv 32→32 channels on 16×16 at batch 32.
-            entries.push(gemm_entry(
-                "resnet_conv_gemm",
-                "matmul_nt",
-                8192,
-                288,
-                32,
-                reps,
-                20,
-            ));
-            // Dense backward weight gradient (xᵀ·dy) shape.
-            entries.push(gemm_entry(
-                "dense_bwd_gemm",
-                "matmul_tn",
-                400,
-                32,
-                120,
-                reps,
-                21,
-            ));
-        }
+    for (name, kind, m, k, n, seed) in gemm_shapes(mode) {
+        entries.push(gemm_entry(name, kind, m, k, n, reps, seed));
     }
 
     // E2E: conv2d forward (im2col + GEMM + NCHW reorder).
@@ -962,6 +946,7 @@ pub fn run(mode: Mode) -> Report {
         mode,
         threads: backend::threads(),
         simd: simd_active(),
+        autotune: tune::autotune_enabled(),
         entries,
     }
 }
@@ -976,6 +961,13 @@ mod tests {
         assert!(report.entries.len() >= 5);
         assert!(report.entries.iter().all(|e| e.parity));
         assert!(report.entries.iter().any(|e| e.name == "matmul_square_256"));
+        // Every GEMM entry carries its dispatched routine; e2e entries
+        // don't.
+        for e in &report.entries {
+            let is_gemm = matches!(e.kind, "matmul" | "matmul_tn" | "matmul_nt");
+            assert_eq!(e.routine.is_some(), is_gemm, "{}", e.name);
+            assert_eq!(e.tune_source.is_some(), is_gemm, "{}", e.name);
+        }
         assert!(report.entries.iter().any(|e| e.name == "tiled_mvm"));
         let train = report
             .entries
@@ -989,7 +981,23 @@ mod tests {
         assert!(json.contains("\"bench\": \"kernels\""));
         assert!(json.contains("matmul_square_256"));
         assert!(json.contains("speedup_vs_serial"));
+        assert!(json.contains("\"autotune\": "));
+        assert!(json.contains("\"routine\": \""));
+        assert!(json.contains("\"tune_source\": \""));
         assert!(!report.summary().is_empty());
+    }
+
+    #[test]
+    fn tune_pass_covers_every_gemm_shape() {
+        let selections = tune_pass(Mode::Smoke);
+        assert_eq!(selections.len(), gemm_shapes(Mode::Smoke).len());
+        for (name, sel) in &selections {
+            assert!(!sel.key.is_empty(), "{name} has no shape-class key");
+            assert!(
+                xbar_tensor::dispatch::routine_by_name(sel.routine).is_some(),
+                "{name} resolved an unregistered routine"
+            );
+        }
     }
 
     #[test]

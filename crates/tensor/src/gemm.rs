@@ -1,8 +1,14 @@
-//! Cache-blocked GEMM engine shared by every matmul variant.
+//! GEMM engine primitives shared by every registered routine.
 //!
-//! One engine computes `C = op(A) · op(B)` for all of `matmul` (NN),
-//! `matmul_tn` (TN) and `matmul_nt` (NT). The blocked path follows the
-//! classic pack-and-tile scheme:
+//! One engine computes `C += op(A) · op(B)` for all of `matmul` (NN),
+//! `matmul_tn` (TN) and `matmul_nt` (NT). This module owns the numeric
+//! building blocks — packing, micro-kernels, the small-problem streaming
+//! kernels and the SIMD feature gate — while [`crate::dispatch`] owns the
+//! *routing*: which registered routine runs a given problem shape, picked
+//! by a static heuristic table or the persistent autotune cache
+//! ([`crate::tune`]).
+//!
+//! The blocked path follows the classic pack-and-tile scheme:
 //!
 //! * the depth dimension is split into `KC`-deep blocks so one packed B
 //!   panel stays resident in L1/L2 across a whole row sweep;
@@ -10,42 +16,36 @@
 //!   confines all transposed/strided access to the packing step;
 //! * A blocks are packed to row-major `rows × KC`, again hiding the TN
 //!   stride from the inner loop;
-//! * the micro-kernel updates an `MR × NR` register tile, with an
+//! * the micro-kernel updates an `MRT × NR` register tile, with an
 //!   AVX2+FMA variant selected at runtime (scalar fallback elsewhere,
-//!   `XBAR_SIMD=0` forces the fallback).
-//!
-//! Row-range parallelism: output rows are split into fixed-size row
-//! chunks handed to [`backend::parallel_chunks_mut`] — `MC` rows for
-//! NN/NT, and a finer work-balanced granularity for TN (whose packing
-//! step is a strided column gather; see [`chunk_rows`]). Sub-threshold TN
-//! problems run the blocked loop as a single chunk, bypassing pool
-//! dispatch entirely. Chunk boundaries depend only on the problem size,
-//! each output element lives in exactly one chunk, and every chunk runs
-//! the identical depth-block loop in increasing order, so per-element
-//! accumulation order — and therefore the bitwise result — is independent
-//! of both the thread count and the chunk granularity (each output row's
-//! dot products accumulate row-locally).
+//!   `XBAR_SIMD=0` forces the fallback). The tile height `MRT` is a const
+//!   generic: per output element the accumulation is still one sequential
+//!   pass over the depth block into a private accumulator, so the tile
+//!   shape affects throughput only, never the bitwise result.
 //!
 //! Sub-threshold problems use simple serial kernels (`ikj` streaming
 //! loops; four-way unrolled dot products for NT) where packing overhead
-//! would dominate. The path choice depends only on the problem size,
-//! never on thread count, preserving the determinism contract.
+//! would dominate. The small/blocked boundary depends only on the problem
+//! size, never on thread count or tuning state, preserving the
+//! determinism contract (see `dispatch` for the full argument).
 
-use crate::{backend, scratch};
 use std::sync::OnceLock;
 
 /// Depth of a packed panel: one panel is `KC × NR` floats (16 KiB).
 pub(crate) const KC: usize = 256;
 /// Panel width in columns; the micro-kernel's register-tile width.
 pub(crate) const NR: usize = 16;
-/// Micro-kernel register-tile height in rows.
+/// Reference micro-kernel register-tile height in rows.
 pub(crate) const MR: usize = 4;
-/// Rows per parallel chunk — the unit of row-range parallelism.
+/// Rows per parallel chunk — the classic unit of row-range parallelism.
 pub(crate) const MC: usize = 64;
 
 /// Problems below this many multiply-adds (or narrower than `NR/2`
-/// columns) skip the blocked machinery.
-const SMALL_MACS: usize = 16 * 1024;
+/// columns) skip the blocked machinery. This boundary is part of the
+/// numeric contract: the small kernels accumulate in a different order
+/// than the blocked ones, so the class split must be a fixed function of
+/// the problem size alone (never of tuning state).
+pub(crate) const SMALL_MACS: usize = 16 * 1024;
 
 /// Whether the AVX2+FMA micro-kernel is in use. False on non-x86_64
 /// hosts, on CPUs without AVX2/FMA, or when `XBAR_SIMD=0` is set.
@@ -68,7 +68,7 @@ pub fn simd_active() -> bool {
 }
 
 /// Computes `C += op(A) · op(B)` into `od` (row-major `m × n`, normally
-/// freshly zeroed by the caller).
+/// freshly zeroed by the caller) via the dispatch layer.
 ///
 /// Logical dims are `op(A): (m, k)`, `op(B): (k, n)`. Physically `A` is
 /// `(m, k)` when `trans_a` is false and `(k, m)` when true; `B` is
@@ -85,112 +85,13 @@ pub(crate) fn gemm(
     k: usize,
     n: usize,
 ) {
-    if m == 0 || n == 0 || k == 0 {
-        return;
-    }
-    if n < NR / 2 || m * k * n < SMALL_MACS {
-        match (trans_a, trans_b) {
-            (false, false) => small_nn(ad, bd, od, m, k, n),
-            (true, false) => small_tn(ad, bd, od, m, k, n),
-            (false, true) => small_nt(ad, bd, od, m, k, n),
-            (true, true) => unreachable!("no TT matmul variant exists"),
-        }
-        return;
-    }
-    let simd = simd_active();
-    let rows_per_chunk = chunk_rows(trans_a, m, k, n);
-    backend::parallel_chunks_mut(od, rows_per_chunk * n, |ci, oc| {
-        gemm_chunk(
-            trans_a,
-            trans_b,
-            ad,
-            bd,
-            oc,
-            ci * rows_per_chunk,
-            k,
-            m,
-            n,
-            simd,
-        );
-    });
-}
-
-/// Rows per parallel chunk, a function of the problem size only (never
-/// the thread count — determinism contract rule 1).
-///
-/// NN/NT split at `MC` rows. TN packing is a strided column gather whose
-/// cost scales with the chunk's row count, so `MC`-row chunks leave
-/// mid-size TN shapes (e.g. the `(hidden, batch)ᵀ · (batch, in)` weight
-/// gradients) with a single chunk and zero parallelism; TN instead aims
-/// for ~`2^20` multiply-adds per chunk — coarse enough that per-job queue
-/// traffic stays below 1% of a chunk's compute, fine enough to keep every
-/// lane busy on the shapes that clear the threshold. Below `2^21` total
-/// multiply-adds a TN problem stays a single chunk —
-/// [`backend::parallel_chunks_mut`] then runs it inline, so pool dispatch
-/// can never make a small TN product slower than serial.
-fn chunk_rows(trans_a: bool, m: usize, k: usize, n: usize) -> usize {
-    if !trans_a {
-        return MC;
-    }
-    const TN_PARALLEL_MIN_MACS: usize = 1 << 21;
-    if m * k * n < TN_PARALLEL_MIN_MACS {
-        return m.max(1);
-    }
-    const TN_CHUNK_MACS: usize = 1 << 20;
-    let per_row = (k * n).max(1);
-    let rows = (TN_CHUNK_MACS / per_row).max(1).div_ceil(MR) * MR;
-    rows.clamp(MR, MC)
-}
-
-/// Blocked GEMM over one chunk of `oc.len() / n` consecutive output rows
-/// starting at global row `i0`.
-#[allow(clippy::too_many_arguments)]
-fn gemm_chunk(
-    trans_a: bool,
-    trans_b: bool,
-    ad: &[f32],
-    bd: &[f32],
-    oc: &mut [f32],
-    i0: usize,
-    k: usize,
-    m: usize,
-    n: usize,
-    simd: bool,
-) {
-    let rows = oc.len() / n;
-    // Pack buffer comes from the thread-local scratch pool: steady-state
-    // training steps repeat the same shapes, so after warmup this is
-    // allocation-free.
-    let mut pa = scratch::take_filled(rows * KC, 0.0);
-    let mut panel = [0f32; KC * NR];
-    let mut p0 = 0;
-    while p0 < k {
-        let kc = KC.min(k - p0);
-        pack_a(trans_a, ad, &mut pa, i0, rows, p0, kc, m, k);
-        let mut j0 = 0;
-        while j0 < n {
-            let nr = NR.min(n - j0);
-            pack_b(trans_b, bd, &mut panel, p0, kc, j0, nr, k, n);
-            #[cfg(target_arch = "x86_64")]
-            if simd {
-                // SAFETY: `simd` is only true when AVX2+FMA were detected.
-                unsafe { kern_avx2(&pa, &panel, oc, rows, kc, n, j0, nr) };
-                j0 += NR;
-                continue;
-            }
-            let _ = simd;
-            kern_scalar(&pa, &panel, oc, rows, kc, n, j0, nr);
-            j0 += NR;
-        }
-        p0 += KC;
-    }
-    scratch::give(pa);
+    crate::dispatch::dispatch(trans_a, trans_b, ad, bd, od, m, k, n);
 }
 
 /// Packs A rows `i0..i0 + rows`, depth `p0..p0 + kc`, into row-major
-/// `rows × kc` (leading dimension `kc`).
+/// `rows × kc` (leading dimension `KC`).
 #[allow(clippy::too_many_arguments)]
-fn pack_a(
+pub(crate) fn pack_a(
     trans_a: bool,
     ad: &[f32],
     pa: &mut [f32],
@@ -215,12 +116,13 @@ fn pack_a(
             pa[r * KC..r * KC + kc].copy_from_slice(src);
         }
     }
+    let _ = m;
 }
 
 /// Packs the `kc × nr` panel of op(B) at `(p0, j0)` into `panel`,
 /// zero-padding columns `nr..NR`.
 #[allow(clippy::too_many_arguments)]
-fn pack_b(
+pub(crate) fn pack_b(
     trans_b: bool,
     bd: &[f32],
     panel: &mut [f32],
@@ -248,14 +150,52 @@ fn pack_b(
             dst[nr..].fill(0.0);
         }
     }
+    let _ = k;
 }
 
-/// Portable micro-kernel: `MR`-row register tiles over one packed panel.
-/// `pa` is packed A (`rows` rows, leading dimension `KC`), `oc` the output
-/// chunk (`rows × n`).
+/// Runs the `MRT`-row micro-kernel over one packed panel, picking the
+/// AVX2+FMA variant when `simd` is set.
+///
+/// `pa` holds the A rows with leading dimension `astride` — `KC` for
+/// packed panels, or the matrix's own row stride `k` when an NN-layout
+/// A block is fed directly without packing. The element values the
+/// kernel reads are identical either way (indexing is the only thing
+/// that changes), so skipping the pack is bitwise-invariant. `panel` is
+/// one packed `KC × NR` B panel, `oc` the output chunk (`rows × n`).
 #[allow(clippy::too_many_arguments)]
-fn kern_scalar(
+pub(crate) fn microkernel<const MRT: usize>(
     pa: &[f32],
+    astride: usize,
+    panel: &[f32],
+    oc: &mut [f32],
+    rows: usize,
+    kc: usize,
+    n: usize,
+    j0: usize,
+    nr: usize,
+    simd: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: `simd` is only true when AVX2+FMA were detected.
+        unsafe { kern_avx2::<MRT>(pa, astride, panel, oc, rows, kc, n, j0, nr) };
+        return;
+    }
+    let _ = simd;
+    kern_scalar::<MRT>(pa, astride, panel, oc, rows, kc, n, j0, nr);
+}
+
+/// Portable micro-kernel: `MRT`-row register tiles over one packed panel.
+///
+/// Per output element the accumulation is a single in-order pass over
+/// `pp = 0..kc` into a private accumulator, followed by one add into the
+/// output — independent of `MRT`, which only changes how many rows share
+/// a register tile. Every `MRT` therefore produces bitwise-identical
+/// results.
+#[allow(clippy::too_many_arguments)]
+fn kern_scalar<const MRT: usize>(
+    pa: &[f32],
+    astride: usize,
     panel: &[f32],
     oc: &mut [f32],
     rows: usize,
@@ -265,12 +205,12 @@ fn kern_scalar(
     nr: usize,
 ) {
     let mut i = 0;
-    while i + MR <= rows {
-        let mut acc = [[0f32; NR]; MR];
+    while i + MRT <= rows {
+        let mut acc = [[0f32; NR]; MRT];
         for pp in 0..kc {
             let pb = &panel[pp * NR..pp * NR + NR];
             for (mi, row) in acc.iter_mut().enumerate() {
-                let av = pa[(i + mi) * KC + pp];
+                let av = pa[(i + mi) * astride + pp];
                 for (o, &b) in row.iter_mut().zip(pb) {
                     *o += av * b;
                 }
@@ -282,10 +222,10 @@ fn kern_scalar(
                 *o += v;
             }
         }
-        i += MR;
+        i += MRT;
     }
     while i < rows {
-        let arow = &pa[i * KC..i * KC + kc];
+        let arow = &pa[i * astride..i * astride + kc];
         let mut acc = [0f32; NR];
         for (pp, &av) in arow.iter().enumerate() {
             let pb = &panel[pp * NR..pp * NR + NR];
@@ -302,12 +242,17 @@ fn kern_scalar(
 }
 
 /// AVX2+FMA micro-kernel; same tile structure as [`kern_scalar`] with the
-/// `NR`-wide accumulators held in two `__m256` registers per row.
+/// `NR`-wide accumulators held in two `__m256` registers per row. The
+/// per-element FMA sequence over `pp` is identical for every `MRT`, so
+/// tile height never changes the bitwise result (it only trades register
+/// pressure against FMA-port utilisation: `MRT = 6` keeps 12 accumulator
+/// registers live versus 8 at the reference `MRT = 4`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 #[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
-unsafe fn kern_avx2(
+unsafe fn kern_avx2<const MRT: usize>(
     pa: &[f32],
+    astride: usize,
     panel: &[f32],
     oc: &mut [f32],
     rows: usize,
@@ -318,19 +263,19 @@ unsafe fn kern_avx2(
 ) {
     use std::arch::x86_64::*;
     let mut i = 0;
-    while i + MR <= rows {
-        let mut acc: [[__m256; 2]; MR] = [[_mm256_setzero_ps(); 2]; MR];
+    while i + MRT <= rows {
+        let mut acc: [[__m256; 2]; MRT] = [[_mm256_setzero_ps(); 2]; MRT];
         for pp in 0..kc {
             let pb = panel.as_ptr().add(pp * NR);
             let b0 = _mm256_loadu_ps(pb);
             let b1 = _mm256_loadu_ps(pb.add(8));
-            for mi in 0..MR {
-                let av = _mm256_set1_ps(*pa.get_unchecked((i + mi) * KC + pp));
+            for mi in 0..MRT {
+                let av = _mm256_set1_ps(*pa.get_unchecked((i + mi) * astride + pp));
                 acc[mi][0] = _mm256_fmadd_ps(av, b0, acc[mi][0]);
                 acc[mi][1] = _mm256_fmadd_ps(av, b1, acc[mi][1]);
             }
         }
-        for mi in 0..MR {
+        for mi in 0..MRT {
             let mut tmp = [0f32; NR];
             _mm256_storeu_ps(tmp.as_mut_ptr(), acc[mi][0]);
             _mm256_storeu_ps(tmp.as_mut_ptr().add(8), acc[mi][1]);
@@ -339,14 +284,14 @@ unsafe fn kern_avx2(
                 *o += v;
             }
         }
-        i += MR;
+        i += MRT;
     }
     while i < rows {
         let mut a0 = _mm256_setzero_ps();
         let mut a1 = _mm256_setzero_ps();
         for pp in 0..kc {
             let pb = panel.as_ptr().add(pp * NR);
-            let av = _mm256_set1_ps(*pa.get_unchecked(i * KC + pp));
+            let av = _mm256_set1_ps(*pa.get_unchecked(i * astride + pp));
             a0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(pb), a0);
             a1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(pb.add(8)), a1);
         }
@@ -364,7 +309,7 @@ unsafe fn kern_avx2(
 /// Small-problem NN kernel: `ikj` streaming loop. Deliberately has no
 /// zero-value skip so `0 · ±Inf → NaN` propagates exactly as in the
 /// reference definition.
-fn small_nn(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, k: usize, n: usize) {
+pub(crate) fn small_nn(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let arow = &ad[i * k..(i + 1) * k];
         let orow = &mut od[i * n..(i + 1) * n];
@@ -380,7 +325,7 @@ fn small_nn(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, k: usize, n: usize
 /// Small-problem TN kernel (`A: (k, m)`): depth-major loop so both B and
 /// the touched output row stream contiguously. No zero-skip (see
 /// [`small_nn`]).
-fn small_tn(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, k: usize, n: usize) {
+pub(crate) fn small_tn(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, k: usize, n: usize) {
     for p in 0..k {
         let arow = &ad[p * m..(p + 1) * m];
         let brow = &bd[p * n..(p + 1) * n];
@@ -396,7 +341,7 @@ fn small_tn(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, k: usize, n: usize
 /// Small-problem NT kernel (`B: (n, k)`): row-dot-row with four
 /// independent accumulators to break the serial FP dependency chain that
 /// made the scalar-accumulator version ~2× slower than the other kernels.
-fn small_nt(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, k: usize, n: usize) {
+pub(crate) fn small_nt(ad: &[f32], bd: &[f32], od: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let arow = &ad[i * k..(i + 1) * k];
         for j in 0..n {
@@ -510,45 +455,54 @@ mod tests {
     }
 
     #[test]
-    fn tn_chunk_rows_depend_only_on_problem_size() {
-        // Below the parallel threshold: one chunk covering every row.
-        assert_eq!(chunk_rows(true, 64, 64, 64), 64);
-        // Above it: work-balanced, MR-aligned, clamped to [MR, MC].
-        let r = chunk_rows(true, 256, 256, 256);
-        assert!(r.is_multiple_of(MR) && (MR..=MC).contains(&r));
-        assert!(r < 256, "large TN must split into multiple chunks");
-        // NN/NT keep the MC granularity.
-        assert_eq!(chunk_rows(false, 256, 256, 256), MC);
-    }
-
-    #[test]
-    fn tn_multi_chunk_split_is_bitwise_identical_to_one_chunk() {
-        // 160x160x160 = 4.1M MACs crosses the TN parallel threshold, so
-        // gemm() runs multiple row chunks; the single-chunk execution of
-        // the same blocked loop must agree bit for bit (per-row
-        // accumulation is chunk-grouping independent).
-        let (m, k, n) = (160, 160, 160);
-        let mut rng = XorShiftRng::new(0x7171);
-        let a = Tensor::rand_normal(&[k, m], 0.0, 1.0, &mut rng);
-        let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
-        assert!(chunk_rows(true, m, k, n) < m, "test must exercise a split");
-        let mut got = vec![0f32; m * n];
-        gemm(true, false, a.data(), b.data(), &mut got, m, k, n);
-        let mut want = vec![0f32; m * n];
-        gemm_chunk(
-            true,
-            false,
-            a.data(),
-            b.data(),
-            &mut want,
-            0,
-            k,
-            m,
-            n,
-            simd_active(),
-        );
-        for (g, w) in got.iter().zip(&want) {
-            assert_eq!(g.to_bits(), w.to_bits());
+    fn microkernel_tile_height_is_bitwise_invariant() {
+        // The register-tile height MRT only regroups rows; each output
+        // element's accumulation order is unchanged, so every MRT must
+        // agree bit for bit (this is what licenses the packed_wide and
+        // double_buffered routines).
+        let (rows, kc, n) = (13, 96, 23);
+        let mut rng = XorShiftRng::new(0x5151);
+        let a = Tensor::rand_normal(&[rows, KC], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[KC, NR], 0.0, 1.0, &mut rng);
+        let mut panel = [0f32; KC * NR];
+        pack_b(false, b.data(), &mut panel, 0, kc, 0, NR.min(n), KC, NR);
+        let run = |simd: bool, wide: bool| {
+            let mut oc = vec![0f32; rows * n];
+            if wide {
+                microkernel::<6>(
+                    a.data(),
+                    KC,
+                    &panel,
+                    &mut oc,
+                    rows,
+                    kc,
+                    n,
+                    0,
+                    NR.min(n),
+                    simd,
+                );
+            } else {
+                microkernel::<4>(
+                    a.data(),
+                    KC,
+                    &panel,
+                    &mut oc,
+                    rows,
+                    kc,
+                    n,
+                    0,
+                    NR.min(n),
+                    simd,
+                );
+            }
+            oc
+        };
+        for simd in [false, simd_active()] {
+            let narrow = run(simd, false);
+            let wide = run(simd, true);
+            for (x, y) in narrow.iter().zip(&wide) {
+                assert_eq!(x.to_bits(), y.to_bits(), "simd={simd}");
+            }
         }
     }
 

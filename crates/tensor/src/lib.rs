@@ -12,6 +12,12 @@
 //!   parallel kernel is bitwise identical to its serial execution;
 //! * [`linalg`] — cache-blocked, SIMD-accelerated, row-parallel matrix
 //!   multiplication kernels (plain, transposed operands, and GEMV);
+//! * [`dispatch`] — autotuned GEMM routine registry and per-shape
+//!   selector (every routine bitwise-identical within its class);
+//! * [`tune`] — the persistent autotune cache behind `XBAR_TUNE_CACHE` /
+//!   `XBAR_AUTOTUNE`;
+//! * [`json`] — dependency-free canonical JSON (shared with the bench
+//!   sweep journal downstream);
 //! * [`conv`] — `im2col`/`col2im` based 2-D convolution and pooling
 //!   forward/backward kernels;
 //! * [`rng`] — a small deterministic xorshift PRNG so every experiment in
@@ -45,11 +51,14 @@ mod tensor;
 
 pub mod backend;
 pub mod conv;
+pub mod dispatch;
 pub mod elementwise;
 pub mod init;
+pub mod json;
 pub mod linalg;
 pub mod rng;
 pub mod scratch;
+pub mod tune;
 
 pub use error::ShapeError;
 pub use gemm::simd_active;
