@@ -116,4 +116,29 @@ grep -q '"tune_source": "static"' "$SWEEP_TMP/bench-static.json"
 ! grep -q '"parity": false' "$SWEEP_TMP/bench-static.json"
 echo "    routine dispatch: cold measured, warm cached, static fallback — parity on all"
 
+echo "==> self-healing gate (detect/repair/quarantine events + digital fallback parity)"
+# A short lifetime-fault scrub cycle on a trained tiny LeNet: the fault
+# process must produce detections, repair attempts, and quarantines; every
+# quarantined tile must serve the fault-free quantized conductances
+# bitwise (fallback_parity); and the detection-on arm must end the run
+# strictly more accurate than the maintenance-free arm at the same rate.
+cargo run --release -p xbar-bench --bin fault_recovery -- \
+    --tiny --train 600 --test 200 --epochs 6 --mapping acm \
+    --lifetime-rate 0.01 --scrub-epochs 8 --tile 8x8 \
+    --out "$SWEEP_TMP/lifetime.json"
+grep -q '"fallback_parity":true' "$SWEEP_TMP/lifetime.json"
+grep -q '"detect_beats_baseline":true' "$SWEEP_TMP/lifetime.json"
+grep -q '"detections":[1-9]' "$SWEEP_TMP/lifetime.json"
+grep -q '"repairs":[1-9]' "$SWEEP_TMP/lifetime.json"
+grep -q '"quarantined":[1-9]' "$SWEEP_TMP/lifetime.json"
+# The reprogram-only ladder cannot heal stuck cells: its budget exhausts
+# fast, so quarantine + exact digital fallback must engage there too.
+cargo run --release -p xbar-bench --bin fault_recovery -- \
+    --tiny --train 600 --test 200 --epochs 6 --mapping acm \
+    --lifetime-rate 0.01 --scrub-epochs 4 --tile 8x8 --stages reprogram \
+    --out "$SWEEP_TMP/lifetime-rp.json"
+grep -q '"fallback_parity":true' "$SWEEP_TMP/lifetime-rp.json"
+grep -q '"quarantined":[1-9]' "$SWEEP_TMP/lifetime-rp.json"
+echo "    self-healing: events fired, fallback exact, detection arm wins"
+
 echo "CI OK"

@@ -8,18 +8,32 @@
 //! spare hardware. The parasitic axes load each defective chip with
 //! IR-drop line resistance and read it after a conductance-drift dwell.
 //!
+//! A second mode — `--lifetime-rate` — runs the *self-healing lifetime
+//! arm* instead: the trained chip ages in place (seeded per-epoch fault
+//! arrivals), and two clones are scrubbed side by side — one with ABFT
+//! checksum detection, staged repair (re-program → null-space remap →
+//! full re-map with retry/backoff), and digital fallback on quarantine;
+//! one refresh-programmed blindly. The paired accuracy-over-time and
+//! analog-coverage curves (plus every health event and the write-verify
+//! exhausted-cell counts) can be written as JSON with `--out`.
+//!
 //! ```text
 //! cargo run -p xbar-bench --release --bin fault_recovery
 //! cargo run -p xbar-bench --release --bin fault_recovery -- \
 //!     --samples 5 --rates 0.01,0.05 --rlines 0,0.002 --drifts 0,1000
 //! cargo run -p xbar-bench --release --bin fault_recovery -- --mapping acm
+//! cargo run -p xbar-bench --release --bin fault_recovery -- \
+//!     --mapping acm --lifetime-rate 0.002 --scrub-epochs 20 --tile 8x8 \
+//!     --stages all --out lifetime.json
 //! ```
 
 use xbar_bench::cli::Args;
 use xbar_bench::error::{exit_on_error, BenchError};
-use xbar_bench::experiments::{run_fault_sweep_parasitic, setup_from_args, Parasitics};
+use xbar_bench::experiments::{
+    run_fault_sweep_parasitic, run_lifetime_arm, setup_from_args, LifetimeStudy, Parasitics, Setup,
+};
 use xbar_bench::output::{pct, ResultsTable};
-use xbar_core::Mapping;
+use xbar_core::{Mapping, RepairPolicy};
 
 fn main() {
     exit_on_error(run(Args::from_env()));
@@ -35,6 +49,10 @@ fn run(args: Args) -> Result<(), BenchError> {
             .map_err(|e: xbar_core::ParseMappingError| BenchError::Usage(e.to_string()))?],
     };
     let bits: u8 = args.try_get::<i64>("bits", 4)? as u8;
+    let lifetime_rate: f32 = args.try_get("lifetime-rate", 0.0)?;
+    if lifetime_rate > 0.0 {
+        return run_lifetime(&args, &setup, &mappings, bits, lifetime_rate);
+    }
     let samples: usize = args.try_get("samples", 10)?;
     let rates = args.try_get_list("rates", &[0.0, 0.002, 0.005, 0.01, 0.02, 0.05])?;
     let sigmas = args.try_get_list("sigmas", &[0.0, 0.10])?;
@@ -129,4 +147,180 @@ fn run(args: Args) -> Result<(), BenchError> {
         );
     }
     Ok(())
+}
+
+/// The self-healing lifetime arm (`--lifetime-rate`): ages the trained
+/// chip over `--scrub-epochs` scrub cycles and compares detection on vs
+/// off, optionally dumping the full study as JSON (`--out`).
+fn run_lifetime(
+    args: &Args,
+    setup: &Setup,
+    mappings: &[Mapping],
+    bits: u8,
+    rate: f32,
+) -> Result<(), BenchError> {
+    let scrub_epochs: u32 = args.try_get("scrub-epochs", 20u32)?;
+    let tile = parse_tile(&args.get_str("tile", "8x8"))?;
+    let stages = args.get_str("stages", "all");
+    let policy = match stages.as_str() {
+        "all" => RepairPolicy::default(),
+        // Reprogramming cannot heal stuck cells, so this ladder exhausts
+        // its budget fast and exercises quarantine + digital fallback.
+        "reprogram" => RepairPolicy {
+            remap_attempts: 0,
+            full_remap_attempts: 0,
+            ..RepairPolicy::default()
+        },
+        other => {
+            return Err(BenchError::Usage(format!(
+                "--stages must be all | reprogram, got {other}"
+            )))
+        }
+    };
+    eprintln!(
+        "lifetime arm: {} ({:?}), {bits}-bit, mappings {:?}, fault rate {rate}/epoch, \
+         {scrub_epochs} scrub epochs, tile {}x{}, stages {stages}, seed {:#x}",
+        setup.net.name(),
+        setup.scale,
+        mappings.iter().map(|m| m.tag()).collect::<Vec<_>>(),
+        tile.0,
+        tile.1,
+        setup.seed
+    );
+
+    let mut table = ResultsTable::new(&[
+        "map",
+        "epoch",
+        "detect-acc%",
+        "blind-acc%",
+        "faults",
+        "detections",
+        "repairs",
+        "quarantined",
+        "analog%",
+        "exhausted",
+    ]);
+    let mut studies: Vec<(Mapping, LifetimeStudy)> = Vec::new();
+    for &mapping in mappings {
+        let study = run_lifetime_arm(setup, mapping, bits, rate, tile, scrub_epochs, &policy)?;
+        for p in &study.points {
+            table.push(vec![
+                mapping.tag().into(),
+                format!("{}", p.epoch),
+                pct(p.detect_acc),
+                pct(p.baseline_acc),
+                format!("{}", p.new_faults),
+                format!("{}", p.detections),
+                format!("{}", p.repairs),
+                format!("{}", p.quarantined),
+                format!("{:.0}", 100.0 * p.analog_coverage),
+                format!("{}", p.exhausted_cells),
+            ]);
+        }
+        studies.push((mapping, study));
+    }
+    table.print(args.has("csv"));
+
+    for (mapping, study) in &studies {
+        let last = study
+            .points
+            .last()
+            .ok_or_else(|| BenchError::Usage("--scrub-epochs must be positive".into()))?;
+        let (detections, repairs): (usize, usize) = study
+            .points
+            .iter()
+            .fold((0, 0), |(d, r), p| (d + p.detections, r + p.repairs));
+        eprintln!(
+            "{}: trained {} | end-of-life detect {} vs blind {} | {} detections, {} repairs, \
+             {} quarantined ({:.0}% analog) | fallback parity {}",
+            mapping.tag(),
+            pct(study.trained_acc),
+            pct(last.detect_acc),
+            pct(last.baseline_acc),
+            detections,
+            repairs,
+            last.quarantined,
+            100.0 * last.analog_coverage,
+            study.fallback_parity
+        );
+    }
+
+    let path = args.get_str("out", "");
+    if !path.is_empty() {
+        let json = lifetime_json(setup, bits, rate, tile, &stages, &studies);
+        std::fs::write(&path, json).map_err(|e| BenchError::Usage(format!("--out {path}: {e}")))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Parses `--tile RxC` (e.g. `8x8`, `16x4`).
+fn parse_tile(s: &str) -> Result<(usize, usize), BenchError> {
+    let bad = || BenchError::Usage(format!("--tile must look like 8x8, got {s}"));
+    let (r, c) = s.split_once('x').ok_or_else(bad)?;
+    let rows: usize = r.parse().map_err(|_| bad())?;
+    let cols: usize = c.parse().map_err(|_| bad())?;
+    if rows == 0 || cols == 0 {
+        return Err(bad());
+    }
+    Ok((rows, cols))
+}
+
+/// Hand-rolled JSON for the lifetime study (the workspace deliberately
+/// carries no serde dependency).
+fn lifetime_json(
+    setup: &Setup,
+    bits: u8,
+    rate: f32,
+    tile: (usize, usize),
+    stages: &str,
+    studies: &[(Mapping, LifetimeStudy)],
+) -> String {
+    let mut arms = Vec::new();
+    for (mapping, study) in studies {
+        let points: Vec<String> = study
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"epoch\":{},\"detect_acc\":{:.4},\"baseline_acc\":{:.4},\
+                     \"new_faults\":{},\"detections\":{},\"repairs\":{},\"quarantined\":{},\
+                     \"analog_coverage\":{:.4},\"exhausted_cells\":{}}}",
+                    p.epoch,
+                    p.detect_acc,
+                    p.baseline_acc,
+                    p.new_faults,
+                    p.detections,
+                    p.repairs,
+                    p.quarantined,
+                    p.analog_coverage,
+                    p.exhausted_cells
+                )
+            })
+            .collect();
+        let last = study.points.last();
+        let detect_beats_baseline = last.is_some_and(|p| p.detect_acc > p.baseline_acc);
+        let exhausted: usize = study.points.iter().map(|p| p.exhausted_cells).sum();
+        arms.push(format!(
+            "{{\"mapping\":\"{}\",\"trained_acc\":{:.4},\"total_tiles\":{},\
+             \"fallback_parity\":{},\"detect_beats_baseline\":{},\"exhausted_cells\":{},\
+             \"epochs\":[{}]}}",
+            mapping.tag(),
+            study.trained_acc,
+            study.total_tiles,
+            study.fallback_parity,
+            detect_beats_baseline,
+            exhausted,
+            points.join(",")
+        ));
+    }
+    format!(
+        "{{\"net\":\"{}\",\"bits\":{bits},\"lifetime_rate\":{rate},\"tile\":[{},{}],\
+         \"stages\":\"{stages}\",\"seed\":{},\"arms\":[{}]}}\n",
+        setup.net.name(),
+        tile.0,
+        tile.1,
+        setup.seed,
+        arms.join(",")
+    )
 }

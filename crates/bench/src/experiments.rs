@@ -730,6 +730,121 @@ pub fn run_fp32_curves(setup: &Setup) -> Result<Vec<Fp32Curve>, NnError> {
     Ok(out)
 }
 
+/// One scrub epoch of the lifetime (self-healing) study: paired
+/// detection-on / detection-off accuracy plus the epoch's health events.
+#[derive(Debug, Clone)]
+pub struct LifetimePoint {
+    /// Scrub epoch (1-based).
+    pub epoch: u32,
+    /// Inference accuracy (%) of the self-healing arm after this scrub.
+    pub detect_acc: f32,
+    /// Inference accuracy (%) of the maintenance-free arm (same fault
+    /// process, detection and repair bypassed).
+    pub baseline_acc: f32,
+    /// Lifetime faults that arrived this epoch.
+    pub new_faults: usize,
+    /// Tiles that newly crossed the detection threshold.
+    pub detections: usize,
+    /// Repair attempts run this epoch.
+    pub repairs: usize,
+    /// Total quarantined tiles after this epoch.
+    pub quarantined: usize,
+    /// Fraction of tiles still served by the analog array.
+    pub analog_coverage: f32,
+    /// Cells that blew the write-verify retry budget this epoch.
+    pub exhausted_cells: usize,
+}
+
+/// Result of [`run_lifetime_arm`]: the full accuracy-over-lifetime curve
+/// for both arms plus the end-state contracts.
+#[derive(Debug, Clone)]
+pub struct LifetimeStudy {
+    /// Test accuracy (%) right after training, before any wear-out.
+    pub trained_acc: f32,
+    /// Tiles across the whole network.
+    pub total_tiles: usize,
+    /// Per-scrub-epoch curve.
+    pub points: Vec<LifetimePoint>,
+    /// Whether every quarantined tile serves the fault-free quantized
+    /// conductances bitwise (the digital-fallback contract).
+    pub fallback_parity: bool,
+}
+
+/// Runs the self-healing lifetime arm: trains one `mapping`-mapped
+/// network on a tiled device whose cells wear out at `rate` per scrub
+/// epoch, then ages two clones of the trained chip for `scrub_epochs`
+/// epochs — one scrubbed with ABFT detection + staged repair under
+/// `policy`, one refresh-programmed blindly — and records the paired
+/// accuracy curve plus every detection/repair/quarantine event.
+///
+/// # Errors
+///
+/// Propagates training/evaluation errors; rejects an out-of-range fault
+/// rate or a network with no scrub-capable parameters.
+pub fn run_lifetime_arm(
+    setup: &Setup,
+    mapping: Mapping,
+    bits: u8,
+    rate: f32,
+    tile: (usize, usize),
+    scrub_epochs: u32,
+    policy: &xbar_core::RepairPolicy,
+) -> Result<LifetimeStudy, NnError> {
+    use xbar_device::{LifetimeFaultModel, TileShape};
+    use xbar_nn::scrub_network;
+    let lifetime = LifetimeFaultModel::new(rate, setup.seed ^ 0x777)
+        .map_err(|e| NnError::Config(e.to_string()))?;
+    let device = DeviceConfig::quantized_linear(bits)
+        .with_tile_shape(Some(TileShape::new(tile.0, tile.1)))
+        .with_lifetime_faults(lifetime);
+    let data = setup.data();
+    let (net, hist) = setup.train_model_keep(ModelType::Mapped(mapping), device, &data)?;
+    let trained_acc = 100.0 * hist.final_test_acc().unwrap_or(0.0);
+
+    let mut healed = net.clone();
+    let mut blind = net;
+    let mut points = Vec::with_capacity(scrub_epochs as usize);
+    let mut total_tiles = 0;
+    for epoch in 1..=scrub_epochs {
+        let rep = scrub_network(&mut healed, true, policy)?.ok_or_else(|| {
+            NnError::Config("network has no scrub-capable mapped parameters".into())
+        })?;
+        scrub_network(&mut blind, false, policy)?;
+        let (_, acc_on) = evaluate(
+            &mut healed,
+            data.test.features(),
+            data.test.labels(),
+            setup.batch,
+        )?;
+        let (_, acc_off) = evaluate(
+            &mut blind,
+            data.test.features(),
+            data.test.labels(),
+            setup.batch,
+        )?;
+        total_tiles = rep.total_tiles;
+        points.push(LifetimePoint {
+            epoch,
+            detect_acc: 100.0 * acc_on,
+            baseline_acc: 100.0 * acc_off,
+            new_faults: rep.new_faults,
+            detections: rep.detections,
+            repairs: rep.repairs.len(),
+            quarantined: rep.quarantined_total,
+            analog_coverage: rep.analog_coverage(),
+            exhausted_cells: rep.exhausted_cells,
+        });
+    }
+    let mut fallback_parity = true;
+    healed.visit_mapped(&mut |p| fallback_parity &= p.scrub_fallback_parity());
+    Ok(LifetimeStudy {
+        trained_acc,
+        total_tiles,
+        points,
+        fallback_parity,
+    })
+}
+
 /// Parses the setup flags shared by every experiment binary (`--net`,
 /// `--epochs`, `--train`, `--test`, `--lr`, `--seed`, `--tiny`,
 /// `--paper-scale`) into a [`Setup`].

@@ -64,6 +64,7 @@ mod balance;
 mod crossbar;
 mod decompose;
 mod error;
+mod healing;
 mod mapping;
 mod periphery;
 mod remap;
@@ -73,6 +74,10 @@ pub use balance::{balance_profile, BalanceProfile};
 pub use crossbar::{magnitude_permutation, CrossbarArray};
 pub use decompose::{compose, decompose, decompose_with_periphery, max_representable_scale};
 pub use error::MappingError;
+pub use healing::{
+    checksum_residual, HealthAction, HealthMonitor, RepairAttempt, RepairPolicy, RepairStage,
+    ScrubReport, SelfHealingCrossbar, TileHealth,
+};
 pub use mapping::{Mapping, ParseMappingError};
 pub use periphery::PeripheryMatrix;
 pub use remap::{remap_for_faults, RemapReport};

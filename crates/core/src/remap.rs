@@ -162,7 +162,7 @@ pub fn remap_for_faults(
     }
     // Normal matrix of the per-column least-squares problem, shared by
     // every column: G = SᵀS (N_D × N_D).
-    let gram = linalg::matmul_tn(s, s).expect("S is 2-D");
+    let gram = linalg::matmul_tn(s, s)?;
     let weight_norm_sq = |delta: &[f32]| {
         (0..n_out)
             .map(|o| {

@@ -324,7 +324,7 @@ impl TileGrid {
 }
 
 /// Copies rows `[start, start + len)` of a 2-D tensor into a new tensor.
-fn rows_slice(t: &Tensor, start: usize, len: usize) -> Tensor {
+pub(crate) fn rows_slice(t: &Tensor, start: usize, len: usize) -> Tensor {
     let cols = t.shape()[1];
     Tensor::from_vec(
         t.data()[start * cols..(start + len) * cols].to_vec(),
@@ -334,7 +334,7 @@ fn rows_slice(t: &Tensor, start: usize, len: usize) -> Tensor {
 }
 
 /// Copies columns `[start, start + len)` of a 2-D tensor into a new tensor.
-fn cols_slice(t: &Tensor, start: usize, len: usize) -> Tensor {
+pub(crate) fn cols_slice(t: &Tensor, start: usize, len: usize) -> Tensor {
     let (rows, cols) = (t.shape()[0], t.shape()[1]);
     let mut out = Tensor::zeros(&[rows, len]);
     for r in 0..rows {
@@ -345,7 +345,7 @@ fn cols_slice(t: &Tensor, start: usize, len: usize) -> Tensor {
 }
 
 /// Extracts the `(r0..r0+rl, c0..c0+cl)` block of a 2-D tensor.
-fn block(t: &Tensor, r0: usize, rl: usize, c0: usize, cl: usize) -> Tensor {
+pub(crate) fn block(t: &Tensor, r0: usize, rl: usize, c0: usize, cl: usize) -> Tensor {
     let cols = t.shape()[1];
     let mut out = Tensor::zeros(&[rl, cl]);
     for r in 0..rl {
@@ -356,7 +356,7 @@ fn block(t: &Tensor, r0: usize, rl: usize, c0: usize, cl: usize) -> Tensor {
 }
 
 /// Writes `src` into `dst` starting at row `r0` (full-width rows).
-fn write_rows(dst: &mut Tensor, r0: usize, src: &Tensor) {
+pub(crate) fn write_rows(dst: &mut Tensor, r0: usize, src: &Tensor) {
     let cols = dst.shape()[1];
     debug_assert_eq!(cols, src.shape()[1]);
     let n = src.len();
@@ -364,7 +364,7 @@ fn write_rows(dst: &mut Tensor, r0: usize, src: &Tensor) {
 }
 
 /// Writes `src` into the `(r0.., c0..)` block of `dst`.
-fn write_block(dst: &mut Tensor, r0: usize, c0: usize, src: &Tensor) {
+pub(crate) fn write_block(dst: &mut Tensor, r0: usize, c0: usize, src: &Tensor) {
     let cols = dst.shape()[1];
     let (srl, scl) = (src.shape()[0], src.shape()[1]);
     for r in 0..srl {

@@ -1,6 +1,6 @@
 use crate::{
-    ConductanceRange, DriftModel, FaultModel, LineResistanceModel, ProgrammingModel, Quantizer,
-    TileShape, UpdateModel, VariationModel,
+    ConductanceRange, DriftModel, FaultModel, LifetimeFaultModel, LineResistanceModel,
+    ProgrammingModel, Quantizer, TileShape, UpdateModel, VariationModel,
 };
 
 /// Complete non-ideality description of a synapse device, consumed by the
@@ -37,6 +37,7 @@ pub struct DeviceConfig {
     tile: Option<TileShape>,
     line: LineResistanceModel,
     drift: DriftModel,
+    lifetime: LifetimeFaultModel,
 }
 
 impl DeviceConfig {
@@ -133,6 +134,12 @@ impl DeviceConfig {
         self.drift
     }
 
+    /// The lifetime (wear-out) fault-arrival model driving the
+    /// self-healing scrub path.
+    pub fn lifetime(&self) -> LifetimeFaultModel {
+        self.lifetime
+    }
+
     /// Number of programming pulses needed to traverse the full range —
     /// one pulse per state transition, `2^B − 1` for a `B`-bit device, or a
     /// fine default of 256 for full-precision simulation.
@@ -195,6 +202,14 @@ impl DeviceConfig {
         self
     }
 
+    /// Returns a copy with a different lifetime fault-arrival model
+    /// (keeps everything else). `LifetimeFaultModel::none()` restores the
+    /// wear-free device.
+    pub fn with_lifetime_faults(mut self, lifetime: LifetimeFaultModel) -> Self {
+        self.lifetime = lifetime;
+        self
+    }
+
     /// Snaps a target conductance to the nearest programmable device
     /// state, honouring both the bit precision *and* the update
     /// nonlinearity: a nonlinear device's `2^B` states sit at equal pulse
@@ -229,6 +244,7 @@ pub struct DeviceConfigBuilder {
     tile: Option<TileShape>,
     line: LineResistanceModel,
     drift: DriftModel,
+    lifetime: LifetimeFaultModel,
 }
 
 impl DeviceConfigBuilder {
@@ -243,6 +259,7 @@ impl DeviceConfigBuilder {
             tile: None,
             line: LineResistanceModel::none(),
             drift: DriftModel::none(),
+            lifetime: LifetimeFaultModel::none(),
         }
     }
 
@@ -316,6 +333,12 @@ impl DeviceConfigBuilder {
         self
     }
 
+    /// Sets the lifetime (wear-out) fault-arrival model.
+    pub fn lifetime_faults(mut self, lifetime: LifetimeFaultModel) -> Self {
+        self.lifetime = lifetime;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -337,6 +360,7 @@ impl DeviceConfigBuilder {
             tile: self.tile,
             line: self.line,
             drift: self.drift,
+            lifetime: self.lifetime,
         }
     }
 }
@@ -457,6 +481,25 @@ mod tests {
         let cleared = e
             .with_line_resistance(LineResistanceModel::none())
             .with_drift(DriftModel::none());
+        assert_eq!(cleared, DeviceConfig::quantized_linear(4));
+    }
+
+    #[test]
+    fn lifetime_faults_default_off_and_thread_through() {
+        let d = DeviceConfig::ideal();
+        assert!(d.lifetime().is_none());
+        let life = LifetimeFaultModel::new(0.01, 42).unwrap();
+        let e = DeviceConfig::quantized_linear(4).with_lifetime_faults(life);
+        assert_eq!(e.lifetime(), life);
+        assert_eq!(e.bits(), Some(4));
+        let b = DeviceConfig::builder()
+            .bits(4)
+            .lifetime_faults(life)
+            .build();
+        assert_eq!(b, e);
+        // Clearing the model restores exact equality with the base config
+        // — the inactive-model-is-bitwise-noop contract depends on this.
+        let cleared = e.with_lifetime_faults(LifetimeFaultModel::none());
         assert_eq!(cleared, DeviceConfig::quantized_linear(4));
     }
 

@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from device-model construction and validation.
+///
+/// The original device models panic on invalid statistics (they are
+/// configured once, by hand, at experiment setup). Models added for the
+/// runtime-resilience path are instead constructed from user-facing CLI
+/// flags and long-running serving configs, where a typed error that the
+/// caller can surface beats a process abort.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// A model parameter was out of its valid domain (negative rate,
+    /// NaN, …).
+    InvalidParameter {
+        /// The model that rejected the parameter.
+        model: &'static str,
+        /// Human-readable detail (offending value / bound).
+        detail: String,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { model, detail } => {
+                write!(f, "invalid {model} parameter: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_model_and_detail() {
+        let e = DeviceError::InvalidParameter {
+            model: "lifetime fault model",
+            detail: "rate -0.5 must be in [0, 1]".into(),
+        };
+        assert!(e.to_string().contains("lifetime fault model"));
+        assert!(e.to_string().contains("-0.5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

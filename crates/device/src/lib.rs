@@ -47,7 +47,9 @@
 
 mod config;
 mod drift;
+mod error;
 mod faults;
+mod lifetime;
 mod line;
 mod programming;
 mod quantizer;
@@ -58,7 +60,9 @@ mod variation;
 
 pub use config::{DeviceConfig, DeviceConfigBuilder};
 pub use drift::DriftModel;
+pub use error::DeviceError;
 pub use faults::{FaultKind, FaultMap, FaultModel};
+pub use lifetime::LifetimeFaultModel;
 pub use line::LineResistanceModel;
 pub use programming::{ProgrammingModel, ProgrammingReport, UnconvergedCell};
 pub use quantizer::{quantize_signed, Quantizer};

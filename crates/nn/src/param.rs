@@ -1,12 +1,38 @@
 //! The crossbar-mapped weight parameter — the training-side embodiment of
 //! the paper's `W = S · M` factorization.
 
-use xbar_core::{magnitude_permutation, Mapping, PeripheryMatrix, TileGrid};
-use xbar_device::DeviceConfig;
+use xbar_core::{
+    checksum_residual, magnitude_permutation, remap_for_faults, HealthAction, HealthMonitor,
+    Mapping, PeripheryMatrix, RepairAttempt, RepairPolicy, RepairStage, ScrubReport, TileGrid,
+    TileHealth,
+};
+use xbar_device::{ConductanceRange, DeviceConfig, FaultMap};
 use xbar_tensor::rng::XorShiftRng;
 use xbar_tensor::{linalg, Tensor};
 
 use crate::NnError;
+
+/// Persistent state of the online self-healing loop of one mapped
+/// parameter — present exactly when the parameter is crossbar-mapped AND
+/// its device carries an active [`xbar_device::LifetimeFaultModel`]
+/// (decided once at construction, so the checkpoint component count never
+/// depends on runtime events).
+///
+/// Everything is kept as tensors so it rides the ordinary
+/// [`crate::StateVisitor`] checkpoint path; the served conductance
+/// override is *not* persisted — it is a pure function of
+/// `(shadow, shift, health, epoch)` and is rebuilt after a restore.
+#[derive(Debug, Clone)]
+struct ScrubState {
+    /// Scrub epoch counter, shape `[1]` (0 = never scrubbed).
+    epoch: Tensor,
+    /// Flattened [`HealthMonitor`], 4 floats per tile.
+    health: Tensor,
+    /// Persistent remap compensation: programming targets are
+    /// `clamp(q(M) + shift)` elementwise, so a compensation decided at
+    /// repair time keeps tracking the trained conductances.
+    shift: Tensor,
+}
 
 /// How a layer's weights are realised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +116,9 @@ pub struct MappedParam {
     /// Private stream for stochastic pulse rounding (nonlinear in-situ
     /// updates), seeded deterministically from the initial weights.
     update_rng: XorShiftRng,
+    /// Online self-healing state; `Some` iff mapped with an active
+    /// lifetime fault model.
+    scrub: Option<ScrubState>,
 }
 
 impl MappedParam {
@@ -147,6 +176,7 @@ impl MappedParam {
                     n_in,
                     alpha: 1.0,
                     update_rng,
+                    scrub: None,
                 })
             }
             WeightKind::Mapped(mapping) => {
@@ -216,6 +246,14 @@ impl MappedParam {
                     None => grid.periphery(),
                 };
                 let grad = Tensor::zeros(shadow.shape());
+                // The scrub state exists iff the device wears out, decided
+                // here once: the checkpoint component list must not change
+                // under runtime events, only under construction config.
+                let scrub = device.lifetime().is_active().then(|| ScrubState {
+                    epoch: Tensor::zeros(&[1]),
+                    health: Tensor::zeros(&[grid.num_tiles() * 4]),
+                    shift: Tensor::zeros(&[grid.nd_total(), n_in]),
+                });
                 Ok(Self {
                     kind,
                     grid: Some(grid),
@@ -230,6 +268,7 @@ impl MappedParam {
                     n_in,
                     alpha,
                     update_rng,
+                    scrub,
                 })
             }
         }
@@ -751,6 +790,294 @@ impl MappedParam {
         self.variation_override.is_some()
     }
 
+    /// Whether this parameter runs the online self-healing loop (mapped
+    /// weights on a device with an active lifetime fault model).
+    pub fn scrub_active(&self) -> bool {
+        self.scrub.is_some()
+    }
+
+    /// The current scrub epoch (0 = never scrubbed, or scrubbing
+    /// inactive).
+    pub fn scrub_epoch(&self) -> u32 {
+        self.scrub.as_ref().map_or(0, |s| s.epoch.data()[0] as u32)
+    }
+
+    /// Advances this parameter's crossbar one scrub epoch: overlays the
+    /// lifetime fault arrivals for the new epoch, refresh-programs every
+    /// tile from the trained conductances (plus any persistent remap
+    /// compensation), and — with `detect` set — runs the ABFT checksum
+    /// detection, staged-repair, and quarantine loop of
+    /// [`xbar_core::SelfHealingCrossbar`] against `policy`. The resulting
+    /// served conductances are installed as the inference override, so
+    /// subsequent forward passes read the aged (and healed) array.
+    ///
+    /// With `detect` unset the refresh programming still happens but the
+    /// health machinery is bypassed entirely — the maintenance-free
+    /// deployment an experiment compares against.
+    ///
+    /// Scrub-path programming is noiseless and consumes no RNG, so the
+    /// whole array state after any tick is a pure function of
+    /// `(shadow, shift, health, epoch)` — which is exactly what a
+    /// checkpoint persists and [`MappedParam::visit_state`] rebuilds.
+    ///
+    /// Returns `None` (and changes nothing, bitwise) when scrubbing is
+    /// inactive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Mapping`] if a tile-local remap fails or the
+    /// persisted health state is invalid.
+    pub fn scrub_tick(
+        &mut self,
+        detect: bool,
+        policy: &RepairPolicy,
+    ) -> Result<Option<ScrubReport>, NnError> {
+        if self.scrub.is_none() {
+            return Ok(None);
+        }
+        let q = self.quantized_shadow();
+        let grid = self.grid.clone().expect("scrub state implies a grid");
+        let periphery = self
+            .periphery
+            .clone()
+            .expect("mapped parameters carry a periphery");
+        let lifetime = self.device.lifetime();
+        let range = self.device.range();
+        let programming = self.device.programming();
+        let (nd, n_in) = (grid.nd_total(), self.n_in);
+
+        let scrub = self.scrub.as_mut().expect("checked above");
+        let epoch = scrub.epoch.data()[0] as u32 + 1;
+        let faults = lifetime.fault_map(nd, n_in, epoch);
+        let prev_stuck = lifetime.fault_map(nd, n_in, epoch - 1).num_stuck();
+        let mut monitor =
+            HealthMonitor::from_flat(scrub.health.data(), *policy).map_err(NnError::Mapping)?;
+        let quarantined_before = monitor.num_quarantined();
+        let targets = scrub_targets(&q, &scrub.shift, range);
+        let mut served = Tensor::zeros(&[nd, n_in]);
+        let mut report = ScrubReport {
+            epoch,
+            new_faults: faults.num_stuck() - prev_stuck,
+            detections: 0,
+            repairs: Vec::new(),
+            quarantined_now: 0,
+            quarantined_total: 0,
+            analog_tiles: 0,
+            total_tiles: grid.num_tiles(),
+            exhausted_cells: 0,
+        };
+        // Noiseless scrub programming consumes no randomness; the stream
+        // exists only to satisfy the programming API.
+        let mut rng = XorShiftRng::new(SCRUB_RNG_SEED);
+        let mut tile_idx = 0usize;
+        for &(r0, rl) in grid.row_blocks() {
+            for g in grid.col_groups() {
+                let tf = tile_fault_map(&faults, g, r0, rl);
+                let t_block = block_slice(&targets, g.dev_start, g.dev_len, r0, rl);
+                let q_block = block_slice(&q, g.dev_start, g.dev_len, r0, rl);
+                let (prog, prep) = programming.program_tensor(
+                    &t_block,
+                    &xbar_device::VariationModel::none(),
+                    range,
+                    Some(&tf),
+                    &mut rng,
+                );
+                report.exhausted_cells += prep.num_unconverged();
+                let mut serve = prog;
+                if detect {
+                    let residual = checksum_residual(&serve, &t_block);
+                    match monitor.observe(tile_idx, residual, epoch) {
+                        HealthAction::Detected => report.detections += 1,
+                        HealthAction::Repair(stage) => {
+                            // The remap rungs revise this tile's block of
+                            // the persistent shift tensor; targets are then
+                            // recomputed from the `clamp(q + shift)` formula
+                            // so a checkpoint rebuild reproduces the same
+                            // f32 operations bitwise.
+                            let weight_residual = match stage {
+                                RepairStage::Reprogram => None,
+                                RepairStage::Remap | RepairStage::FullRemap => {
+                                    let base = if stage == RepairStage::FullRemap {
+                                        q_block.clone()
+                                    } else {
+                                        t_block.clone()
+                                    };
+                                    let stencil = PeripheryMatrix::try_new(block_slice(
+                                        periphery.matrix(),
+                                        g.out_start,
+                                        g.out_len,
+                                        g.dev_start,
+                                        g.dev_len,
+                                    ))
+                                    .map_err(NnError::Mapping)?;
+                                    let (shifted, rr) =
+                                        remap_for_faults(&base, &stencil, &tf, range)
+                                            .map_err(NnError::Mapping)?;
+                                    let shift_block =
+                                        shifted.sub(&q_block).map_err(NnError::Shape)?;
+                                    write_block_slice(
+                                        &mut scrub.shift,
+                                        g.dev_start,
+                                        r0,
+                                        &shift_block,
+                                    );
+                                    Some(rr.residual_after())
+                                }
+                            };
+                            let t_block = {
+                                let shift_block =
+                                    block_slice(&scrub.shift, g.dev_start, g.dev_len, r0, rl);
+                                let mut t = q_block.add(&shift_block).map_err(NnError::Shape)?;
+                                t.map_inplace(|v| range.clamp(v));
+                                t
+                            };
+                            let (prog2, prep2) = programming.program_tensor(
+                                &t_block,
+                                &xbar_device::VariationModel::none(),
+                                range,
+                                Some(&tf),
+                                &mut rng,
+                            );
+                            report.exhausted_cells += prep2.num_unconverged();
+                            let residual_after = checksum_residual(&prog2, &t_block);
+                            let healed = match weight_residual {
+                                Some(wr) => wr <= policy.weight_tolerance,
+                                None => residual_after <= policy.residual_threshold,
+                            };
+                            let state_after = monitor.record_attempt(tile_idx, epoch, healed);
+                            serve = prog2;
+                            if state_after == TileHealth::Quarantined {
+                                // Exact digital fallback: the tile's partial
+                                // product comes from the ideal quantized
+                                // conductances; its compensation is cleared.
+                                write_block_slice(
+                                    &mut scrub.shift,
+                                    g.dev_start,
+                                    r0,
+                                    &Tensor::zeros(&[g.dev_len, rl]),
+                                );
+                                serve = q_block.clone();
+                            }
+                            report.repairs.push(RepairAttempt {
+                                epoch,
+                                tile: tile_idx,
+                                stage,
+                                residual_before: residual,
+                                residual_after,
+                                healed,
+                            });
+                        }
+                        HealthAction::AlreadyQuarantined => serve = q_block.clone(),
+                        HealthAction::Nothing | HealthAction::Backoff => {}
+                    }
+                }
+                write_block_slice(&mut served, g.dev_start, r0, &serve);
+                tile_idx += 1;
+            }
+        }
+        report.quarantined_total = monitor.num_quarantined();
+        report.quarantined_now = report.quarantined_total - quarantined_before;
+        report.analog_tiles = grid.num_tiles() - report.quarantined_total;
+        scrub.epoch = Tensor::from_vec(vec![epoch as f32], &[1]).expect("len matches");
+        let flat = monitor.to_flat();
+        let flat_len = flat.len();
+        scrub.health = Tensor::from_vec(flat, &[flat_len]).expect("len matches");
+        self.variation_override = Some(served);
+        self.fault_map = Some(faults);
+        Ok(Some(report))
+    }
+
+    /// Rebuilds the served conductance override from the persisted scrub
+    /// state — called after a checkpoint restore so a resumed run forwards
+    /// through exactly the array the interrupted run was serving. The
+    /// served view is a pure function of `(shadow, shift, health, epoch)`:
+    /// quarantined tiles serve the ideal quantized block, everything else
+    /// is noiselessly refresh-programmed over the epoch's fault map.
+    fn rebuild_scrub_override(&mut self) {
+        let Some(scrub) = &self.scrub else { return };
+        let epoch = scrub.epoch.data()[0] as u32;
+        if epoch == 0 {
+            return;
+        }
+        let grid = self.grid.as_ref().expect("scrub state implies a grid");
+        let lifetime = self.device.lifetime();
+        let range = self.device.range();
+        let programming = self.device.programming();
+        let (nd, n_in) = (grid.nd_total(), self.n_in);
+        let faults = lifetime.fault_map(nd, n_in, epoch);
+        let q = self.quantized_shadow();
+        let targets = scrub_targets(&q, &scrub.shift, range);
+        // The policy is irrelevant here: only the persisted per-tile
+        // states are read, no repair decision is taken.
+        let monitor = HealthMonitor::from_flat(scrub.health.data(), RepairPolicy::default())
+            .expect("scrub health tensor holds monitor-encoded state");
+        let mut served = Tensor::zeros(&[nd, n_in]);
+        let mut rng = XorShiftRng::new(SCRUB_RNG_SEED);
+        let mut tile_idx = 0usize;
+        for &(r0, rl) in grid.row_blocks() {
+            for g in grid.col_groups() {
+                let serve = if monitor.state(tile_idx) == TileHealth::Quarantined {
+                    block_slice(&q, g.dev_start, g.dev_len, r0, rl)
+                } else {
+                    let tf = tile_fault_map(&faults, g, r0, rl);
+                    let t_block = block_slice(&targets, g.dev_start, g.dev_len, r0, rl);
+                    programming
+                        .program_tensor(
+                            &t_block,
+                            &xbar_device::VariationModel::none(),
+                            range,
+                            Some(&tf),
+                            &mut rng,
+                        )
+                        .0
+                };
+                write_block_slice(&mut served, g.dev_start, r0, &serve);
+                tile_idx += 1;
+            }
+        }
+        self.variation_override = Some(served);
+        self.fault_map = Some(faults);
+    }
+
+    /// Checks the digital-fallback contract on the live served array:
+    /// every quarantined tile's served conductances must equal the
+    /// fault-free quantized shadow block bitwise, so a quarantined tile's
+    /// MVM contribution is exactly what the ideal array would produce.
+    /// Vacuously `true` when scrubbing is inactive or no tick has run;
+    /// `false` also covers corrupt health state.
+    pub fn scrub_fallback_parity(&self) -> bool {
+        let Some(scrub) = &self.scrub else {
+            return true;
+        };
+        if scrub.epoch.data()[0] as u32 == 0 {
+            return true;
+        }
+        let (Some(served), Some(grid)) = (&self.variation_override, &self.grid) else {
+            return true;
+        };
+        let Ok(monitor) = HealthMonitor::from_flat(scrub.health.data(), RepairPolicy::default())
+        else {
+            return false;
+        };
+        let q = self.quantized_shadow();
+        let mut tile_idx = 0usize;
+        for &(r0, rl) in grid.row_blocks() {
+            for g in grid.col_groups() {
+                if monitor.state(tile_idx) == TileHealth::Quarantined {
+                    for row in g.dev_start..g.dev_start + g.dev_len {
+                        for col in r0..r0 + rl {
+                            if served.at(&[row, col]).to_bits() != q.at(&[row, col]).to_bits() {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                tile_idx += 1;
+            }
+        }
+        true
+    }
+
     /// Visits the accumulated shadow-gradient tensor — the flatten/scatter
     /// hook behind [`crate::Layer::visit_grads`]. Gradient routing
     /// ([`MappedParam::accumulate_grad`]) is linear, so per-shard shadow
@@ -775,6 +1102,61 @@ impl MappedParam {
             let grid = self.grid.as_ref().expect("Perm parameters carry a grid");
             self.periphery = Some(periphery_for_perm(grid, perm));
         }
+        // Self-healing state travels with the parameter; the served
+        // override it implies is rebuilt (not persisted) — see
+        // `rebuild_scrub_override`. Absent when scrubbing is inactive, so
+        // pre-existing checkpoints keep their exact component list.
+        if let Some(scrub) = &mut self.scrub {
+            visitor.tensor(&format!("{prefix}scrub_epoch"), &mut scrub.epoch);
+            visitor.tensor(&format!("{prefix}scrub_health"), &mut scrub.health);
+            visitor.tensor(&format!("{prefix}scrub_shift"), &mut scrub.shift);
+            self.rebuild_scrub_override();
+        }
+    }
+}
+
+/// Deterministic seed of the (never-consumed) scrub programming stream.
+const SCRUB_RNG_SEED: u64 = 0x5C2B;
+
+/// Elementwise `clamp(q + shift)` — the single formula both the scrub
+/// tick and the checkpoint rebuild derive programming targets from, so
+/// the two paths stay bitwise identical.
+fn scrub_targets(q: &Tensor, shift: &Tensor, range: ConductanceRange) -> Tensor {
+    let mut t = q.add(shift).expect("shift shape fixed at construction");
+    t.map_inplace(|v| range.clamp(v));
+    t
+}
+
+/// The sub-map of `faults` covering one tile (column group `g` × input
+/// rows `r0..r0+rl`), in tile-local coordinates.
+fn tile_fault_map(faults: &FaultMap, g: &xbar_core::ColGroup, r0: usize, rl: usize) -> FaultMap {
+    let mut tf = FaultMap::pristine(g.dev_len, rl);
+    for (row, col, kind) in faults.iter_stuck() {
+        if (g.dev_start..g.dev_start + g.dev_len).contains(&row) && (r0..r0 + rl).contains(&col) {
+            tf.set(row - g.dev_start, col - r0, kind);
+        }
+    }
+    tf
+}
+
+/// Extracts the `(r0..r0+rl, c0..c0+cl)` block of a 2-D tensor.
+fn block_slice(t: &Tensor, r0: usize, rl: usize, c0: usize, cl: usize) -> Tensor {
+    let cols = t.shape()[1];
+    let mut out = Tensor::zeros(&[rl, cl]);
+    for r in 0..rl {
+        let src = &t.data()[(r0 + r) * cols + c0..(r0 + r) * cols + c0 + cl];
+        out.data_mut()[r * cl..(r + 1) * cl].copy_from_slice(src);
+    }
+    out
+}
+
+/// Writes `src` into the `(r0.., c0..)` block of `dst`.
+fn write_block_slice(dst: &mut Tensor, r0: usize, c0: usize, src: &Tensor) {
+    let cols = dst.shape()[1];
+    let (srl, scl) = (src.shape()[0], src.shape()[1]);
+    for r in 0..srl {
+        dst.data_mut()[(r0 + r) * cols + c0..(r0 + r) * cols + c0 + scl]
+            .copy_from_slice(&src.data()[r * scl..(r + 1) * scl]);
     }
 }
 
@@ -1516,5 +1898,142 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A device with an active wear-out process and a physical tile bound,
+    /// as the self-healing scrub path requires.
+    fn lifetime_device(rate: f32, seed: u64) -> DeviceConfig {
+        use xbar_device::{LifetimeFaultModel, TileShape};
+        DeviceConfig::quantized_linear(4)
+            .with_tile_shape(Some(TileShape::new(8, 8)))
+            .with_lifetime_faults(LifetimeFaultModel::new(rate, seed).unwrap())
+    }
+
+    #[test]
+    fn scrub_without_lifetime_faults_is_inert() {
+        use crate::persist::collect_state;
+        use crate::Dense;
+        let w = he_init(6, 8, 160);
+        let mut p =
+            MappedParam::from_signed(&w, WeightKind::Mapped(Mapping::Acm), DeviceConfig::ideal())
+                .unwrap();
+        assert!(!p.scrub_active());
+        assert_eq!(p.scrub_epoch(), 0);
+        let before = p.effective_weights();
+        let report = p.scrub_tick(true, &RepairPolicy::default()).unwrap();
+        assert!(report.is_none(), "inactive lifetime must not scrub");
+        assert_eq!(
+            p.effective_weights().data(),
+            before.data(),
+            "a no-op tick must be bitwise invisible"
+        );
+        // The persisted component set is unchanged: no scrub entries, so
+        // pre-existing checkpoints keep restoring.
+        let mut rng = XorShiftRng::new(161);
+        let mut net = Dense::new(
+            8,
+            6,
+            WeightKind::Mapped(Mapping::Acm),
+            DeviceConfig::ideal(),
+            &mut rng,
+        )
+        .unwrap();
+        let snapshot = collect_state(&mut net);
+        assert!(
+            snapshot.iter().all(|item| !item.name().contains("scrub")),
+            "inactive lifetime must not add state components"
+        );
+    }
+
+    #[test]
+    fn scrub_state_round_trips_bitwise_through_a_snapshot() {
+        use crate::persist::{collect_state, restore_state};
+        use crate::{scrub_network, Dense, Layer};
+        let mut rng = XorShiftRng::new(162);
+        let mut net = Dense::new(
+            24,
+            12,
+            WeightKind::Mapped(Mapping::Acm),
+            lifetime_device(0.01, 24),
+            &mut rng,
+        )
+        .unwrap();
+        let x = Tensor::rand_uniform(&[4, 24], -1.0, 1.0, &mut rng);
+        let target = Tensor::rand_uniform(&[4, 12], -0.5, 0.5, &mut rng);
+        let policy = RepairPolicy::default();
+        let (mut detections, mut repairs) = (0, 0);
+        // Interleave training and scrubbing so the snapshot carries
+        // non-trivial shadow, health, and shift state.
+        for _ in 0..6 {
+            let y = net.forward(&x, true).unwrap();
+            let diff = y.sub(&target).unwrap();
+            net.zero_grad();
+            net.backward(&diff).unwrap();
+            net.update(0.05);
+            let rep = scrub_network(&mut net, true, &policy).unwrap().unwrap();
+            detections += rep.detections;
+            repairs += rep.repairs.len();
+        }
+        assert!(detections > 0, "fault arrivals must trip the checksum");
+        assert!(repairs > 0, "detections must trigger repair attempts");
+        let snapshot = collect_state(&mut net);
+        for suffix in ["scrub_epoch", "scrub_health", "scrub_shift"] {
+            assert!(
+                snapshot.iter().any(|item| item.name().ends_with(suffix)),
+                "snapshot must carry {suffix}"
+            );
+        }
+        let want = net.forward(&x, false).unwrap();
+        // Restore into a fresh identically-constructed network: the served
+        // (aged + healed) array is rebuilt from the persisted
+        // (shadow, shift, health, epoch) alone.
+        let mut rng2 = XorShiftRng::new(162);
+        let mut other = Dense::new(
+            24,
+            12,
+            WeightKind::Mapped(Mapping::Acm),
+            lifetime_device(0.01, 24),
+            &mut rng2,
+        )
+        .unwrap();
+        restore_state(&mut other, &snapshot).unwrap();
+        let got = other.forward(&x, false).unwrap();
+        assert_eq!(got.data(), want.data(), "scrub restore must be bitwise");
+    }
+
+    #[test]
+    fn scrub_detection_recovers_weights_lost_to_faults() {
+        let w = he_init(12, 24, 163);
+        let mut on = MappedParam::from_signed(
+            &w,
+            WeightKind::Mapped(Mapping::Acm),
+            lifetime_device(0.01, 25),
+        )
+        .unwrap();
+        let mut off = on.clone();
+        let clean = on.effective_weights();
+        let policy = RepairPolicy::default();
+        let mut detections = 0;
+        for _ in 0..8 {
+            detections += on.scrub_tick(true, &policy).unwrap().unwrap().detections;
+            off.scrub_tick(false, &policy).unwrap().unwrap();
+        }
+        assert!(detections > 0, "faults must be detected in the on arm");
+        assert_eq!(on.scrub_epoch(), 8);
+        assert_eq!(off.scrub_epoch(), 8);
+        let err = |p: &MappedParam| {
+            let eff = p.effective_weights();
+            eff.sub(&clean).unwrap().norm_sq().sqrt()
+        };
+        let (err_on, err_off) = (err(&on), err(&off));
+        assert!(
+            err_off > 0.0,
+            "the maintenance-free arm must accumulate weight damage"
+        );
+        assert!(
+            err_on < err_off,
+            "detection + repair must serve weights closer to fault-free: \
+             on {err_on} vs off {err_off}"
+        );
     }
 }

@@ -25,6 +25,8 @@ use std::path::PathBuf;
 use xbar_tensor::rng::XorShiftRng;
 use xbar_tensor::{backend, elementwise, Tensor};
 
+use xbar_core::{RepairPolicy, ScrubReport};
+
 use crate::persist::{self, TrainCheckpoint};
 use crate::{accuracy, Layer, NnError, SoftmaxCrossEntropy};
 
@@ -57,6 +59,18 @@ pub struct TrainConfig {
     /// count the run is bitwise independent of the thread count
     /// (`XBAR_THREADS`) and fully checkpoint/resumable.
     pub shards: usize,
+    /// Run one self-healing scrub pass ([`scrub_network`]) every this many
+    /// epochs (`0` = never). Only does anything for networks whose mapped
+    /// devices carry an active [`xbar_device::LifetimeFaultModel`]; a tick
+    /// on a wear-free network is a bitwise no-op. When checkpointing is
+    /// also on, `checkpoint_every` must be a multiple of `scrub_every` so
+    /// every checkpoint lands on a tick boundary and a resumed run replays
+    /// the scrub schedule bitwise.
+    pub scrub_every: usize,
+    /// Whether scrub passes run the checksum detection + staged repair +
+    /// quarantine loop (`true`), or only the refresh programming the
+    /// maintenance-free baseline gets (`false`).
+    pub scrub_detect: bool,
 }
 
 impl Default for TrainConfig {
@@ -71,7 +85,57 @@ impl Default for TrainConfig {
             checkpoint_every: 0,
             checkpoint_dir: None,
             shards: 1,
+            scrub_every: 0,
+            scrub_detect: true,
         }
+    }
+}
+
+/// Runs one self-healing scrub tick over every crossbar-mapped parameter
+/// of `net` (see [`crate::MappedParam::scrub_tick`]) and merges the
+/// per-array [`ScrubReport`]s. Returns `None` when no parameter has
+/// scrubbing active — in which case nothing was touched, bitwise.
+///
+/// # Errors
+///
+/// Propagates the first per-parameter failure (invalid health state or a
+/// failed tile-local remap).
+pub fn scrub_network(
+    net: &mut dyn Layer,
+    detect: bool,
+    policy: &RepairPolicy,
+) -> Result<Option<ScrubReport>, NnError> {
+    let mut merged: Option<ScrubReport> = None;
+    let mut first_err: Option<NnError> = None;
+    net.visit_mapped(&mut |p| {
+        if first_err.is_some() {
+            return;
+        }
+        match p.scrub_tick(detect, policy) {
+            Ok(Some(r)) => {
+                merged = Some(match merged.take() {
+                    None => r,
+                    Some(mut acc) => {
+                        acc.epoch = acc.epoch.max(r.epoch);
+                        acc.new_faults += r.new_faults;
+                        acc.detections += r.detections;
+                        acc.repairs.extend(r.repairs);
+                        acc.quarantined_now += r.quarantined_now;
+                        acc.quarantined_total += r.quarantined_total;
+                        acc.analog_tiles += r.analog_tiles;
+                        acc.total_tiles += r.total_tiles;
+                        acc.exhausted_cells += r.exhausted_cells;
+                        acc
+                    }
+                });
+            }
+            Ok(None) => {}
+            Err(e) => first_err = Some(e),
+        }
+    });
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(merged),
     }
 }
 
@@ -238,6 +302,19 @@ pub fn train(
     if cfg.shards == 0 {
         return Err(NnError::Config("shard count must be positive".into()));
     }
+    if cfg.scrub_every > 0
+        && cfg.checkpoint_every > 0
+        && !cfg.checkpoint_every.is_multiple_of(cfg.scrub_every)
+    {
+        // A checkpoint between two ticks of the same scrub interval would
+        // resume with a scrub due at a different epoch than the
+        // uninterrupted run ran it, breaking bitwise resume.
+        return Err(NnError::Config(format!(
+            "checkpoint_every ({}) must be a multiple of scrub_every ({}) \
+             so every checkpoint lands on a scrub boundary",
+            cfg.checkpoint_every, cfg.scrub_every
+        )));
+    }
     // Data-parallel state: one replica + one flat gradient buffer per
     // shard, allocated once and reused across every step of the run.
     let mut replicas: Vec<Box<dyn Layer>> = if cfg.shards > 1 {
@@ -329,6 +406,22 @@ pub fn train(
             net.zero_grad();
             net.backward(&grad)?;
             net.update(lr);
+        }
+        if cfg.scrub_every > 0 && (epoch + 1).is_multiple_of(cfg.scrub_every) {
+            if let Some(rep) = scrub_network(net, cfg.scrub_detect, &RepairPolicy::default())? {
+                if cfg.verbose {
+                    println!(
+                        "scrub {:>3}: +{} faults, {} detections, {} repairs, \
+                         {} quarantined ({:.1}% analog)",
+                        rep.epoch,
+                        rep.new_faults,
+                        rep.detections,
+                        rep.repairs.len(),
+                        rep.quarantined_total,
+                        100.0 * rep.analog_coverage()
+                    );
+                }
+            }
         }
         let test_acc = match &test {
             Some(t) => Some(evaluate(net, t.x, t.labels, cfg.batch_size)?.1),
@@ -694,6 +787,24 @@ mod tests {
         };
         assert!(train(&mut net, Split::new(&x, &labels).unwrap(), None, &bad_lr).is_err());
         assert!(Split::new(&x, &labels[..5]).is_err());
+        // A checkpoint cadence that is not a multiple of the scrub cadence
+        // would break bitwise resume; it must be rejected up front.
+        let bad_cadence = TrainConfig {
+            scrub_every: 3,
+            checkpoint_every: 4,
+            checkpoint_dir: Some(std::env::temp_dir().join("xbar-cadence-test")),
+            ..TrainConfig::default()
+        };
+        let err = train(
+            &mut net,
+            Split::new(&x, &labels).unwrap(),
+            None,
+            &bad_cadence,
+        );
+        match err {
+            Err(NnError::Config(msg)) => assert!(msg.contains("scrub_every"), "{msg}"),
+            other => panic!("cadence mismatch must be a config error, got {other:?}"),
+        }
     }
 
     #[test]
