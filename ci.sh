@@ -29,7 +29,35 @@ echo "==> bench_kernels --smoke (parity + train throughput + BENCH_kernels.json)
 XBAR_THREADS=4 cargo run --release -p xbar-bench --bin bench_kernels -- --smoke
 grep -q '"name": "train_step"' BENCH_kernels.json
 grep -q '"parity": true' BENCH_kernels.json
+! grep -q '"parity": false' BENCH_kernels.json
 echo "    train_step recorded with serial/parallel parity"
+
+echo "==> scheduler gate (sched_bag parity + modeled 4-lane speedup >= 1.2x)"
+# The heterogeneous task-bag entry must be present with all three arms
+# bitwise identical, and the work-stealing schedule must beat the static
+# fork-join split by >= 1.2x at the pinned 4-lane width. The speedup is
+# the ws/fj occupancy ratio: both occupancies come from scheduling one
+# measured per-task busy profile onto 4 lanes, so the gate holds even on
+# core-starved CI hosts where raw wall times serialize (see
+# kernel_bench::sched_bag_entry).
+SCHED_LINE=$(grep '"name": "sched_bag"' BENCH_kernels.json)
+echo "$SCHED_LINE" | grep -q '"parity": true'
+FJ_OCC=$(echo "$SCHED_LINE" | sed 's/.*"fj_occupancy": \([0-9.]*\).*/\1/')
+WS_OCC=$(echo "$SCHED_LINE" | sed 's/.*"ws_occupancy": \([0-9.]*\).*/\1/')
+awk -v fj="$FJ_OCC" -v ws="$WS_OCC" 'BEGIN {
+    if (fj <= 0) { print "sched_bag: bad fj occupancy"; exit 1 }
+    ratio = ws / fj
+    printf "    sched_bag: occupancy ws=%.3f fj=%.3f -> %.2fx modeled 4-lane speedup\n", ws, fj, ratio
+    if (ratio < 1.2) { printf "sched_bag modeled speedup %.2fx < 1.2x\n", ratio; exit 1 }
+}'
+
+echo "==> steal-order determinism gate (thread-count x jitter matrix, release)"
+# Re-invoking child processes at XBAR_THREADS in {1,2,4,8} with the
+# sched-fuzz jitter hook compiled in: tiled forward and sharded training
+# digests, and sweep journal bytes, must be identical in every cell.
+cargo test -q --release -p xbar --test integration_sched --features sched-fuzz
+cargo test -q --release -p xbar-bench --test sched_journal --features sched-fuzz
+echo "    digests and journal bytes invariant under steal-order fuzzing"
 
 echo "==> training parity gate (serial == data-parallel, dropout + mappings)"
 # Release-mode re-run of the sharded-trainer determinism suite: pooled vs

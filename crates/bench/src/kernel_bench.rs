@@ -91,6 +91,10 @@ pub struct Entry {
     pub serial_allocs: Option<(u64, u64)>,
     /// Heap `(allocations, bytes)` of one steady-state parallel evaluation.
     pub parallel_allocs: Option<(u64, u64)>,
+    /// Lane occupancy `(fork_join, work_stealing)` of the scheduler bag
+    /// entry: summed per-task busy time divided by `lanes x wall`, one
+    /// representative run per arm. `None` for kernel entries.
+    pub occupancy: Option<(f64, f64)>,
 }
 
 impl Entry {
@@ -171,6 +175,11 @@ impl Report {
                 "\"speedup_vs_serial\": {:.2}, ",
                 e.speedup_vs_serial()
             ));
+            if let Some((fj, ws)) = e.occupancy {
+                s.push_str(&format!(
+                    "\"fj_occupancy\": {fj:.3}, \"ws_occupancy\": {ws:.3}, "
+                ));
+            }
             if let Some(routine) = e.routine {
                 s.push_str(&format!("\"routine\": \"{routine}\", "));
             }
@@ -452,6 +461,7 @@ fn gemm_entry(
         naive_allocs,
         serial_allocs,
         parallel_allocs,
+        occupancy: None,
     }
 }
 
@@ -504,6 +514,7 @@ fn e2e_entry<T: PartialEq>(
         naive_allocs: None,
         serial_allocs,
         parallel_allocs,
+        occupancy: None,
     }
 }
 
@@ -709,7 +720,7 @@ fn train_step_entry(mode: Mode, reps: usize) -> Entry {
         lr: 0.05,
         lr_decay: 1.0,
         seed: 62,
-        shards: 4,
+        shards: Some(4),
         ..TrainConfig::default()
     };
     // Build the net once and snapshot its initial state; every timed rep
@@ -783,6 +794,148 @@ fn train_step_entry(mode: Mode, reps: usize) -> Entry {
         naive_allocs,
         serial_allocs,
         parallel_allocs,
+        occupancy: None,
+    }
+}
+
+/// Times a heterogeneous power-of-two task bag under the pre-refactor
+/// fork-join discipline against the persistent work-stealing scheduler.
+///
+/// The *fork-join* arm splits the bag into one contiguous group per pool
+/// lane — the static partition the old scoped `run_scoped` fan-out was
+/// limited to, where a group is one indivisible task and the lane that
+/// draws the heavy tail becomes the critical path. The *work-stealing*
+/// arm submits one stealable task per bag item through
+/// [`backend::ordered_stream`], so idle lanes steal individual large
+/// tasks and the bag balances. Both arms run identical floating-point
+/// churn per item and must commit bitwise-identical outputs.
+///
+/// Measured wall times go in the usual slots (fork-join in `naive_ms`,
+/// work-stealing in `serial_ms`/`parallel_ms`). Lane *occupancy* is
+/// derived from per-task busy times scheduled onto `backend::threads()`
+/// lanes — static contiguous chunks for fork-join, greedy
+/// earliest-free-lane (the steady state a stealing deque converges to)
+/// for work-stealing — as `total_busy / (lanes × makespan)`. Deriving
+/// occupancy from the schedule model rather than measured wall keeps the
+/// metric meaningful on core-starved CI hosts, where both arms serialize
+/// onto one physical CPU and wall-clock occupancy would degenerate to
+/// `1/lanes` for every scheduler; the `ws/fj` occupancy ratio equals the
+/// modeled makespan speedup at the configured lane count.
+fn sched_bag_entry(mode: Mode, reps: usize) -> Entry {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    // Power-of-two sizes, sorted ascending so a contiguous split hands
+    // the whole heavy tail to the last lane — the adversarial-but-common
+    // shape for static partitions (tile grids and sweep cells are sorted
+    // by construction too).
+    let (n_tasks, max_pow, unit) = match mode {
+        Mode::Smoke => (48usize, 6u32, 2_000usize),
+        Mode::Full => (96, 7, 8_000),
+    };
+    let sizes: Vec<usize> = {
+        let mut v: Vec<usize> = (0..n_tasks)
+            .map(|i| 1usize << (i as u32 % (max_pow + 1)))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    let total_iters: usize = sizes.iter().map(|s| s * unit).sum();
+    // Deterministic float churn whose result feeds the output buffer, so
+    // neither arm can have its loop optimized away.
+    let work = |idx: usize, iters: usize| -> f32 {
+        let mut acc = (idx as f32).mul_add(0.618_034, 1.0);
+        for i in 0..iters as u32 {
+            let x = (i.wrapping_mul(2_654_435_761) >> 16) as f32;
+            acc = acc.mul_add(0.999_999, x * 1e-7);
+        }
+        acc
+    };
+    // Per-task busy times, written by whichever arm ran a task last.
+    // Indices are unique within a run, so plain stores suffice.
+    let busy_ns: Vec<AtomicU64> = (0..sizes.len()).map(|_| AtomicU64::new(0)).collect();
+    let timed_work = |idx: usize, iters: usize| -> f32 {
+        let t = Instant::now();
+        let v = work(idx, iters);
+        busy_ns[idx].store(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        v
+    };
+    let lanes = backend::threads().max(1);
+    let fork_join = || -> Vec<f32> {
+        let chunk = sizes.len().div_ceil(lanes);
+        let groups: Vec<(usize, &[usize])> = sizes.chunks(chunk).enumerate().collect();
+        backend::parallel_map(groups, |_, (g, group)| {
+            group
+                .iter()
+                .enumerate()
+                .map(|(j, &s)| timed_work(g * chunk + j, s * unit))
+                .collect::<Vec<f32>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    };
+    let work_stealing = || -> Vec<f32> {
+        let mut out = vec![0.0f32; sizes.len()];
+        backend::ordered_stream(
+            sizes.clone(),
+            |i, s| timed_work(i, s * unit),
+            |i, v| out[i] = v,
+        );
+        out
+    };
+
+    backend::force_serial(true);
+    let serial_out = work_stealing();
+    backend::force_serial(false);
+    let parallel_out = work_stealing();
+    let fj_out = fork_join();
+    let parity = serial_out == parallel_out && serial_out == fj_out;
+    assert!(parity, "sched_bag: arms diverged");
+
+    let (serial_ms, parallel_ms, vs_serial) = time_arms_ms(reps, &work_stealing);
+    let naive_ms = time_ms(reps, &fork_join);
+
+    // Re-measure task busy times once, contention-free, then schedule
+    // that one profile under both disciplines at `lanes` lanes.
+    backend::force_serial(true);
+    let _ = work_stealing();
+    backend::force_serial(false);
+    let busy: Vec<u64> = busy_ns.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+    let total_busy: u64 = busy.iter().sum();
+    let chunk = busy.len().div_ceil(lanes);
+    let fj_makespan = busy
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<u64>())
+        .max()
+        .unwrap_or(0);
+    let mut lane_free = vec![0u64; lanes];
+    for &b in &busy {
+        // Earliest-free lane takes the next submitted task.
+        let l = (0..lanes).min_by_key(|&l| lane_free[l]).unwrap_or(0);
+        lane_free[l] += b;
+    }
+    let ws_makespan = lane_free.into_iter().max().unwrap_or(0);
+    let occ = |makespan: u64| total_busy as f64 / (lanes as f64 * makespan.max(1) as f64);
+    let (fj_occ, ws_occ) = (occ(fj_makespan), occ(ws_makespan));
+
+    Entry {
+        name: "sched_bag".to_string(),
+        kind: "sched_bag",
+        dims: format!("{n_tasks} tasks 1..{}x{unit} iters", 1usize << max_pow),
+        // One fused multiply-add per iteration.
+        flops: 2.0 * total_iters as f64,
+        naive_ms: Some(naive_ms),
+        serial_ms,
+        parallel_ms,
+        vs_serial: Some(vs_serial),
+        parity,
+        routine: None,
+        tune_source: None,
+        tune_ms: None,
+        naive_allocs: None,
+        serial_allocs: None,
+        parallel_allocs: None,
+        occupancy: Some((fj_occ, ws_occ)),
     }
 }
 
@@ -942,6 +1095,9 @@ pub fn run(mode: Mode) -> Report {
     // E2E: one data-parallel training epoch (the ISSUE-5 headline arm).
     entries.push(train_step_entry(mode, reps));
 
+    // Scheduler: heterogeneous task bag, fork-join vs work-stealing.
+    entries.push(sched_bag_entry(mode, reps));
+
     Report {
         mode,
         threads: backend::threads(),
@@ -977,6 +1133,19 @@ mod tests {
         assert!(train.speedup().is_some());
         // No counting allocator in library tests.
         assert!(train.parallel_allocs.is_none());
+        let sched = report
+            .entries
+            .iter()
+            .find(|e| e.name == "sched_bag")
+            .expect("sched_bag entry present");
+        assert!(sched.parity);
+        assert!(sched.speedup().is_some(), "fork-join arm missing");
+        let (fj, ws) = sched.occupancy.expect("sched_bag reports occupancy");
+        assert!((0.0..=1.0).contains(&fj), "fj occupancy {fj} out of range");
+        assert!((0.0..=1.0).contains(&ws), "ws occupancy {ws} out of range");
+        // Greedy stealing can never occupy lanes worse than a static
+        // contiguous split of the same busy profile (equal at one lane).
+        assert!(ws >= fj - 1e-9, "ws occupancy {ws} below fj {fj}");
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"kernels\""));
         assert!(json.contains("matmul_square_256"));

@@ -3,18 +3,22 @@
 //! Monte-Carlo sweeps are long-running batch jobs; this runner gives them
 //! the three robustness properties the fail-stop loops lacked:
 //!
-//! * **Panic isolation** — every cell runs under the panic-catching
-//!   [`backend::try_parallel_map`], so one poisoned trial becomes a
-//!   [`FailureRecord`] in the output instead of an aborted sweep.
+//! * **Panic isolation** — every cell attempt runs under `catch_unwind`
+//!   inside a [`backend::ordered_stream`] producer task, so one poisoned
+//!   trial becomes a [`FailureRecord`] in the output instead of an
+//!   aborted sweep.
 //! * **Bounded deterministic retry** — each cell gets `retries` additional
 //!   attempts before being recorded as failed; cells are pure functions of
 //!   their key, so retry only rescues transient failures (I/O), never
 //!   changes a result.
 //! * **Crash-safe resume** — completed cells stream to an append-only
-//!   JSONL journal (one fsynced line per cell). After a crash (`kill -9`
-//!   included), rerunning with [`SweepConfig::resume`] skips journaled
-//!   cells, and the assembled output is byte-identical to an uninterrupted
-//!   run because cell values round-trip canonically through [`Json`].
+//!   JSONL journal (one fsynced line per cell), committed on the calling
+//!   thread in *submission order*: the journal bytes are identical at any
+//!   thread count or steal order, not merely set-equal. After a crash
+//!   (`kill -9` included), rerunning with [`SweepConfig::resume`] skips
+//!   journaled cells, and the assembled output is byte-identical to an
+//!   uninterrupted run because cell values round-trip canonically through
+//!   [`Json`].
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -253,12 +257,44 @@ where
     }
 
     let writer_ref = writer.as_ref();
-    let results = backend::try_parallel_map(todo, |_i, (idx, key, input)| {
-        let mut last_failure: Option<FailureRecord> = None;
-        for attempt in 1..=attempts_max {
-            let run = catch_unwind(AssertUnwindSafe(|| cell(&key, &input)));
-            match run {
-                Ok(Ok(value)) => {
+    // Produce on the pool (panic-isolated, bounded-retry cell execution —
+    // no I/O), consume on the calling thread strictly in submission order
+    // (journal append + outcome placement). Committing the journal in
+    // submission order makes its bytes identical at any `XBAR_THREADS`
+    // and under any steal order — not merely set-equal — which the resume
+    // and steal-order determinism gates verify.
+    backend::ordered_stream(
+        todo,
+        |_i, (idx, key, input)| {
+            let mut last_failure: Option<FailureRecord> = None;
+            for attempt in 1..=attempts_max {
+                match catch_unwind(AssertUnwindSafe(|| cell(&key, &input))) {
+                    Ok(Ok(value)) => return (idx, key, Ok((value, attempt))),
+                    Ok(Err(e)) => {
+                        last_failure = Some(FailureRecord {
+                            key: key.clone(),
+                            attempts: attempt,
+                            panicked: false,
+                            error: e.to_string(),
+                        });
+                    }
+                    Err(payload) => {
+                        last_failure = Some(FailureRecord {
+                            key: key.clone(),
+                            attempts: attempt,
+                            panicked: true,
+                            error: backend::panic_message(payload.as_ref()),
+                        });
+                    }
+                }
+            }
+            let record = last_failure.expect("at least one attempt ran");
+            (idx, key, Err(record))
+        },
+        |_i, (idx, key, run)| {
+            let outcome = match run {
+                Ok((value, attempt)) => {
+                    let mut journal_failure = None;
                     if let Some(w) = writer_ref {
                         let entry = Json::Obj(vec![
                             ("key".into(), Json::Str(key.clone())),
@@ -266,60 +302,36 @@ where
                             ("value".into(), value.clone()),
                         ]);
                         if let Err(e) = w.append(&entry) {
-                            return (
-                                idx,
-                                CellOutcome::Failed(FailureRecord {
-                                    key: key.clone(),
-                                    attempts: attempt,
-                                    panicked: false,
-                                    error: e.to_string(),
-                                }),
-                            );
+                            // A cell whose result could not be made durable
+                            // degrades to a failure, as before the refactor.
+                            journal_failure = Some(FailureRecord {
+                                key,
+                                attempts: attempt,
+                                panicked: false,
+                                error: e.to_string(),
+                            });
                         }
                     }
-                    return (idx, CellOutcome::Ok(value));
+                    match journal_failure {
+                        Some(record) => CellOutcome::Failed(record),
+                        None => CellOutcome::Ok(value),
+                    }
                 }
-                Ok(Err(e)) => {
-                    last_failure = Some(FailureRecord {
-                        key: key.clone(),
-                        attempts: attempt,
-                        panicked: false,
-                        error: e.to_string(),
-                    });
+                Err(record) => {
+                    if let Some(w) = writer_ref {
+                        let _ = w.append(&Json::Obj(vec![
+                            ("key".into(), Json::Str(record.key.clone())),
+                            ("status".into(), Json::Str("failed".into())),
+                            ("attempts".into(), Json::Num(record.attempts as f64)),
+                            ("error".into(), Json::Str(record.error.clone())),
+                        ]));
+                    }
+                    CellOutcome::Failed(record)
                 }
-                Err(payload) => {
-                    last_failure = Some(FailureRecord {
-                        key: key.clone(),
-                        attempts: attempt,
-                        panicked: true,
-                        error: backend::panic_message(payload.as_ref()),
-                    });
-                }
-            }
-        }
-        let record = last_failure.expect("at least one attempt ran");
-        if let Some(w) = writer_ref {
-            let _ = w.append(&Json::Obj(vec![
-                ("key".into(), Json::Str(record.key.clone())),
-                ("status".into(), Json::Str("failed".into())),
-                ("attempts".into(), Json::Num(record.attempts as f64)),
-                ("error".into(), Json::Str(record.error.clone())),
-            ]));
-        }
-        (idx, CellOutcome::Failed(record))
-    });
-
-    for result in results {
-        match result {
-            Ok((idx, outcome)) => outcomes[idx] = Some(outcome),
-            Err(panic) => {
-                // The runner's own bookkeeping panicked — degrade to a
-                // failure record for whichever cells are still missing
-                // below; nothing to place here because the index is lost.
-                eprintln!("sweep task panicked outside cell isolation: {panic}");
-            }
-        }
-    }
+            };
+            outcomes[idx] = Some(outcome);
+        },
+    );
 
     let cells = keys
         .into_iter()

@@ -783,21 +783,28 @@ impl SelfHealingCrossbar {
                 items.push(((r0, rl), *g));
             }
         }
-        let partials = backend::parallel_map(items.clone(), |_, ((r0, rl), g)| {
-            let x_block = cols_slice(x, r0, rl);
-            let m_block = block(&self.served, g.dev_start, g.dev_len, r0, rl);
-            linalg::matmul_nt(&x_block, &m_block).expect("tile dimensions agree by construction")
-        });
+        // Same journal-ordered commit as [`TiledCrossbar::raw_batch`]:
+        // per-tile tasks on the pool, accumulation in submission order.
         let mut raw = Tensor::zeros(&[batch, nd]);
-        for (((_, _), g), partial) in items.into_iter().zip(partials) {
-            for b in 0..batch {
-                let dst =
-                    &mut raw.data_mut()[b * nd + g.dev_start..b * nd + g.dev_start + g.dev_len];
-                for (d, &p) in dst.iter_mut().zip(&partial.data()[b * g.dev_len..]) {
-                    *d += p;
+        let raw_data = raw.data_mut();
+        backend::ordered_stream(
+            items,
+            |_, ((r0, rl), g)| {
+                let x_block = cols_slice(x, r0, rl);
+                let m_block = block(&self.served, g.dev_start, g.dev_len, r0, rl);
+                let partial = linalg::matmul_nt(&x_block, &m_block)
+                    .expect("tile dimensions agree by construction");
+                (g, partial)
+            },
+            |_, (g, partial)| {
+                for b in 0..batch {
+                    let dst = &mut raw_data[b * nd + g.dev_start..b * nd + g.dev_start + g.dev_len];
+                    for (d, &p) in dst.iter_mut().zip(&partial.data()[b * g.dev_len..]) {
+                        *d += p;
+                    }
                 }
-            }
-        }
+            },
+        );
         raw
     }
 

@@ -67,4 +67,6 @@ pub use norm::BatchNorm2d;
 pub use param::{MappedParam, WeightKind};
 pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
 pub use residual::ResidualBlock;
-pub use train::{evaluate, scrub_network, train, EpochStats, History, Split, TrainConfig};
+pub use train::{
+    auto_shards, evaluate, scrub_network, train, EpochStats, History, Split, TrainConfig,
+};

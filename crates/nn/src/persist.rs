@@ -34,8 +34,10 @@ use crate::{EpochStats, Layer, StateVisitor};
 
 /// File magic for all persisted artifacts.
 pub const MAGIC: &[u8; 8] = b"XBARCKPT";
-/// Current container format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current container format version. Version 2 added the resolved
+/// data-parallel shard count to [`TrainCheckpoint`] so auto-tuned runs
+/// resume with the shard count they were started with.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Payload kind tag: a single tensor.
 pub const KIND_TENSOR: u8 = 1;
@@ -728,6 +730,11 @@ pub struct TrainCheckpoint {
     pub epochs_done: usize,
     /// Learning rate for the next epoch.
     pub lr: f32,
+    /// Resolved data-parallel shard count of the run (what
+    /// [`crate::TrainConfig::shards`] resolved to — the recorded value,
+    /// not the request). Sharding fixes the gradient reduction order, so
+    /// a resumed run must reuse exactly this count to stay bitwise.
+    pub shards: usize,
     /// Shuffling RNG stream state.
     pub rng: RngState,
     /// Current sample order permutation.
@@ -790,6 +797,7 @@ pub fn save_checkpoint(path: &Path, ckpt: &TrainCheckpoint) -> Result<(), Persis
     let mut e = Enc::default();
     e.u64(ckpt.epochs_done as u64);
     e.f32(ckpt.lr);
+    e.u64(ckpt.shards as u64);
     encode_rng(&mut e, ckpt.rng);
     e.u64(ckpt.order.len() as u64);
     for &i in &ckpt.order {
@@ -813,6 +821,7 @@ pub fn load_checkpoint(path: &Path) -> Result<TrainCheckpoint, PersistError> {
     let mut d = Dec::new(&payload);
     let epochs_done = d.usize()?;
     let lr = d.f32()?;
+    let shards = d.usize()?;
     let rng = decode_rng(&mut d)?;
     let order_len = d.usize()?;
     if order_len > (d.buf.len() - d.pos) / 8 {
@@ -841,6 +850,7 @@ pub fn load_checkpoint(path: &Path) -> Result<TrainCheckpoint, PersistError> {
     Ok(TrainCheckpoint {
         epochs_done,
         lr,
+        shards,
         rng,
         order,
         history,

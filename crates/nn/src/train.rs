@@ -8,19 +8,28 @@
 //!
 //! # Data-parallel training
 //!
-//! With [`TrainConfig::shards`] > 1 every mini-batch is split into that
-//! many fixed, contiguous row shards; each shard runs forward/backward on
-//! its own model replica (fanned out over the [`xbar_tensor::backend`]
-//! worker pool) and the per-shard gradients are combined by a fixed-order
-//! tree reduction before a single update on the primary network. Shard
-//! boundaries, dropout streams (forked per shard from the primary's
-//! persisted streams), and the reduction order depend only on the shard
-//! count — never on the thread count — so an `XBAR_THREADS=N` sharded run
-//! is bitwise identical to the same run executed serially, and
-//! checkpoint/resume keeps working unchanged (all state lives in the
-//! primary network).
+//! With a resolved shard count > 1 ([`TrainConfig::shards`], auto-tuned
+//! from the batch size and worker-pool width when unset) every mini-batch
+//! is split into that many fixed, contiguous row shards; each shard runs
+//! forward/backward on its own model replica as a task on the
+//! [`xbar_tensor::backend`] work-stealing scheduler. Gradients are
+//! reduced **per segment** — one segment per [`xbar_core::TileGrid`]
+//! column group for crossbar-mapped weights
+//! ([`Layer::visit_grad_segments`]) — as dependency-counted deferred
+//! tasks: shard *k* signals segment *g* the moment its copy of that
+//! segment commits, and the reduction for *g* fires on the final signal,
+//! summing shard buffers in fixed shard-index order. Shard boundaries,
+//! dropout streams (forked per shard from the primary's persisted
+//! streams), the segment plan, and the reduction order depend only on the
+//! shard count and model shape — never on the thread count or steal order
+//! — so an `XBAR_THREADS=N` sharded run is bitwise identical to the same
+//! run executed serially, and checkpoint/resume keeps working unchanged
+//! (all state lives in the primary network; the resolved shard count is
+//! recorded in the checkpoint and [`History`]).
 
+use std::ops::Range;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 use xbar_tensor::rng::XorShiftRng;
 use xbar_tensor::{backend, elementwise, Tensor};
@@ -53,12 +62,16 @@ pub struct TrainConfig {
     /// already exists, [`train`] resumes from it and reproduces the
     /// uninterrupted run bitwise.
     pub checkpoint_dir: Option<PathBuf>,
-    /// Number of data-parallel shards per mini-batch (`1` = classic
-    /// single-replica training). The *sharding* changes the floating-point
-    /// reduction order relative to `shards = 1`, but for a fixed shard
-    /// count the run is bitwise independent of the thread count
-    /// (`XBAR_THREADS`) and fully checkpoint/resumable.
-    pub shards: usize,
+    /// Number of data-parallel shards per mini-batch (`Some(1)` = classic
+    /// single-replica training). `None` auto-tunes the count from the
+    /// batch size and the worker-pool width at [`train`] start (see
+    /// [`auto_shards`]); the resolved value is recorded in the [`History`]
+    /// and in checkpoints, and a resumed run reuses the recorded count.
+    /// The *sharding* changes the floating-point reduction order relative
+    /// to one shard, but for a fixed shard count the run is bitwise
+    /// independent of the thread count (`XBAR_THREADS`) and fully
+    /// checkpoint/resumable.
+    pub shards: Option<usize>,
     /// Run one self-healing scrub pass ([`scrub_network`]) every this many
     /// epochs (`0` = never). Only does anything for networks whose mapped
     /// devices carry an active [`xbar_device::LifetimeFaultModel`]; a tick
@@ -84,7 +97,7 @@ impl Default for TrainConfig {
             verbose: false,
             checkpoint_every: 0,
             checkpoint_dir: None,
-            shards: 1,
+            shards: None,
             scrub_every: 0,
             scrub_detect: true,
         }
@@ -171,13 +184,25 @@ impl EpochStats {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct History {
     epochs: Vec<EpochStats>,
+    resolved_shards: usize,
 }
 
 impl History {
     /// Builds a history from pre-recorded epoch statistics (e.g. a resumed
     /// checkpoint).
     pub fn from_epochs(epochs: Vec<EpochStats>) -> Self {
-        Self { epochs }
+        Self {
+            epochs,
+            resolved_shards: 0,
+        }
+    }
+
+    /// The data-parallel shard count the run actually used — either the
+    /// explicit [`TrainConfig::shards`] value or the [`auto_shards`]
+    /// resolution recorded at [`train`] start. `0` when the history was
+    /// built outside [`train`] and the count is unknown.
+    pub fn resolved_shards(&self) -> usize {
+        self.resolved_shards
     }
 
     /// All epoch records, in order.
@@ -299,7 +324,7 @@ pub fn train(
             "checkpoint_every set without checkpoint_dir".into(),
         ));
     }
-    if cfg.shards == 0 {
+    if cfg.shards == Some(0) {
         return Err(NnError::Config("shard count must be positive".into()));
     }
     if cfg.scrub_every > 0
@@ -315,25 +340,13 @@ pub fn train(
             cfg.checkpoint_every, cfg.scrub_every
         )));
     }
-    // Data-parallel state: one replica + one flat gradient buffer per
-    // shard, allocated once and reused across every step of the run.
-    let mut replicas: Vec<Box<dyn Layer>> = if cfg.shards > 1 {
-        (0..cfg.shards).map(|_| net.clone_box()).collect()
-    } else {
-        Vec::new()
-    };
-    let grad_len = {
-        let mut n = 0usize;
-        net.visit_grads(&mut |g| n += g.len());
-        n
-    };
-    let mut grad_bufs: Vec<Vec<f32>> = (0..replicas.len()).map(|_| vec![0.0; grad_len]).collect();
     let mut rng = XorShiftRng::new(cfg.seed);
     let n = train_split.len();
     let mut order: Vec<usize> = (0..n).collect();
     let mut lr = cfg.lr;
     let mut history = History::default();
     let mut start_epoch = 0usize;
+    let mut ckpt_shards: Option<usize> = None;
     let ckpt_path = cfg.checkpoint_dir.as_ref().map(|d| d.join("train.ckpt"));
     if let Some(path) = &ckpt_path {
         if cfg.checkpoint_every > 0 {
@@ -370,22 +383,68 @@ pub fn train(
             lr = ckpt.lr;
             start_epoch = ckpt.epochs_done;
             history = History::from_epochs(ckpt.history);
+            ckpt_shards = Some(ckpt.shards);
             if cfg.verbose {
                 println!("resumed from {} at epoch {start_epoch}", path.display());
             }
         }
     }
+    // Resolve the shard count. The checkpointed value wins on resume (the
+    // reduction order is part of the bitwise trajectory, so an auto-tuned
+    // resume must replay the original count even on a different machine);
+    // an explicit config value that disagrees with it is an error rather
+    // than a silent divergence.
+    let shards = match (cfg.shards, ckpt_shards) {
+        (Some(k), Some(c)) if k != c => {
+            return Err(NnError::Persist(
+                crate::persist::PersistError::StateMismatch(format!(
+                    "checkpoint was taken with {c} shards, config asks for {k}"
+                )),
+            ));
+        }
+        (Some(k), _) => k,
+        (None, Some(c)) => c,
+        (None, None) => auto_shards(cfg.batch_size, backend::threads()),
+    };
+    history.resolved_shards = shards;
+    // Data-parallel state: one replica + one flat gradient buffer per
+    // shard, one reduced buffer, and the fixed per-segment reduction plan
+    // — allocated once (after a possible resume restored the primary) and
+    // reused across every step of the run.
+    let mut replicas: Vec<Box<dyn Layer>> = if shards > 1 {
+        (0..shards).map(|_| net.clone_box()).collect()
+    } else {
+        Vec::new()
+    };
+    let grad_len = {
+        let mut n = 0usize;
+        net.visit_grads(&mut |g| n += g.len());
+        n
+    };
+    let mut grad_bufs: Vec<Vec<f32>> = (0..replicas.len()).map(|_| vec![0.0; grad_len]).collect();
+    let mut reduced: Vec<f32> = if shards > 1 {
+        vec![0.0; grad_len]
+    } else {
+        Vec::new()
+    };
+    let segments = if shards > 1 {
+        grad_segments(net, grad_len)
+    } else {
+        Vec::new()
+    };
     for epoch in start_epoch..cfg.epochs {
         rng.shuffle(&mut order);
         let mut loss_sum = 0.0f64;
         let mut acc_sum = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
-            if cfg.shards > 1 {
+            if shards > 1 {
                 let (loss, acc) = sharded_step(
                     net,
                     &mut replicas,
                     &mut grad_bufs,
+                    &mut reduced,
+                    &segments,
                     train_split.x,
                     train_split.labels,
                     chunk,
@@ -453,6 +512,7 @@ pub fn train(
             let ckpt = TrainCheckpoint {
                 epochs_done: epoch + 1,
                 lr,
+                shards,
                 rng: rng.save_state(),
                 order: order.clone(),
                 history: history.epochs.clone(),
@@ -464,11 +524,149 @@ pub fn train(
     Ok(history)
 }
 
-/// One shard's slice of a data-parallel step: its model replica, its flat
-/// gradient buffer, its forked forward-RNG streams, and its batch rows.
+/// Resolves the data-parallel shard count when [`TrainConfig::shards`] is
+/// unset: one shard per worker-pool lane, capped so a shard never gets
+/// fewer than eight rows of the mini-batch, and always at least one.
+/// Depends only on the config and the pool width (`XBAR_THREADS` or
+/// hardware), never on runtime timing, so a given machine + config
+/// resolves the same count every run; the resolved value is recorded in
+/// checkpoints so a resume replays it even where the pool width differs.
+pub fn auto_shards(batch_size: usize, lanes: usize) -> usize {
+    lanes.max(1).min((batch_size / 8).max(1))
+}
+
+/// Minimum reduction-segment length, in floats. Segment plans finer than
+/// this (small bias vectors, tiny column groups) are coalesced into their
+/// predecessor so per-segment task overhead stays negligible.
+const MIN_SEGMENT_LEN: usize = 256;
+
+/// Builds the fixed per-segment reduction plan over `net`'s flat gradient
+/// layout: the [`Layer::visit_grad_segments`] boundaries (one segment per
+/// `TileGrid` column group for crossbar-mapped weights), coalesced to at
+/// least [`MIN_SEGMENT_LEN`] floats. The plan depends only on the model
+/// shape. Falls back to one whole-buffer segment if a layer's plan
+/// disagrees with its flat gradient length.
+fn grad_segments(net: &mut dyn Layer, grad_len: usize) -> Vec<Range<usize>> {
+    let mut segs: Vec<Range<usize>> = Vec::new();
+    let mut off = 0usize;
+    net.visit_grad_segments(&mut |len| {
+        if len == 0 {
+            return;
+        }
+        let start = off;
+        off += len;
+        match segs.last_mut() {
+            Some(prev) if prev.len() < MIN_SEGMENT_LEN => prev.end = off,
+            _ => segs.push(start..off),
+        }
+    });
+    if off != grad_len {
+        debug_assert!(
+            false,
+            "segment plan covers {off} of {grad_len} gradient floats"
+        );
+        segs.clear();
+    }
+    if segs.is_empty() && grad_len > 0 {
+        segs.push(0..grad_len);
+    }
+    segs
+}
+
+/// Raw views over the per-shard gradient buffers and the reduced output
+/// buffer, shared between concurrent shard writers and segment-reduction
+/// readers.
+///
+/// Safety protocol: every access materialises a slice over one index
+/// range only. A shard task writes only its own buffer, at monotonically
+/// increasing offsets, and signals a segment's trigger only after its
+/// writes passed the segment's end; a reduction task reads shard buffers
+/// only within its segment's range, only after all shards signalled it
+/// (the scheduler's dependency-count release/acquire chain orders the
+/// writes before the reads), and is the unique writer of that range of
+/// `reduced`. No two live slices ever overlap.
+struct RawBufs {
+    shards: Vec<*mut f32>,
+    reduced: *mut f32,
+    len: usize,
+}
+
+// SAFETY: the raw pointers are only dereferenced under the disjoint
+// segment-range protocol documented on the struct.
+unsafe impl Send for RawBufs {}
+unsafe impl Sync for RawBufs {}
+
+impl RawBufs {
+    /// Shared view of shard `k`'s floats in `range`.
+    ///
+    /// # Safety
+    ///
+    /// Shard `k` must have committed (signalled) `range` already, and no
+    /// writer may touch it again this step.
+    unsafe fn shard(&self, k: usize, range: &Range<usize>) -> &[f32] {
+        debug_assert!(range.end <= self.len);
+        std::slice::from_raw_parts(self.shards[k].add(range.start), range.len())
+    }
+
+    /// Exclusive view of shard `k`'s floats in `range`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be shard `k`'s own task and must not have signalled any
+    /// segment overlapping `range` yet.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn shard_mut(&self, k: usize, range: &Range<usize>) -> &mut [f32] {
+        debug_assert!(range.end <= self.len);
+        std::slice::from_raw_parts_mut(self.shards[k].add(range.start), range.len())
+    }
+
+    /// Exclusive view of the reduced buffer's floats in `range`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the unique reduction task for `range`'s segment.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn reduced_mut(&self, range: &Range<usize>) -> &mut [f32] {
+        debug_assert!(range.end <= self.len);
+        std::slice::from_raw_parts_mut(self.reduced.add(range.start), range.len())
+    }
+}
+
+/// Signals each segment's reduction trigger exactly once, in segment
+/// order, as a shard's flat-gradient commit offset advances past the
+/// segment's end. Dropping the guard signals every remaining trigger, so
+/// a failed (or short-circuited) shard still releases the deferred
+/// reductions instead of deadlocking the scope — their output is garbage
+/// in that case, but the step checks shard errors before using it.
+struct SegmentSignals<'a> {
+    triggers: Vec<backend::Trigger>,
+    segments: &'a [Range<usize>],
+    next: usize,
+}
+
+impl SegmentSignals<'_> {
+    fn advance_through(&mut self, committed: usize) {
+        while self.next < self.segments.len() && self.segments[self.next].end <= committed {
+            self.triggers[self.next].signal();
+            self.next += 1;
+        }
+    }
+}
+
+impl Drop for SegmentSignals<'_> {
+    fn drop(&mut self) {
+        self.advance_through(usize::MAX);
+    }
+}
+
+/// A shard task's exclusive result slot: `(sum_loss, weighted_acc)` or
+/// the first error the shard hit.
+type ShardResult = Mutex<Option<Result<(f64, f64), NnError>>>;
+
+/// One shard's slice of a data-parallel step: its model replica, its
+/// forked forward-RNG streams, and its batch rows.
 struct ShardRun<'a> {
     replica: &'a mut Box<dyn Layer>,
-    grad_buf: &'a mut Vec<f32>,
     rngs: Vec<XorShiftRng>,
     rows: Vec<usize>,
 }
@@ -483,13 +681,19 @@ struct ShardRun<'a> {
 /// primary so resume replays the same forks); per-row CE gradients are
 /// divided by the *total* batch size inside each shard
 /// ([`SoftmaxCrossEntropy::forward_scaled`]), making them independent of
-/// the split; and the per-shard gradients are combined by a fixed-order
-/// stride-doubling tree reduction on the calling thread. Nothing above
-/// depends on how many worker threads execute the fan-out.
+/// the split; and the per-shard gradients are combined per reduction
+/// segment (`segments`, see [`grad_segments`]) by deferred tasks that sum
+/// the shard buffers in fixed shard-index order the moment the last shard
+/// commits that segment. The reduced bytes depend only on the shard count
+/// and segment plan — never on how many worker threads execute the
+/// fan-out or in what order segments complete.
+#[allow(clippy::too_many_arguments)] // per-step reuse buffers are all load-bearing
 fn sharded_step(
     net: &mut dyn Layer,
     replicas: &mut [Box<dyn Layer>],
     grad_bufs: &mut [Vec<f32>],
+    reduced: &mut [f32],
+    segments: &[Range<usize>],
     x: &Tensor,
     labels: &[usize],
     chunk: &[usize],
@@ -517,71 +721,120 @@ fn sharded_step(
     let rem = b_total % shards;
     let mut offset = 0usize;
     let mut tasks: Vec<ShardRun<'_>> = Vec::with_capacity(shards);
-    for ((r, replica), grad_buf) in replicas.iter_mut().enumerate().zip(grad_bufs.iter_mut()) {
+    for (r, replica) in replicas.iter_mut().enumerate() {
         let cnt = base + usize::from(r < rem);
         let rows = chunk[offset..offset + cnt].to_vec();
         offset += cnt;
         tasks.push(ShardRun {
             replica,
-            grad_buf,
             rngs: std::mem::take(&mut forked[r]),
             rows,
         });
     }
     let shard_counts: Vec<usize> = tasks.iter().map(|t| t.rows.len()).collect();
-    // Fan out: forward + scaled loss + backward + gradient flatten, one
-    // task per shard. Workers run nested kernels inline; results are
-    // shard-indexed, so completion order is irrelevant.
-    let results = backend::parallel_map(tasks, |_, task| -> Result<(f64, f64), NnError> {
-        let ShardRun {
-            replica,
-            grad_buf,
-            rngs,
-            rows,
-        } = task;
-        let mut streams = rngs.into_iter();
-        replica.visit_forward_rngs(&mut |rng| {
-            if let Some(s) = streams.next() {
-                *rng = s;
-            }
-        });
-        if rows.is_empty() {
-            grad_buf.fill(0.0);
-            return Ok((0.0, 0.0));
+    let raw = Arc::new(RawBufs {
+        shards: grad_bufs.iter_mut().map(|b| b.as_mut_ptr()).collect(),
+        reduced: reduced.as_mut_ptr(),
+        len: reduced.len(),
+    });
+    // One result slot per shard, written exclusively by that shard's task.
+    let results: Vec<ShardResult> = (0..shards).map(|_| Mutex::new(None)).collect();
+    // Fan out on the task-graph scheduler. Each segment's reduction is a
+    // deferred task with a dependency count of `shards`; each shard task
+    // signals segment g the moment its flat-gradient commit passes g's
+    // end, so reductions start while later layers are still flattening.
+    // A reduction sums the shard buffers in fixed shard-index order, so
+    // the reduced bytes are independent of execution and steal order; in
+    // forced-serial/inline mode everything runs at the signalling point
+    // in submission order, producing the same bytes.
+    backend::scope(|s| {
+        let triggers: Vec<backend::Trigger> = segments
+            .iter()
+            .map(|seg| {
+                let raw = Arc::clone(&raw);
+                let seg = seg.clone();
+                s.defer(shards, move || {
+                    // SAFETY: all `shards` signals for `seg` fired, so
+                    // every shard's writes to this range are committed and
+                    // final; this task is the unique writer of
+                    // `reduced[seg]`.
+                    unsafe {
+                        let dst = raw.reduced_mut(&seg);
+                        dst.copy_from_slice(raw.shard(0, &seg));
+                        for k in 1..raw.shards.len() {
+                            elementwise::axpy(dst, raw.shard(k, &seg), 1.0);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for (r, task) in tasks.into_iter().enumerate() {
+            let raw = Arc::clone(&raw);
+            let trigs = triggers.clone();
+            let slot = &results[r];
+            s.spawn(move || {
+                let ShardRun {
+                    replica,
+                    rngs,
+                    rows,
+                } = task;
+                let mut signals = SegmentSignals {
+                    triggers: trigs,
+                    segments,
+                    next: 0,
+                };
+                let out = (|| -> Result<(f64, f64), NnError> {
+                    let mut streams = rngs.into_iter();
+                    replica.visit_forward_rngs(&mut |rng| {
+                        if let Some(st) = streams.next() {
+                            *rng = st;
+                        }
+                    });
+                    if rows.is_empty() {
+                        // SAFETY: shard r's own buffer, nothing signalled.
+                        unsafe { raw.shard_mut(r, &(0..raw.len)) }.fill(0.0);
+                        signals.advance_through(raw.len);
+                        return Ok((0.0, 0.0));
+                    }
+                    let xb = gather_rows(x, &rows);
+                    let yb: Vec<usize> = rows.iter().map(|&i| labels[i]).collect();
+                    let logits = replica.forward(&xb, true)?;
+                    let (sum_loss, grad) =
+                        SoftmaxCrossEntropy::forward_scaled(&logits, &yb, b_total)?;
+                    let weighted_acc = f64::from(accuracy(&logits, &yb)?) * rows.len() as f64;
+                    replica.zero_grad();
+                    replica.backward(&grad)?;
+                    let mut off = 0usize;
+                    replica.visit_grads(&mut |g| {
+                        // SAFETY: shard r's own buffer; no segment
+                        // overlapping this range has been signalled yet
+                        // (signals trail the commit offset).
+                        unsafe { raw.shard_mut(r, &(off..off + g.len())) }
+                            .copy_from_slice(g.data());
+                        off += g.len();
+                        signals.advance_through(off);
+                    });
+                    Ok((sum_loss, weighted_acc))
+                })();
+                // The guard releases any segments an error path never
+                // reached, so the deferred reductions always fire and the
+                // scope can close; the step discards the reduced bytes
+                // when a shard failed.
+                drop(signals);
+                *slot.lock().expect("shard result lock") = Some(out);
+            });
         }
-        let xb = gather_rows(x, &rows);
-        let yb: Vec<usize> = rows.iter().map(|&i| labels[i]).collect();
-        let logits = replica.forward(&xb, true)?;
-        let (sum_loss, grad) = SoftmaxCrossEntropy::forward_scaled(&logits, &yb, b_total)?;
-        let weighted_acc = f64::from(accuracy(&logits, &yb)?) * rows.len() as f64;
-        replica.zero_grad();
-        replica.backward(&grad)?;
-        let mut off = 0usize;
-        replica.visit_grads(&mut |g| {
-            grad_buf[off..off + g.len()].copy_from_slice(g.data());
-            off += g.len();
-        });
-        Ok((sum_loss, weighted_acc))
     });
     let mut loss_sum = 0.0f64;
     let mut acc_sum = 0.0f64;
-    for res in results {
-        let (l, a) = res?;
+    for slot in &results {
+        let (l, a) = slot
+            .lock()
+            .expect("shard result lock")
+            .take()
+            .expect("every shard task stores a result")?;
         loss_sum += l;
         acc_sum += a;
-    }
-    // Fixed-order tree reduction (stride doubling) of the shard gradient
-    // buffers into buffer 0. `axpy(…, 1.0)` adds exactly, and the
-    // combination tree depends only on the shard count.
-    let mut stride = 1usize;
-    while stride < shards {
-        let mut i = 0usize;
-        while i + stride < shards {
-            let (head, tail) = grad_bufs.split_at_mut(i + stride);
-            elementwise::axpy(&mut head[i], &tail[0], 1.0);
-            i += 2 * stride;
-        }
-        stride *= 2;
     }
     // Scatter the reduced gradient into the primary and take the single
     // SGD step there (the update RNG for nonlinear devices is consumed by
@@ -589,7 +842,7 @@ fn sharded_step(
     let mut off = 0usize;
     net.visit_grads(&mut |g| {
         let n = g.len();
-        g.data_mut().copy_from_slice(&grad_bufs[0][off..off + n]);
+        g.data_mut().copy_from_slice(&reduced[off..off + n]);
         off += n;
     });
     net.update(lr);
@@ -659,7 +912,46 @@ mod tests {
     use super::*;
     use crate::{Dense, Relu, Sequential, WeightKind};
     use xbar_core::Mapping;
-    use xbar_device::DeviceConfig;
+    use xbar_device::{DeviceConfig, TileShape};
+
+    /// Asserts two collected state dumps are bitwise identical (plain
+    /// `==` would treat `0.0` and `-0.0` as equal).
+    fn assert_state_bitwise(s1: &[persist::StateItem], s2: &[persist::StateItem]) {
+        assert_eq!(s1.len(), s2.len());
+        for (a, b) in s1.iter().zip(s2) {
+            match (a, b) {
+                (
+                    persist::StateItem::Tensor {
+                        name: na,
+                        value: va,
+                    },
+                    persist::StateItem::Tensor {
+                        name: nb,
+                        value: vb,
+                    },
+                ) => {
+                    assert_eq!(na, nb);
+                    for (x, y) in va.data().iter().zip(vb.data()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "{na}");
+                    }
+                }
+                (
+                    persist::StateItem::Rng {
+                        name: na,
+                        value: va,
+                    },
+                    persist::StateItem::Rng {
+                        name: nb,
+                        value: vb,
+                    },
+                ) => {
+                    assert_eq!(na, nb);
+                    assert_eq!(va, vb);
+                }
+                _ => panic!("state item kind mismatch"),
+            }
+        }
+    }
 
     /// Two-Gaussian-blob binary classification problem.
     fn blobs(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
@@ -831,7 +1123,7 @@ mod tests {
             epochs: 15,
             batch_size: 16,
             lr: 0.1,
-            shards: 4,
+            shards: Some(4),
             ..TrainConfig::default()
         };
         let hist = train(
@@ -842,6 +1134,7 @@ mod tests {
         )
         .unwrap();
         assert!(hist.final_test_acc().unwrap() > 0.95, "{:?}", hist.last());
+        assert_eq!(hist.resolved_shards(), 4);
     }
 
     #[test]
@@ -857,7 +1150,7 @@ mod tests {
             let cfg = TrainConfig {
                 epochs: 3,
                 batch_size: 16,
-                shards: 4,
+                shards: Some(4),
                 ..TrainConfig::default()
             };
             let hist = train(&mut net, Split::new(&x, &labels).unwrap(), None, &cfg).unwrap();
@@ -867,40 +1160,7 @@ mod tests {
         let (h1, s1) = run(true);
         let (h2, s2) = run(false);
         assert_eq!(h1, h2);
-        assert_eq!(s1.len(), s2.len());
-        for (a, b) in s1.iter().zip(&s2) {
-            match (a, b) {
-                (
-                    persist::StateItem::Tensor {
-                        name: na,
-                        value: va,
-                    },
-                    persist::StateItem::Tensor {
-                        name: nb,
-                        value: vb,
-                    },
-                ) => {
-                    assert_eq!(na, nb);
-                    for (x, y) in va.data().iter().zip(vb.data()) {
-                        assert_eq!(x.to_bits(), y.to_bits(), "{na}");
-                    }
-                }
-                (
-                    persist::StateItem::Rng {
-                        name: na,
-                        value: va,
-                    },
-                    persist::StateItem::Rng {
-                        name: nb,
-                        value: vb,
-                    },
-                ) => {
-                    assert_eq!(na, nb);
-                    assert_eq!(va, vb);
-                }
-                _ => panic!("state item kind mismatch"),
-            }
-        }
+        assert_state_bitwise(&s1, &s2);
     }
 
     #[test]
@@ -911,7 +1171,7 @@ mod tests {
             let cfg = TrainConfig {
                 epochs: 2,
                 batch_size: 10,
-                shards: 3,
+                shards: Some(3),
                 ..TrainConfig::default()
             };
             train(&mut net, Split::new(&x, &labels).unwrap(), None, &cfg)
@@ -931,7 +1191,7 @@ mod tests {
         let cfg = TrainConfig {
             epochs: 2,
             batch_size: 2,
-            shards: 4,
+            shards: Some(4),
             ..TrainConfig::default()
         };
         let hist = train(&mut net, Split::new(&x, &labels).unwrap(), None, &cfg).unwrap();
@@ -944,7 +1204,7 @@ mod tests {
         let (x, labels) = blobs(10, 189);
         let mut net = mlp(WeightKind::Signed, 190);
         let cfg = TrainConfig {
-            shards: 0,
+            shards: Some(0),
             ..TrainConfig::default()
         };
         assert!(train(&mut net, Split::new(&x, &labels).unwrap(), None, &cfg).is_err());
@@ -969,5 +1229,134 @@ mod tests {
         assert_eq!(run(1), run(1));
         // Different shuffling order almost surely gives a different loss.
         assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn auto_shards_caps_by_rows_and_lanes() {
+        assert_eq!(auto_shards(32, 8), 4); // at least 8 rows per shard
+        assert_eq!(auto_shards(256, 4), 4); // lane-bound
+        assert_eq!(auto_shards(4, 8), 1); // tiny batch stays single-shard
+        assert_eq!(auto_shards(0, 0), 1); // degenerate inputs stay positive
+    }
+
+    #[test]
+    fn auto_shards_resolution_is_recorded() {
+        let (x, labels) = blobs(60, 191);
+        let mut net = mlp(WeightKind::Signed, 192);
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 16,
+            ..TrainConfig::default()
+        };
+        assert_eq!(cfg.shards, None);
+        let hist = train(&mut net, Split::new(&x, &labels).unwrap(), None, &cfg).unwrap();
+        assert_eq!(
+            hist.resolved_shards(),
+            auto_shards(16, xbar_tensor::backend::threads())
+        );
+        assert!(hist.resolved_shards() >= 1);
+    }
+
+    /// Random 64-feature two-class data plus a tiled crossbar MLP whose
+    /// weight gradient splits into several `TileGrid` column-group
+    /// reduction segments (16-column tiles over 64 outputs).
+    fn tiled_net_and_data(seed: u64) -> (Tensor, Vec<usize>, Sequential) {
+        let mut rng = XorShiftRng::new(seed);
+        let n = 48;
+        let mut x = Tensor::zeros(&[n, 64]);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let mean = if class == 0 { -0.5 } else { 0.5 };
+            for j in 0..64 {
+                *x.at_mut(&[i, j]) = rng.normal_with(mean, 1.0);
+            }
+            labels.push(class);
+        }
+        let dev = DeviceConfig::ideal().with_tile_shape(Some(TileShape::new(16, 16)));
+        let mut wrng = XorShiftRng::new(seed ^ 0xA5);
+        let mut net = Sequential::new();
+        net.push(Dense::new(64, 64, WeightKind::Mapped(Mapping::Acm), dev, &mut wrng).unwrap());
+        net.push(Relu::new());
+        net.push(Dense::new(64, 2, WeightKind::Mapped(Mapping::Acm), dev, &mut wrng).unwrap());
+        (x, labels, net)
+    }
+
+    #[test]
+    fn tiled_grad_segments_follow_column_groups() {
+        let (_, _, mut net) = tiled_net_and_data(200);
+        let grad_len = {
+            let mut n = 0usize;
+            net.visit_grads(&mut |g| n += g.len());
+            n
+        };
+        let segs = grad_segments(&mut net, grad_len);
+        assert!(segs.len() > 1, "tiled net should split, got {segs:?}");
+        assert_eq!(segs.first().unwrap().start, 0);
+        assert_eq!(segs.last().unwrap().end, grad_len);
+        for w in segs.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "plan must be contiguous");
+            assert!(!w[0].is_empty());
+        }
+    }
+
+    #[test]
+    fn tiled_sharded_training_is_serial_parallel_bitwise() {
+        // Multi-segment variant of the determinism contract: per-column-
+        // group reductions commit in steal-dependent order, but the bytes
+        // must match the forced-serial run exactly.
+        let (x, labels, _) = tiled_net_and_data(201);
+        let run = |serial: bool| {
+            xbar_tensor::backend::force_serial(serial);
+            let (_, _, mut net) = tiled_net_and_data(201);
+            let cfg = TrainConfig {
+                epochs: 2,
+                batch_size: 12,
+                shards: Some(3),
+                ..TrainConfig::default()
+            };
+            let hist = train(&mut net, Split::new(&x, &labels).unwrap(), None, &cfg).unwrap();
+            xbar_tensor::backend::force_serial(false);
+            (hist, persist::collect_state(&mut net))
+        };
+        let (h1, s1) = run(true);
+        let (h2, s2) = run(false);
+        assert_eq!(h1, h2);
+        assert_state_bitwise(&s1, &s2);
+    }
+
+    #[test]
+    fn resume_replays_recorded_shards_and_rejects_mismatch() {
+        let (x, labels) = blobs(40, 195);
+        let dir = std::env::temp_dir().join(format!("xbar-shards-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base_cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 10,
+            checkpoint_every: 1,
+            checkpoint_dir: Some(dir.clone()),
+            shards: Some(2),
+            ..TrainConfig::default()
+        };
+        let mut net = mlp(WeightKind::Signed, 196);
+        train(&mut net, Split::new(&x, &labels).unwrap(), None, &base_cfg).unwrap();
+        // A conflicting explicit count must be rejected…
+        let conflict = TrainConfig {
+            epochs: 3,
+            shards: Some(3),
+            ..base_cfg.clone()
+        };
+        let err = train(&mut net, Split::new(&x, &labels).unwrap(), None, &conflict);
+        assert!(matches!(err, Err(NnError::Persist(_))), "{err:?}");
+        // …while an unset count adopts the checkpointed one instead of
+        // re-running the auto-tune on the resuming machine.
+        let auto = TrainConfig {
+            epochs: 3,
+            shards: None,
+            ..base_cfg
+        };
+        let hist = train(&mut net, Split::new(&x, &labels).unwrap(), None, &auto).unwrap();
+        assert_eq!(hist.resolved_shards(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

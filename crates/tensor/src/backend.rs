@@ -1,14 +1,19 @@
-//! Parallel compute backend: a dependency-free scoped worker pool.
+//! Parallel compute backend: a dependency-free persistent work-stealing
+//! scheduler (mechanism in [`crate::sched`]) plus the data-parallel
+//! helpers every hot kernel in the workspace is written against.
 //!
 //! Every hot kernel in the workspace (GEMM, im2col, pooling, Monte-Carlo
-//! trial fan-out) runs through this module. The design goals, in order:
+//! trial fan-out, per-tile MVM, sharded gradient reduction, the sweep
+//! runner) runs through this module. The design goals, in order:
 //!
 //! 1. **Determinism** — results are bitwise identical regardless of the
 //!    thread count. Work is split into *fixed* chunks whose boundaries
 //!    depend only on the problem size, every chunk writes a disjoint
 //!    region of the output, and per-element arithmetic is the same code
 //!    on the serial and parallel paths. Reductions over chunk results are
-//!    always performed in chunk order on the calling thread.
+//!    always performed in chunk order on the calling thread — or, for the
+//!    task-graph paths, committed in submission order via
+//!    [`ordered_stream`] / fixed-order [`TaskScope::defer`] reductions.
 //! 2. **Zero dependencies** — `std::thread` + `Mutex`/`Condvar` only, so
 //!    the workspace keeps building fully offline.
 //! 3. **Graceful degradation** — on a single-core host (whatever
@@ -26,6 +31,9 @@
 //! * [`force_serial`] switches the process to serial execution at runtime
 //!   — used by the benchmark harness to time the serial baseline, and by
 //!   parity tests to compare serial and parallel results in one process.
+//! * `XBAR_SCHED_JITTER=<seed>` (with the `sched-fuzz` cargo feature)
+//!   injects a per-task pseudo-random sleep to fuzz steal order — the
+//!   determinism tests assert results are bitwise identical anyway.
 //!
 //! # Nested parallelism
 //!
@@ -35,236 +43,10 @@
 //! on other lanes, so pool-in-pool usage cannot deadlock, and a nested
 //! kernel call costs nothing beyond the serial loop it runs.
 
-use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::OnceLock;
 
-/// A unit of queued work. Lifetime-erased to `'static`; soundness is
-/// provided by [`Pool::run_scoped`], which does not return until every
-/// task it enqueued has finished.
-type Job = Box<dyn FnOnce() + Send + 'static>;
-
-struct Shared {
-    queue: Mutex<VecDeque<Job>>,
-    available: Condvar,
-}
-
-struct LatchState {
-    remaining: usize,
-    panic: Option<Box<dyn std::any::Any + Send>>,
-}
-
-/// Counts outstanding tasks of one `run_scoped` call and captures the
-/// first panic so it can be re-thrown on the caller.
-struct Latch {
-    state: Mutex<LatchState>,
-    done: Condvar,
-}
-
-impl Latch {
-    fn new(count: usize) -> Self {
-        Self {
-            state: Mutex::new(LatchState {
-                remaining: count,
-                panic: None,
-            }),
-            done: Condvar::new(),
-        }
-    }
-
-    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
-        let mut st = self.state.lock().unwrap();
-        st.remaining -= 1;
-        if st.panic.is_none() {
-            st.panic = panic;
-        }
-        if st.remaining == 0 {
-            self.done.notify_all();
-        }
-    }
-}
-
-thread_local! {
-    /// True on pool worker threads; `run_scoped` from a worker runs inline.
-    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-}
-
-/// Process-wide serial override (see [`force_serial`]).
-static FORCE_SERIAL: AtomicBool = AtomicBool::new(false);
-
-/// A scoped worker pool over `threads` concurrent lanes (workers plus the
-/// calling thread). Most callers want the process-wide [`global`] pool;
-/// explicit construction exists for tests and embedders.
-pub struct Pool {
-    shared: Arc<Shared>,
-    threads: usize,
-    /// Spawned worker threads — `min(threads, available_parallelism) - 1`.
-    /// Zero means every scope runs inline on the caller.
-    workers: usize,
-}
-
-impl std::fmt::Debug for Pool {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "Pool({} threads, {} workers)",
-            self.threads, self.workers
-        )
-    }
-}
-
-impl Pool {
-    /// Creates a pool with `threads` total lanes; the caller is always
-    /// one lane. Worker spawn count is clamped to the host's available
-    /// parallelism: lanes the hardware cannot run concurrently are
-    /// virtual (the caller drains their share inline), so an oversized
-    /// `threads` never adds queueing or context-switch overhead.
-    /// `threads <= 1` creates a serial pool that never spawns and always
-    /// runs inline.
-    pub fn new(threads: usize) -> Self {
-        let threads = threads.max(1);
-        let workers = threads.min(hardware_threads()).saturating_sub(1);
-        let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
-        });
-        for w in 1..=workers {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("xbar-worker-{w}"))
-                .spawn(move || {
-                    IN_WORKER.with(|f| f.set(true));
-                    loop {
-                        let job = {
-                            let mut q = shared.queue.lock().unwrap();
-                            loop {
-                                if let Some(job) = q.pop_front() {
-                                    // Chained wakeup: each lane that takes
-                                    // a job wakes the next sleeper while
-                                    // work remains, so a scope costs one
-                                    // futex wake per lane actually needed
-                                    // instead of a notify_all thundering
-                                    // herd per enqueue.
-                                    if !q.is_empty() {
-                                        shared.available.notify_one();
-                                    }
-                                    break job;
-                                }
-                                q = shared.available.wait(q).unwrap();
-                            }
-                        };
-                        job();
-                    }
-                })
-                .expect("spawning pool worker");
-        }
-        Self {
-            shared,
-            threads,
-            workers,
-        }
-    }
-
-    /// Total concurrent lanes (including the calling thread). Always >= 1.
-    pub fn threads(&self) -> usize {
-        self.threads
-    }
-
-    /// True when the pool has spawned workers to dispatch to. False for
-    /// serial pools and for pools whose lanes were clamped away by the
-    /// host's available parallelism — the `parallel_*` helpers use this
-    /// to skip task construction entirely when every task would run on
-    /// the caller anyway.
-    pub fn has_workers(&self) -> bool {
-        self.workers > 0
-    }
-
-    /// Runs every task to completion, using the pool workers plus the
-    /// calling thread, and returns once all have finished. Tasks may
-    /// borrow from the caller's stack (the `'scope` lifetime): none of
-    /// them outlives this call.
-    ///
-    /// Runs inline, in order, when the pool has no spawned workers (serial
-    /// pool, or lanes clamped by the host's available parallelism),
-    /// [`force_serial`] is active, the caller is itself a pool worker
-    /// (nested parallelism), or there is at most one task.
-    ///
-    /// # Panics
-    ///
-    /// If a task panics, the panic is captured and re-thrown on the
-    /// calling thread after the remaining tasks have completed — the same
-    /// contract on the inline and queued paths.
-    pub fn run_scoped<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
-        if tasks.len() <= 1 || self.workers == 0 || serial_active() {
-            let mut first_panic = None;
-            for task in tasks {
-                if let Err(p) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
-                    first_panic.get_or_insert(p);
-                }
-            }
-            if let Some(p) = first_panic {
-                std::panic::resume_unwind(p);
-            }
-            return;
-        }
-        let latch = Arc::new(Latch::new(tasks.len()));
-        {
-            let mut q = self.shared.queue.lock().unwrap();
-            for task in tasks {
-                // SAFETY: the job is only erased to 'static so it can sit
-                // in the queue; this function blocks until the latch
-                // reports every job finished, so no borrow in `task`
-                // outlives its referent.
-                let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
-                let latch = Arc::clone(&latch);
-                q.push_back(Box::new(move || {
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
-                    latch.complete(result.err());
-                }));
-            }
-            // Wake one worker; it chains the next while jobs remain (see
-            // the worker loop). Lost wakes cannot strand work: the caller
-            // lane below drains the queue until it is empty regardless.
-            self.shared.available.notify_one();
-        }
-        // The caller is a lane too: drain jobs (from any in-flight scope —
-        // helping a sibling scope is sound because *its* caller waits on
-        // its own latch) until the queue is empty, then sleep on the latch.
-        //
-        // While draining, the caller is marked as a worker lane so nested
-        // parallel helpers inside a job run inline, exactly as they do on
-        // spawned workers. Without this, a caller-lane task opens a
-        // sub-scope per nested kernel call; on an oversubscribed host each
-        // sub-scope costs condvar wake/sleep churn for work the lane could
-        // just do itself.
-        {
-            struct ResetLane;
-            impl Drop for ResetLane {
-                fn drop(&mut self) {
-                    IN_WORKER.with(|f| f.set(false));
-                }
-            }
-            IN_WORKER.with(|f| f.set(true));
-            let _reset = ResetLane;
-            loop {
-                let job = self.shared.queue.lock().unwrap().pop_front();
-                match job {
-                    Some(job) => job(),
-                    None => break,
-                }
-            }
-        }
-        let mut st = latch.state.lock().unwrap();
-        while st.remaining > 0 {
-            st = latch.done.wait(st).unwrap();
-        }
-        if let Some(payload) = st.panic.take() {
-            drop(st);
-            std::panic::resume_unwind(payload);
-        }
-    }
-}
+pub use crate::sched::{force_serial, serial_active, Pool, TaskHandle, TaskScope, Trigger};
 
 /// Resolves the configured lane count: `XBAR_THREADS` if set and valid,
 /// otherwise [`std::thread::available_parallelism`]. This is what the
@@ -283,7 +65,7 @@ pub fn configured_threads() -> usize {
     }
 }
 
-fn hardware_threads() -> usize {
+pub(crate) fn hardware_threads() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
@@ -301,20 +83,22 @@ pub fn threads() -> usize {
     global().threads()
 }
 
-/// Switches the whole process to guaranteed-serial execution (`on =
-/// true`) or back to pooled execution (`on = false`). Parallel helpers
-/// observe the flag at entry. Because every kernel is
-/// thread-count-invariant, toggling this changes wall-clock only, never
-/// results — which is exactly what the benchmark harness and the parity
-/// tests rely on.
-pub fn force_serial(on: bool) {
-    FORCE_SERIAL.store(on, Ordering::SeqCst);
+/// Opens a task-graph scope on the global pool — see [`Pool::scope`].
+pub fn scope<'scope, R>(f: impl FnOnce(&TaskScope<'scope>) -> R) -> R {
+    global().scope(f)
 }
 
-/// Whether execution is currently serial: forced via [`force_serial`], or
-/// running on a pool worker (nested parallelism runs inline).
-pub fn serial_active() -> bool {
-    FORCE_SERIAL.load(Ordering::SeqCst) || IN_WORKER.with(std::cell::Cell::get)
+/// Journal-ordered commit stream on the global pool: `produce` runs on the
+/// pool (one stealable task per item), `consume` runs on the calling
+/// thread strictly in submission order — see [`Pool::ordered_stream`].
+pub fn ordered_stream<I, R, F, C>(items: Vec<I>, produce: F, consume: C)
+where
+    I: Send,
+    R: Send,
+    F: Fn(usize, I) -> R + Sync,
+    C: FnMut(usize, R),
+{
+    global().ordered_stream(items, produce, consume);
 }
 
 /// How many tasks to split `n_items` into: enough to load every lane with
@@ -335,26 +119,7 @@ where
 {
     let grain = grain.max(1);
     let n_chunks = n.div_ceil(grain);
-    if n == 0 {
-        return;
-    }
-    if n_chunks <= 1 || !global().has_workers() || serial_active() {
-        f(0..n);
-        return;
-    }
-    // Group whole grains into one task per lane-slot.
-    let groups = task_count(n_chunks);
-    let grains_per_group = n_chunks.div_ceil(groups);
-    let step = grains_per_group * grain;
-    let f = &f;
-    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..n.div_ceil(step))
-        .map(|g| {
-            let start = g * step;
-            let end = (start + step).min(n);
-            Box::new(move || f(start..end)) as Box<dyn FnOnce() + Send + '_>
-        })
-        .collect();
-    global().run_scoped(tasks);
+    crate::sched::parallel_for_impl(global(), n, grain, task_count(n_chunks), f);
 }
 
 /// Splits `data` into consecutive `chunk_len`-sized pieces (the last may
@@ -561,7 +326,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn serial_pool_runs_inline_in_order() {
@@ -803,5 +569,206 @@ mod tests {
         assert_eq!(hits.load(Ordering::SeqCst), 1);
         force_serial(false);
         assert!(!serial_active());
+    }
+
+    #[test]
+    fn scope_spawn_runs_all_tasks() {
+        let pool = Pool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn scope_spawn_after_orders_dependents() {
+        let pool = Pool::new(4);
+        for _ in 0..50 {
+            let stage = AtomicUsize::new(0);
+            pool.scope(|s| {
+                let a = s.spawn(|| {
+                    stage.fetch_max(1, Ordering::SeqCst);
+                });
+                let b = s.spawn(|| {
+                    stage.fetch_max(1, Ordering::SeqCst);
+                });
+                s.spawn_after(&[&a, &b], || {
+                    assert!(
+                        stage.load(Ordering::SeqCst) >= 1,
+                        "dependent ran before its dependencies"
+                    );
+                    stage.fetch_max(2, Ordering::SeqCst);
+                });
+            });
+            assert_eq!(stage.load(Ordering::SeqCst), 2);
+        }
+    }
+
+    #[test]
+    fn scope_defer_fires_on_final_signal() {
+        let pool = Pool::new(4);
+        let fired = AtomicUsize::new(0);
+        let signaled = AtomicUsize::new(0);
+        pool.scope(|s| {
+            let trigger = s.defer(3, || {
+                assert_eq!(signaled.load(Ordering::SeqCst), 3);
+                fired.fetch_add(1, Ordering::SeqCst);
+            });
+            for _ in 0..3 {
+                let trigger = trigger.clone();
+                let signaled = &signaled;
+                s.spawn(move || {
+                    signaled.fetch_add(1, Ordering::SeqCst);
+                    trigger.signal();
+                });
+            }
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn scope_defer_zero_deps_fires_immediately() {
+        let pool = Pool::new(2);
+        let fired = AtomicUsize::new(0);
+        pool.scope(|s| {
+            let _trigger = s.defer(0, || {
+                fired.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn scope_serial_runs_in_submission_order() {
+        let pool = Pool::new(1);
+        let order = Mutex::new(Vec::new());
+        pool.scope(|s| {
+            for i in 0..4 {
+                let order = &order;
+                s.spawn(move || order.lock().unwrap().push(i));
+            }
+            let t = s.defer(2, || order.lock().unwrap().push(99));
+            s.spawn({
+                let t = t.clone();
+                move || t.signal()
+            });
+            s.spawn(move || t.signal());
+        });
+        // Inline mode: spawns run at submission; the deferred task fires
+        // inside the second signaling spawn.
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 99]);
+    }
+
+    #[test]
+    fn scope_task_panic_propagates() {
+        let pool = Pool::new(2);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("scoped boom"));
+            });
+        }));
+        std::panic::set_hook(hook);
+        assert!(result.is_err(), "task panic must reach the scope caller");
+    }
+
+    #[test]
+    fn ordered_stream_commits_in_submission_order() {
+        let pool = Pool::new(4);
+        // Heterogeneous costs: early items are the slowest, so completion
+        // order differs from submission order with high probability.
+        let items: Vec<usize> = (0..64).collect();
+        let mut seen = Vec::new();
+        pool.ordered_stream(
+            items,
+            |i, x| {
+                assert_eq!(i, x);
+                if x < 8 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                x * 3
+            },
+            |i, r| seen.push((i, r)),
+        );
+        assert_eq!(seen, (0..64).map(|i| (i, i * 3)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ordered_stream_serial_matches_parallel() {
+        let items: Vec<u32> = (0..40).collect();
+        let run = || {
+            let mut out = Vec::new();
+            ordered_stream(
+                items.clone(),
+                |_, x| (x as f32).sqrt(),
+                |_, r| out.push(r.to_bits()),
+            );
+            out
+        };
+        let parallel = run();
+        force_serial(true);
+        let serial = run();
+        force_serial(false);
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn ordered_stream_panic_propagates() {
+        let pool = Pool::new(2);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let consumed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.ordered_stream(
+                (0..16).collect::<Vec<usize>>(),
+                |_, x| {
+                    if x == 7 {
+                        panic!("cell boom");
+                    }
+                    x
+                },
+                |_, _| {
+                    consumed.fetch_add(1, Ordering::SeqCst);
+                },
+            );
+        }));
+        std::panic::set_hook(hook);
+        assert!(result.is_err(), "producer panic must propagate");
+        assert!(
+            consumed.load(Ordering::SeqCst) <= 7,
+            "nothing at or past the panicked index may be consumed"
+        );
+    }
+
+    #[test]
+    fn nested_scope_inside_stolen_task_is_inline() {
+        // Regression (caller-lane starvation): a stolen task that opens
+        // its own scope and a nested parallel_for must complete without
+        // blocking any lane on another lane.
+        let pool = Pool::new(4);
+        let total = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..16 {
+                let total = &total;
+                s.spawn(move || {
+                    crate::backend::global().scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|| {
+                                parallel_for(8, 1, |r| {
+                                    total.fetch_add(r.len(), Ordering::SeqCst);
+                                });
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 16 * 4 * 8);
     }
 }

@@ -47,6 +47,7 @@
 
 mod error;
 mod gemm;
+mod sched;
 mod tensor;
 
 pub mod backend;

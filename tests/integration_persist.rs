@@ -202,6 +202,7 @@ fn checkpoint_round_trip_is_exact() {
     let ckpt = persist::TrainCheckpoint {
         epochs_done: 2,
         lr: 0.0648,
+        shards: 3,
         rng: rng.save_state(),
         order: vec![5, 3, 0, 1, 4, 2],
         history: hist.epochs().to_vec(),

@@ -266,7 +266,7 @@ fn sharded_training_parallel_matches_serial_bitwise() {
         lr: 0.08,
         lr_decay: 0.9,
         seed: 0x5EED,
-        shards: 4,
+        shards: Some(4),
         ..TrainConfig::default()
     };
     let _guard = SerialGuard;
@@ -308,7 +308,7 @@ fn shard_count_is_part_of_the_reduction_order() {
         .test(32)
         .seed(52)
         .build();
-    let state_for = |shards: usize| {
+    let state_for = |shards: Option<usize>| {
         let cfg = TrainConfig {
             epochs: 1,
             batch_size: 16,
@@ -321,9 +321,9 @@ fn shard_count_is_part_of_the_reduction_order() {
         train(&mut net, data.train.as_split(), None, &cfg).unwrap();
         persist::collect_state(&mut net)
     };
-    assert_state_bitwise_eq(&state_for(4), &state_for(4), "shards=4 repeat");
-    let one = state_for(1);
-    let four = state_for(4);
+    assert_state_bitwise_eq(&state_for(Some(4)), &state_for(Some(4)), "shards=4 repeat");
+    let one = state_for(Some(1));
+    let four = state_for(Some(4));
     let identical = one.iter().zip(&four).all(|(x, y)| match (x, y) {
         (
             persist::StateItem::Tensor { value: va, .. },
@@ -360,7 +360,7 @@ fn sharded_checkpoint_resume_is_bitwise_identical() {
         lr: 0.08,
         lr_decay: 0.95,
         seed: 0xC4A5,
-        shards: 4,
+        shards: Some(4),
         ..TrainConfig::default()
     };
 
