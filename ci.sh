@@ -28,27 +28,28 @@ echo "==> bench_kernels --smoke (parity + train throughput + BENCH_kernels.json)
 # numbers are the 4-lane configuration regardless of the host.
 XBAR_THREADS=4 cargo run --release -p xbar-bench --bin bench_kernels -- --smoke
 grep -q '"name": "train_step"' BENCH_kernels.json
+grep -q '"name": "qmatmul_square_256"' BENCH_kernels.json
+grep -q '"name": "quant_mvm"' BENCH_kernels.json
+grep -q '"gbps": ' BENCH_kernels.json
 grep -q '"parity": true' BENCH_kernels.json
 ! grep -q '"parity": false' BENCH_kernels.json
-echo "    train_step recorded with serial/parallel parity"
+echo "    train_step + quantized arms recorded with serial/parallel parity"
 
 echo "==> scheduler gate (sched_bag parity + modeled 4-lane speedup >= 1.2x)"
 # The heterogeneous task-bag entry must be present with all three arms
 # bitwise identical, and the work-stealing schedule must beat the static
-# fork-join split by >= 1.2x at the pinned 4-lane width. The speedup is
-# the ws/fj occupancy ratio: both occupancies come from scheduling one
-# measured per-task busy profile onto 4 lanes, so the gate holds even on
-# core-starved CI hosts where raw wall times serialize (see
+# fork-join split by >= 1.2x at the pinned 4-lane width. The gate reads
+# the report's own modeled_speedup field — the fj/ws makespan ratio of
+# one measured per-task busy profile scheduled onto 4 lanes — so it holds
+# even on core-starved CI hosts where raw wall times serialize (the
+# wall-clock speedup_vs_serial stays honest and is not gated; see
 # kernel_bench::sched_bag_entry).
 SCHED_LINE=$(grep '"name": "sched_bag"' BENCH_kernels.json)
 echo "$SCHED_LINE" | grep -q '"parity": true'
-FJ_OCC=$(echo "$SCHED_LINE" | sed 's/.*"fj_occupancy": \([0-9.]*\).*/\1/')
-WS_OCC=$(echo "$SCHED_LINE" | sed 's/.*"ws_occupancy": \([0-9.]*\).*/\1/')
-awk -v fj="$FJ_OCC" -v ws="$WS_OCC" 'BEGIN {
-    if (fj <= 0) { print "sched_bag: bad fj occupancy"; exit 1 }
-    ratio = ws / fj
-    printf "    sched_bag: occupancy ws=%.3f fj=%.3f -> %.2fx modeled 4-lane speedup\n", ws, fj, ratio
-    if (ratio < 1.2) { printf "sched_bag modeled speedup %.2fx < 1.2x\n", ratio; exit 1 }
+MODELED=$(echo "$SCHED_LINE" | sed 's/.*"modeled_speedup": \([0-9.]*\).*/\1/')
+awk -v sp="$MODELED" 'BEGIN {
+    printf "    sched_bag: %.2fx modeled 4-lane speedup\n", sp
+    if (sp < 1.2) { printf "sched_bag modeled speedup %.2fx < 1.2x\n", sp; exit 1 }
 }'
 
 echo "==> steal-order determinism gate (thread-count x jitter matrix, release)"
@@ -65,6 +66,31 @@ echo "==> training parity gate (serial == data-parallel, dropout + mappings)"
 # mid-run checkpoint kill/resume, all bitwise.
 cargo test -q --release -p xbar --test integration_training shard
 
+echo "==> quantized parity gate (int8 within 1 point of fp32, thread-invariant)"
+# The fig5 --quantized arm trains the four mapped models once (pinned
+# shard count) and scores each through the fp32 emulation and the int8
+# integer readout. Three checks: the sweep runs end to end, the ACM int8
+# error at 8 weight bits lands within 1 point of its fp32 column, and the
+# whole CSV — training included — is byte-identical between XBAR_THREADS=1
+# and 4 (the integer readout commits per-tile i32 accumulators in
+# submission order, so parallelism cannot move a single bit).
+QUANT_TMP=$(mktemp -d)
+trap 'rm -rf "$QUANT_TMP"' EXIT
+QUANT_ARGS="--quantized --train 800 --test 300 --epochs 8 --min-bits 8 --max-bits 8 --csv"
+# shellcheck disable=SC2086  # QUANT_ARGS is intentionally word-split
+XBAR_THREADS=4 cargo run --release -p xbar-bench --bin fig5_precision -- $QUANT_ARGS \
+    > "$QUANT_TMP/q4.csv"
+awk -F, 'NR == 2 {
+    gap = $2 - $3; if (gap < 0) gap = -gap
+    printf "    ACM at 8 bits: fp32 %.2f%% vs int8 %.2f%% (gap %.2f points)\n", $2, $3, gap
+    if (gap > 1.0) { printf "int8 error gap %.2f points > 1\n", gap; exit 1 }
+}' "$QUANT_TMP/q4.csv"
+# shellcheck disable=SC2086
+XBAR_THREADS=1 cargo run --release -p xbar-bench --bin fig5_precision -- $QUANT_ARGS \
+    > "$QUANT_TMP/q1.csv"
+cmp "$QUANT_TMP/q1.csv" "$QUANT_TMP/q4.csv"
+echo "    quantized sweep byte-identical at 1 and 4 threads"
+
 echo "==> tile-parity smoke (tiled == monolithic through the full stack)"
 # Release-mode re-run of the tiling integration suite (the debug test phase
 # above already ran it once) plus the tiled cost table as an e2e smoke.
@@ -76,7 +102,7 @@ echo "==> sweep kill/resume smoke (byte-identical resumed output)"
 # kill -9) after the first journaled cell and resumed from the journal.
 # The two output files must be byte-identical.
 SWEEP_TMP=$(mktemp -d)
-trap 'rm -rf "$SWEEP_TMP"' EXIT
+trap 'rm -rf "$QUANT_TMP" "$SWEEP_TMP"' EXIT
 SWEEP_ARGS="--net lenet --tiny --bits 2 --sigmas 0,0.1 --samples 2 --epochs 1 --train 40 --test 20"
 # shellcheck disable=SC2086  # SWEEP_ARGS is intentionally word-split
 cargo run --release -p xbar-bench --bin sweep -- $SWEEP_ARGS \

@@ -10,9 +10,12 @@
 use xbar_bench::cli::Args;
 use xbar_bench::error::{exit_on_error, BenchError};
 use xbar_bench::experiments::{
-    bit_range, run_precision_sweep_seeds, setup_from_args, NetKind, UpdateKind, DEFAULT_NU,
+    bit_range, run_precision_sweep_quantized, run_precision_sweep_seeds, setup_from_args, NetKind,
+    Setup, UpdateKind, DEFAULT_NU,
 };
 use xbar_bench::output::{pct, ResultsTable};
+use xbar_device::AdcSpec;
+use xbar_nn::QuantReadout;
 
 fn main() {
     exit_on_error(run(Args::from_env()));
@@ -43,6 +46,10 @@ fn run(args: Args) -> Result<(), BenchError> {
         setup.seed
     );
 
+    if args.has("quantized") {
+        return run_quantized(&args, &setup, update, lo, hi);
+    }
+
     let seeds: usize = args.try_get("seeds", 2)?;
     let points = run_precision_sweep_seeds(&setup, update, bit_range(lo, hi), seeds)?;
 
@@ -65,5 +72,51 @@ fn run(args: Args) -> Result<(), BenchError> {
             low_bits.iter().map(|p| p.bc - p.acm).sum::<f32>() / low_bits.len() as f32;
         eprintln!("mean ACM accuracy gain over BC at <=5 bits: {mean_gain:.2}%");
     }
+    Ok(())
+}
+
+/// The `--quantized` arm: the same trained networks scored through the
+/// fp32 emulation and the int8 integer readout side by side.
+fn run_quantized(
+    args: &Args,
+    setup: &Setup,
+    update: UpdateKind,
+    lo: u8,
+    hi: u8,
+) -> Result<(), BenchError> {
+    let act_bits: u8 = args.try_get("act-bits", 7)?;
+    let adc_bits: u8 = args.try_get("adc-bits", AdcSpec::MAX_BITS)?;
+    let mode = QuantReadout {
+        act_bits,
+        act_range: None,
+        adc: AdcSpec::new(adc_bits),
+    };
+    eprintln!(
+        "quantized arm: {act_bits}-bit activations, {}-bit ADC",
+        mode.adc.bits()
+    );
+    let points = run_precision_sweep_quantized(setup, update, bit_range(lo, hi), &mode)?;
+    let mut table = ResultsTable::new(&[
+        "bits",
+        "ACM-fp32",
+        "ACM-int8",
+        "DE-fp32",
+        "DE-int8",
+        "BC-fp32",
+        "BC-int8",
+        "PERM-fp32",
+        "PERM-int8",
+    ]);
+    for p in &points {
+        let mut row = vec![p.bits.to_string()];
+        for i in 0..4 {
+            row.push(pct(p.fp32[i]));
+            row.push(pct(p.int8[i]));
+        }
+        table.push(row);
+    }
+    table.print(args.has("csv"));
+    let worst = points.iter().map(|p| p.worst_gap()).fold(0.0, f32::max);
+    eprintln!("worst int8-vs-fp32 error gap across sweep: {worst:.2} points");
     Ok(())
 }

@@ -4,7 +4,10 @@ use xbar_core::Mapping;
 use xbar_data::{DatasetPair, SyntheticCifar, SyntheticMnist};
 use xbar_device::DeviceConfig;
 use xbar_models::{lenet, resnet20, vgg9, ModelConfig, ModelScale};
-use xbar_nn::{evaluate, train, History, Layer, NnError, Sequential, TrainConfig};
+use xbar_nn::{
+    calibrate, evaluate, evaluate_quantized, train, History, Layer, NnError, QuantReadout,
+    Sequential, TrainConfig,
+};
 use xbar_tensor::backend;
 use xbar_tensor::rng::XorShiftRng;
 
@@ -305,6 +308,92 @@ pub fn run_precision_sweep(
     bits: impl IntoIterator<Item = u8>,
 ) -> Result<Vec<PrecisionPoint>, NnError> {
     run_precision_sweep_seeds(setup, update, bits, 1)
+}
+
+/// One point of the quantized-inference sweep: the *same trained network*
+/// evaluated through fp32-emulated quantized inference and through the
+/// int8 integer readout, per mapping. Honest comparison: both columns
+/// score the final-epoch weights on the same test split, so the gap is
+/// purely the integer path (activation quantization + ADC), not training
+/// noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizedPrecisionPoint {
+    /// Weight bit precision.
+    pub bits: u8,
+    /// fp32-emulated test error (%) per mapping, in
+    /// [`ModelType::MAPPED`] order (ACM, DE, BC, PERM).
+    pub fp32: [f32; 4],
+    /// Integer-readout test error (%) in the same order.
+    pub int8: [f32; 4],
+}
+
+impl QuantizedPrecisionPoint {
+    /// Largest |int8 − fp32| error gap across the four mappings, in
+    /// percentage points.
+    pub fn worst_gap(&self) -> f32 {
+        self.fp32
+            .iter()
+            .zip(&self.int8)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+/// Runs the quantized arm of the Fig. 5 experiment: trains each mapping
+/// at each bit width, calibrates activation ranges on the training
+/// split, then scores the final network twice — through the fp32
+/// emulation and through the int8 integer readout with `mode`'s
+/// activation/ADC settings.
+///
+/// # Errors
+///
+/// Propagates training/evaluation errors (including unsupported devices
+/// — the integer readout needs weight bits ≤ 8).
+pub fn run_precision_sweep_quantized(
+    setup: &Setup,
+    update: UpdateKind,
+    bits: impl IntoIterator<Item = u8>,
+    mode: &QuantReadout,
+) -> Result<Vec<QuantizedPrecisionPoint>, NnError> {
+    let data = setup.data();
+    let train_split = data.train.as_split();
+    let test_split = data.test.as_split();
+    // Pin the shard count: `shards: None` resolves against the live thread
+    // pool, so the trained weights (and hence both error columns) would vary
+    // with XBAR_THREADS. A fixed count keeps the whole sweep — training and
+    // the integer readout alike — byte-identical at any thread count, which
+    // the CI parity gate relies on.
+    let cfg = TrainConfig {
+        shards: Some(2),
+        ..setup.train_config()
+    };
+    let mut out = Vec::new();
+    for b in bits {
+        let device = update.device(b);
+        let mut fp32 = [0.0f32; 4];
+        let mut int8 = [0.0f32; 4];
+        for (i, model) in ModelType::MAPPED.iter().enumerate() {
+            let mut net = setup.build(*model, device)?;
+            train(
+                &mut net,
+                data.train.as_split(),
+                Some(data.test.as_split()),
+                &cfg,
+            )?;
+            calibrate(&mut net, train_split.x, setup.batch)?;
+            let (_, fp_acc) = evaluate(&mut net, test_split.x, test_split.labels, setup.batch)?;
+            let (_, q_acc) =
+                evaluate_quantized(&mut net, test_split.x, test_split.labels, setup.batch, mode)?;
+            fp32[i] = 100.0 * (1.0 - fp_acc);
+            int8[i] = 100.0 * (1.0 - q_acc);
+        }
+        out.push(QuantizedPrecisionPoint {
+            bits: b,
+            fp32,
+            int8,
+        });
+    }
+    Ok(out)
 }
 
 /// One Monte-Carlo cell of the Fig. 6 experiment (optionally with the

@@ -61,6 +61,10 @@ pub struct Entry {
     pub dims: String,
     /// Nominal floating-point operations per evaluation.
     pub flops: f64,
+    /// Nominal bytes moved per evaluation (operand reads plus result
+    /// write), set on quantized entries where memory bandwidth is the
+    /// headline metric. `None` elsewhere.
+    pub bytes: Option<f64>,
     /// Best-of-reps wall time of the seed's naive kernel, if applicable.
     pub naive_ms: Option<f64>,
     /// Best-of-reps wall time of the new kernels, forced serial.
@@ -95,12 +99,25 @@ pub struct Entry {
     /// entry: summed per-task busy time divided by `lanes x wall`, one
     /// representative run per arm. `None` for kernel entries.
     pub occupancy: Option<(f64, f64)>,
+    /// Makespan ratio of the modeled lane schedules behind `occupancy`
+    /// (fork-join over work-stealing): the speedup stealing *would*
+    /// deliver at the configured lane count if every lane had its own
+    /// core. Kept separate from `speedup_vs_serial`, which stays the
+    /// honest measured wall-clock ratio — on core-starved CI hosts the
+    /// two legitimately disagree.
+    pub modeled_speedup: Option<f64>,
 }
 
 impl Entry {
     /// Throughput of the parallel arm in GFLOP/s.
     pub fn gflops(&self) -> f64 {
         self.flops / (self.parallel_ms / 1e3) / 1e9
+    }
+
+    /// Memory throughput of the parallel arm in GB/s, when the entry
+    /// carries a nominal byte count.
+    pub fn gbps(&self) -> Option<f64> {
+        self.bytes.map(|b| b / (self.parallel_ms / 1e3) / 1e9)
     }
 
     /// Headline speedup: seed's naive serial kernel → new parallel path.
@@ -153,6 +170,9 @@ impl Report {
             s.push_str(&format!("\"serial_ms\": {:.4}, ", e.serial_ms));
             s.push_str(&format!("\"parallel_ms\": {:.4}, ", e.parallel_ms));
             s.push_str(&format!("\"gflops\": {:.3}, ", e.gflops()));
+            if let Some(gbps) = e.gbps() {
+                s.push_str(&format!("\"gbps\": {gbps:.3}, "));
+            }
             if let Some(sp) = e.speedup() {
                 s.push_str(&format!("\"speedup\": {sp:.3}, "));
             }
@@ -179,6 +199,9 @@ impl Report {
                 s.push_str(&format!(
                     "\"fj_occupancy\": {fj:.3}, \"ws_occupancy\": {ws:.3}, "
                 ));
+            }
+            if let Some(modeled) = e.modeled_speedup {
+                s.push_str(&format!("\"modeled_speedup\": {modeled:.3}, "));
             }
             if let Some(routine) = e.routine {
                 s.push_str(&format!("\"routine\": \"{routine}\", "));
@@ -450,6 +473,7 @@ fn gemm_entry(
         kind,
         dims: format!("{m}x{k}x{n}"),
         flops: 2.0 * (m * k * n) as f64,
+        bytes: None,
         naive_ms: Some(naive_ms),
         serial_ms,
         parallel_ms,
@@ -462,6 +486,73 @@ fn gemm_entry(
         serial_allocs,
         parallel_allocs,
         occupancy: None,
+        modeled_speedup: None,
+    }
+}
+
+/// Runs the int8 GEMM entry: the fixed-point kernel against the fp32
+/// blocked kernel on the same shape.
+///
+/// The fp32 arm lands in the `naive_ms` slot so the reported `speedup`
+/// reads as "fp32 kernel → int8 kernel" — both arms run with the pool
+/// enabled, so the ratio isolates the datatype, not threading. Before
+/// timing, the entry asserts *dequantization parity* (the integer kernel
+/// must reproduce the fp32 GEMM of its own dequantized operands, whose
+/// only legitimate divergence is f32 accumulation-order rounding) and the
+/// usual bitwise serial↔parallel contract. `bytes` counts the packed
+/// operand reads plus the f32 result write, giving the bandwidth
+/// headline `gbps()`.
+fn qmatmul_entry(name: &str, m: usize, k: usize, n: usize, reps: usize, seed: u64) -> Entry {
+    use xbar_tensor::{qmatmul_nt, QuantizedTensor};
+
+    let mut rng = XorShiftRng::new(seed);
+    let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_normal(&[n, k], 0.0, 1.0, &mut rng);
+    let qa = QuantizedTensor::quantize_affine(&a, 7);
+    let qb = QuantizedTensor::quantize_symmetric_per_row(&b, 8);
+    let run = || qmatmul_nt(&qa, &qb);
+
+    backend::force_serial(true);
+    let serial_out = run();
+    backend::force_serial(false);
+    let parallel_out = run();
+    let parity = serial_out.data() == parallel_out.data();
+    assert!(parity, "{name}: parallel int8 result diverged from serial");
+    let dq = linalg::matmul_nt(&qa.dequantize(), &qb.dequantize()).unwrap();
+    assert!(
+        serial_out.all_close(&dq, 0.05),
+        "{name}: int8 kernel diverged from the fp32 GEMM of its dequantized operands"
+    );
+
+    let (serial_ms, parallel_ms, vs_serial) = time_arms_ms(reps, run);
+    // fp32 arm, pool enabled (time_arms_ms leaves the process pooled).
+    let fp32_ms = time_ms(reps, || linalg::matmul_nt(&a, &b).unwrap());
+    let naive_allocs = arm_allocs(|| linalg::matmul_nt(&a, &b).unwrap());
+    let parallel_allocs = arm_allocs(run);
+    backend::force_serial(true);
+    let serial_allocs = arm_allocs(run);
+    backend::force_serial(false);
+    let sel = dispatch::q_selection_for(m, k, n);
+    Entry {
+        name: name.to_string(),
+        kind: "qmatmul",
+        dims: format!("{m}x{k}x{n}"),
+        flops: 2.0 * (m * k * n) as f64,
+        // u8 activation codes + i8 weight codes + f32 result.
+        bytes: Some((m * k + n * k + 4 * m * n) as f64),
+        naive_ms: Some(fp32_ms),
+        serial_ms,
+        parallel_ms,
+        vs_serial: Some(vs_serial),
+        parity,
+        routine: Some(sel.routine),
+        tune_source: Some(sel.source.tag()),
+        tune_ms: sel.tune_ms,
+        naive_allocs,
+        serial_allocs,
+        parallel_allocs,
+        occupancy: None,
+        modeled_speedup: None,
     }
 }
 
@@ -503,6 +594,7 @@ fn e2e_entry<T: PartialEq>(
         kind,
         dims,
         flops,
+        bytes: None,
         naive_ms: None,
         serial_ms,
         parallel_ms,
@@ -515,6 +607,7 @@ fn e2e_entry<T: PartialEq>(
         serial_allocs,
         parallel_allocs,
         occupancy: None,
+        modeled_speedup: None,
     }
 }
 
@@ -783,6 +876,7 @@ fn train_step_entry(mode: Mode, reps: usize) -> Entry {
         dims: format!("mlp {d_in}-{d_h}-{classes} x{steps}@{batch}"),
         // 3 GEMM passes (fwd, dW, dx) per layer per epoch.
         flops: 6.0 * (samples * (d_in * d_h + d_h * classes)) as f64,
+        bytes: None,
         naive_ms: Some(naive_ms),
         serial_ms,
         parallel_ms,
@@ -795,6 +889,7 @@ fn train_step_entry(mode: Mode, reps: usize) -> Entry {
         serial_allocs,
         parallel_allocs,
         occupancy: None,
+        modeled_speedup: None,
     }
 }
 
@@ -924,6 +1019,7 @@ fn sched_bag_entry(mode: Mode, reps: usize) -> Entry {
         dims: format!("{n_tasks} tasks 1..{}x{unit} iters", 1usize << max_pow),
         // One fused multiply-add per iteration.
         flops: 2.0 * total_iters as f64,
+        bytes: None,
         naive_ms: Some(naive_ms),
         serial_ms,
         parallel_ms,
@@ -936,6 +1032,7 @@ fn sched_bag_entry(mode: Mode, reps: usize) -> Entry {
         serial_allocs: None,
         parallel_allocs: None,
         occupancy: Some((fj_occ, ws_occ)),
+        modeled_speedup: Some(fj_makespan as f64 / ws_makespan.max(1) as f64),
     }
 }
 
@@ -993,6 +1090,15 @@ pub fn run(mode: Mode) -> Report {
 
     for (name, kind, m, k, n, seed) in gemm_shapes(mode) {
         entries.push(gemm_entry(name, kind, m, k, n, reps, seed));
+    }
+
+    // Int8 GEMM on the headline square: measured in both modes, like its
+    // fp32 counterpart, since it carries the quantized-path acceptance
+    // number (int8 at least 2x the fp32 kernel).
+    entries.push(qmatmul_entry("qmatmul_square_256", 256, 256, 256, reps, 23));
+    if mode == Mode::Full {
+        // LeNet fc1 forward at batch 32, quantized.
+        entries.push(qmatmul_entry("qmatmul_lenet_fc1", 32, 400, 120, reps, 24));
     }
 
     // E2E: conv2d forward (im2col + GEMM + NCHW reorder).
@@ -1092,6 +1198,49 @@ pub fn run(mode: Mode) -> Report {
         ));
     }
 
+    // E2E: tiled crossbar inference through the integer ADC-exact
+    // readout. Serial and parallel must agree *bitwise* (asserted by
+    // `e2e_entry` — integer tile accumulation commits in submission
+    // order), and the quantized output must track the fp32 readout of the
+    // same programmed device on the identically quantized input.
+    {
+        use xbar_core::{QuantReadout, TileShape, TiledCrossbar};
+        use xbar_tensor::QuantizedTensor;
+        let (n_out, n_in, batch, tile) = match mode {
+            Mode::Smoke => (16, 32, 8, TileShape::new(8, 8)),
+            Mode::Full => (128, 256, 64, TileShape::new(64, 64)),
+        };
+        let mut rng = XorShiftRng::new(47);
+        let w = Tensor::rand_uniform(&[n_out, n_in], -0.02, 0.02, &mut rng);
+        let x = Tensor::rand_uniform(&[batch, n_in], -1.0, 1.0, &mut rng);
+        let dev = DeviceConfig::quantized_linear(4);
+        let tiled = TiledCrossbar::program_signed(&w, Mapping::Acm, dev, tile, &mut rng).unwrap();
+        let qmode = QuantReadout::default();
+        let q_out = tiled.forward_quantized(&x, &qmode).unwrap();
+        let x_deq = QuantizedTensor::quantize_affine(&x, qmode.act_bits).dequantize();
+        let f_out = tiled.forward(&x_deq).unwrap();
+        assert!(
+            q_out.all_close(&f_out, 5e-3),
+            "quant_mvm: integer readout diverged from the fp32 readout of the quantized input"
+        );
+        let flops = 2.0 * (batch * tiled.n_dev() * n_in) as f64;
+        let mut entry = e2e_entry(
+            "quant_mvm",
+            "quant_mvm",
+            format!(
+                "{batch}x{n_in}->{n_out} @{tile} ({} tiles)",
+                tiled.num_tiles()
+            ),
+            flops,
+            reps,
+            || tiled.forward_quantized(&x, &qmode).unwrap(),
+        );
+        // u8 activation codes + i8 conductance codes + f32 result.
+        entry.bytes =
+            Some((batch * n_in + tiled.n_dev() * n_in + 4 * batch * tiled.n_dev()) as f64);
+        entries.push(entry);
+    }
+
     // E2E: one data-parallel training epoch (the ISSUE-5 headline arm).
     entries.push(train_step_entry(mode, reps));
 
@@ -1117,13 +1266,35 @@ mod tests {
         assert!(report.entries.len() >= 5);
         assert!(report.entries.iter().all(|e| e.parity));
         assert!(report.entries.iter().any(|e| e.name == "matmul_square_256"));
-        // Every GEMM entry carries its dispatched routine; e2e entries
-        // don't.
+        // Every GEMM entry (fp32 and int8) carries its dispatched
+        // routine; e2e entries don't.
         for e in &report.entries {
-            let is_gemm = matches!(e.kind, "matmul" | "matmul_tn" | "matmul_nt");
+            let is_gemm = matches!(e.kind, "matmul" | "matmul_tn" | "matmul_nt" | "qmatmul");
             assert_eq!(e.routine.is_some(), is_gemm, "{}", e.name);
             assert_eq!(e.tune_source.is_some(), is_gemm, "{}", e.name);
+            if e.kind == "qmatmul" {
+                assert!(
+                    dispatch::q_routine_by_name(e.routine.unwrap()).is_some(),
+                    "{} dispatched an unregistered int8 routine",
+                    e.name
+                );
+            }
         }
+        let qgemm = report
+            .entries
+            .iter()
+            .find(|e| e.name == "qmatmul_square_256")
+            .expect("qmatmul entry present");
+        assert!(qgemm.parity);
+        assert!(qgemm.speedup().is_some(), "fp32 arm missing");
+        assert!(qgemm.gbps().is_some(), "int8 GEMM reports bandwidth");
+        let qmvm = report
+            .entries
+            .iter()
+            .find(|e| e.name == "quant_mvm")
+            .expect("quant_mvm entry present");
+        assert!(qmvm.parity);
+        assert!(qmvm.gbps().is_some(), "quantized MVM reports bandwidth");
         assert!(report.entries.iter().any(|e| e.name == "tiled_mvm"));
         let train = report
             .entries
@@ -1146,6 +1317,8 @@ mod tests {
         // Greedy stealing can never occupy lanes worse than a static
         // contiguous split of the same busy profile (equal at one lane).
         assert!(ws >= fj - 1e-9, "ws occupancy {ws} below fj {fj}");
+        let modeled = sched.modeled_speedup.expect("sched_bag models a speedup");
+        assert!(modeled >= 1.0 - 1e-9, "modeled speedup {modeled} below 1");
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"kernels\""));
         assert!(json.contains("matmul_square_256"));
@@ -1153,6 +1326,8 @@ mod tests {
         assert!(json.contains("\"autotune\": "));
         assert!(json.contains("\"routine\": \""));
         assert!(json.contains("\"tune_source\": \""));
+        assert!(json.contains("\"gbps\": "));
+        assert!(json.contains("\"modeled_speedup\": "));
         assert!(!report.summary().is_empty());
     }
 

@@ -38,6 +38,14 @@ pub enum MappingError {
         /// `(rows, cols)` of the offending fault map.
         got: (usize, usize),
     },
+    /// The array configuration cannot run the requested operation (e.g.
+    /// the quantized readout on a device without a bit width ≤ 8).
+    Unsupported {
+        /// The operation that was refused.
+        op: &'static str,
+        /// Why, in human-readable form.
+        reason: String,
+    },
     /// Closed-loop programming exhausted its write budget with cells still
     /// out of tolerance, and the caller demanded full convergence.
     ProgrammingFailed {
@@ -71,6 +79,9 @@ impl fmt::Display for MappingError {
                     "fault map shape {}x{} does not match array shape {}x{}",
                     got.0, got.1, expected.0, expected.1
                 )
+            }
+            Self::Unsupported { op, reason } => {
+                write!(f, "{op}: unsupported configuration: {reason}")
             }
             Self::ProgrammingFailed {
                 unconverged,

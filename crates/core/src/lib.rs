@@ -67,6 +67,7 @@ mod error;
 mod healing;
 mod mapping;
 mod periphery;
+mod quantized;
 mod remap;
 mod tiling;
 
@@ -80,8 +81,11 @@ pub use healing::{
 };
 pub use mapping::{Mapping, ParseMappingError};
 pub use periphery::PeripheryMatrix;
+pub use quantized::{quantized_raw_batch, QuantReadout};
 pub use remap::{remap_for_faults, RemapReport};
 pub use tiling::{ColGroup, TileGrid, TiledCrossbar};
 // Re-exported from `xbar_device` (where the physical array bound lives)
 // so existing `xbar_core::TileShape` callers keep compiling.
 pub use xbar_device::TileShape;
+// Re-exported alongside the quantized readout that consumes it.
+pub use xbar_device::AdcSpec;

@@ -1,0 +1,154 @@
+//! ADC resolution model for the quantized crossbar readout.
+//!
+//! In the integer forward path (`xbar-core`), each device column's
+//! dot product accumulates exactly in i32. The physical column sum is
+//! digitized by a `bits`-wide ADC, which the model applies as a
+//! deterministic integer transform of the accumulator:
+//!
+//! 1. **Ranging.** The ADC full scale is set from the worst-case column
+//!    magnitude (a pure function of the dot-product depth and the code
+//!    bounds), backed off by [`OVERRANGE_BITS`]: real column sums
+//!    concentrate far below the all-codes-maximal corner, so full scale
+//!    sits at `worst / 2^OVERRANGE_BITS` and the rare tail beyond it
+//!    saturates instead of wasting code range on it.
+//! 2. **Truncation.** The accumulator is arithmetically right-shifted by
+//!    [`shift_for`](AdcSpec::shift_for) bits — the LSBs below the ADC
+//!    step are lost, exactly like a real converter's quantization.
+//! 3. **Saturation.** The shifted code clamps to the signed `bits`-bit
+//!    code range `[−2^(bits−1), 2^(bits−1) − 1]` — the converter's
+//!    over-range behavior.
+//!
+//! [`convert`](AdcSpec::convert) returns the re-scaled value
+//! (`code << shift`) so callers keep working in accumulator units. All
+//! steps are exact integer arithmetic: the readout stays bitwise
+//! reproducible for any thread count.
+
+/// Bits of head-room between the ADC full scale and the worst-case
+/// column sum (full scale = worst case / 4).
+pub const OVERRANGE_BITS: u32 = 2;
+
+/// A `bits`-wide column ADC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdcSpec {
+    bits: u8,
+}
+
+impl AdcSpec {
+    /// Widest supported converter. At this width
+    /// [`convert`](AdcSpec::convert) is the identity for any
+    /// accumulator below `2^30` — larger than any column sum the
+    /// integer kernels can produce at their supported depths.
+    pub const MAX_BITS: u8 = 31;
+
+    /// Creates a `bits`-wide ADC spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ bits ≤ 31` (a signed code needs at least two
+    /// bits).
+    pub fn new(bits: u8) -> Self {
+        assert!(
+            (2..=Self::MAX_BITS).contains(&bits),
+            "ADC bits must be 2..={}, got {bits}",
+            Self::MAX_BITS
+        );
+        Self { bits }
+    }
+
+    /// An effectively transparent converter (see [`MAX_BITS`](Self::MAX_BITS)).
+    pub fn lossless() -> Self {
+        Self {
+            bits: Self::MAX_BITS,
+        }
+    }
+
+    /// The converter width.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// The right shift applied before the code clamp, for a column whose
+    /// accumulator magnitude never exceeds `max_abs`. Zero when the code
+    /// range (plus over-range head-room) already covers `max_abs` —
+    /// i.e. a wide ADC passes the accumulator through exactly.
+    pub fn shift_for(&self, max_abs: i64) -> u32 {
+        if max_abs <= 0 {
+            return 0;
+        }
+        let need = 64 - (max_abs as u64).leading_zeros();
+        need.saturating_sub(OVERRANGE_BITS)
+            .saturating_sub(self.bits as u32 - 1)
+    }
+
+    /// Digitizes an accumulator: truncate to the ADC step (`>> shift`),
+    /// saturate to the signed code range, return in accumulator units
+    /// (`code << shift`). `shift` must come from
+    /// [`shift_for`](Self::shift_for) with the matching magnitude bound.
+    pub fn convert(&self, acc: i32, shift: u32) -> i32 {
+        let code = acc >> shift;
+        let hi = (1i32 << (self.bits - 1)) - 1;
+        let lo = -(1i32 << (self.bits - 1));
+        code.clamp(lo, hi) << shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_adc_is_exact() {
+        let adc = AdcSpec::lossless();
+        let shift = adc.shift_for(1 << 26);
+        assert_eq!(shift, 0);
+        for acc in [-12345678, -1, 0, 1, 9999999] {
+            assert_eq!(adc.convert(acc, shift), acc);
+        }
+    }
+
+    #[test]
+    fn narrow_adc_truncates_to_its_step() {
+        let adc = AdcSpec::new(8);
+        // Worst case 2^20 − 1 (20 bits) → full scale 2^18 over 2^7
+        // codes → step 2^11.
+        let shift = adc.shift_for((1 << 20) - 1);
+        assert_eq!(shift, 11);
+        assert_eq!(adc.convert(4096 + 37, shift), 4096);
+        assert_eq!(adc.convert(2047, shift), 0);
+        // Arithmetic shift: negatives floor toward −∞, deterministically.
+        assert_eq!(adc.convert(-1, shift), -2048);
+    }
+
+    #[test]
+    fn over_range_saturates_at_the_code_bounds() {
+        let adc = AdcSpec::new(6);
+        let max_abs = 1i64 << 16;
+        let shift = adc.shift_for(max_abs);
+        let hi_code = (1i32 << 5) - 1;
+        let full_scale = hi_code << shift;
+        // Beyond full scale the output pins.
+        assert_eq!(adc.convert(i32::MAX / 2, shift), full_scale);
+        assert_eq!(adc.convert((max_abs - 1) as i32, shift), full_scale);
+        assert_eq!(adc.convert(i32::MIN / 2, shift), -(1i32 << 5) << shift);
+        // Inside full scale it does not.
+        assert!(adc.convert(full_scale / 2, shift) < full_scale);
+    }
+
+    #[test]
+    fn more_bits_never_shift_more() {
+        let max_abs = 123_456;
+        let mut last = u32::MAX;
+        for bits in 2..=31u8 {
+            let s = AdcSpec::new(bits).shift_for(max_abs);
+            assert!(s <= last);
+            last = s;
+        }
+        assert_eq!(last, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ADC bits")]
+    fn rejects_one_bit() {
+        let _ = AdcSpec::new(1);
+    }
+}

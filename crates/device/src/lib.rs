@@ -45,6 +45,7 @@
 
 #![deny(missing_docs)]
 
+mod adc;
 mod config;
 mod drift;
 mod error;
@@ -58,6 +59,7 @@ mod tile;
 mod update;
 mod variation;
 
+pub use adc::{AdcSpec, OVERRANGE_BITS};
 pub use config::{DeviceConfig, DeviceConfigBuilder};
 pub use drift::DriftModel;
 pub use error::DeviceError;

@@ -239,4 +239,59 @@ mod tests {
             assert!((quantize_signed(x, 16, 1.0) - x).abs() < 1e-4);
         }
     }
+
+    #[test]
+    fn one_bit_grid_has_exactly_the_range_endpoints() {
+        let q = Quantizer::new(1, ConductanceRange::new(0.25, 0.75));
+        assert_eq!(q.num_states(), 2);
+        assert_eq!(q.state_value(0), 0.25);
+        assert_eq!(q.state_value(1), 0.75);
+        assert_eq!(q.step(), 0.5);
+        // Every input lands on one of the two states.
+        for i in 0..=20 {
+            let g = i as f32 / 20.0;
+            assert!(q.quantize(g) == 0.25 || q.quantize(g) == 0.75);
+        }
+    }
+
+    #[test]
+    fn max_bits_grid_round_trips_every_state() {
+        let q = q(Quantizer::MAX_BITS);
+        assert_eq!(q.num_states(), 1 << 16);
+        assert!(q.step() > 0.0);
+        // All 2^16 states survive value → index → value exactly: state
+        // indices stay inside f32's 24-bit exact-integer window.
+        for idx in (0..q.num_states()).step_by(257).chain([q.num_states() - 1]) {
+            let v = q.state_value(idx);
+            assert_eq!(q.state_index(v), idx);
+            assert_eq!(q.quantize(v), v);
+        }
+    }
+
+    #[test]
+    fn midpoints_round_half_to_the_upper_state() {
+        // `state_index` uses `round()` (half away from zero), so an input
+        // exactly between two states snaps to the higher one.
+        for bits in [1u8, 2, 3, 4] {
+            let q = q(bits);
+            for idx in 0..q.num_states() - 1 {
+                let mid = (idx as f32 + 0.5) / (q.num_states() - 1) as f32;
+                assert_eq!(q.state_index(mid), idx + 1, "bits={bits} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn state_indices_round_trip_through_i8_codes() {
+        // The quantized MVM stores state indices centered into i8
+        // (`idx − 2^(B−1)`); for every B ≤ 8 the centering is lossless.
+        for bits in 1..=8u8 {
+            let q = q(bits);
+            let half = 1i32 << (bits - 1);
+            for idx in 0..q.num_states() {
+                let code = (idx as i32 - half) as i8;
+                assert_eq!((code as i32 + half) as usize, idx, "bits={bits}");
+            }
+        }
+    }
 }

@@ -49,6 +49,46 @@ pub fn evaluate(workload: &Workload, mapping: Mapping, params: &TechParams) -> C
     }
 }
 
+/// Fraction of the periphery cost attributable to the column ADCs at the
+/// 8-bit calibration point — the converter dominates the read periphery
+/// (MUX/decoder/adders make up the rest), as in NeuroSim-style
+/// breakdowns.
+pub const ADC_PERIPH_FRACTION: f64 = 0.58;
+
+/// The ADC bit width the [`TechParams`] coefficients are calibrated at
+/// (the paper's Table I setting).
+pub const ADC_CALIBRATION_BITS: u8 = 8;
+
+/// Prices `workload` under `mapping` with a `adc_bits`-wide column ADC.
+///
+/// First-order SAR model: a successive-approximation converter spends one
+/// comparison cycle per bit, so its area, conversion energy, and
+/// conversion delay all scale *linearly* in the bit count. The
+/// [`TechParams`] coefficients are calibrated at
+/// [`ADC_CALIBRATION_BITS`]; this re-prices the ADC share
+/// ([`ADC_PERIPH_FRACTION`]) of the periphery area, read energy, and read
+/// delay by `adc_bits / 8`, leaving the crossbar array and the non-ADC
+/// periphery untouched. At `adc_bits = 8` the result equals
+/// [`evaluate`] exactly.
+pub fn evaluate_with_adc(
+    workload: &Workload,
+    mapping: Mapping,
+    params: &TechParams,
+    adc_bits: u8,
+) -> CostReport {
+    let base = evaluate(workload, mapping, params);
+    let factor = adc_bits as f64 / ADC_CALIBRATION_BITS as f64;
+    // Written as `1 + f·(factor − 1)` so the calibration point is exact.
+    let rescale = |v: f64| v * (1.0 + ADC_PERIPH_FRACTION * (factor - 1.0));
+    CostReport {
+        mapping,
+        xbar_area_um2: base.xbar_area_um2,
+        periphery_area_um2: rescale(base.periphery_area_um2),
+        read_energy_uj: rescale(base.read_energy_uj),
+        read_delay_ms: rescale(base.read_delay_ms),
+    }
+}
+
 /// Reproduces the paper's Table I: all three mappings priced on the
 /// two-layer MLP workload, in the paper's row order (BC, DE, ACM).
 pub fn table1(params: &TechParams) -> Vec<CostReport> {
@@ -470,6 +510,29 @@ mod tests {
             evaluate_tiled_with_line(&w, Mapping::Acm, TileShape::new(64, 64), &p, 0.01).unwrap();
         assert!(small.ir_worst_attenuation > big.ir_worst_attenuation);
         assert!(small.num_tiles > big.num_tiles);
+    }
+
+    #[test]
+    fn adc_cost_is_calibrated_at_eight_bits_and_monotone() {
+        let p = TechParams::nm14();
+        let w = Workload::table1_mlp();
+        let base = evaluate(&w, Mapping::Acm, &p);
+        let at8 = evaluate_with_adc(&w, Mapping::Acm, &p, ADC_CALIBRATION_BITS);
+        assert_eq!(at8, base);
+        // Narrower converters are cheaper, wider ones dearer, on every
+        // ADC-bearing axis; the array itself never moves.
+        let mut last = evaluate_with_adc(&w, Mapping::Acm, &p, 2);
+        for bits in 3..=12u8 {
+            let r = evaluate_with_adc(&w, Mapping::Acm, &p, bits);
+            assert!(r.periphery_area_um2 > last.periphery_area_um2);
+            assert!(r.read_energy_uj > last.read_energy_uj);
+            assert!(r.read_delay_ms > last.read_delay_ms);
+            assert_eq!(r.xbar_area_um2, base.xbar_area_um2);
+            last = r;
+        }
+        // The non-ADC periphery share never scales away.
+        let narrow = evaluate_with_adc(&w, Mapping::Acm, &p, 2);
+        assert!(narrow.periphery_area_um2 > base.periphery_area_um2 * (1.0 - ADC_PERIPH_FRACTION));
     }
 
     #[test]

@@ -50,7 +50,8 @@ mod params;
 mod workload;
 
 pub use cost::{
-    evaluate, evaluate_tiled, evaluate_tiled_with_line, table1, CostReport, TiledCostReport,
+    evaluate, evaluate_tiled, evaluate_tiled_with_line, evaluate_with_adc, table1, CostReport,
+    TiledCostReport, ADC_CALIBRATION_BITS, ADC_PERIPH_FRACTION,
 };
 pub use params::TechParams;
 pub use workload::{LayerDims, Workload};

@@ -1,4 +1,4 @@
-use xbar_core::Mapping;
+use xbar_core::{Mapping, QuantReadout};
 use xbar_device::DeviceConfig;
 use xbar_tensor::init::Init;
 use xbar_tensor::rng::XorShiftRng;
@@ -42,6 +42,11 @@ pub struct Dense {
     /// in place — sound because weights only change in `update`, after
     /// the backward pass.
     cache: Option<(Tensor, Option<Tensor>)>,
+    /// Observed input range from [`Layer::calibrate`] passes — the
+    /// activation clip range the quantized forward pins its grid to.
+    /// Inference-only state: not persisted (re-run calibration after a
+    /// checkpoint restore).
+    act_range: Option<(f32, f32)>,
 }
 
 impl Dense {
@@ -69,6 +74,7 @@ impl Dense {
             bias: Tensor::zeros(&[n_out]),
             bias_grad: Tensor::zeros(&[n_out]),
             cache: None,
+            act_range: None,
         })
     }
 
@@ -138,6 +144,40 @@ impl Layer for Dense {
         }
         if train {
             self.cache = Some((x.clone(), w_cached));
+        }
+        Ok(y)
+    }
+
+    fn calibrate(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        let (mut lo, mut hi) = self.act_range.unwrap_or((f32::INFINITY, f32::NEG_INFINITY));
+        for &v in x.data() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if lo <= hi {
+            self.act_range = Some((lo, hi));
+        }
+        self.forward(x, false)
+    }
+
+    fn forward_quantized(&mut self, x: &Tensor, mode: &QuantReadout) -> Result<Tensor, NnError> {
+        if x.ndim() != 2 || x.shape()[1] != self.n_in() {
+            return Err(NnError::Shape(xbar_tensor::ShapeError::new(
+                "dense forward_quantized",
+                format!("expected (batch, {}), got {:?}", self.n_in(), x.shape()),
+            )));
+        }
+        // An explicit range in `mode` wins; otherwise use the calibrated
+        // one; otherwise the integer path derives it from the batch.
+        let mode = QuantReadout {
+            act_range: mode.act_range.or(self.act_range),
+            ..*mode
+        };
+        let mut y = self.weights.forward_quantized(x, &mode)?;
+        // Digital bias add after the ADC, as in the fp32 periphery.
+        let n_out = self.n_out();
+        for (i, v) in y.data_mut().iter_mut().enumerate() {
+            *v += self.bias.data()[i % n_out];
         }
         Ok(y)
     }
@@ -258,6 +298,99 @@ mod tests {
         let mut r = rng();
         let mut fc = dense_signed(3, 2, &mut r).unwrap();
         assert!(fc.forward(&Tensor::zeros(&[2, 4]), true).is_err());
+    }
+
+    fn rand_input(r: &mut XorShiftRng, shape: &[usize]) -> Tensor {
+        let mut x = Tensor::zeros(shape);
+        for v in x.data_mut() {
+            *v = 2.0 * r.next_f32() - 1.0;
+        }
+        x
+    }
+
+    #[test]
+    fn signed_quantized_forward_tracks_fp32() {
+        let mut r = rng();
+        let mut fc = dense_signed(24, 6, &mut r).unwrap();
+        fc.bias = Tensor::from_vec((0..6).map(|i| 0.1 * i as f32).collect(), &[6]).unwrap();
+        let x = rand_input(&mut r, &[5, 24]);
+        let want = fc.forward(&x, false).unwrap();
+        let got = fc.forward_quantized(&x, &QuantReadout::default()).unwrap();
+        // 7-bit activations × 8-bit weights: close, not exact.
+        for (&g, &e) in got.data().iter().zip(want.data()) {
+            assert!((g - e).abs() < 0.05, "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn mapped_quantized_forward_tracks_fp32() {
+        for mapping in [Mapping::Acm, Mapping::BiasColumn, Mapping::DoubleElement] {
+            let mut r = rng();
+            let mut fc =
+                dense_mapped(24, 6, mapping, DeviceConfig::quantized_linear(8), &mut r).unwrap();
+            let x = rand_input(&mut r, &[5, 24]);
+            let want = fc.forward(&x, false).unwrap();
+            let got = fc.forward_quantized(&x, &QuantReadout::default()).unwrap();
+            let scale = want.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            for (&g, &e) in got.data().iter().zip(want.data()) {
+                assert!(
+                    (g - e).abs() < 0.02 + 0.05 * scale,
+                    "{mapping:?}: {g} vs {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_pins_the_activation_grid() {
+        let mut r = rng();
+        let mut fc = dense_mapped(
+            16,
+            4,
+            Mapping::Acm,
+            DeviceConfig::quantized_linear(8),
+            &mut r,
+        )
+        .unwrap();
+        let wide = rand_input(&mut r, &[8, 16]);
+        fc.calibrate(&wide).unwrap();
+        // A narrow batch now quantizes on the calibrated (wide) grid, not
+        // its own: outputs differ from the uncalibrated layer's.
+        let narrow = wide.scale(0.1);
+        let calibrated = fc
+            .forward_quantized(&narrow, &QuantReadout::default())
+            .unwrap();
+        let mut fresh = dense_mapped(
+            16,
+            4,
+            Mapping::Acm,
+            DeviceConfig::quantized_linear(8),
+            &mut rng(),
+        )
+        .unwrap();
+        let uncalibrated = fresh
+            .forward_quantized(&narrow, &QuantReadout::default())
+            .unwrap();
+        assert_ne!(calibrated.data(), uncalibrated.data());
+        // An explicit range in the mode overrides calibration.
+        let pinned = fc
+            .forward_quantized(
+                &narrow,
+                &QuantReadout {
+                    act_range: Some((-1.0, 1.0)),
+                    ..QuantReadout::default()
+                },
+            )
+            .unwrap();
+        assert!(pinned.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn quantized_forward_rejects_unquantizable_devices() {
+        let mut r = rng();
+        let mut fc = dense_mapped(8, 3, Mapping::Acm, DeviceConfig::ideal(), &mut r).unwrap();
+        let x = rand_input(&mut r, &[2, 8]);
+        assert!(fc.forward_quantized(&x, &QuantReadout::default()).is_err());
     }
 
     #[test]

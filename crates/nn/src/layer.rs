@@ -1,3 +1,4 @@
+use xbar_core::QuantReadout;
 use xbar_tensor::rng::XorShiftRng;
 use xbar_tensor::Tensor;
 
@@ -58,6 +59,40 @@ pub trait Layer: Send + Sync {
     ///
     /// Returns an error if the input shape is incompatible.
     fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor, NnError>;
+
+    /// Inference forward that additionally *records* activation
+    /// statistics for post-training quantization: layers with a
+    /// quantized inference path (currently [`crate::Dense`]) extend
+    /// their running input range with this batch. Run a few
+    /// representative batches through this before
+    /// [`Layer::forward_quantized`]; without calibration the quantized
+    /// path derives its activation grid from each batch itself
+    /// (convenient, but data-dependent). The default is a plain
+    /// inference forward.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible.
+    fn calibrate(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        self.forward(x, false)
+    }
+
+    /// Runs the layer in *quantized inference* mode: layers with an
+    /// integer path (currently [`crate::Dense`]) quantize activations to
+    /// `mode.act_bits`, run the int8 kernels (through the crossbar's
+    /// ADC-exact readout for mapped weights), and dequantize the result.
+    /// Layers without an integer path — activations, pooling, and the
+    /// fp32-only `Conv2d` — fall back to the plain inference forward, so
+    /// a mixed network degrades gracefully rather than refusing to run.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible or a mapped
+    /// parameter's device cannot support the integer readout.
+    fn forward_quantized(&mut self, x: &Tensor, mode: &QuantReadout) -> Result<Tensor, NnError> {
+        let _ = mode;
+        self.forward(x, false)
+    }
 
     /// Backpropagates `grad` (same shape as the last forward output),
     /// returning the gradient with respect to the last forward input.
@@ -229,6 +264,22 @@ impl Layer for Sequential {
         let mut cur = x.clone();
         for layer in &mut self.layers {
             cur = layer.forward(&cur, train)?;
+        }
+        Ok(cur)
+    }
+
+    fn calibrate(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.calibrate(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    fn forward_quantized(&mut self, x: &Tensor, mode: &QuantReadout) -> Result<Tensor, NnError> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward_quantized(&cur, mode)?;
         }
         Ok(cur)
     }

@@ -68,5 +68,8 @@ pub use param::{MappedParam, WeightKind};
 pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
 pub use residual::ResidualBlock;
 pub use train::{
-    auto_shards, evaluate, scrub_network, train, EpochStats, History, Split, TrainConfig,
+    auto_shards, calibrate, evaluate, evaluate_quantized, scrub_network, train, EpochStats,
+    History, Split, TrainConfig,
 };
+// Re-exported so quantized-inference callers need only this crate.
+pub use xbar_core::QuantReadout;

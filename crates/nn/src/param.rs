@@ -2,13 +2,13 @@
 //! the paper's `W = S · M` factorization.
 
 use xbar_core::{
-    checksum_residual, magnitude_permutation, remap_for_faults, HealthAction, HealthMonitor,
-    Mapping, PeripheryMatrix, RepairAttempt, RepairPolicy, RepairStage, ScrubReport, TileGrid,
-    TileHealth,
+    checksum_residual, magnitude_permutation, quantized_raw_batch, remap_for_faults, HealthAction,
+    HealthMonitor, Mapping, PeripheryMatrix, QuantReadout, RepairAttempt, RepairPolicy,
+    RepairStage, ScrubReport, TileGrid, TileHealth,
 };
 use xbar_device::{ConductanceRange, DeviceConfig, FaultMap};
 use xbar_tensor::rng::XorShiftRng;
-use xbar_tensor::{linalg, Tensor};
+use xbar_tensor::{linalg, qmatmul_nt, QuantizedTensor, Tensor};
 
 use crate::NnError;
 
@@ -443,6 +443,72 @@ impl MappedParam {
                     .scale(self.alpha)
             }
             _ => unreachable!("mapped parameters always carry a periphery"),
+        }
+    }
+
+    /// Int8 inference forward `X (batch × n_in) → Y (batch × n_out)`.
+    ///
+    /// * **Mapped** weights run the crossbar's ADC-exact integer readout
+    ///   ([`quantized_raw_batch`]): activations quantize to
+    ///   `mode.act_bits`, conductances (the quantized shadow, or the
+    ///   variation override while one is active) are read on the device
+    ///   state grid, each tile's column sums digitize through `mode.adc`,
+    ///   and the digital periphery combine + `α` scaling mirror the fp32
+    ///   composition exactly. Off-grid conductances (BC/Perm reference
+    ///   rows, variation, drift) snap to the nearest state — the read
+    ///   discretization a digital readout cannot avoid.
+    /// * **Signed** (baseline) weights run the digital int8 GEMM
+    ///   ([`qmatmul_nt`]): per-row symmetric 8-bit weights against affine
+    ///   activations.
+    ///
+    /// Both paths accumulate exactly in i32, so the output is bitwise
+    /// identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::State`] if a mapped parameter's device has no
+    /// quantizer or more than 8 bits (centered state codes must fit i8),
+    /// or a shape error on input mismatch.
+    pub fn forward_quantized(&self, x: &Tensor, mode: &QuantReadout) -> Result<Tensor, NnError> {
+        if x.ndim() != 2 || x.shape()[1] != self.n_in {
+            return Err(NnError::Shape(xbar_tensor::ShapeError::new(
+                "forward_quantized",
+                format!("expected (batch, {}), got {:?}", self.n_in, x.shape()),
+            )));
+        }
+        match self.kind {
+            WeightKind::Signed => {
+                let w = match &self.variation_override {
+                    Some(noisy) => noisy,
+                    None => &self.shadow,
+                };
+                let qx =
+                    QuantizedTensor::quantize_affine_with_range(x, mode.act_bits, mode.act_range);
+                let qw = QuantizedTensor::quantize_symmetric_per_row(w, 8);
+                Ok(qmatmul_nt(&qx, &qw))
+            }
+            WeightKind::Mapped(_) => {
+                let q = self.device.quantizer_opt().ok_or_else(|| {
+                    NnError::State("quantized inference needs a quantized device (bits ≤ 8)".into())
+                })?;
+                if q.bits() > 8 {
+                    return Err(NnError::State(format!(
+                        "device bit width {} exceeds 8; the integer readout stores \
+                         centered state codes in i8",
+                        q.bits()
+                    )));
+                }
+                let g = match &self.variation_override {
+                    Some(noisy) => noisy.clone(),
+                    None => self.quantized_shadow(),
+                };
+                let raw = quantized_raw_batch(&g, self.grid.as_ref(), &q, mode, x);
+                let s = self
+                    .periphery
+                    .as_ref()
+                    .expect("mapped parameters always carry a periphery");
+                Ok(s.combine(&raw)?.scale(self.alpha))
+            }
         }
     }
 

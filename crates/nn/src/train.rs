@@ -34,7 +34,7 @@ use std::sync::{Arc, Mutex};
 use xbar_tensor::rng::XorShiftRng;
 use xbar_tensor::{backend, elementwise, Tensor};
 
-use xbar_core::{RepairPolicy, ScrubReport};
+use xbar_core::{QuantReadout, RepairPolicy, ScrubReport};
 
 use crate::persist::{self, TrainCheckpoint};
 use crate::{accuracy, Layer, NnError, SoftmaxCrossEntropy};
@@ -907,6 +907,62 @@ pub fn evaluate(
     Ok(((loss_sum / n) as f32, (correct / n) as f32))
 }
 
+/// Runs `x` through `net` in calibration mode (batched), recording
+/// activation ranges for post-training quantization — run this on a few
+/// representative batches before [`evaluate_quantized`].
+///
+/// # Errors
+///
+/// Returns an error on shape mismatches or a zero batch size.
+pub fn calibrate(net: &mut dyn Layer, x: &Tensor, batch_size: usize) -> Result<(), NnError> {
+    if batch_size == 0 {
+        return Err(NnError::Config("batch size must be positive".into()));
+    }
+    let n = x.shape()[0];
+    let idxs: Vec<usize> = (0..n).collect();
+    for chunk in idxs.chunks(batch_size) {
+        let xb = gather_rows(x, chunk);
+        net.calibrate(&xb)?;
+    }
+    Ok(())
+}
+
+/// Evaluates `net` through the quantized inference path
+/// ([`Layer::forward_quantized`]), returning `(mean_loss, accuracy)` —
+/// the int8 counterpart of [`evaluate`].
+///
+/// # Errors
+///
+/// Returns an error on shape mismatches, a zero batch size, or an
+/// unsupported device (see [`crate::MappedParam::forward_quantized`]).
+pub fn evaluate_quantized(
+    net: &mut dyn Layer,
+    x: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+    mode: &QuantReadout,
+) -> Result<(f32, f32), NnError> {
+    if batch_size == 0 {
+        return Err(NnError::Config("batch size must be positive".into()));
+    }
+    if labels.is_empty() {
+        return Ok((0.0, 0.0));
+    }
+    let idxs: Vec<usize> = (0..labels.len()).collect();
+    let mut loss_sum = 0.0f64;
+    let mut correct = 0.0f64;
+    for chunk in idxs.chunks(batch_size) {
+        let xb = gather_rows(x, chunk);
+        let yb: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+        let logits = net.forward_quantized(&xb, mode)?;
+        let (loss, _) = SoftmaxCrossEntropy::forward(&logits, &yb)?;
+        loss_sum += f64::from(loss) * chunk.len() as f64;
+        correct += f64::from(accuracy(&logits, &yb)?) * chunk.len() as f64;
+    }
+    let n = labels.len() as f64;
+    Ok(((loss_sum / n) as f32, (correct / n) as f32))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -996,6 +1052,41 @@ mod tests {
         )
         .unwrap();
         assert!(hist.final_test_acc().unwrap() > 0.95, "{:?}", hist.last());
+    }
+
+    #[test]
+    fn quantized_evaluation_tracks_fp32_after_calibration() {
+        let (x, labels) = blobs(200, 181);
+        let (tx, tlabels) = blobs(100, 182);
+        // Mapped MLP on an 8-bit device — the configuration the fig5
+        // quantized arm and the ci.sh parity gate run.
+        let mut rng = XorShiftRng::new(183);
+        let mut net = Sequential::new();
+        let dev = DeviceConfig::quantized_linear(8);
+        net.push(Dense::new(2, 16, WeightKind::Mapped(Mapping::Acm), dev, &mut rng).unwrap());
+        net.push(Relu::new());
+        net.push(Dense::new(16, 2, WeightKind::Mapped(Mapping::Acm), dev, &mut rng).unwrap());
+        let cfg = TrainConfig {
+            epochs: 15,
+            batch_size: 16,
+            lr: 0.1,
+            ..TrainConfig::default()
+        };
+        train(&mut net, Split::new(&x, &labels).unwrap(), None, &cfg).unwrap();
+        calibrate(&mut net, &x, 32).unwrap();
+        let (_, fp32_acc) = evaluate(&mut net, &tx, &tlabels, 32).unwrap();
+        let mode = QuantReadout::default();
+        let (_, int8_acc) = evaluate_quantized(&mut net, &tx, &tlabels, 32, &mode).unwrap();
+        assert!(fp32_acc > 0.9, "fp32 {fp32_acc}");
+        assert!(
+            (fp32_acc - int8_acc).abs() <= 0.01 + f32::EPSILON,
+            "int8 {int8_acc} vs fp32 {fp32_acc}"
+        );
+        // The integer path is bitwise thread-invariant.
+        backend::force_serial(true);
+        let (_, serial_acc) = evaluate_quantized(&mut net, &tx, &tlabels, 32, &mode).unwrap();
+        backend::force_serial(false);
+        assert_eq!(serial_acc.to_bits(), int8_acc.to_bits());
     }
 
     #[test]

@@ -824,6 +824,296 @@ fn shared_chunk<const MRT: usize>(
     scratch::give(pa);
 }
 
+// ---------------------------------------------------------------------------
+// Quantized (u8 × i8 → i32) routine registry and selector
+// ---------------------------------------------------------------------------
+
+/// One quantized NT GEMM problem: `a` is `(m, k)` unsigned codes, `b` is
+/// `(n, k)` signed codes, output is `m × n` i32. There is only one
+/// transpose kind (NT — every quantized consumer is row-dot-row), so the
+/// problem is just its dims.
+#[derive(Debug, Clone, Copy)]
+pub struct QProblem {
+    /// Output rows.
+    pub m: usize,
+    /// Depth (dot-product length).
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+}
+
+impl QProblem {
+    /// Builds a problem description.
+    pub fn new(m: usize, k: usize, n: usize) -> Self {
+        Self { m, k, n }
+    }
+
+    /// Total multiply-adds.
+    pub fn macs(&self) -> usize {
+        self.m * self.k * self.n
+    }
+
+    /// Whether this problem runs the fixed streaming kernel instead of
+    /// the tuned blocked family. Same threshold as the f32 selector.
+    /// Unlike the f32 boundary this one is *not* a numeric contract —
+    /// integer kernels are all bitwise-identical — it just keeps tiny
+    /// problems out of the pool and the tune cache.
+    pub fn small(&self) -> bool {
+        self.n < NR / 2 || self.macs() < SMALL_MACS
+    }
+
+    /// Canonical cache key, e.g. `"qnt:m256:k256:n256:t4:simd"`. The
+    /// `qnt` tag keeps quantized classes disjoint from the f32 `nn` /
+    /// `tn` / `nt` namespaces in the shared `XBAR_TUNE_CACHE` file.
+    pub fn key(&self) -> String {
+        format!(
+            "qnt:m{}:k{}:n{}:t{}:{}",
+            bucket(self.m),
+            bucket(self.k),
+            bucket(self.n),
+            backend::threads(),
+            if simd_active() { "simd" } else { "nosimd" }
+        )
+    }
+}
+
+/// A named quantized GEMM routine. All routines are exact integer
+/// arithmetic and therefore bitwise-identical wherever they overlap.
+pub trait QRoutine: Sync {
+    /// Stable registry name (appears in tune-cache files and bench JSON).
+    fn name(&self) -> &'static str;
+    /// Whether this routine can run `p`.
+    fn supports(&self, p: &QProblem) -> bool;
+    /// Runs the routine. `od` is the row-major `m × n` output.
+    fn run(&self, p: &QProblem, ad: &[u8], bd: &[i8], od: &mut [i32]);
+}
+
+/// Serial streaming kernel: the small-class routine (also a blocked-class
+/// candidate — on memory-bound shapes the pool fan-out can lose).
+struct QRowDot;
+
+impl QRoutine for QRowDot {
+    fn name(&self) -> &'static str {
+        "q_rowdot"
+    }
+    fn supports(&self, _p: &QProblem) -> bool {
+        true
+    }
+    fn run(&self, p: &QProblem, ad: &[u8], bd: &[i8], od: &mut [i32]) {
+        crate::qgemm::qk_rowdot(ad, bd, od, p.m, p.k, p.n);
+    }
+}
+
+/// Scalar 2×4 register-blocked kernel, parallel over row chunks.
+struct QBlocked;
+
+impl QRoutine for QBlocked {
+    fn name(&self) -> &'static str {
+        "q_blocked"
+    }
+    fn supports(&self, p: &QProblem) -> bool {
+        !p.small()
+    }
+    fn run(&self, p: &QProblem, ad: &[u8], bd: &[i8], od: &mut [i32]) {
+        crate::qgemm::qk_blocked(ad, bd, od, p.m, p.k, p.n);
+    }
+}
+
+/// AVX2 `maddubs` micro-kernel, parallel over row chunks.
+struct QMaddubs;
+
+impl QRoutine for QMaddubs {
+    fn name(&self) -> &'static str {
+        "q_maddubs"
+    }
+    fn supports(&self, p: &QProblem) -> bool {
+        !p.small() && simd_active()
+    }
+    fn run(&self, p: &QProblem, ad: &[u8], bd: &[i8], od: &mut [i32]) {
+        crate::qgemm::qk_maddubs(ad, bd, od, p.m, p.k, p.n);
+    }
+}
+
+/// The quantized routine registry, in deterministic tie-break order.
+pub fn q_routines() -> &'static [&'static dyn QRoutine] {
+    static REGISTRY: [&dyn QRoutine; 3] = [&QRowDot, &QBlocked, &QMaddubs];
+    &REGISTRY
+}
+
+/// Looks up a registered quantized routine by name.
+pub fn q_routine_by_name(name: &str) -> Option<&'static dyn QRoutine> {
+    q_routines().iter().copied().find(|r| r.name() == name)
+}
+
+/// Names of the quantized routines that support the given problem, in
+/// registry order.
+pub fn q_candidate_names(m: usize, k: usize, n: usize) -> Vec<&'static str> {
+    let p = QProblem::new(m, k, n);
+    q_routines()
+        .iter()
+        .filter(|r| r.supports(&p))
+        .map(|r| r.name())
+        .collect()
+}
+
+/// Runs one named quantized routine directly, bypassing the selector
+/// (test hook). Returns `false` if the routine is unknown or does not
+/// support the problem.
+pub fn run_q_routine(
+    name: &str,
+    ad: &[u8],
+    bd: &[i8],
+    od: &mut [i32],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> bool {
+    let Some(r) = q_routine_by_name(name) else {
+        return false;
+    };
+    let p = QProblem::new(m, k, n);
+    if m == 0 || k == 0 || n == 0 {
+        return true;
+    }
+    if !r.supports(&p) {
+        return false;
+    }
+    r.run(&p, ad, bd, od);
+    true
+}
+
+/// Cold-start heuristic for blocked quantized problems: the SIMD kernel
+/// when available, the scalar blocked kernel otherwise.
+fn q_static_choice(_p: &QProblem) -> &'static str {
+    if simd_active() {
+        "q_maddubs"
+    } else {
+        "q_blocked"
+    }
+}
+
+/// Resolves the routine for a quantized problem — mirrors
+/// [`selection_for`], sharing [`Source`], [`Selection`], and the
+/// persistent tune cache (under `qnt:` keys).
+pub fn q_selection_for(m: usize, k: usize, n: usize) -> Selection {
+    q_select(&QProblem::new(m, k, n))
+}
+
+fn q_select(p: &QProblem) -> Selection {
+    let key = p.key();
+    if p.small() {
+        return Selection {
+            routine: "q_rowdot",
+            source: Source::Small,
+            key,
+            tune_ms: None,
+        };
+    }
+    if !tune::active() {
+        return Selection {
+            routine: q_static_choice(p),
+            source: Source::Static,
+            key,
+            tune_ms: None,
+        };
+    }
+    if let Some(entry) = tune::lookup(&key) {
+        if let Some(r) = q_routine_by_name(&entry.routine) {
+            if r.supports(p) {
+                return Selection {
+                    routine: r.name(),
+                    source: if entry.from_file {
+                        Source::Cached
+                    } else {
+                        Source::Measured
+                    },
+                    key,
+                    tune_ms: Some(entry.tune_ms),
+                };
+            }
+        }
+        return Selection {
+            routine: q_static_choice(p),
+            source: Source::Static,
+            key,
+            tune_ms: None,
+        };
+    }
+    let (routine, tune_ms) = q_measure(p);
+    tune::record(&key, routine, tune_ms);
+    Selection {
+        routine,
+        source: Source::Measured,
+        key,
+        tune_ms: Some(tune_ms),
+    }
+}
+
+/// Measures every candidate quantized routine on synthetic data of the
+/// problem's exact size — the integer twin of [`measure`].
+fn q_measure(p: &QProblem) -> (&'static str, f64) {
+    let started = Instant::now();
+    let cands: Vec<&'static dyn QRoutine> = q_routines()
+        .iter()
+        .copied()
+        .filter(|r| r.supports(p))
+        .collect();
+    let mut a8 = scratch::take_filled_i8(p.m * p.k, 0);
+    for (i, v) in a8.iter_mut().enumerate() {
+        *v = ((i * 37) % 128) as i8;
+    }
+    // Codes in 0..=127 reinterpret exactly as the unsigned operand.
+    let a: &[u8] = unsafe { std::slice::from_raw_parts(a8.as_ptr().cast::<u8>(), a8.len()) };
+    let mut b = scratch::take_filled_i8(p.k * p.n, 0);
+    for (i, v) in b.iter_mut().enumerate() {
+        *v = (((i * 53) % 255) as i32 - 127) as i8;
+    }
+    let mut out = scratch::take_filled_i32(p.m * p.n, 0);
+    let reps = if p.macs() >= 1 << 26 {
+        3
+    } else if p.macs() >= 1 << 22 {
+        5
+    } else {
+        7
+    };
+    for r in &cands {
+        out.fill(0);
+        r.run(p, a, &b, &mut out);
+    }
+    let mut fastest = vec![f64::INFINITY; cands.len()];
+    for _ in 0..reps {
+        for (r, fast) in cands.iter().zip(fastest.iter_mut()) {
+            out.fill(0);
+            let t0 = Instant::now();
+            r.run(p, a, &b, &mut out);
+            *fast = fast.min(t0.elapsed().as_secs_f64());
+        }
+    }
+    let mut best_name = cands[0].name();
+    let mut best = f64::INFINITY;
+    for (r, fast) in cands.iter().zip(fastest.iter()) {
+        if *fast < best {
+            best = *fast;
+            best_name = r.name();
+        }
+    }
+    scratch::give_i32(out);
+    scratch::give_i8(b);
+    scratch::give_i8(a8);
+    (best_name, started.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Quantized GEMM entry point: resolves a routine and runs it.
+pub(crate) fn q_dispatch(ad: &[u8], bd: &[i8], od: &mut [i32], m: usize, k: usize, n: usize) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let p = QProblem::new(m, k, n);
+    let sel = q_select(&p);
+    let r = q_routine_by_name(sel.routine).expect("selector returned a registered routine");
+    r.run(&p, ad, bd, od);
+}
+
 /// Cache-blocked transpose: `src` is `(k, m)` row-major, `dst` becomes
 /// `(m, k)` row-major. Pure data movement — parallel over destination
 /// row blocks with disjoint writes, so scheduling cannot affect values.
@@ -1134,5 +1424,63 @@ mod tests {
         assert!(routine_by_name(s.routine).is_some());
         crate::tune::reload_from(None, true).unwrap();
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn q_registry_names_unique_and_small_problems_have_the_fixed_kernel() {
+        let mut names: Vec<_> = q_routines().iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), q_routines().len());
+        // q_rowdot supports everything; blocked candidates exist for
+        // blocked shapes.
+        assert_eq!(q_candidate_names(2, 8, 4), vec!["q_rowdot"]);
+        assert!(q_candidate_names(256, 256, 256).len() >= 2);
+    }
+
+    #[test]
+    fn q_key_is_disjoint_from_f32_namespace() {
+        let key = QProblem::new(256, 256, 256).key();
+        assert!(key.starts_with("qnt:"), "{key}");
+        let f32_key = ShapeClass::of(&Problem::new(false, true, 256, 256, 256)).key();
+        assert_ne!(key, f32_key);
+    }
+
+    #[test]
+    fn q_selector_sources_follow_cache_state() {
+        let _g = guard();
+        let path = temp_cache("q-selector");
+        let _ = std::fs::remove_file(&path);
+        crate::tune::reload_from(None, true).unwrap();
+        let s = q_selection_for(2, 8, 4);
+        assert_eq!((s.routine, s.source), ("q_rowdot", Source::Small));
+        crate::tune::reload_from(None, false).unwrap();
+        let s = q_selection_for(96, 96, 96);
+        assert_eq!(s.source, Source::Static);
+        assert!(q_routine_by_name(s.routine).is_some());
+        crate::tune::reload_from(Some(&path), true).unwrap();
+        let cold = q_selection_for(96, 96, 96);
+        assert_eq!(cold.source, Source::Measured);
+        assert!(cold.tune_ms.is_some());
+        assert_eq!(crate::tune::reload_from(Some(&path), true).unwrap(), 1);
+        let warm = q_selection_for(96, 96, 96);
+        assert_eq!(warm.source, Source::Cached);
+        assert_eq!(warm.routine, cold.routine);
+        assert_eq!(warm.key, cold.key);
+        crate::tune::reload_from(None, true).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_q_routine_rejects_unknown_and_unsupported() {
+        let (m, k, n) = (2, 8, 4);
+        let a = vec![1u8; m * k];
+        let b = vec![1i8; n * k];
+        let mut out = vec![0i32; m * n];
+        assert!(!run_q_routine("nope", &a, &b, &mut out, m, k, n));
+        // Blocked-only routine on a small problem.
+        assert!(!run_q_routine("q_blocked", &a, &b, &mut out, m, k, n));
+        assert!(run_q_routine("q_rowdot", &a, &b, &mut out, m, k, n));
+        assert!(out.iter().all(|&v| v == k as i32));
     }
 }

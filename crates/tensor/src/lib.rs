@@ -57,10 +57,13 @@ pub mod elementwise;
 pub mod init;
 pub mod json;
 pub mod linalg;
+pub mod qgemm;
+pub mod quant;
 pub mod rng;
 pub mod scratch;
 pub mod tune;
 
 pub use error::ShapeError;
 pub use gemm::simd_active;
+pub use quant::{qmatmul_nt, QScheme, QuantizedTensor};
 pub use tensor::Tensor;

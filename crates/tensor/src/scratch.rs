@@ -24,44 +24,62 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-/// Per-thread cap on parked bytes (64 MiB).
+/// Per-thread cap on parked bytes (64 MiB), shared across element types.
 pub const MAX_POOL_BYTES: usize = 64 * 1024 * 1024;
 
 /// Buffers shorter than this are not worth recycling.
 pub const MIN_RECYCLE_LEN: usize = 64;
 
-#[derive(Default)]
-struct BufferPool {
+struct BufferPool<T> {
     /// Free buffers keyed by exact capacity.
-    free: HashMap<usize, Vec<Vec<f32>>>,
+    free: HashMap<usize, Vec<Vec<T>>>,
     /// Total parked bytes across all buckets.
     bytes: usize,
     hits: u64,
     misses: u64,
 }
 
-thread_local! {
-    static POOL: RefCell<BufferPool> = RefCell::new(BufferPool::default());
+// Manual impl: `derive(Default)` would demand `T: Default` for nothing.
+impl<T> Default for BufferPool<T> {
+    fn default() -> Self {
+        Self {
+            free: HashMap::new(),
+            bytes: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
 }
 
-/// Returns a buffer of exactly `len` elements filled with `value`,
-/// reusing a parked buffer when one of matching capacity exists.
-pub(crate) fn take_filled(len: usize, value: f32) -> Vec<f32> {
-    if len >= MIN_RECYCLE_LEN {
-        let reused = POOL.with(|p| {
-            let mut p = p.borrow_mut();
-            match p.free.get_mut(&len).and_then(Vec::pop) {
-                Some(buf) => {
-                    p.bytes -= len * std::mem::size_of::<f32>();
-                    p.hits += 1;
-                    Some(buf)
-                }
-                None => {
-                    p.misses += 1;
-                    None
-                }
+impl<T: Copy> BufferPool<T> {
+    fn pop(&mut self, len: usize) -> Option<Vec<T>> {
+        match self.free.get_mut(&len).and_then(Vec::pop) {
+            Some(buf) => {
+                self.bytes -= len * std::mem::size_of::<T>();
+                self.hits += 1;
+                Some(buf)
             }
-        });
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<BufferPool<f32>> = RefCell::new(BufferPool::default());
+    static POOL_I8: RefCell<BufferPool<i8>> = RefCell::new(BufferPool::default());
+    static POOL_I32: RefCell<BufferPool<i32>> = RefCell::new(BufferPool::default());
+}
+
+fn take_filled_in<T: Copy>(
+    pool: &'static std::thread::LocalKey<RefCell<BufferPool<T>>>,
+    len: usize,
+    value: T,
+) -> Vec<T> {
+    if len >= MIN_RECYCLE_LEN {
+        let reused = pool.with(|p| p.borrow_mut().pop(len));
         if let Some(mut buf) = reused {
             buf.clear();
             buf.resize(len, value);
@@ -69,6 +87,29 @@ pub(crate) fn take_filled(len: usize, value: f32) -> Vec<f32> {
         }
     }
     vec![value; len]
+}
+
+fn give_in<T: Copy>(pool: &'static std::thread::LocalKey<RefCell<BufferPool<T>>>, buf: Vec<T>) {
+    let cap = buf.capacity();
+    if cap < MIN_RECYCLE_LEN {
+        return;
+    }
+    let size = cap * std::mem::size_of::<T>();
+    // `try_with`: a buffer dropped during thread teardown must not panic.
+    let _ = pool.try_with(|p| {
+        if let Ok(mut p) = p.try_borrow_mut() {
+            if p.bytes + size <= MAX_POOL_BYTES {
+                p.bytes += size;
+                p.free.entry(cap).or_default().push(buf);
+            }
+        }
+    });
+}
+
+/// Returns a buffer of exactly `len` elements filled with `value`,
+/// reusing a parked buffer when one of matching capacity exists.
+pub(crate) fn take_filled(len: usize, value: f32) -> Vec<f32> {
+    take_filled_in(&POOL, len, value)
 }
 
 /// Returns a buffer holding a copy of `src`, reusing a parked buffer of
@@ -79,20 +120,7 @@ pub(crate) fn take_filled(len: usize, value: f32) -> Vec<f32> {
 pub(crate) fn take_copied(src: &[f32]) -> Vec<f32> {
     let len = src.len();
     if len >= MIN_RECYCLE_LEN {
-        let reused = POOL.with(|p| {
-            let mut p = p.borrow_mut();
-            match p.free.get_mut(&len).and_then(Vec::pop) {
-                Some(buf) => {
-                    p.bytes -= std::mem::size_of_val(src);
-                    p.hits += 1;
-                    Some(buf)
-                }
-                None => {
-                    p.misses += 1;
-                    None
-                }
-            }
-        });
+        let reused = POOL.with(|p| p.borrow_mut().pop(len));
         if let Some(mut buf) = reused {
             buf.clear();
             buf.extend_from_slice(src);
@@ -106,20 +134,30 @@ pub(crate) fn take_copied(src: &[f32]) -> Vec<f32> {
 /// qualify (too small, pool full, thread-local storage torn down) are
 /// simply freed.
 pub(crate) fn give(buf: Vec<f32>) {
-    let cap = buf.capacity();
-    if cap < MIN_RECYCLE_LEN {
-        return;
-    }
-    let size = cap * std::mem::size_of::<f32>();
-    // `try_with`: a tensor dropped during thread teardown must not panic.
-    let _ = POOL.try_with(|p| {
-        if let Ok(mut p) = p.try_borrow_mut() {
-            if p.bytes + size <= MAX_POOL_BYTES {
-                p.bytes += size;
-                p.free.entry(cap).or_default().push(buf);
-            }
-        }
-    });
+    give_in(&POOL, buf);
+}
+
+/// Pooled `i8` buffer for quantized-kernel operands (codes, packed
+/// blocks). Return it with [`give_i8`] when done so the quantized hot
+/// path stays allocation-free after warmup.
+pub fn take_filled_i8(len: usize, value: i8) -> Vec<i8> {
+    take_filled_in(&POOL_I8, len, value)
+}
+
+/// Parks an `i8` buffer taken with [`take_filled_i8`].
+pub fn give_i8(buf: Vec<i8>) {
+    give_in(&POOL_I8, buf);
+}
+
+/// Pooled `i32` buffer for quantized-kernel accumulators. Return it with
+/// [`give_i32`].
+pub fn take_filled_i32(len: usize, value: i32) -> Vec<i32> {
+    take_filled_in(&POOL_I32, len, value)
+}
+
+/// Parks an `i32` buffer taken with [`take_filled_i32`].
+pub fn give_i32(buf: Vec<i32>) {
+    give_in(&POOL_I32, buf);
 }
 
 /// Point-in-time statistics for the calling thread's pool.
@@ -135,28 +173,40 @@ pub struct ScratchStats {
     pub misses: u64,
 }
 
-/// Returns the calling thread's pool statistics.
+/// Returns the calling thread's pool statistics, summed over the f32,
+/// i8, and i32 pools.
 pub fn stats() -> ScratchStats {
-    POOL.with(|p| {
-        let p = p.borrow();
-        ScratchStats {
-            cached_bytes: p.bytes,
-            cached_buffers: p.free.values().map(Vec::len).sum(),
-            hits: p.hits,
-            misses: p.misses,
-        }
-    })
+    fn add<T>(pool: &RefCell<BufferPool<T>>, s: &mut ScratchStats) {
+        let p = pool.borrow();
+        s.cached_bytes += p.bytes;
+        s.cached_buffers += p.free.values().map(Vec::len).sum::<usize>();
+        s.hits += p.hits;
+        s.misses += p.misses;
+    }
+    let mut s = ScratchStats {
+        cached_bytes: 0,
+        cached_buffers: 0,
+        hits: 0,
+        misses: 0,
+    };
+    POOL.with(|p| add(p, &mut s));
+    POOL_I8.with(|p| add(p, &mut s));
+    POOL_I32.with(|p| add(p, &mut s));
+    s
 }
 
 /// Frees every buffer parked by the calling thread and resets counters.
 pub fn clear_pool() {
-    POOL.with(|p| {
-        let mut p = p.borrow_mut();
+    fn clear<T>(pool: &RefCell<BufferPool<T>>) {
+        let mut p = pool.borrow_mut();
         p.free.clear();
         p.bytes = 0;
         p.hits = 0;
         p.misses = 0;
-    });
+    }
+    POOL.with(clear);
+    POOL_I8.with(clear);
+    POOL_I32.with(clear);
 }
 
 #[cfg(test)]
@@ -212,5 +262,24 @@ mod tests {
         let after = stats();
         assert_eq!(after.hits, before.hits + 1);
         clear_pool();
+    }
+
+    #[test]
+    fn integer_pools_recycle_independently() {
+        clear_pool();
+        let b8 = take_filled_i8(256, 3);
+        let p8 = b8.as_ptr();
+        give_i8(b8);
+        let b8b = take_filled_i8(256, -1);
+        assert_eq!(b8b.as_ptr(), p8, "i8 pool should reuse");
+        assert!(b8b.iter().all(|&v| v == -1));
+        // Same length in the i32 pool must not alias the i8 buffer.
+        let b32 = take_filled_i32(256, 7);
+        assert!(b32.iter().all(|&v| v == 7));
+        give_i8(b8b);
+        give_i32(b32);
+        assert_eq!(stats().cached_buffers, 2);
+        clear_pool();
+        assert_eq!(stats().cached_bytes, 0);
     }
 }
